@@ -1,0 +1,177 @@
+//! Plain-text rendering of tables, series and quick ASCII charts for the
+//! experiment binaries and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned ASCII table.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+-{:-<w$}-", "", w = *w);
+        }
+        out.push_str("+\n");
+    };
+    rule(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {h:w$} ", w = widths[i]);
+    }
+    out.push_str("|\n");
+    rule(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "| {cell:>w$} ", w = widths[i]);
+        }
+        out.push_str("|\n");
+    }
+    rule(&mut out);
+    out
+}
+
+/// Renders labelled series as columns: `x  series1  series2 …`.
+pub fn series_table(x_label: &str, xs: &[u64], series: &[(&str, &[u64])]) -> String {
+    let mut headers = vec![x_label];
+    headers.extend(series.iter().map(|(l, _)| *l));
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![x.to_string()];
+            for (_, s) in series {
+                row.push(s.get(i).map_or_else(|| "-".into(), |v| v.to_string()));
+            }
+            row
+        })
+        .collect();
+    ascii_table(&headers, &rows)
+}
+
+/// Renders a compact ASCII line chart of one or more series (marker per
+/// series: `*`, `o`, `+`, `x`).
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    const MARKS: [char; 4] = ['*', 'o', '+', 'x'];
+    let max = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .fold(0.0f64, |m, &v| m.max(v));
+    let longest = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if max <= 0.0 || longest == 0 {
+        return String::from("(no data)\n");
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for (i, &v) in s.iter().enumerate() {
+            let x = if longest <= 1 { 0 } else { i * (width - 1) / (longest - 1) };
+            let y = ((v / max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x] = mark;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "max = {max:.0}");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    let mut legend = String::new();
+    for (si, (label, _)) in series.iter().enumerate() {
+        let _ = write!(legend, "  {} {label}", MARKS[si % MARKS.len()]);
+    }
+    let _ = writeln!(out, "{}", legend.trim_start());
+    out
+}
+
+/// Human-readable byte count in the units Table I uses.
+pub fn format_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e12 {
+        format!("{:.1} TB", b / 1e12)
+    } else if b >= 1e9 {
+        format!("{:.1} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a count with thousands separators (`110,049` style, as in the
+/// paper).
+pub fn format_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = ascii_table(
+            &["metric", "value"],
+            &[
+                vec!["peers".into(), "110049".into()],
+                vec!["files".into(), "28007".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "ragged output:\n{t}");
+        assert!(t.contains("110049"));
+    }
+
+    #[test]
+    fn series_table_handles_short_series() {
+        let t = series_table("day", &[0, 1, 2], &[("a", &[5, 6][..]), ("b", &[7, 8, 9][..])]);
+        assert!(t.contains('-'), "missing value placeholder expected:\n{t}");
+        assert!(t.contains('9'));
+    }
+
+    #[test]
+    fn chart_renders_marks_and_legend() {
+        let c = ascii_chart(&[("up", &[1.0, 2.0, 3.0][..]), ("down", &[3.0, 2.0, 1.0][..])], 30, 8);
+        assert!(c.contains('*') && c.contains('o'));
+        assert!(c.contains("up") && c.contains("down"));
+    }
+
+    #[test]
+    fn chart_empty_input() {
+        assert_eq!(ascii_chart(&[("e", &[][..])], 10, 4), "(no data)\n");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(9_000_000_000_000), "9.0 TB");
+        assert_eq!(format_bytes(1_500_000_000), "1.5 GB");
+        assert_eq!(format_bytes(2_000_000), "2.0 MB");
+        assert_eq!(format_bytes(312), "312 B");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(format_count(110_049), "110,049");
+        assert_eq!(format_count(999), "999");
+        assert_eq!(format_count(1_000), "1,000");
+        assert_eq!(format_count(0), "0");
+    }
+}

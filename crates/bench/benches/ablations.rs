@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each one
+//! perturbs a single mechanism of the synthetic world and reports both the
+//! runtime and (via eprintln on first run) the effect on the headline
+//! observable, so the sensitivity of the reproduced figures to each knob
+//! is measurable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use edonkey_analysis::{distinct_peers_by_strategy, hourly_counts};
+use edonkey_experiments::scenarios;
+use edonkey_sim::run_scenario;
+use honeypot::QueryKind;
+use netsim::DiurnalCurve;
+
+const SCALE: f64 = 0.01;
+
+fn bench_diurnal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_diurnal");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    for (name, curve) in [
+        ("european", DiurnalCurve::european()),
+        ("flat", DiurnalCurve::flat()),
+    ] {
+        group.bench_function(format!("distributed/{name}"), |b| {
+            b.iter(|| {
+                let mut config = scenarios::distributed(21, SCALE);
+                config.population.diurnal = curve;
+                let out = run_scenario(config);
+                let ratio = hourly_counts(&out.log, QueryKind::Hello).day_night_ratio();
+                black_box((out.log.distinct_peers, ratio))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_knobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_detection");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    // The strategy gap of Figs. 5–7 hinges on detection being faster and
+    // surer against silence; equalising the probabilities removes it.
+    for (name, nc, rc) in [("paper", 0.85, 0.30), ("equalised", 0.5, 0.5)] {
+        group.bench_function(format!("distributed/{name}"), |b| {
+            b.iter(|| {
+                let mut config = scenarios::distributed(22, SCALE);
+                config.behavior.nc_detect_prob = nc;
+                config.behavior.rc_detect_prob = rc;
+                let out = run_scenario(config);
+                let gap = distinct_peers_by_strategy(&out.log, QueryKind::Hello).finals();
+                black_box(gap)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_blacklist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_blacklist");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    for (name, cap) in [("on", 0.5), ("off", 0.0)] {
+        group.bench_function(format!("distributed/{name}"), |b| {
+            b.iter(|| {
+                let mut config = scenarios::distributed(23, SCALE);
+                config.blacklist.skip_cap = cap;
+                let out = run_scenario(config);
+                black_box(out.log.distinct_peers)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_provider_subset");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    // Fig. 10's curvature tracks how many providers a peer contacts.
+    for (name, mean, all_prob) in [("paper", 3.0, 0.10), ("narrow", 1.2, 0.0), ("broad", 8.0, 0.3)]
+    {
+        group.bench_function(format!("distributed/{name}"), |b| {
+            b.iter(|| {
+                let mut config = scenarios::distributed(24, SCALE);
+                config.behavior.subset_mean = mean;
+                config.behavior.subset_all_prob = all_prob;
+                let out = run_scenario(config);
+                black_box(out.log.distinct_peers)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crash_resilience(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_crashes");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    for (name, crashes) in [
+        ("stable", None),
+        ("mtbf_3d", Some(edonkey_sim::CrashConfig { mtbf_ms: 3 * netsim::time::MS_PER_DAY })),
+    ] {
+        group.bench_function(format!("distributed/{name}"), |b| {
+            b.iter(|| {
+                let mut config = scenarios::distributed(25, SCALE);
+                config.crashes = crashes;
+                let out = run_scenario(config);
+                black_box((out.log.distinct_peers, out.relaunches))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diurnal,
+    bench_detection_knobs,
+    bench_blacklist,
+    bench_subset_sizes,
+    bench_crash_resilience
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Anonymisation benchmarks: step-1 salted hashing, step-2 interning, and
+//! file-name word anonymisation — including the "what does anonymisation
+//! cost per logged query" number that justifies keeping it always-on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use edonkey_proto::Ipv4;
+use honeypot::anonymize::{AnonMap, IpHasher, NameAnonymizer};
+use netsim::Rng;
+
+fn random_ips(n: usize, seed: u64) -> Vec<Ipv4> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n).map(|_| Ipv4(rng.next_u32())).collect()
+}
+
+fn bench_ip_hashing(c: &mut Criterion) {
+    let hasher = IpHasher::from_seed(42);
+    let ips = random_ips(10_000, 1);
+    let mut group = c.benchmark_group("anonymise");
+    group.throughput(Throughput::Elements(ips.len() as u64));
+    group.bench_function("step1_salted_md4_10k_ips", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for ip in &ips {
+                acc ^= hasher.hash(black_box(*ip)).0[0];
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("step2_intern_10k_hashes", |b| {
+        let hashes: Vec<_> = ips.iter().map(|ip| hasher.hash(*ip)).collect();
+        b.iter_batched(
+            AnonMap::new,
+            |mut map| {
+                for h in &hashes {
+                    black_box(map.intern(*h));
+                }
+                // Re-intern (the hot path during merging: most records
+                // belong to already-known peers).
+                for h in &hashes {
+                    black_box(map.intern(*h));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_name_anonymiser(c: &mut Criterion) {
+    // A corpus with both common and rare words.
+    let names: Vec<String> = (0..5_000)
+        .map(|i| format!("ubuntu linux {:04}.release.user{}.iso", i % 50, i))
+        .collect();
+    let mut group = c.benchmark_group("anonymise_names");
+    group.throughput(Throughput::Elements(names.len() as u64));
+    group.bench_function("count_freeze_5k_names", |b| {
+        b.iter(|| {
+            let mut counter = NameAnonymizer::new();
+            for n in &names {
+                counter.count(n);
+            }
+            black_box(counter.freeze(5))
+        });
+    });
+    let mut counter = NameAnonymizer::new();
+    for n in &names {
+        counter.count(n);
+    }
+    let frozen = counter.freeze(5);
+    group.bench_function("rewrite_5k_names", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for n in &names {
+                total += frozen.anonymize(n).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ip_hashing, bench_name_anonymiser);
+criterion_main!(benches);

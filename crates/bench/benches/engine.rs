@@ -1,0 +1,169 @@
+//! Simulation-engine benchmarks: event queue, chained timers, RNG and
+//! distribution sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use netsim::dist::{exponential, poisson};
+use netsim::engine::{Engine, Scheduler, World};
+use netsim::{CalendarQueue, EventQueue, Rng, SimTime, Zipf};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("push_pop_100k_random_times", |b| {
+        let mut rng = Rng::seed_from(1);
+        let times: Vec<u64> = (0..100_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime(t), i as u32);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// A world that keeps `fanout` timer chains alive until the horizon.
+struct TimerWorld {
+    handled: u64,
+}
+
+impl World for TimerWorld {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+        self.handled += 1;
+        sched.in_ms(10 + u64::from(ev % 17), ev);
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(200_000));
+    group.bench_function("chained_timers_200k_events", |b| {
+        b.iter(|| {
+            let mut engine: Engine<TimerWorld> = Engine::new();
+            let mut world = TimerWorld { handled: 0 };
+            for i in 0..64 {
+                engine.schedule(SimTime(u64::from(i)), i);
+            }
+            engine.run_until_with_budget(&mut world, SimTime(u64::MAX), 200_000);
+            assert!(world.handled >= 200_000);
+            black_box(world.handled)
+        });
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("xoshiro_u64_1M", |b| {
+        let mut rng = Rng::seed_from(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        });
+    });
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("exponential_100k", |b| {
+        let mut rng = Rng::seed_from(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += exponential(&mut rng, 2.5);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("poisson_lambda8_100k", |b| {
+        let mut rng = Rng::seed_from(5);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc += poisson(&mut rng, 8.0);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf");
+    for n in [1_000usize, 100_000] {
+        let z = Zipf::new(n, 0.8);
+        let mut rng = Rng::seed_from(6);
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_function(format!("sample_100k/n={n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..100_000 {
+                    acc ^= z.sample(&mut rng);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: binary-heap event queue vs bucketed calendar queue under the
+/// simulator's actual scheduling pattern (hold model: pop one, schedule a
+/// near-future follow-up — retries and timeouts cluster within minutes).
+fn bench_queue_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_ablation");
+    const OPS: u64 = 200_000;
+    group.throughput(Throughput::Elements(OPS));
+
+    group.bench_function("hold_model/binary_heap", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(1);
+            let mut q = EventQueue::new();
+            for i in 0..256u32 {
+                q.push(SimTime(u64::from(i)), i);
+            }
+            for _ in 0..OPS {
+                let (t, e) = q.pop().expect("self-sustaining");
+                q.push(t.plus_millis(500 + rng.below(120_000)), e);
+            }
+            black_box(q.len())
+        });
+    });
+
+    group.bench_function("hold_model/calendar", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(1);
+            // One-minute buckets spanning four hours.
+            let mut q = CalendarQueue::new(240, 60_000);
+            for i in 0..256u32 {
+                q.push(SimTime(u64::from(i)), i);
+            }
+            for _ in 0..OPS {
+                let (t, e) = q.pop().expect("self-sustaining");
+                q.push(t.plus_millis(500 + rng.below(120_000)), e);
+            }
+            black_box(q.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_engine,
+    bench_rng,
+    bench_zipf,
+    bench_queue_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! One benchmark per paper artefact: given a pre-computed measurement log
+//! (built once, outside the timing loop), how fast does the analysis
+//! regenerate each table/figure?
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use edonkey_experiments::figures;
+use edonkey_experiments::scenarios;
+use edonkey_sim::run_scenario;
+use honeypot::MeasurementLog;
+
+fn logs() -> (MeasurementLog, MeasurementLog) {
+    // Scaled-down runs keep bench wall time sane while preserving every
+    // code path of the analyses.
+    let dist = run_scenario(scenarios::distributed(11, 0.02)).log;
+    let greedy = run_scenario(scenarios::greedy(11, 0.01)).log;
+    (dist, greedy)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let (dist, greedy) = logs();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(figures::table1(&dist, &greedy)));
+    });
+    group.bench_function("fig02_growth_distributed", |b| {
+        b.iter(|| black_box(figures::fig_growth(&dist, 2)));
+    });
+    group.bench_function("fig03_growth_greedy", |b| {
+        b.iter(|| black_box(figures::fig_growth(&greedy, 3)));
+    });
+    group.bench_function("fig04_hourly_hello", |b| {
+        b.iter(|| black_box(figures::fig04(&dist)));
+    });
+    group.bench_function("fig05_distinct_hello_by_strategy", |b| {
+        b.iter(|| black_box(figures::fig05(&dist)));
+    });
+    group.bench_function("fig06_distinct_startupload_by_strategy", |b| {
+        b.iter(|| black_box(figures::fig06(&dist)));
+    });
+    group.bench_function("fig07_requestpart_by_strategy", |b| {
+        b.iter(|| black_box(figures::fig07(&dist)));
+    });
+    group.bench_function("fig08_top_peer_startupload", |b| {
+        b.iter(|| black_box(figures::fig_top_peer(&dist, 8)));
+    });
+    group.bench_function("fig09_top_peer_requestpart", |b| {
+        b.iter(|| black_box(figures::fig_top_peer(&dist, 9)));
+    });
+    group.bench_function("fig10_subset_honeypots", |b| {
+        b.iter(|| black_box(figures::fig10(&dist, 50, 3)));
+    });
+    group.bench_function("fig11_subset_random_files", |b| {
+        b.iter(|| black_box(figures::fig_files(&greedy, 11, 50, 3)));
+    });
+    group.bench_function("fig12_subset_popular_files", |b| {
+        b.iter(|| black_box(figures::fig_files(&greedy, 12, 50, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Protocol-layer benchmarks: MD4 digest throughput, message codec
+//! round-trips, tag lists, streaming frame decoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use edonkey_proto::codec::{encode_peer_message, FrameDecoder};
+use edonkey_proto::md4::{md4, Md4};
+use edonkey_proto::messages::{PartRange, PeerMessage};
+use edonkey_proto::tags::{special, Tag};
+use edonkey_proto::wire::{Reader, Writer};
+use edonkey_proto::{ClientId, FileId, UserId};
+
+fn bench_md4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("md4");
+    for size in [64usize, 4 << 10, 180 << 10, 9_728_000 / 8] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("oneshot/{size}"), |b| {
+            b.iter(|| md4(black_box(&data)));
+        });
+    }
+    let data = vec![7u8; 1 << 20];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("incremental/1MiB/4KiB-chunks", |b| {
+        b.iter(|| {
+            let mut h = Md4::new();
+            for chunk in data.chunks(4096) {
+                h.update(chunk);
+            }
+            h.finalize()
+        });
+    });
+    group.finish();
+}
+
+fn hello() -> PeerMessage {
+    PeerMessage::Hello {
+        user_id: UserId::from_seed(b"bench"),
+        client_id: ClientId(0x0A01_0203),
+        port: 4662,
+        tags: vec![Tag::string(special::NAME, "eMule v0.49a"), Tag::u32(special::VERSION, 0x49)],
+    }
+}
+
+fn request() -> PeerMessage {
+    PeerMessage::RequestParts {
+        file_id: FileId::from_seed(b"f"),
+        ranges: [
+            PartRange::new(0, 184_320),
+            PartRange::new(184_320, 368_640),
+            PartRange::new(368_640, 552_960),
+        ],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for (name, msg) in [("hello", hello()), ("request_parts", request())] {
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| encode_peer_message(black_box(&msg)));
+        });
+        let frame = encode_peer_message(&msg);
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| {
+                let (raw, _) = edonkey_proto::codec::decode_frame(black_box(&frame)).unwrap();
+                PeerMessage::decode_payload(raw.opcode, &raw.payload).unwrap()
+            });
+        });
+    }
+    // Streaming: 1000 frames fed in 1460-byte chunks (a TCP-ish MSS).
+    let mut stream = Vec::new();
+    for _ in 0..1_000 {
+        stream.extend_from_slice(&encode_peer_message(&hello()));
+    }
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.bench_function("stream_decode/1000-hellos", |b| {
+        b.iter_batched(
+            FrameDecoder::new,
+            |mut dec| {
+                let mut n = 0;
+                for chunk in stream.chunks(1460) {
+                    dec.feed(chunk);
+                    while let Some(f) = dec.next_frame().unwrap() {
+                        black_box(&f);
+                        n += 1;
+                    }
+                }
+                assert_eq!(n, 1_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_tags(c: &mut Criterion) {
+    let tags: Vec<Tag> = (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                Tag::string(special::NAME, format!("value-{i}"))
+            } else {
+                Tag::u32(special::SIZE, i)
+            }
+        })
+        .collect();
+    c.bench_function("tags/encode_decode_16", |b| {
+        b.iter(|| {
+            let mut w = Writer::new();
+            Tag::encode_list(black_box(&tags), &mut w);
+            let buf = w.into_bytes();
+            Tag::decode_list(&mut Reader::new(&buf)).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_md4, bench_codec, bench_tags);
+criterion_main!(benches);

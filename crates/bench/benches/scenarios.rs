@@ -1,0 +1,34 @@
+//! Whole-scenario benchmarks: how fast the simulated eDonkey world runs
+//! the paper's two measurements (scaled down so a bench iteration stays in
+//! the hundreds of milliseconds).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use edonkey_experiments::scenarios;
+use edonkey_sim::{run_scenario, ScenarioConfig};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("tiny/2days", |b| {
+        b.iter(|| black_box(run_scenario(ScenarioConfig::tiny(42))));
+    });
+
+    group.bench_function("distributed/scale0.01/32days", |b| {
+        b.iter(|| black_box(run_scenario(scenarios::distributed(7, 0.01))));
+    });
+
+    group.bench_function("greedy/scale0.005/15days", |b| {
+        b.iter(|| black_box(run_scenario(scenarios::greedy(7, 0.005))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

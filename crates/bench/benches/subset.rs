@@ -1,0 +1,51 @@
+//! Monte-Carlo subset-sampling benchmarks (the analysis behind Figs.
+//! 10–12), including the rayon-vs-sequential comparison.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use edonkey_analysis::{subset_curve, subset_curve_sequential, PeerSet};
+use netsim::Rng;
+
+/// Builds `k` random peer sets over a `universe`, each holding ~`fill`
+/// peers.
+fn build_sets(k: usize, universe: usize, fill: usize, seed: u64) -> Vec<PeerSet> {
+    let mut rng = Rng::seed_from(seed);
+    (0..k)
+        .map(|_| {
+            let mut s = PeerSet::new(universe);
+            for _ in 0..fill {
+                s.insert(rng.below(universe as u64) as u32);
+            }
+            s
+        })
+        .collect()
+}
+
+fn bench_subsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_curve");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+
+    // Fig. 10 shape: 24 honeypots over a 110k-peer universe.
+    let hp_sets = build_sets(24, 110_000, 25_000, 1);
+    group.bench_function("fig10_shape/24x25k/100samples/rayon", |b| {
+        b.iter(|| black_box(subset_curve(&hp_sets, 100, 7)));
+    });
+    group.bench_function("fig10_shape/24x25k/100samples/sequential", |b| {
+        b.iter(|| black_box(subset_curve_sequential(&hp_sets, 100, 7)));
+    });
+
+    // Fig. 11/12 shape: 100 files over a 400k-peer universe.
+    let file_sets = build_sets(100, 400_000, 2_000, 2);
+    group.bench_function("fig11_shape/100x2k/100samples/rayon", |b| {
+        b.iter(|| black_box(subset_curve(&file_sets, 100, 7)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subsets);
+criterion_main!(benches);

@@ -1,0 +1,792 @@
+//! The honeypot peer: a fake eDonkey client that advertises files, logs the
+//! queries it receives, and answers (or not) according to its content
+//! strategy — the modified-aMule client of paper §III-B, reimplemented as a
+//! transport-agnostic state machine.
+//!
+//! The honeypot never touches a socket or the simulator directly: every
+//! entry point takes what arrived and returns a list of [`Action`]s for the
+//! host (the discrete-event world, or the real-TCP adapter in
+//! `edonkey-net`) to carry out.  One honeypot implementation therefore runs
+//! identically in simulation and over the network.
+
+use std::collections::HashMap;
+
+use edonkey_proto::tags::{self, special, Tag};
+use edonkey_proto::{ClientId, ClientServerMessage, FileId, Ipv4, PeerMessage, UserId};
+use netsim::{Rng, SimTime};
+
+use crate::anonymize::IpHasher;
+use crate::log::{HoneypotLog, QueryKind, QueryRecord, SharedListRecord, FILE_NONE};
+use crate::strategy::{AdvertisedFile, ContentStrategy, FileStrategy};
+use crate::types::{HoneypotId, HoneypotStatus, IdStatus, ServerInfo, StatusReport};
+
+/// Opaque identifier of one peer connection, assigned by the host
+/// transport.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConnId(pub u64);
+
+/// What the host must do on the honeypot's behalf.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Action {
+    /// Send a message back on the connection the triggering message arrived
+    /// on.
+    Reply(PeerMessage),
+    /// Send a message to the honeypot's server.
+    SendServer(ClientServerMessage),
+    /// Report status to the manager.
+    Report(StatusReport),
+}
+
+/// Static configuration of one honeypot.
+#[derive(Clone, Debug)]
+pub struct HoneypotConfig {
+    pub id: HoneypotId,
+    pub content: ContentStrategy,
+    pub files: FileStrategy,
+    /// Ask every contacting peer for its shared-file list (always on for
+    /// the greedy measurement; on in the distributed one too, since the
+    /// paper's Table I reports distinct files for both).
+    pub ask_shared_files: bool,
+    /// Generate actual random bytes in SENDING-PART replies.  On for the
+    /// TCP substrate; off in simulation, where block payloads would only
+    /// burn memory (peers there model corruption detection statistically).
+    pub materialize_content: bool,
+    /// TCP port advertised in HELLO-ANSWER.
+    pub port: u16,
+    /// Client name shown to peers.
+    pub client_name: String,
+}
+
+impl HoneypotConfig {
+    /// A baseline configuration advertising a fixed file list.
+    pub fn fixed(id: HoneypotId, content: ContentStrategy, files: Vec<AdvertisedFile>) -> Self {
+        HoneypotConfig {
+            id,
+            content,
+            files: FileStrategy::Fixed(files),
+            ask_shared_files: true,
+            materialize_content: false,
+            port: 4662,
+            client_name: format!("client-{}", id.0),
+        }
+    }
+}
+
+/// Per-connection session state (metadata captured from HELLO, used to
+/// annotate subsequent log records on the same connection).
+#[derive(Clone, Debug)]
+struct PeerSession {
+    ip_hash: crate::anonymize::IpHash,
+    port: u16,
+    id_status: IdStatus,
+    user_id: UserId,
+    name_idx: u32,
+    version: u32,
+    /// Set once we asked this peer for its shared list, to ask only once
+    /// per session.
+    asked_shared: bool,
+}
+
+/// The honeypot state machine.
+pub struct Honeypot {
+    config: HoneypotConfig,
+    user_id: UserId,
+    ip_hasher: IpHasher,
+    rng: Rng,
+    log: HoneypotLog,
+    shared: Vec<AdvertisedFile>,
+    shared_ids: HashMap<FileId, u32>,
+    sessions: HashMap<ConnId, PeerSession>,
+    status: HoneypotStatus,
+    server: ServerInfo,
+}
+
+impl Honeypot {
+    /// Creates a honeypot bound (but not yet connected) to `server`.
+    ///
+    /// `ip_hasher` must be shared by all honeypots of the measurement so
+    /// step-1 anonymisation stays coherent (see [`crate::anonymize`]).
+    pub fn new(config: HoneypotConfig, server: ServerInfo, ip_hasher: IpHasher, rng: Rng) -> Self {
+        let mut hp = Honeypot {
+            user_id: UserId::from_seed(format!("honeypot-{}", config.id.0).as_bytes()),
+            log: HoneypotLog::new(config.id, server.clone()),
+            shared: Vec::new(),
+            shared_ids: HashMap::new(),
+            sessions: HashMap::new(),
+            status: HoneypotStatus::Pending,
+            server,
+            ip_hasher,
+            rng,
+            config,
+        };
+        for f in hp.config.files.initial_files().to_vec() {
+            hp.add_shared(f);
+        }
+        hp
+    }
+
+    fn add_shared(&mut self, f: AdvertisedFile) -> bool {
+        if self.shared_ids.contains_key(&f.id) || self.shared.len() >= self.config.files.max_files()
+        {
+            return false;
+        }
+        self.log.files.intern(f.id, &f.name, f.size);
+        self.shared_ids.insert(f.id, self.shared.len() as u32);
+        self.shared.push(f);
+        true
+    }
+
+    /// The currently advertised files.
+    pub fn shared_files(&self) -> &[AdvertisedFile] {
+        &self.shared
+    }
+
+    /// Whether this honeypot advertises `id`.
+    pub fn advertises(&self, id: &FileId) -> bool {
+        self.shared_ids.contains_key(id)
+    }
+
+    pub fn id(&self) -> HoneypotId {
+        self.config.id
+    }
+
+    pub fn content_strategy(&self) -> ContentStrategy {
+        self.config.content
+    }
+
+    pub fn status(&self) -> HoneypotStatus {
+        self.status
+    }
+
+    pub fn server(&self) -> &ServerInfo {
+        &self.server
+    }
+
+    /// Read access to the in-progress log (tests, live monitoring).
+    pub fn log(&self) -> &HoneypotLog {
+        &self.log
+    }
+
+    /// Hands the buffered log data to the manager (periodic collection).
+    pub fn collect_log(&mut self) -> crate::log::LogChunk {
+        self.log.take_chunk()
+    }
+
+    /// The OFFER-FILES message describing files, as published to the
+    /// server.
+    fn offer_message(&self, files: &[AdvertisedFile]) -> ClientServerMessage {
+        ClientServerMessage::OfferFiles {
+            files: files
+                .iter()
+                .map(|f| edonkey_proto::PublishedFile::new(f.id, &f.name, f.size))
+                .collect(),
+        }
+    }
+
+    /// Begins a (re)connection to the server: returns the LOGIN-REQUEST the
+    /// host must deliver.
+    pub fn connect(&mut self, now: SimTime) -> Vec<Action> {
+        self.status = HoneypotStatus::Disconnected;
+        self.sessions.clear();
+        let login = ClientServerMessage::LoginRequest {
+            user_id: self.user_id,
+            client_id: ClientId(0),
+            port: self.config.port,
+            tags: vec![
+                Tag::string(special::NAME, self.config.client_name.clone()),
+                Tag::u32(special::VERSION, 0x3c),
+                Tag::u32(special::PORT, u32::from(self.config.port)),
+            ],
+        };
+        let _ = now;
+        vec![Action::SendServer(login)]
+    }
+
+    /// Handles a message from the server.
+    pub fn on_server_message(&mut self, now: SimTime, msg: &ClientServerMessage) -> Vec<Action> {
+        match msg {
+            ClientServerMessage::IdChange { client_id } => {
+                self.status = HoneypotStatus::Connected { client_id: *client_id };
+                // Advertise immediately after the session is granted
+                // (paper §III-B, "File display").
+                vec![
+                    Action::SendServer(self.offer_message(&self.shared.clone())),
+                    Action::Report(StatusReport {
+                        honeypot: self.config.id,
+                        at: now,
+                        status: self.status,
+                    }),
+                ]
+            }
+            ClientServerMessage::ServerMessage { .. }
+            | ClientServerMessage::ServerStatus { .. }
+            | ClientServerMessage::FoundSources { .. } => Vec::new(),
+            // Client→server messages arriving here indicate a host bug.
+            other => {
+                debug_assert!(false, "honeypot received client-side message {other:?}");
+                Vec::new()
+            }
+        }
+    }
+
+    /// Periodic keep-alive: re-offers the shared list so the server keeps
+    /// listing the honeypot as a provider.
+    pub fn keepalive(&mut self, _now: SimTime) -> Vec<Action> {
+        if matches!(self.status, HoneypotStatus::Connected { .. }) {
+            vec![Action::SendServer(self.offer_message(&self.shared.clone()))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Signals loss of the server connection.
+    pub fn on_disconnected(&mut self, now: SimTime) -> Vec<Action> {
+        self.status = HoneypotStatus::Disconnected;
+        self.sessions.clear();
+        vec![Action::Report(StatusReport {
+            honeypot: self.config.id,
+            at: now,
+            status: self.status,
+        })]
+    }
+
+    /// Kills the honeypot (failure injection in tests/simulations).
+    pub fn kill(&mut self, now: SimTime) -> Vec<Action> {
+        self.status = HoneypotStatus::Dead;
+        self.sessions.clear();
+        vec![Action::Report(StatusReport {
+            honeypot: self.config.id,
+            at: now,
+            status: self.status,
+        })]
+    }
+
+    /// Handles one message from a peer connection.
+    ///
+    /// `src_ip` is the connection's source address as seen by the
+    /// transport; it is hashed before any storage (step-1 anonymisation).
+    pub fn on_peer_message(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        src_ip: Ipv4,
+        msg: &PeerMessage,
+    ) -> Vec<Action> {
+        if !matches!(self.status, HoneypotStatus::Connected { .. }) {
+            return Vec::new();
+        }
+        match msg {
+            PeerMessage::Hello { user_id, client_id, port, tags } => {
+                let name = tags::get_string(tags, special::NAME).unwrap_or("");
+                let version = tags::get_u32(tags, special::VERSION).unwrap_or(0);
+                let name_idx = self.log.intern_name(name);
+                let session = PeerSession {
+                    ip_hash: self.ip_hasher.hash(src_ip),
+                    port: *port,
+                    id_status: IdStatus::of(*client_id),
+                    user_id: *user_id,
+                    name_idx,
+                    version,
+                    asked_shared: false,
+                };
+                self.log.push(QueryRecord {
+                    at: now,
+                    kind: QueryKind::Hello,
+                    peer: session.ip_hash,
+                    port: session.port,
+                    id_status: session.id_status,
+                    user_id: session.user_id,
+                    name: name_idx,
+                    version,
+                    file: FILE_NONE,
+                });
+                let mut actions = vec![Action::Reply(PeerMessage::HelloAnswer {
+                    user_id: self.user_id,
+                    client_id: match self.status {
+                        HoneypotStatus::Connected { client_id } => client_id,
+                        _ => ClientId(0),
+                    },
+                    port: self.config.port,
+                    tags: vec![
+                        Tag::string(special::NAME, self.config.client_name.clone()),
+                        Tag::u32(special::VERSION, 0x3c),
+                    ],
+                })];
+                let mut session = session;
+                if self.config.ask_shared_files {
+                    session.asked_shared = true;
+                    actions.push(Action::Reply(PeerMessage::AskSharedFiles));
+                }
+                self.sessions.insert(conn, session);
+                actions
+            }
+            PeerMessage::StartUpload { file_id } => {
+                let Some(session) = self.sessions.get(&conn) else {
+                    // START-UPLOAD without HELLO: protocol violation; drop.
+                    return Vec::new();
+                };
+                let file_idx = self
+                    .shared_ids
+                    .get(file_id)
+                    .map(|_| {
+                        // Queried file is one of ours: already interned.
+                        self.log.files.lookup(file_id).expect("advertised files are interned")
+                    })
+                    .unwrap_or_else(|| self.log.files.intern(*file_id, "", 0));
+                self.log.push(QueryRecord {
+                    at: now,
+                    kind: QueryKind::StartUpload,
+                    peer: session.ip_hash,
+                    port: session.port,
+                    id_status: session.id_status,
+                    user_id: session.user_id,
+                    name: session.name_idx,
+                    version: session.version,
+                    file: file_idx,
+                });
+                // Always accept: the honeypot wants to see part requests
+                // (paper Fig. 1: START-UPLOAD → ACCEPT-UPLOAD).
+                vec![Action::Reply(PeerMessage::AcceptUpload)]
+            }
+            PeerMessage::RequestParts { file_id, ranges } => {
+                let Some(session) = self.sessions.get(&conn) else {
+                    return Vec::new();
+                };
+                let file_idx = self
+                    .log
+                    .files
+                    .lookup(file_id)
+                    .unwrap_or_else(|| self.log.files.intern(*file_id, "", 0));
+                self.log.push(QueryRecord {
+                    at: now,
+                    kind: QueryKind::RequestPart,
+                    peer: session.ip_hash,
+                    port: session.port,
+                    id_status: session.id_status,
+                    user_id: session.user_id,
+                    name: session.name_idx,
+                    version: session.version,
+                    file: file_idx,
+                });
+                match self.config.content {
+                    // The no-content strategy: stay silent.
+                    ContentStrategy::NoContent => Vec::new(),
+                    ContentStrategy::RandomContent => ranges
+                        .iter()
+                        .filter(|rg| !rg.is_empty())
+                        .map(|rg| {
+                            let data = if self.config.materialize_content {
+                                let mut buf = vec![0u8; rg.len() as usize];
+                                self.rng.fill_bytes(&mut buf);
+                                buf
+                            } else {
+                                Vec::new()
+                            };
+                            Action::Reply(PeerMessage::SendingPart {
+                                file_id: *file_id,
+                                start: rg.start,
+                                end: rg.end,
+                                data,
+                            })
+                        })
+                        .collect(),
+                }
+            }
+            PeerMessage::AskSharedFilesAnswer { files } => {
+                let Some(session) = self.sessions.get(&conn) else {
+                    return Vec::new();
+                };
+                let ip_hash = session.ip_hash;
+                let mut idxs = Vec::with_capacity(files.len());
+                let mut adopted = Vec::new();
+                let adopting = self.config.files.adopting(now);
+                for f in files {
+                    let name = f.name().unwrap_or("");
+                    let size = f.size().unwrap_or(0);
+                    idxs.push(self.log.files.intern(f.file_id, name, size));
+                    if adopting {
+                        let fresh = self.add_shared(AdvertisedFile::new(
+                            f.file_id,
+                            name.to_string(),
+                            size,
+                        ));
+                        if fresh {
+                            adopted.push(self.shared.last().expect("just pushed").clone());
+                        }
+                    }
+                }
+                self.log.shared_lists.push(SharedListRecord { at: now, peer: ip_hash, files: idxs });
+                if adopted.is_empty() {
+                    Vec::new()
+                } else {
+                    // Publish only the newly adopted files; OFFER-FILES is
+                    // additive on the server side.
+                    vec![Action::SendServer(self.offer_message(&adopted))]
+                }
+            }
+            PeerMessage::FileRequest { file_id } => {
+                let name = self
+                    .shared_ids
+                    .get(file_id)
+                    .map(|&i| self.shared[i as usize].name.clone());
+                match name {
+                    Some(name) => vec![Action::Reply(PeerMessage::FileRequestAnswer {
+                        file_id: *file_id,
+                        name,
+                    })],
+                    None => Vec::new(),
+                }
+            }
+            // Messages a provider-side honeypot ignores.
+            PeerMessage::HelloAnswer { .. }
+            | PeerMessage::AcceptUpload
+            | PeerMessage::QueueRank { .. }
+            | PeerMessage::SendingPart { .. }
+            | PeerMessage::AskSharedFiles
+            | PeerMessage::FileRequestAnswer { .. } => Vec::new(),
+        }
+    }
+
+    /// Forgets a peer connection (transport closed it).
+    pub fn on_peer_disconnected(&mut self, conn: ConnId) {
+        self.sessions.remove(&conn);
+    }
+
+    /// Number of live peer sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+impl std::fmt::Debug for Honeypot {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("Honeypot")
+            .field("id", &self.config.id)
+            .field("status", &self.status)
+            .field("shared_files", &self.shared.len())
+            .field("records", &self.log.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edonkey_proto::PartRange;
+
+    fn server() -> ServerInfo {
+        ServerInfo::new("srv", Ipv4::new(195, 0, 0, 1), 4661)
+    }
+
+    fn advertised() -> Vec<AdvertisedFile> {
+        vec![
+            AdvertisedFile::new(FileId::from_seed(b"movie"), "movie.avi", 700 << 20),
+            AdvertisedFile::new(FileId::from_seed(b"song"), "song.mp3", 5 << 20),
+        ]
+    }
+
+    fn honeypot(content: ContentStrategy) -> Honeypot {
+        let config = HoneypotConfig::fixed(HoneypotId(0), content, advertised());
+        Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(2))
+    }
+
+    fn connected(content: ContentStrategy) -> Honeypot {
+        let mut hp = honeypot(content);
+        let actions = hp.connect(SimTime::ZERO);
+        assert!(matches!(actions[0], Action::SendServer(ClientServerMessage::LoginRequest { .. })));
+        let actions = hp.on_server_message(
+            SimTime::from_secs(1),
+            &ClientServerMessage::IdChange { client_id: ClientId(0x5000_0000) },
+        );
+        assert!(
+            matches!(&actions[0], Action::SendServer(ClientServerMessage::OfferFiles { files }) if files.len() == 2),
+            "connect must advertise the shared list"
+        );
+        assert!(matches!(actions[1], Action::Report(_)));
+        hp
+    }
+
+    fn hello(user: &[u8]) -> PeerMessage {
+        PeerMessage::Hello {
+            user_id: UserId::from_seed(user),
+            client_id: ClientId(0x5101_0101),
+            port: 4662,
+            tags: vec![
+                Tag::string(special::NAME, "eMule user"),
+                Tag::u32(special::VERSION, 0x49),
+            ],
+        }
+    }
+
+    #[test]
+    fn hello_is_logged_and_answered() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let t = SimTime::from_secs(10);
+        let actions =
+            hp.on_peer_message(t, ConnId(1), Ipv4::new(81, 1, 1, 1), &hello(b"peer-1"));
+        assert!(matches!(actions[0], Action::Reply(PeerMessage::HelloAnswer { .. })));
+        assert!(matches!(actions[1], Action::Reply(PeerMessage::AskSharedFiles)));
+        assert_eq!(hp.log().count_kind(QueryKind::Hello), 1);
+        let rec = hp.log().records[0];
+        assert_eq!(rec.at, t);
+        assert_eq!(rec.id_status, IdStatus::High);
+        assert_eq!(rec.file, FILE_NONE);
+        assert_eq!(hp.log().peer_names[rec.name as usize], "eMule user");
+    }
+
+    #[test]
+    fn ip_never_stored_raw() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let ip = Ipv4::new(81, 2, 3, 4);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let rec = hp.log().records[0];
+        assert_eq!(rec.peer, IpHasher::from_seed(1).hash(ip), "stored value is the salted hash");
+        assert_ne!(&rec.peer.0[..4], &ip.octets()[..], "raw IP must not leak into the hash prefix");
+    }
+
+    #[test]
+    fn start_upload_accepted_and_logged() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let file_id = FileId::from_seed(b"movie");
+        let actions = hp.on_peer_message(
+            SimTime::from_secs(2),
+            ConnId(1),
+            ip,
+            &PeerMessage::StartUpload { file_id },
+        );
+        assert_eq!(actions, vec![Action::Reply(PeerMessage::AcceptUpload)]);
+        assert_eq!(hp.log().count_kind(QueryKind::StartUpload), 1);
+        let rec = hp.log().records.last().unwrap();
+        assert_eq!(hp.log().files.id(rec.file), file_id);
+    }
+
+    #[test]
+    fn start_upload_without_hello_dropped() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let actions = hp.on_peer_message(
+            SimTime::ZERO,
+            ConnId(9),
+            Ipv4::new(1, 1, 1, 1),
+            &PeerMessage::StartUpload { file_id: FileId::from_seed(b"movie") },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(hp.log().records.len(), 0);
+    }
+
+    fn request(file: FileId) -> PeerMessage {
+        PeerMessage::RequestParts {
+            file_id: file,
+            ranges: [
+                PartRange::new(0, 184_320),
+                PartRange::new(184_320, 368_640),
+                PartRange::new(0, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn no_content_honeypot_stays_silent_on_part_requests() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let actions =
+            hp.on_peer_message(SimTime::from_secs(3), ConnId(1), ip, &request(FileId::from_seed(b"movie")));
+        assert!(actions.is_empty(), "no-content honeypots do not reply to part requests");
+        assert_eq!(hp.log().count_kind(QueryKind::RequestPart), 1, "…but they log them");
+    }
+
+    #[test]
+    fn random_content_honeypot_sends_blocks() {
+        let mut hp = connected(ContentStrategy::RandomContent);
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let actions =
+            hp.on_peer_message(SimTime::from_secs(3), ConnId(1), ip, &request(FileId::from_seed(b"movie")));
+        assert_eq!(actions.len(), 2, "one SENDING-PART per non-empty range");
+        for a in &actions {
+            assert!(matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
+        }
+    }
+
+    #[test]
+    fn materialized_content_is_random_bytes_of_right_length() {
+        let mut config =
+            HoneypotConfig::fixed(HoneypotId(1), ContentStrategy::RandomContent, advertised());
+        config.materialize_content = true;
+        let mut hp = Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(7));
+        hp.connect(SimTime::ZERO);
+        hp.on_server_message(SimTime::ZERO, &ClientServerMessage::IdChange {
+            client_id: ClientId(0x5000_0000),
+        });
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let actions =
+            hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &request(FileId::from_seed(b"movie")));
+        let Action::Reply(PeerMessage::SendingPart { data, start, end, .. }) = &actions[0] else {
+            panic!("expected SENDING-PART");
+        };
+        assert_eq!(data.len() as u32, end - start);
+        assert!(data.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn greedy_adopts_during_window_only() {
+        let seeds = vec![AdvertisedFile::new(FileId::from_seed(b"seed"), "seed", 1)];
+        let config = HoneypotConfig {
+            id: HoneypotId(0),
+            content: ContentStrategy::NoContent,
+            files: FileStrategy::Greedy {
+                seeds,
+                adopt_until: SimTime::from_days(1),
+                max_files: 100,
+            },
+            ask_shared_files: true,
+            materialize_content: false,
+            port: 4662,
+            client_name: "hp".into(),
+        };
+        let mut hp = Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(2));
+        hp.connect(SimTime::ZERO);
+        hp.on_server_message(SimTime::ZERO, &ClientServerMessage::IdChange {
+            client_id: ClientId(0x5000_0000),
+        });
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::from_hours(1), ConnId(1), ip, &hello(b"p"));
+        let answer = PeerMessage::AskSharedFilesAnswer {
+            files: vec![
+                edonkey_proto::PublishedFile::new(FileId::from_seed(b"x"), "x.avi", 100),
+                edonkey_proto::PublishedFile::new(FileId::from_seed(b"y"), "y.mp3", 50),
+            ],
+        };
+        let actions = hp.on_peer_message(SimTime::from_hours(2), ConnId(1), ip, &answer);
+        assert_eq!(hp.shared_files().len(), 3, "adopted both files");
+        assert!(
+            matches!(&actions[0], Action::SendServer(ClientServerMessage::OfferFiles { files }) if files.len() == 2),
+            "newly adopted files are published"
+        );
+        // Re-announcing the same list adopts nothing new.
+        let actions = hp.on_peer_message(SimTime::from_hours(3), ConnId(1), ip, &answer);
+        assert!(actions.is_empty());
+        // After the window, lists are recorded but not adopted.
+        hp.on_peer_message(SimTime::from_days(2), ConnId(1), ip, &hello(b"p"));
+        let late = PeerMessage::AskSharedFilesAnswer {
+            files: vec![edonkey_proto::PublishedFile::new(FileId::from_seed(b"z"), "z", 9)],
+        };
+        let actions = hp.on_peer_message(SimTime::from_days(2), ConnId(1), ip, &late);
+        assert!(actions.is_empty());
+        assert_eq!(hp.shared_files().len(), 3);
+        assert_eq!(hp.log().shared_lists.len(), 3, "all lists recorded regardless");
+    }
+
+    #[test]
+    fn shared_list_cap_respected() {
+        let seeds = vec![AdvertisedFile::new(FileId::from_seed(b"seed"), "seed", 1)];
+        let config = HoneypotConfig {
+            id: HoneypotId(0),
+            content: ContentStrategy::NoContent,
+            files: FileStrategy::Greedy {
+                seeds,
+                adopt_until: SimTime::from_days(1),
+                max_files: 2,
+            },
+            ask_shared_files: true,
+            materialize_content: false,
+            port: 4662,
+            client_name: "hp".into(),
+        };
+        let mut hp = Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(2));
+        hp.connect(SimTime::ZERO);
+        hp.on_server_message(SimTime::ZERO, &ClientServerMessage::IdChange {
+            client_id: ClientId(0x5000_0000),
+        });
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let answer = PeerMessage::AskSharedFilesAnswer {
+            files: (0..10)
+                .map(|i| {
+                    edonkey_proto::PublishedFile::new(
+                        FileId::from_seed(format!("f{i}").as_bytes()),
+                        "f",
+                        1,
+                    )
+                })
+                .collect(),
+        };
+        hp.on_peer_message(SimTime::from_hours(1), ConnId(1), ip, &answer);
+        assert_eq!(hp.shared_files().len(), 2, "cap holds");
+    }
+
+    #[test]
+    fn dead_honeypot_ignores_peers() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        hp.kill(SimTime::from_secs(5));
+        let actions =
+            hp.on_peer_message(SimTime::from_secs(6), ConnId(1), Ipv4::new(1, 1, 1, 1), &hello(b"p"));
+        assert!(actions.is_empty());
+        assert_eq!(hp.log().records.len(), 0);
+        assert!(hp.status().needs_relaunch());
+    }
+
+    #[test]
+    fn relaunch_after_death_works() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        hp.kill(SimTime::from_secs(5));
+        let actions = hp.connect(SimTime::from_secs(60));
+        assert!(matches!(actions[0], Action::SendServer(ClientServerMessage::LoginRequest { .. })));
+        hp.on_server_message(SimTime::from_secs(61), &ClientServerMessage::IdChange {
+            client_id: ClientId(0x5000_0000),
+        });
+        assert!(matches!(hp.status(), HoneypotStatus::Connected { .. }));
+    }
+
+    #[test]
+    fn keepalive_reoffers_when_connected_only() {
+        let mut hp = honeypot(ContentStrategy::NoContent);
+        assert!(hp.keepalive(SimTime::ZERO).is_empty(), "not connected yet");
+        let mut hp = connected(ContentStrategy::NoContent);
+        let actions = hp.keepalive(SimTime::from_mins(30));
+        assert!(matches!(&actions[0], Action::SendServer(ClientServerMessage::OfferFiles { .. })));
+    }
+
+    #[test]
+    fn file_request_answered_for_advertised_files_only() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        let known = FileId::from_seed(b"movie");
+        let actions =
+            hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &PeerMessage::FileRequest { file_id: known });
+        assert!(matches!(
+            &actions[0],
+            Action::Reply(PeerMessage::FileRequestAnswer { name, .. }) if name == "movie.avi"
+        ));
+        let unknown = FileId::from_seed(b"nope");
+        let actions =
+            hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &PeerMessage::FileRequest { file_id: unknown });
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn disconnect_clears_sessions() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
+        assert_eq!(hp.live_sessions(), 1);
+        hp.on_peer_disconnected(ConnId(1));
+        assert_eq!(hp.live_sessions(), 0);
+    }
+
+    #[test]
+    fn log_collection_is_incremental() {
+        let mut hp = connected(ContentStrategy::NoContent);
+        let ip = Ipv4::new(81, 1, 1, 1);
+        hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p1"));
+        let chunk1 = hp.collect_log();
+        assert_eq!(chunk1.records.len(), 1);
+        hp.on_peer_message(SimTime::from_secs(9), ConnId(2), ip, &hello(b"p2"));
+        let chunk2 = hp.collect_log();
+        assert_eq!(chunk2.records.len(), 1, "only new records in the second chunk");
+    }
+}

@@ -1,0 +1,39 @@
+//! # honeypot — the distributed eDonkey measurement platform
+//!
+//! This crate is the paper's primary contribution (Allali, Latapy &
+//! Magnien, *Measurement of eDonkey Activity with Distributed Honeypots*,
+//! 2009, §III): a manager plus a set of honeypot peers that pretend to
+//! offer files and log every query they receive.
+//!
+//! * [`honeypot`] — the honeypot peer as a transport-agnostic state
+//!   machine: it advertises files, answers HELLO / START-UPLOAD /
+//!   REQUEST-PART per its [`strategy::ContentStrategy`], optionally adopts
+//!   files greedily, and logs everything (step-1 anonymised);
+//! * [`manager`] — launches and monitors honeypots, collects their logs,
+//!   performs step-2 anonymisation and merging;
+//! * [`anonymize`] — the two-step IP anonymisation and the file-name word
+//!   anonymiser (§III-C);
+//! * [`log`] / [`measurement`] — the raw per-honeypot log schema and the
+//!   merged dataset consumed by `edonkey-analysis`.
+//!
+//! The same honeypot code runs inside the discrete-event simulation
+//! (`edonkey-sim`) and over real TCP sockets (`edonkey-net`).
+
+pub mod anonymize;
+pub mod export;
+pub mod honeypot;
+pub mod log;
+pub mod manager;
+pub mod measurement;
+pub mod storage;
+pub mod strategy;
+pub mod types;
+
+pub use anonymize::{AnonMap, AnonPeerId, IpHash, IpHasher};
+pub use honeypot::{Action, ConnId, Honeypot, HoneypotConfig};
+pub use log::{HoneypotLog, LogChunk, QueryKind, QueryRecord};
+pub use manager::{HoneypotSpec, Manager};
+pub use measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
+pub use storage::{load as load_measurement, save as save_measurement, StorageError};
+pub use strategy::{AdvertisedFile, ContentStrategy, FileStrategy};
+pub use types::{HoneypotId, HoneypotStatus, IdStatus, ServerInfo, StatusReport};

@@ -1,0 +1,338 @@
+//! Query-log schema.
+//!
+//! Each honeypot records the message types the paper names — `HELLO`,
+//! `START-UPLOAD` and `REQUEST-PART` — together with the peer metadata the
+//! eDonkey protocol exposes (hashed IP, port, name, user hash, client
+//! version, high/low ID status), the server the honeypot is connected to,
+//! and the reception timestamp (paper §III-B).  It also records the
+//! shared-file lists retrieved from contacting peers, which Table I's
+//! "distinct files" statistics and the greedy strategy both consume.
+//!
+//! Logs are kept compact: peer names are interned into a per-log string
+//! table and file metadata into a [`FileTable`], so a month-scale
+//! measurement with tens of millions of records stays within memory.
+
+use std::collections::HashMap;
+
+use edonkey_proto::{FileId, UserId};
+use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::anonymize::IpHash;
+use crate::types::{HoneypotId, IdStatus, ServerInfo};
+
+/// The message types a honeypot logs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum QueryKind {
+    Hello,
+    StartUpload,
+    RequestPart,
+}
+
+impl QueryKind {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Hello => "HELLO",
+            QueryKind::StartUpload => "START-UPLOAD",
+            QueryKind::RequestPart => "REQUEST-PART",
+        }
+    }
+}
+
+/// Index into a log's interned peer-name table.
+pub type NameIdx = u32;
+
+/// Index into a [`FileTable`]; `FILE_NONE` marks "no file" (HELLO records).
+pub type FileIdx = u32;
+
+/// Sentinel for records without an associated file.
+pub const FILE_NONE: FileIdx = u32::MAX;
+
+/// One logged query, as written by the honeypot (step-1 anonymised: the
+/// peer IP appears only as its salted hash).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Reception timestamp.
+    pub at: SimTime,
+    /// Message type.
+    pub kind: QueryKind,
+    /// Step-1 anonymised peer IP.
+    pub peer: IpHash,
+    /// Peer TCP port.
+    pub port: u16,
+    /// High/low ID status.
+    pub id_status: IdStatus,
+    /// Peer user hash (stable across sessions).
+    pub user_id: UserId,
+    /// Interned peer client name.
+    pub name: NameIdx,
+    /// Client version tag value.
+    pub version: u32,
+    /// File the query concerns (`FILE_NONE` for HELLO).
+    pub file: FileIdx,
+}
+
+/// One shared-file list retrieved from a peer.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SharedListRecord {
+    pub at: SimTime,
+    pub peer: IpHash,
+    /// Indices into the log's [`FileTable`].
+    pub files: Vec<FileIdx>,
+}
+
+/// Deduplicated file metadata observed during a measurement.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FileTable {
+    ids: Vec<FileId>,
+    names: Vec<String>,
+    sizes: Vec<u64>,
+    #[serde(skip)]
+    index: HashMap<FileId, FileIdx>,
+}
+
+impl FileTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a file, keeping the first-seen name/size.
+    pub fn intern(&mut self, id: FileId, name: &str, size: u64) -> FileIdx {
+        if let Some(&idx) = self.index.get(&id) {
+            return idx;
+        }
+        let idx = self.ids.len() as FileIdx;
+        self.ids.push(id);
+        self.names.push(name.to_string());
+        self.sizes.push(size);
+        self.index.insert(id, idx);
+        idx
+    }
+
+    /// Looks a file up by ID.
+    pub fn lookup(&self, id: &FileId) -> Option<FileIdx> {
+        self.index.get(id).copied()
+    }
+
+    pub fn id(&self, idx: FileIdx) -> FileId {
+        self.ids[idx as usize]
+    }
+
+    pub fn name(&self, idx: FileIdx) -> &str {
+        &self.names[idx as usize]
+    }
+
+    pub fn size(&self, idx: FileIdx) -> u64 {
+        self.sizes[idx as usize]
+    }
+
+    /// Number of distinct files.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total size of all distinct files (Table I's "space used by distinct
+    /// files").
+    pub fn total_size(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Rewrites every stored name through `f` (used by the manager's
+    /// file-name anonymisation pass).
+    pub fn map_names(&mut self, mut f: impl FnMut(&str) -> String) {
+        for n in &mut self.names {
+            *n = f(n);
+        }
+    }
+
+    /// Rebuilds the lookup index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.index =
+            self.ids.iter().enumerate().map(|(i, id)| (*id, i as FileIdx)).collect();
+    }
+}
+
+/// The full log of one honeypot.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HoneypotLog {
+    pub honeypot: HoneypotId,
+    /// Server the honeypot was connected to while recording.
+    pub server: ServerInfo,
+    pub records: Vec<QueryRecord>,
+    pub shared_lists: Vec<SharedListRecord>,
+    /// Interned peer client names.
+    pub peer_names: Vec<String>,
+    #[serde(skip)]
+    name_index: HashMap<String, NameIdx>,
+    /// Files observed (advertised files, queried files, shared-list files).
+    pub files: FileTable,
+}
+
+impl HoneypotLog {
+    pub fn new(honeypot: HoneypotId, server: ServerInfo) -> Self {
+        HoneypotLog {
+            honeypot,
+            server,
+            records: Vec::new(),
+            shared_lists: Vec::new(),
+            peer_names: Vec::new(),
+            name_index: HashMap::new(),
+            files: FileTable::new(),
+        }
+    }
+
+    /// Interns a peer client name.
+    pub fn intern_name(&mut self, name: &str) -> NameIdx {
+        if let Some(&idx) = self.name_index.get(name) {
+            return idx;
+        }
+        let idx = self.peer_names.len() as NameIdx;
+        self.peer_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Appends a query record.
+    pub fn push(&mut self, record: QueryRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records of a given kind.
+    pub fn count_kind(&self, kind: QueryKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Drains the buffered records/lists into a fresh log chunk, leaving
+    /// interning tables in place — the honeypot keeps logging while the
+    /// manager periodically collects (paper §III-A: "the manager
+    /// periodically gathers the data collected by honeypots").
+    pub fn take_chunk(&mut self) -> LogChunk {
+        LogChunk {
+            honeypot: self.honeypot,
+            server: self.server.clone(),
+            records: std::mem::take(&mut self.records),
+            shared_lists: std::mem::take(&mut self.shared_lists),
+            peer_names: self.peer_names.clone(),
+            files: self.files.clone(),
+        }
+    }
+}
+
+/// A collected batch of log data handed from a honeypot to the manager.
+///
+/// Name/file tables are snapshots of the honeypot's interning state; record
+/// indices refer to them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogChunk {
+    pub honeypot: HoneypotId,
+    pub server: ServerInfo,
+    pub records: Vec<QueryRecord>,
+    pub shared_lists: Vec<SharedListRecord>,
+    pub peer_names: Vec<String>,
+    pub files: FileTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edonkey_proto::Ipv4;
+
+    fn server() -> ServerInfo {
+        ServerInfo::new("BigServer", Ipv4::new(195, 1, 2, 3), 4661)
+    }
+
+    fn sample_record(log: &mut HoneypotLog, kind: QueryKind) -> QueryRecord {
+        let name = log.intern_name("eMule v0.49a");
+        QueryRecord {
+            at: SimTime::from_secs(12),
+            kind,
+            peer: IpHash([1; 16]),
+            port: 4662,
+            id_status: IdStatus::High,
+            user_id: UserId::from_seed(b"u"),
+            name,
+            version: 0x49,
+            file: FILE_NONE,
+        }
+    }
+
+    #[test]
+    fn interning_dedups_names() {
+        let mut log = HoneypotLog::new(HoneypotId(0), server());
+        let a = log.intern_name("eMule");
+        let b = log.intern_name("aMule");
+        let c = log.intern_name("eMule");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(log.peer_names.len(), 2);
+    }
+
+    #[test]
+    fn file_table_interns_and_sums() {
+        let mut t = FileTable::new();
+        let f1 = FileId::from_seed(b"a");
+        let f2 = FileId::from_seed(b"b");
+        let i1 = t.intern(f1, "a.avi", 700);
+        let i2 = t.intern(f2, "b.mp3", 5);
+        assert_eq!(t.intern(f1, "other-name.avi", 9999), i1, "first name/size win");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_size(), 705);
+        assert_eq!(t.name(i1), "a.avi");
+        assert_eq!(t.size(i2), 5);
+        assert_eq!(t.lookup(&f2), Some(i2));
+        assert_eq!(t.id(i1), f1);
+    }
+
+    #[test]
+    fn file_table_index_rebuild() {
+        let mut t = FileTable::new();
+        let f = FileId::from_seed(b"x");
+        t.intern(f, "x", 1);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: FileTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lookup(&f), None, "index is not serialised");
+        back.rebuild_index();
+        assert_eq!(back.lookup(&f), Some(0));
+    }
+
+    #[test]
+    fn take_chunk_drains_records_but_keeps_tables() {
+        let mut log = HoneypotLog::new(HoneypotId(3), server());
+        let r = sample_record(&mut log, QueryKind::Hello);
+        log.push(r);
+        let chunk = log.take_chunk();
+        assert_eq!(chunk.records.len(), 1);
+        assert_eq!(chunk.honeypot, HoneypotId(3));
+        assert!(log.records.is_empty(), "records drained");
+        assert_eq!(log.peer_names.len(), 1, "interning survives");
+        // A second chunk still carries the name table snapshot.
+        let r2 = sample_record(&mut log, QueryKind::StartUpload);
+        log.push(r2);
+        let chunk2 = log.take_chunk();
+        assert_eq!(chunk2.peer_names, vec!["eMule v0.49a".to_string()]);
+    }
+
+    #[test]
+    fn count_kind_filters() {
+        let mut log = HoneypotLog::new(HoneypotId(0), server());
+        for kind in [QueryKind::Hello, QueryKind::Hello, QueryKind::RequestPart] {
+            let r = sample_record(&mut log, kind);
+            log.push(r);
+        }
+        assert_eq!(log.count_kind(QueryKind::Hello), 2);
+        assert_eq!(log.count_kind(QueryKind::RequestPart), 1);
+        assert_eq!(log.count_kind(QueryKind::StartUpload), 0);
+    }
+
+    #[test]
+    fn query_kind_names() {
+        assert_eq!(QueryKind::Hello.name(), "HELLO");
+        assert_eq!(QueryKind::StartUpload.name(), "START-UPLOAD");
+        assert_eq!(QueryKind::RequestPart.name(), "REQUEST-PART");
+    }
+}

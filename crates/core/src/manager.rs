@@ -1,0 +1,384 @@
+//! The measurement manager (paper §III-A).
+//!
+//! The manager (1) launches honeypots and assigns each to a server,
+//! (2) tells them which files to advertise, (3) monitors their status and
+//! flags dead ones for relaunch, and (4) periodically collects their log
+//! chunks, merging them into one coherent dataset while performing step-2
+//! anonymisation (hash → dense integer) on the fly.  At the end of a
+//! measurement, [`Manager::finalize`] applies file-name word anonymisation
+//! and emits the [`MeasurementLog`].
+
+use std::collections::HashMap;
+
+use netsim::SimTime;
+
+use crate::anonymize::{AnonMap, NameAnonymizer};
+use crate::log::{FileTable, LogChunk, FILE_NONE};
+use crate::measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
+use crate::strategy::ContentStrategy;
+use crate::types::{HoneypotId, HoneypotStatus, ServerInfo, StatusReport};
+
+/// Launch specification for one honeypot.
+#[derive(Clone, Debug)]
+pub struct HoneypotSpec {
+    pub id: HoneypotId,
+    pub content: ContentStrategy,
+    pub server: ServerInfo,
+}
+
+/// The manager.
+pub struct Manager {
+    specs: Vec<HoneypotSpec>,
+    status: Vec<HoneypotStatus>,
+    status_at: Vec<SimTime>,
+    relaunches: u64,
+
+    // Merge state (step-2 anonymisation and table unification).
+    anon: AnonMap,
+    records: Vec<AnonRecord>,
+    shared_lists: Vec<AnonSharedList>,
+    peer_names: Vec<String>,
+    peer_name_index: HashMap<String, u32>,
+    files: FileTable,
+    chunks_collected: u64,
+}
+
+impl Manager {
+    /// Creates a manager that will run the given honeypots.
+    ///
+    /// # Panics
+    /// If the specs' IDs are not the dense sequence `0..n` (the platform
+    /// indexes honeypots by ID everywhere).
+    pub fn new(specs: Vec<HoneypotSpec>) -> Self {
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i, "honeypot IDs must be dense and ordered");
+        }
+        let n = specs.len();
+        Manager {
+            specs,
+            status: vec![HoneypotStatus::Pending; n],
+            status_at: vec![SimTime::ZERO; n],
+            relaunches: 0,
+            anon: AnonMap::new(),
+            records: Vec::new(),
+            shared_lists: Vec::new(),
+            peer_names: Vec::new(),
+            peer_name_index: HashMap::new(),
+            files: FileTable::new(),
+            chunks_collected: 0,
+        }
+    }
+
+    /// The launch plan.
+    pub fn specs(&self) -> &[HoneypotSpec] {
+        &self.specs
+    }
+
+    /// Number of managed honeypots.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Ingests a status report from a honeypot.
+    pub fn on_status(&mut self, report: StatusReport) {
+        let idx = report.honeypot.0 as usize;
+        self.status[idx] = report.status;
+        self.status_at[idx] = report.at;
+    }
+
+    /// Current status of a honeypot.
+    pub fn status_of(&self, id: HoneypotId) -> HoneypotStatus {
+        self.status[id.0 as usize]
+    }
+
+    /// The periodic status check: honeypots that must be (re)launched
+    /// (paper: "This makes it possible to re-launch dead honeypots …  The
+    /// manager regularly checks the status of each honeypot").
+    pub fn needing_relaunch(&mut self) -> Vec<HoneypotId> {
+        let need: Vec<HoneypotId> = self
+            .specs
+            .iter()
+            .filter(|s| self.status[s.id.0 as usize].needs_relaunch())
+            .map(|s| s.id)
+            .collect();
+        self.relaunches += need
+            .iter()
+            .filter(|id| !matches!(self.status[id.0 as usize], HoneypotStatus::Pending))
+            .count() as u64;
+        need
+    }
+
+    /// Number of relaunches issued so far (diagnostics).
+    pub fn relaunch_count(&self) -> u64 {
+        self.relaunches
+    }
+
+    fn intern_peer_name(&mut self, name: &str) -> u32 {
+        if let Some(&idx) = self.peer_name_index.get(name) {
+            return idx;
+        }
+        let idx = self.peer_names.len() as u32;
+        self.peer_names.push(name.to_string());
+        self.peer_name_index.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Ingests one collected log chunk, translating per-honeypot interned
+    /// indices into the global tables and applying step-2 anonymisation.
+    pub fn collect(&mut self, chunk: LogChunk) {
+        self.chunks_collected += 1;
+        // Translate the chunk's name table into global indices.
+        let name_map: Vec<u32> =
+            chunk.peer_names.iter().map(|n| self.intern_peer_name(n)).collect();
+        // Translate the chunk's file table.
+        let file_map: Vec<u32> = (0..chunk.files.len())
+            .map(|i| {
+                let idx = i as u32;
+                self.files.intern(
+                    chunk.files.id(idx),
+                    chunk.files.name(idx),
+                    chunk.files.size(idx),
+                )
+            })
+            .collect();
+        for r in chunk.records {
+            self.records.push(AnonRecord {
+                at: r.at,
+                honeypot: chunk.honeypot,
+                kind: r.kind,
+                peer: self.anon.intern(r.peer),
+                port: r.port,
+                id_status: r.id_status,
+                user_id: r.user_id,
+                name: name_map[r.name as usize],
+                version: r.version,
+                file: if r.file == FILE_NONE { FILE_NONE } else { file_map[r.file as usize] },
+            });
+        }
+        for l in chunk.shared_lists {
+            self.shared_lists.push(AnonSharedList {
+                at: l.at,
+                honeypot: chunk.honeypot,
+                peer: self.anon.intern(l.peer),
+                files: l.files.iter().map(|&f| file_map[f as usize]).collect(),
+            });
+        }
+    }
+
+    /// Number of chunks collected so far.
+    pub fn chunks_collected(&self) -> u64 {
+        self.chunks_collected
+    }
+
+    /// Distinct peers seen so far (live view of the step-2 dictionary).
+    pub fn distinct_peers(&self) -> usize {
+        self.anon.len()
+    }
+
+    /// Completes the measurement: applies file-name word anonymisation and
+    /// returns the merged dataset.
+    ///
+    /// * `duration` — the configured measurement horizon;
+    /// * `shared_files_final` — the advertised-list size at the end (Table
+    ///   I reports it);
+    /// * `name_threshold` — words occurring fewer than this many times
+    ///   across all observed file names are replaced by integer tokens.
+    pub fn finalize(
+        mut self,
+        duration: SimTime,
+        shared_files_final: u32,
+        name_threshold: u32,
+    ) -> MeasurementLog {
+        let mut counter = NameAnonymizer::new();
+        for i in 0..self.files.len() {
+            counter.count(self.files.name(i as u32));
+        }
+        let frozen = counter.freeze(name_threshold);
+        self.files.map_names(|n| frozen.anonymize(n));
+
+        MeasurementLog {
+            honeypots: self
+                .specs
+                .iter()
+                .map(|s| HoneypotMeta {
+                    id: s.id,
+                    content: s.content,
+                    server: s.server.clone(),
+                })
+                .collect(),
+            records: self.records,
+            shared_lists: self.shared_lists,
+            peer_names: self.peer_names,
+            files: self.files,
+            distinct_peers: self.anon.len() as u32,
+            duration,
+            shared_files_final,
+        }
+    }
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("Manager")
+            .field("honeypots", &self.specs.len())
+            .field("records", &self.records.len())
+            .field("distinct_peers", &self.anon.len())
+            .field("chunks", &self.chunks_collected)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymize::{AnonPeerId, IpHasher};
+    use crate::log::{HoneypotLog, QueryKind, QueryRecord, SharedListRecord};
+    use crate::types::IdStatus;
+    use edonkey_proto::{ClientId, FileId, Ipv4, UserId};
+
+    fn server() -> ServerInfo {
+        ServerInfo::new("srv", Ipv4::new(9, 9, 9, 9), 4661)
+    }
+
+    fn specs(n: u32) -> Vec<HoneypotSpec> {
+        (0..n)
+            .map(|i| HoneypotSpec {
+                id: HoneypotId(i),
+                content: if i % 2 == 0 {
+                    ContentStrategy::NoContent
+                } else {
+                    ContentStrategy::RandomContent
+                },
+                server: server(),
+            })
+            .collect()
+    }
+
+    fn chunk_with_peers(hp: u32, ips: &[Ipv4]) -> LogChunk {
+        let hasher = IpHasher::from_seed(7);
+        let mut log = HoneypotLog::new(HoneypotId(hp), server());
+        let name = log.intern_name("eMule");
+        let file = log.files.intern(FileId::from_seed(b"f"), "some file.avi", 100);
+        for (i, ip) in ips.iter().enumerate() {
+            log.push(QueryRecord {
+                at: SimTime::from_secs(i as u64),
+                kind: QueryKind::Hello,
+                peer: hasher.hash(*ip),
+                port: 4662,
+                id_status: IdStatus::High,
+                user_id: UserId::from_seed(b"u"),
+                name,
+                version: 1,
+                file: FILE_NONE,
+            });
+            log.push(QueryRecord {
+                at: SimTime::from_secs(i as u64 + 1),
+                kind: QueryKind::StartUpload,
+                peer: hasher.hash(*ip),
+                port: 4662,
+                id_status: IdStatus::High,
+                user_id: UserId::from_seed(b"u"),
+                name,
+                version: 1,
+                file,
+            });
+        }
+        log.shared_lists.push(SharedListRecord {
+            at: SimTime::from_secs(99),
+            peer: hasher.hash(ips[0]),
+            files: vec![file],
+        });
+        log.take_chunk()
+    }
+
+    #[test]
+    fn step2_is_coherent_across_honeypots() {
+        let mut mgr = Manager::new(specs(2));
+        let shared_ip = Ipv4::new(10, 0, 0, 1);
+        mgr.collect(chunk_with_peers(0, &[shared_ip, Ipv4::new(10, 0, 0, 2)]));
+        mgr.collect(chunk_with_peers(1, &[shared_ip, Ipv4::new(10, 0, 0, 3)]));
+        assert_eq!(mgr.distinct_peers(), 3, "shared IP counted once");
+        let log = mgr.finalize(SimTime::from_days(1), 4, 1);
+        // The shared peer got id 0 (first seen) in both honeypots' records.
+        let hp0_first = log.records.iter().find(|r| r.honeypot == HoneypotId(0)).unwrap();
+        let hp1_first = log.records.iter().find(|r| r.honeypot == HoneypotId(1)).unwrap();
+        assert_eq!(hp0_first.peer, hp1_first.peer);
+        assert_eq!(hp0_first.peer, AnonPeerId(0));
+        assert!(log.validate().is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_seen_order() {
+        let mut mgr = Manager::new(specs(1));
+        mgr.collect(chunk_with_peers(0, &[Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2)]));
+        let log = mgr.finalize(SimTime::from_days(1), 4, 1);
+        let peers: Vec<u32> = log.records.iter().map(|r| r.peer.0).collect();
+        assert_eq!(peers, vec![0, 0, 1, 1]);
+        assert_eq!(log.distinct_peers, 2);
+    }
+
+    #[test]
+    fn relaunch_tracking() {
+        let mut mgr = Manager::new(specs(3));
+        // Everything pending → all need a first launch, none counted as
+        // relaunch.
+        assert_eq!(mgr.needing_relaunch().len(), 3);
+        assert_eq!(mgr.relaunch_count(), 0);
+        for i in 0..3 {
+            mgr.on_status(StatusReport {
+                honeypot: HoneypotId(i),
+                at: SimTime::from_secs(5),
+                status: HoneypotStatus::Connected { client_id: ClientId(0x5000_0000) },
+            });
+        }
+        assert!(mgr.needing_relaunch().is_empty());
+        mgr.on_status(StatusReport {
+            honeypot: HoneypotId(1),
+            at: SimTime::from_secs(9),
+            status: HoneypotStatus::Dead,
+        });
+        assert_eq!(mgr.needing_relaunch(), vec![HoneypotId(1)]);
+        assert_eq!(mgr.relaunch_count(), 1);
+        assert_eq!(mgr.status_of(HoneypotId(1)), HoneypotStatus::Dead);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn non_dense_ids_rejected() {
+        let _ = Manager::new(vec![HoneypotSpec {
+            id: HoneypotId(5),
+            content: ContentStrategy::NoContent,
+            server: server(),
+        }]);
+    }
+
+    #[test]
+    fn file_tables_unify_and_names_anonymise() {
+        let mut mgr = Manager::new(specs(2));
+        mgr.collect(chunk_with_peers(0, &[Ipv4::new(1, 1, 1, 1)]));
+        mgr.collect(chunk_with_peers(1, &[Ipv4::new(2, 2, 2, 2)]));
+        assert_eq!(mgr.chunks_collected(), 2);
+        // Threshold 5: every word of "some file.avi" is rare (appears once
+        // in the unified table) and gets tokenised.
+        let log = mgr.finalize(SimTime::from_days(1), 4, 5);
+        assert_eq!(log.files.len(), 1, "same FileId unified across honeypots");
+        let name = log.files.name(0);
+        assert!(!name.contains("some"), "rare words tokenised: {name}");
+        assert!(name.contains('.') && name.contains(' '), "separators kept: {name}");
+    }
+
+    #[test]
+    fn shared_lists_carry_global_indices() {
+        let mut mgr = Manager::new(specs(1));
+        mgr.collect(chunk_with_peers(0, &[Ipv4::new(1, 1, 1, 1)]));
+        let log = mgr.finalize(SimTime::from_days(2), 3, 1);
+        assert_eq!(log.shared_lists.len(), 1);
+        assert_eq!(log.shared_lists[0].files, vec![0]);
+        assert_eq!(log.duration, SimTime::from_days(2));
+        assert_eq!(log.shared_files_final, 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! The merged, fully anonymised measurement dataset the manager produces.
+//!
+//! After the manager has collected every honeypot's log chunks, it performs
+//! step-2 anonymisation (hash → dense integer, coherent across logs),
+//! unifies the per-honeypot name/file tables into global ones, and applies
+//! word-frequency anonymisation to file names.  The result,
+//! [`MeasurementLog`], is what the analysis crate consumes to regenerate
+//! every table and figure of the paper.
+
+use edonkey_proto::UserId;
+use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::anonymize::AnonPeerId;
+use crate::log::{FileIdx, FileTable, QueryKind, NameIdx};
+use crate::strategy::ContentStrategy;
+use crate::types::{HoneypotId, IdStatus, ServerInfo};
+
+/// Static description of one honeypot within the merged dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HoneypotMeta {
+    pub id: HoneypotId,
+    pub content: ContentStrategy,
+    pub server: ServerInfo,
+}
+
+/// One fully anonymised query record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AnonRecord {
+    pub at: SimTime,
+    pub honeypot: HoneypotId,
+    pub kind: QueryKind,
+    /// Step-2 anonymised peer identifier.
+    pub peer: AnonPeerId,
+    pub port: u16,
+    pub id_status: IdStatus,
+    pub user_id: UserId,
+    /// Index into [`MeasurementLog::peer_names`].
+    pub name: NameIdx,
+    pub version: u32,
+    /// Index into [`MeasurementLog::files`]; [`crate::log::FILE_NONE`] for
+    /// HELLO records.
+    pub file: FileIdx,
+}
+
+/// One anonymised shared-file list observation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AnonSharedList {
+    pub at: SimTime,
+    pub honeypot: HoneypotId,
+    pub peer: AnonPeerId,
+    pub files: Vec<FileIdx>,
+}
+
+/// The merged measurement dataset.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MeasurementLog {
+    /// Participating honeypots, indexed by `HoneypotId.0`.
+    pub honeypots: Vec<HoneypotMeta>,
+    /// Every logged query, in collection order (honeypot-major, then
+    /// chronological within a honeypot's chunks).
+    pub records: Vec<AnonRecord>,
+    /// Every shared-file list retrieved from peers.
+    pub shared_lists: Vec<AnonSharedList>,
+    /// Global interned peer client names.
+    pub peer_names: Vec<String>,
+    /// Global deduplicated file table (names already word-anonymised).
+    pub files: FileTable,
+    /// Number of distinct peers (== number of step-2 integers assigned).
+    pub distinct_peers: u32,
+    /// Measurement duration (the configured horizon).
+    pub duration: SimTime,
+    /// Number of files advertised by the honeypots at the end of the
+    /// measurement (Table I's "number of shared files").
+    pub shared_files_final: u32,
+}
+
+impl MeasurementLog {
+    /// Records of a given kind.
+    pub fn records_of(&self, kind: QueryKind) -> impl Iterator<Item = &AnonRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Honeypot IDs using the given content strategy.
+    pub fn honeypots_with(&self, content: ContentStrategy) -> Vec<HoneypotId> {
+        self.honeypots.iter().filter(|h| h.content == content).map(|h| h.id).collect()
+    }
+
+    /// Total number of query records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of distinct files observed (queried or listed).
+    pub fn distinct_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total size of distinct observed files in bytes (Table I's "space
+    /// used by distinct files").
+    pub fn distinct_files_size(&self) -> u64 {
+        self.files.total_size()
+    }
+
+    /// Sanity checks of the dataset's internal invariants; returns a list
+    /// of violations (empty when consistent).  Used by integration tests
+    /// and by the experiment runner before analysis.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let n_names = self.peer_names.len() as u32;
+        let n_files = self.files.len() as u32;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.peer.0 >= self.distinct_peers {
+                problems.push(format!("record {i}: peer id {} out of range", r.peer.0));
+            }
+            if r.name >= n_names {
+                problems.push(format!("record {i}: name index {} out of range", r.name));
+            }
+            if r.file != crate::log::FILE_NONE && r.file >= n_files {
+                problems.push(format!("record {i}: file index {} out of range", r.file));
+            }
+            if r.kind == QueryKind::Hello && r.file != crate::log::FILE_NONE {
+                problems.push(format!("record {i}: HELLO with a file index"));
+            }
+            if (r.honeypot.0 as usize) >= self.honeypots.len() {
+                problems.push(format!("record {i}: honeypot {} unknown", r.honeypot.0));
+            }
+            if problems.len() > 20 {
+                problems.push("… further problems suppressed".into());
+                return problems;
+            }
+        }
+        for (i, l) in self.shared_lists.iter().enumerate() {
+            if l.peer.0 >= self.distinct_peers {
+                problems.push(format!("shared list {i}: peer id out of range"));
+            }
+            if l.files.iter().any(|&f| f >= n_files) {
+                problems.push(format!("shared list {i}: file index out of range"));
+            }
+            if problems.len() > 20 {
+                problems.push("… further problems suppressed".into());
+                break;
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::FILE_NONE;
+    use edonkey_proto::Ipv4;
+
+    fn meta(id: u32, content: ContentStrategy) -> HoneypotMeta {
+        HoneypotMeta {
+            id: HoneypotId(id),
+            content,
+            server: ServerInfo::new("s", Ipv4::new(1, 1, 1, 1), 4661),
+        }
+    }
+
+    fn record(peer: u32, kind: QueryKind, file: FileIdx) -> AnonRecord {
+        AnonRecord {
+            at: SimTime::ZERO,
+            honeypot: HoneypotId(0),
+            kind,
+            peer: AnonPeerId(peer),
+            port: 4662,
+            id_status: IdStatus::High,
+            user_id: UserId::from_seed(b"u"),
+            name: 0,
+            version: 0,
+            file,
+        }
+    }
+
+    fn base_log() -> MeasurementLog {
+        let mut files = FileTable::new();
+        files.intern(edonkey_proto::FileId::from_seed(b"f"), "f", 10);
+        MeasurementLog {
+            honeypots: vec![
+                meta(0, ContentStrategy::NoContent),
+                meta(1, ContentStrategy::RandomContent),
+            ],
+            records: vec![
+                record(0, QueryKind::Hello, FILE_NONE),
+                record(0, QueryKind::StartUpload, 0),
+                record(1, QueryKind::RequestPart, 0),
+            ],
+            shared_lists: vec![AnonSharedList {
+                at: SimTime::ZERO,
+                honeypot: HoneypotId(0),
+                peer: AnonPeerId(1),
+                files: vec![0],
+            }],
+            peer_names: vec!["eMule".into()],
+            files,
+            distinct_peers: 2,
+            duration: SimTime::from_days(1),
+            shared_files_final: 4,
+        }
+    }
+
+    #[test]
+    fn valid_log_passes_validation() {
+        assert!(base_log().validate().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_peer_detected() {
+        let mut log = base_log();
+        log.records.push(record(99, QueryKind::Hello, FILE_NONE));
+        assert!(!log.validate().is_empty());
+    }
+
+    #[test]
+    fn hello_with_file_detected() {
+        let mut log = base_log();
+        log.records.push(record(0, QueryKind::Hello, 0));
+        assert!(log.validate().iter().any(|p| p.contains("HELLO with a file")));
+    }
+
+    #[test]
+    fn strategy_grouping() {
+        let log = base_log();
+        assert_eq!(log.honeypots_with(ContentStrategy::NoContent), vec![HoneypotId(0)]);
+        assert_eq!(log.honeypots_with(ContentStrategy::RandomContent), vec![HoneypotId(1)]);
+    }
+
+    #[test]
+    fn kind_filter_and_stats() {
+        let log = base_log();
+        assert_eq!(log.records_of(QueryKind::Hello).count(), 1);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.distinct_files(), 1);
+        assert_eq!(log.distinct_files_size(), 10);
+    }
+}

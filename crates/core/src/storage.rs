@@ -1,0 +1,449 @@
+//! On-disk persistence of merged measurement logs.
+//!
+//! The paper's manager "merges and unifies the collected log files"; a
+//! month-scale measurement is worth keeping.  [`save`]/[`load`] implement a
+//! compact, versioned little-endian binary format (a full-scale distributed
+//! log of ~10⁷ records serialises in seconds and reloads for re-analysis
+//! without re-running the measurement).
+//!
+//! The format is strict: a magic header, a version, and length-prefixed
+//! sections.  Loading validates lengths and indices, so truncated or
+//! corrupted files fail cleanly instead of producing quietly wrong
+//! datasets.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use edonkey_proto::{FileId, Ipv4, UserId};
+use netsim::SimTime;
+
+use crate::anonymize::AnonPeerId;
+use crate::log::{FileTable, QueryKind};
+use crate::measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
+use crate::strategy::ContentStrategy;
+use crate::types::{HoneypotId, IdStatus, ServerInfo};
+
+/// File magic: "EDHP".
+const MAGIC: [u8; 4] = *b"EDHP";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Errors of the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    Io(io::Error),
+    /// Not an EDHP file.
+    BadMagic,
+    /// Format version not understood.
+    UnsupportedVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(fm, "io error: {e}"),
+            StorageError::BadMagic => write!(fm, "not an EDHP measurement file"),
+            StorageError::UnsupportedVersion(v) => write!(fm, "unsupported format version {v}"),
+            StorageError::Corrupt(what) => write!(fm, "corrupt measurement file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+struct Out<W: Write> {
+    w: W,
+}
+
+impl<W: Write> Out<W> {
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.w.write_all(&[v])
+    }
+    fn u16(&mut self, v: u16) -> io::Result<()> {
+        self.w.write_all(&v.to_le_bytes())
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.w.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.w.write_all(&v.to_le_bytes())
+    }
+    fn bytes(&mut self, v: &[u8]) -> io::Result<()> {
+        self.w.write_all(v)
+    }
+    fn string(&mut self, s: &str) -> io::Result<()> {
+        self.u32(s.len() as u32)?;
+        self.bytes(s.as_bytes())
+    }
+}
+
+struct In<R: Read> {
+    r: R,
+}
+
+impl<R: Read> In<R> {
+    fn u8(&mut self) -> Result<u8, StorageError> {
+        let mut b = [0u8; 1];
+        self.r.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    fn u16(&mut self) -> Result<u16, StorageError> {
+        let mut b = [0u8; 2];
+        self.r.read_exact(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn hash(&mut self) -> Result<[u8; 16], StorageError> {
+        let mut b = [0u8; 16];
+        self.r.read_exact(&mut b)?;
+        Ok(b)
+    }
+    fn string(&mut self, limit: usize) -> Result<String, StorageError> {
+        let len = self.u32()? as usize;
+        if len > limit {
+            return Err(StorageError::Corrupt("string length exceeds limit"));
+        }
+        let mut buf = vec![0u8; len];
+        self.r.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| StorageError::Corrupt("invalid UTF-8"))
+    }
+}
+
+fn kind_to_u8(k: QueryKind) -> u8 {
+    match k {
+        QueryKind::Hello => 0,
+        QueryKind::StartUpload => 1,
+        QueryKind::RequestPart => 2,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Result<QueryKind, StorageError> {
+    Ok(match v {
+        0 => QueryKind::Hello,
+        1 => QueryKind::StartUpload,
+        2 => QueryKind::RequestPart,
+        _ => return Err(StorageError::Corrupt("unknown query kind")),
+    })
+}
+
+/// Serialises a measurement log to `path`.
+pub fn save(log: &MeasurementLog, path: &Path) -> Result<(), StorageError> {
+    let file = std::fs::File::create(path)?;
+    let mut out = Out { w: BufWriter::new(file) };
+    out.bytes(&MAGIC)?;
+    out.u32(VERSION)?;
+
+    out.u32(log.honeypots.len() as u32)?;
+    for h in &log.honeypots {
+        out.u32(h.id.0)?;
+        out.u8(match h.content {
+            ContentStrategy::NoContent => 0,
+            ContentStrategy::RandomContent => 1,
+        })?;
+        out.string(&h.server.name)?;
+        out.u32(h.server.ip.0)?;
+        out.u16(h.server.port)?;
+    }
+
+    out.u32(log.peer_names.len() as u32)?;
+    for n in &log.peer_names {
+        out.string(n)?;
+    }
+
+    out.u32(log.files.len() as u32)?;
+    for i in 0..log.files.len() as u32 {
+        out.bytes(&log.files.id(i).0)?;
+        out.string(log.files.name(i))?;
+        out.u64(log.files.size(i))?;
+    }
+
+    out.u64(log.records.len() as u64)?;
+    for r in &log.records {
+        out.u64(r.at.as_millis())?;
+        out.u32(r.honeypot.0)?;
+        out.u8(kind_to_u8(r.kind))?;
+        out.u32(r.peer.0)?;
+        out.u16(r.port)?;
+        out.u8(match r.id_status {
+            IdStatus::High => 1,
+            IdStatus::Low => 0,
+        })?;
+        out.bytes(&r.user_id.0)?;
+        out.u32(r.name)?;
+        out.u32(r.version)?;
+        out.u32(r.file)?;
+    }
+
+    out.u64(log.shared_lists.len() as u64)?;
+    for l in &log.shared_lists {
+        out.u64(l.at.as_millis())?;
+        out.u32(l.honeypot.0)?;
+        out.u32(l.peer.0)?;
+        out.u32(l.files.len() as u32)?;
+        for &f in &l.files {
+            out.u32(f)?;
+        }
+    }
+
+    out.u32(log.distinct_peers)?;
+    out.u64(log.duration.as_millis())?;
+    out.u32(log.shared_files_final)?;
+    out.w.flush()?;
+    Ok(())
+}
+
+/// Deserialises a measurement log from `path` and validates it.
+pub fn load(path: &Path) -> Result<MeasurementLog, StorageError> {
+    let file = std::fs::File::open(path)?;
+    let mut inp = In { r: BufReader::new(file) };
+    let mut magic = [0u8; 4];
+    inp.r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = inp.u32()?;
+    if version != VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+
+    let n_hp = inp.u32()? as usize;
+    if n_hp > 10_000 {
+        return Err(StorageError::Corrupt("implausible honeypot count"));
+    }
+    let mut honeypots = Vec::with_capacity(n_hp);
+    for _ in 0..n_hp {
+        let id = HoneypotId(inp.u32()?);
+        let content = match inp.u8()? {
+            0 => ContentStrategy::NoContent,
+            1 => ContentStrategy::RandomContent,
+            _ => return Err(StorageError::Corrupt("unknown content strategy")),
+        };
+        let name = inp.string(1 << 16)?;
+        let ip = Ipv4(inp.u32()?);
+        let port = inp.u16()?;
+        honeypots.push(HoneypotMeta { id, content, server: ServerInfo::new(name, ip, port) });
+    }
+
+    let n_names = inp.u32()? as usize;
+    let mut peer_names = Vec::with_capacity(n_names.min(1 << 20));
+    for _ in 0..n_names {
+        peer_names.push(inp.string(1 << 16)?);
+    }
+
+    let n_files = inp.u32()? as usize;
+    let mut files = FileTable::new();
+    for _ in 0..n_files {
+        let id = FileId(inp.hash()?);
+        let name = inp.string(1 << 16)?;
+        let size = inp.u64()?;
+        files.intern(id, &name, size);
+    }
+    if files.len() != n_files {
+        return Err(StorageError::Corrupt("duplicate file ids"));
+    }
+
+    let n_records = inp.u64()? as usize;
+    let mut records = Vec::with_capacity(n_records.min(1 << 24));
+    for _ in 0..n_records {
+        records.push(AnonRecord {
+            at: SimTime::from_millis(inp.u64()?),
+            honeypot: HoneypotId(inp.u32()?),
+            kind: kind_from_u8(inp.u8()?)?,
+            peer: AnonPeerId(inp.u32()?),
+            port: inp.u16()?,
+            id_status: if inp.u8()? == 1 { IdStatus::High } else { IdStatus::Low },
+            user_id: UserId(inp.hash()?),
+            name: inp.u32()?,
+            version: inp.u32()?,
+            file: inp.u32()?,
+        });
+    }
+
+    let n_lists = inp.u64()? as usize;
+    let mut shared_lists = Vec::with_capacity(n_lists.min(1 << 24));
+    for _ in 0..n_lists {
+        let at = SimTime::from_millis(inp.u64()?);
+        let honeypot = HoneypotId(inp.u32()?);
+        let peer = AnonPeerId(inp.u32()?);
+        let n = inp.u32()? as usize;
+        if n > n_files {
+            return Err(StorageError::Corrupt("shared list longer than file table"));
+        }
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            list.push(inp.u32()?);
+        }
+        shared_lists.push(AnonSharedList { at, honeypot, peer, files: list });
+    }
+
+    let log = MeasurementLog {
+        honeypots,
+        records,
+        shared_lists,
+        peer_names,
+        files,
+        distinct_peers: inp.u32()?,
+        duration: SimTime::from_millis(inp.u64()?),
+        shared_files_final: inp.u32()?,
+    };
+    let problems = log.validate();
+    if !problems.is_empty() {
+        return Err(StorageError::Corrupt("indices out of range after load"));
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::FILE_NONE;
+
+    fn sample_log() -> MeasurementLog {
+        let mut files = FileTable::new();
+        let f0 = files.intern(FileId::from_seed(b"a"), "file a.avi", 700 << 20);
+        MeasurementLog {
+            honeypots: vec![HoneypotMeta {
+                id: HoneypotId(0),
+                content: ContentStrategy::RandomContent,
+                server: ServerInfo::new("srv", Ipv4::new(1, 2, 3, 4), 4661),
+            }],
+            records: vec![
+                AnonRecord {
+                    at: SimTime::from_secs(5),
+                    honeypot: HoneypotId(0),
+                    kind: QueryKind::Hello,
+                    peer: AnonPeerId(0),
+                    port: 4662,
+                    id_status: IdStatus::High,
+                    user_id: UserId::from_seed(b"u"),
+                    name: 0,
+                    version: 0x49,
+                    file: FILE_NONE,
+                },
+                AnonRecord {
+                    at: SimTime::from_secs(9),
+                    honeypot: HoneypotId(0),
+                    kind: QueryKind::StartUpload,
+                    peer: AnonPeerId(1),
+                    port: 4663,
+                    id_status: IdStatus::Low,
+                    user_id: UserId::from_seed(b"v"),
+                    name: 0,
+                    version: 0x3c,
+                    file: f0,
+                },
+            ],
+            shared_lists: vec![AnonSharedList {
+                at: SimTime::from_secs(7),
+                honeypot: HoneypotId(0),
+                peer: AnonPeerId(0),
+                files: vec![f0],
+            }],
+            peer_names: vec!["eMule".into()],
+            files,
+            distinct_peers: 2,
+            duration: SimTime::from_days(1),
+            shared_files_final: 1,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("edhp-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let log = sample_log();
+        let path = tmp("roundtrip.edhp");
+        save(&log, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.records.len(), log.records.len());
+        for (a, b) in back.records.iter().zip(&log.records) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.shared_lists, log.shared_lists);
+        assert_eq!(back.peer_names, log.peer_names);
+        assert_eq!(back.distinct_peers, log.distinct_peers);
+        assert_eq!(back.duration, log.duration);
+        assert_eq!(back.shared_files_final, log.shared_files_final);
+        assert_eq!(back.files.len(), log.files.len());
+        assert_eq!(back.files.name(0), log.files.name(0));
+        assert_eq!(back.files.total_size(), log.files.total_size());
+        assert_eq!(back.honeypots.len(), 1);
+        assert_eq!(back.honeypots[0].content, ContentStrategy::RandomContent);
+        assert_eq!(back.honeypots[0].server.name, "srv");
+        // The loaded file table's index works.
+        assert_eq!(back.files.lookup(&FileId::from_seed(b"a")), Some(0));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic.edhp");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(load(&path), Err(StorageError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let path = tmp("version.edhp");
+        let mut data = Vec::new();
+        data.extend_from_slice(&MAGIC);
+        data.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, data).unwrap();
+        assert!(matches!(load(&path), Err(StorageError::UnsupportedVersion(99))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let log = sample_log();
+        let path = tmp("trunc.edhp");
+        save(&log, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        for cut in [8, 20, data.len() / 2, data.len() - 1] {
+            std::fs::write(&path, &data[..cut]).unwrap();
+            assert!(load(&path).is_err(), "cut at {cut} must fail");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_indices_detected() {
+        let log = sample_log();
+        let path = tmp("corrupt.edhp");
+        save(&log, &path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip the distinct_peers trailer (last 16 bytes: u32 + u64 + u32 →
+        // distinct_peers is at len-16..len-12).
+        let n = data.len();
+        data[n - 16..n - 12].copy_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        assert!(
+            matches!(load(&path), Err(StorageError::Corrupt(_))),
+            "peer ids now exceed distinct_peers"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the measurement platform: anonymisation
+//! coherence, log interning, manager merging.
+
+use proptest::prelude::*;
+
+use edonkey_proto::{FileId, Ipv4, UserId};
+use honeypot::anonymize::{AnonMap, IpHasher, NameAnonymizer};
+use honeypot::log::{HoneypotLog, QueryKind, QueryRecord, FILE_NONE};
+use honeypot::types::IdStatus;
+use honeypot::{HoneypotId, HoneypotSpec, Manager, ServerInfo};
+use netsim::SimTime;
+
+fn server() -> ServerInfo {
+    ServerInfo::new("s", Ipv4::new(9, 9, 9, 9), 4661)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ip_hashing_is_injective_on_samples(ips in prop::collection::hash_set(any::<u32>(), 2..200)) {
+        let hasher = IpHasher::from_seed(1);
+        let hashes: std::collections::HashSet<_> =
+            ips.iter().map(|&ip| hasher.hash(Ipv4(ip))).collect();
+        prop_assert_eq!(hashes.len(), ips.len(), "distinct IPs must hash distinctly");
+    }
+
+    #[test]
+    fn anon_map_is_a_bijection_onto_a_prefix(ips in prop::collection::vec(any::<u32>(), 0..300)) {
+        let hasher = IpHasher::from_seed(2);
+        let mut map = AnonMap::new();
+        let mut by_ip = std::collections::HashMap::new();
+        for &ip in &ips {
+            let id = map.intern(hasher.hash(Ipv4(ip)));
+            // Same IP always yields the same ID.
+            if let Some(prev) = by_ip.insert(ip, id) {
+                prop_assert_eq!(prev, id);
+            }
+        }
+        let distinct: std::collections::HashSet<_> = by_ip.values().collect();
+        prop_assert_eq!(distinct.len(), by_ip.len(), "distinct IPs get distinct IDs");
+        prop_assert_eq!(map.len(), by_ip.len());
+        // IDs form the dense prefix 0..n.
+        let mut ids: Vec<u32> = by_ip.values().map(|a| a.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids, (0..map.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn name_anonymiser_never_leaks_rare_words(
+        rare in "[a-z]{4,12}",
+        common in "[a-z]{4,12}",
+        reps in 5u32..20,
+    ) {
+        prop_assume!(rare != common);
+        let mut counter = NameAnonymizer::new();
+        for _ in 0..reps {
+            counter.count(&common);
+        }
+        counter.count(&format!("{rare} {common}"));
+        let frozen = counter.freeze(3);
+        let out = frozen.anonymize(&format!("{rare}.{common}.{rare}"));
+        prop_assert!(!out.contains(&rare), "rare word leaked: {out}");
+        prop_assert!(out.contains(&common), "common word lost: {out}");
+    }
+
+    #[test]
+    fn anonymised_output_is_deterministic(names in prop::collection::vec("[a-z ]{1,20}", 1..30)) {
+        let build = || {
+            let mut counter = NameAnonymizer::new();
+            for n in &names {
+                counter.count(n);
+            }
+            counter.freeze(2)
+        };
+        let a = build();
+        let b = build();
+        for n in &names {
+            prop_assert_eq!(a.anonymize(n), b.anonymize(n));
+        }
+    }
+
+    #[test]
+    fn manager_merge_preserves_record_counts_and_coherence(
+        peers_a in prop::collection::vec(any::<u32>(), 1..60),
+        peers_b in prop::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let hasher = IpHasher::from_seed(3);
+        let make_chunk = |hp: u32, ips: &[u32]| {
+            let mut log = HoneypotLog::new(HoneypotId(hp), server());
+            let name = log.intern_name("client");
+            let file = log.files.intern(FileId::from_seed(b"f"), "f", 1);
+            for (i, &ip) in ips.iter().enumerate() {
+                log.push(QueryRecord {
+                    at: SimTime::from_secs(i as u64),
+                    kind: if i % 2 == 0 { QueryKind::Hello } else { QueryKind::StartUpload },
+                    peer: hasher.hash(Ipv4(ip)),
+                    port: 4662,
+                    id_status: IdStatus::High,
+                    user_id: UserId::from_seed(&ip.to_le_bytes()),
+                    name,
+                    version: 1,
+                    file: if i % 2 == 0 { FILE_NONE } else { file },
+                });
+            }
+            log.take_chunk()
+        };
+        let specs = vec![
+            HoneypotSpec { id: HoneypotId(0), content: honeypot::ContentStrategy::NoContent, server: server() },
+            HoneypotSpec { id: HoneypotId(1), content: honeypot::ContentStrategy::RandomContent, server: server() },
+        ];
+        let mut mgr = Manager::new(specs);
+        mgr.collect(make_chunk(0, &peers_a));
+        mgr.collect(make_chunk(1, &peers_b));
+        let merged = mgr.finalize(SimTime::from_days(1), 1, 2);
+
+        prop_assert_eq!(merged.records.len(), peers_a.len() + peers_b.len());
+        prop_assert!(merged.validate().is_empty(), "{:?}", merged.validate());
+
+        // Coherence: an IP appearing in both honeypots' logs maps to one ID.
+        let expect_distinct: std::collections::HashSet<u32> =
+            peers_a.iter().chain(&peers_b).copied().collect();
+        prop_assert_eq!(merged.distinct_peers as usize, expect_distinct.len());
+
+        // Per-record check: same source IP ⇒ same anon id across honeypots.
+        let mut id_of_ip = std::collections::HashMap::new();
+        for (r, &ip) in merged.records.iter().zip(peers_a.iter().chain(&peers_b)) {
+            if let Some(prev) = id_of_ip.insert(ip, r.peer) {
+                prop_assert_eq!(prev, r.peer, "IP {} mapped to two ids", ip);
+            }
+        }
+    }
+
+    #[test]
+    fn file_table_interning_is_idempotent(entries in prop::collection::vec((any::<[u8;16]>(), "[a-z]{1,8}", any::<u32>()), 0..100)) {
+        let mut table = honeypot::log::FileTable::new();
+        let mut expect: std::collections::HashMap<[u8;16], u32> = std::collections::HashMap::new();
+        for (id, name, size) in &entries {
+            let idx = table.intern(FileId(*id), name, u64::from(*size));
+            match expect.entry(*id) {
+                std::collections::hash_map::Entry::Vacant(e) => { e.insert(idx); }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    prop_assert_eq!(*e.get(), idx, "re-interning must return the same index");
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), expect.len());
+    }
+}

@@ -1,0 +1,380 @@
+//! One function per paper artefact: computes the figure's data from a
+//! measurement log and renders the human-readable report (plus a JSON
+//! value for EXPERIMENTS.md).
+
+use edonkey_analysis::{
+    basic_stats, distinct_peers_by_strategy, file_growth, file_peer_counts, first_event_ms,
+    hourly_counts, messages_by_strategy, peer_growth, peer_series, peer_sets_by_file,
+    peer_sets_by_honeypot, plateaus, popular_files, random_files, subset_curve, top_peer,
+    StrategyComparison, SubsetPoint,
+};
+use edonkey_analysis::report::{ascii_chart, ascii_table, format_bytes, format_count, series_table};
+use honeypot::{MeasurementLog, QueryKind};
+use serde_json::json;
+
+/// A rendered experiment artefact.
+pub struct Artefact {
+    /// Human-readable report.
+    pub text: String,
+    /// Machine-readable data (written into EXPERIMENTS.md's JSON block).
+    pub data: serde_json::Value,
+}
+
+/// Table I: basic statistics of both measurements.
+pub fn table1(dist: &MeasurementLog, greedy: &MeasurementLog) -> Artefact {
+    let d = basic_stats(dist);
+    let g = basic_stats(greedy);
+    let rows = vec![
+        vec![
+            "Number of honeypots".into(),
+            d.honeypots.to_string(),
+            g.honeypots.to_string(),
+        ],
+        vec![
+            "Duration in days".into(),
+            format!("{:.0}", d.duration_days),
+            format!("{:.0}", g.duration_days),
+        ],
+        vec![
+            "Number of shared files".into(),
+            format_count(u64::from(d.shared_files)),
+            format_count(u64::from(g.shared_files)),
+        ],
+        vec![
+            "Number of distinct peers".into(),
+            format_count(u64::from(d.distinct_peers)),
+            format_count(u64::from(g.distinct_peers)),
+        ],
+        vec![
+            "Number of distinct files".into(),
+            format_count(d.distinct_files as u64),
+            format_count(g.distinct_files as u64),
+        ],
+        vec![
+            "Space used by distinct files".into(),
+            format_bytes(d.distinct_files_bytes),
+            format_bytes(g.distinct_files_bytes),
+        ],
+    ];
+    let text = format!(
+        "Table I — basic statistics of the collected data\n{}",
+        ascii_table(&["statistic", "distributed", "greedy"], &rows)
+    );
+    let data = json!({
+        "distributed": {
+            "honeypots": d.honeypots, "days": d.duration_days,
+            "shared_files": d.shared_files, "distinct_peers": d.distinct_peers,
+            "distinct_files": d.distinct_files, "space_tb": d.distinct_files_tb(),
+        },
+        "greedy": {
+            "honeypots": g.honeypots, "days": g.duration_days,
+            "shared_files": g.shared_files, "distinct_peers": g.distinct_peers,
+            "distinct_files": g.distinct_files, "space_tb": g.distinct_files_tb(),
+        },
+    });
+    Artefact { text, data }
+}
+
+/// Figs. 2 (distributed) and 3 (greedy): distinct-peer growth.
+pub fn fig_growth(log: &MeasurementLog, fig_no: u8) -> Artefact {
+    let g = peer_growth(log);
+    let files = file_growth(log);
+    let days: Vec<u64> = (0..g.cumulative.len() as u64).collect();
+    let chart = ascii_chart(
+        &[
+            ("total peers", &g.cumulative.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
+        ],
+        64,
+        12,
+    );
+    let text = format!(
+        "Fig. {fig_no} — distinct peers over time ({} total; {:.0} new/day over the last 5 days)\n{}\n{}",
+        format_count(g.total()),
+        g.tail_rate(5),
+        series_table("day", &days, &[("total_peers", &g.cumulative), ("new_peers", &g.new_per_day)]),
+        chart,
+    );
+    let data = json!({
+        "total_peers": g.total(),
+        "tail_new_per_day": g.tail_rate(5),
+        "cumulative": g.cumulative,
+        "new_per_day": g.new_per_day,
+        "distinct_files_total": files.total(),
+    });
+    Artefact { text, data }
+}
+
+/// Fig. 4: HELLO messages per hour over the first week.
+pub fn fig04(log: &MeasurementLog) -> Artefact {
+    let s = hourly_counts(log, QueryKind::Hello);
+    let week: Vec<u64> = s.counts.iter().copied().take(168).collect();
+    let first_ms = first_event_ms(log, QueryKind::Hello).unwrap_or(0);
+    let ratio = edonkey_analysis::HourlySeries { counts: week.clone() }.day_night_ratio();
+    let chart =
+        ascii_chart(&[("HELLO/hour", &week.iter().map(|&v| v as f64).collect::<Vec<_>>()[..])], 84, 14);
+    let hours: Vec<u64> = (0..week.len() as u64).collect();
+    let text = format!(
+        "Fig. 4 — HELLO messages per hour, first week (first query after {:.1} min; day/night ratio {:.1}×)\n{}\n{}",
+        first_ms as f64 / 60_000.0,
+        ratio,
+        chart,
+        series_table("hour", &hours, &[("hello", &week)]),
+    );
+    let data = json!({
+        "first_query_min": first_ms as f64 / 60_000.0,
+        "day_night_ratio": ratio,
+        "hourly_first_week": week,
+    });
+    Artefact { text, data }
+}
+
+fn strategy_artefact(
+    title: String,
+    c: &StrategyComparison,
+    extra: serde_json::Value,
+) -> Artefact {
+    let days: Vec<u64> = (0..c.random_content.len() as u64).collect();
+    let (rc, nc) = c.finals();
+    let chart = ascii_chart(
+        &[
+            ("random content", &c.random_content.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
+            ("no content", &c.no_content.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
+        ],
+        64,
+        12,
+    );
+    let text = format!(
+        "{title}\n  random content: {}   no content: {}   (random/no = {:.2})\n{}\n{}",
+        format_count(rc),
+        format_count(nc),
+        rc as f64 / nc.max(1) as f64,
+        series_table(
+            "day",
+            &days,
+            &[("random_content", &c.random_content), ("no_content", &c.no_content)]
+        ),
+        chart,
+    );
+    let mut data = json!({
+        "random_content": c.random_content,
+        "no_content": c.no_content,
+        "final_random": rc,
+        "final_no": nc,
+    });
+    if let (Some(obj), Some(ex)) = (data.as_object_mut(), extra.as_object()) {
+        for (k, v) in ex {
+            obj.insert(k.clone(), v.clone());
+        }
+    }
+    Artefact { text, data }
+}
+
+/// Fig. 5: distinct peers sending HELLO per strategy group.
+pub fn fig05(log: &MeasurementLog) -> Artefact {
+    let c = distinct_peers_by_strategy(log, QueryKind::Hello);
+    strategy_artefact(
+        "Fig. 5 — distinct peers sending HELLO, by content strategy".into(),
+        &c,
+        json!({}),
+    )
+}
+
+/// Fig. 6: distinct peers sending START-UPLOAD per strategy group.
+pub fn fig06(log: &MeasurementLog) -> Artefact {
+    let c = distinct_peers_by_strategy(log, QueryKind::StartUpload);
+    strategy_artefact(
+        "Fig. 6 — distinct peers sending START-UPLOAD, by content strategy".into(),
+        &c,
+        json!({}),
+    )
+}
+
+/// Fig. 7: cumulative REQUEST-PART messages per strategy group.
+pub fn fig07(log: &MeasurementLog) -> Artefact {
+    let c = messages_by_strategy(log, QueryKind::RequestPart);
+    strategy_artefact(
+        "Fig. 7 — REQUEST-PART messages received, by content strategy".into(),
+        &c,
+        json!({}),
+    )
+}
+
+/// Figs. 8 and 9: the top peer's START-UPLOAD / REQUEST-PART series.
+pub fn fig_top_peer(log: &MeasurementLog, fig_no: u8) -> Artefact {
+    let kind = if fig_no == 8 { QueryKind::StartUpload } else { QueryKind::RequestPart };
+    let Some(peer) = top_peer(log, QueryKind::StartUpload) else {
+        return Artefact {
+            text: format!("Fig. {fig_no} — no queries recorded"),
+            data: json!(null),
+        };
+    };
+    let c = peer_series(log, peer, kind);
+    let flat_rc = plateaus(&c.random_content, 2);
+    let flat_nc = plateaus(&c.no_content, 2);
+    let mut artefact = strategy_artefact(
+        format!(
+            "Fig. {fig_no} — {} messages from the top peer (anon id {}), by content strategy",
+            kind.name(),
+            peer.0
+        ),
+        &c,
+        json!({ "peer": peer.0, "plateaus_rc": flat_rc, "plateaus_nc": flat_nc }),
+    );
+    artefact.text.push_str(&format!(
+        "plateaus (≥2 quiet days): random content {flat_rc:?}, no content {flat_nc:?}\n"
+    ));
+    artefact
+}
+
+fn subset_artefact(title: String, curve: &[SubsetPoint], per_file: serde_json::Value) -> Artefact {
+    let ns: Vec<u64> = curve.iter().map(|p| p.n as u64).collect();
+    let avg: Vec<u64> = curve.iter().map(|p| p.avg.round() as u64).collect();
+    let min: Vec<u64> = curve.iter().map(|p| p.min).collect();
+    let max: Vec<u64> = curve.iter().map(|p| p.max).collect();
+    let chart = ascii_chart(
+        &[
+            ("avg", &avg.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
+            ("min", &min.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
+            ("max", &max.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
+        ],
+        64,
+        12,
+    );
+    let text = format!(
+        "{title}\n{}\n{}",
+        series_table("n", &ns, &[("avg", &avg), ("min", &min), ("max", &max)]),
+        chart,
+    );
+    let mut data = json!({
+        "n": ns, "avg": curve.iter().map(|p| p.avg).collect::<Vec<_>>(),
+        "min": min, "max": max,
+    });
+    if let (Some(obj), Some(ex)) = (data.as_object_mut(), per_file.as_object()) {
+        for (k, v) in ex {
+            obj.insert(k.clone(), v.clone());
+        }
+    }
+    Artefact { text, data }
+}
+
+/// Fig. 10: distinct peers vs number of honeypots (100 random subsets per
+/// n; min/avg/max).
+pub fn fig10(log: &MeasurementLog, samples: usize, seed: u64) -> Artefact {
+    let sets = peer_sets_by_honeypot(log);
+    let curve = subset_curve(&sets, samples, seed);
+    let single_min = curve.first().map_or(0, |p| p.min);
+    let single_max = curve.first().map_or(0, |p| p.max);
+    subset_artefact(
+        format!(
+            "Fig. 10 — distinct peers vs number of honeypots ({samples} samples/n; singles {}–{})",
+            format_count(single_min),
+            format_count(single_max)
+        ),
+        &curve,
+        json!({ "single_min": single_min, "single_max": single_max }),
+    )
+}
+
+/// Figs. 11 (random files) and 12 (popular files): distinct peers vs
+/// number of advertised files.
+pub fn fig_files(log: &MeasurementLog, fig_no: u8, samples: usize, seed: u64) -> Artefact {
+    let sets = peer_sets_by_file(log);
+    let counts = file_peer_counts(&sets);
+    let (label, chosen) = if fig_no == 11 {
+        ("random-files", random_files(&sets, 100, seed ^ 0xF11E5))
+    } else {
+        ("popular-files", popular_files(&sets, 100))
+    };
+    let curve = subset_curve(&chosen, samples, seed);
+    let final_avg = curve.last().map_or(0.0, |p| p.avg);
+    let per_file = final_avg / curve.len().max(1) as f64;
+    subset_artefact(
+        format!(
+            "Fig. {fig_no} — distinct peers vs number of advertised files ({label}; ≈{:.0} peers/file; best file {}, worst {})",
+            per_file,
+            format_count(counts.first().copied().unwrap_or(0)),
+            format_count(counts.last().copied().unwrap_or(0)),
+        ),
+        &curve,
+        json!({
+            "set": label,
+            "peers_per_file": per_file,
+            "best_file_peers": counts.first().copied().unwrap_or(0),
+            "worst_file_peers": counts.last().copied().unwrap_or(0),
+            "queried_files": counts.len(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edonkey_analysis::testutil::synthetic_log;
+    use netsim::SimTime;
+
+    fn fixture() -> MeasurementLog {
+        synthetic_log(&[
+            (0, QueryKind::Hello, 0, SimTime::from_hours(1)),
+            (0, QueryKind::StartUpload, 0, SimTime::from_hours(1)),
+            (1, QueryKind::Hello, 1, SimTime::from_hours(2)),
+            (1, QueryKind::StartUpload, 1, SimTime::from_hours(2)),
+            (1, QueryKind::RequestPart, 1, SimTime::from_hours(3)),
+            (2, QueryKind::Hello, 1, SimTime::from_hours(30)),
+        ])
+    }
+
+    #[test]
+    fn table1_renders_both_columns() {
+        let log = fixture();
+        let a = table1(&log, &log);
+        assert!(a.text.contains("distributed") && a.text.contains("greedy"));
+        assert!(a.data["distributed"]["distinct_peers"].as_u64().unwrap() == 3);
+    }
+
+    #[test]
+    fn growth_figures_render() {
+        let a = fig_growth(&fixture(), 2);
+        assert!(a.text.contains("Fig. 2"));
+        assert_eq!(a.data["total_peers"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn fig04_reports_first_query() {
+        let a = fig04(&fixture());
+        assert!(a.text.contains("Fig. 4"));
+        assert!((a.data["first_query_min"].as_f64().unwrap() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strategy_figures_render() {
+        for f in [fig05(&fixture()), fig06(&fixture()), fig07(&fixture())] {
+            assert!(f.text.contains("random content"));
+            assert!(f.data["final_random"].is_u64());
+        }
+    }
+
+    #[test]
+    fn top_peer_figures_render() {
+        let a = fig_top_peer(&fixture(), 8);
+        assert!(a.text.contains("top peer"));
+        let b = fig_top_peer(&fixture(), 9);
+        assert!(b.text.contains("REQUEST-PART"));
+    }
+
+    #[test]
+    fn top_peer_empty_log() {
+        let log = synthetic_log(&[]);
+        let a = fig_top_peer(&log, 8);
+        assert!(a.text.contains("no queries"));
+    }
+
+    #[test]
+    fn subset_figures_render() {
+        let a = fig10(&fixture(), 10, 1);
+        assert!(a.text.contains("Fig. 10"));
+        let b = fig_files(&fixture(), 11, 10, 1);
+        assert!(b.data["set"].as_str() == Some("random-files"));
+        let c = fig_files(&fixture(), 12, 10, 1);
+        assert!(c.data["set"].as_str() == Some("popular-files"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # edonkey-experiments
+//!
+//! Calibrated scenarios and reporting code that regenerate every table and
+//! figure of the paper's evaluation.  Each binary (`table1`, `fig02` …
+//! `fig12`, `all`) runs the relevant measurement on the simulated eDonkey
+//! world and prints the paper artefact; `all` additionally rewrites
+//! `EXPERIMENTS.md`.
+//!
+//! Binaries accept `--scale F` (population scale; 1.0 = paper scale),
+//! `--seed N`, `--samples N` (Monte-Carlo subsets) and `--json`.
+
+pub mod figures;
+pub mod runner;
+pub mod scenarios;
+pub mod targeted;
+
+pub use figures::Artefact;
+pub use runner::{Measurement, Options};
+pub use targeted::{targeted, Coordination, TargetInfo};

@@ -1,0 +1,204 @@
+//! End-to-end experiment execution and shared CLI plumbing for the
+//! per-figure binaries.
+
+use edonkey_sim::{run_scenario, ScenarioConfig, SimOutput};
+use honeypot::MeasurementLog;
+
+use crate::scenarios;
+
+/// Which measurement a figure draws on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Measurement {
+    Distributed,
+    Greedy,
+}
+
+/// Common command-line options of every experiment binary.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Volume scale (1.0 = paper scale).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Monte-Carlo samples for subset figures.
+    pub samples: usize,
+    /// Emit machine-readable JSON after the human-readable report.
+    pub json: bool,
+    /// Directory to store measurement logs in after running.
+    pub save: Option<std::path::PathBuf>,
+    /// Directory to load previously saved measurement logs from (skips the
+    /// simulation when the file exists).
+    pub load: Option<std::path::PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 1.0,
+            seed: scenarios::DEFAULT_SEED,
+            samples: 100,
+            json: false,
+            save: None,
+            load: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--scale F`, `--seed N`, `--samples N`, `--json` from
+    /// `std::env::args`.  Exits with a usage message on malformed input.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take_value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i).cloned().unwrap_or_else(|| usage(&args[*i - 1]))
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    opts.scale = take_value(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                    if !(opts.scale > 0.0 && opts.scale.is_finite()) {
+                        usage("--scale must be a positive number");
+                    }
+                }
+                "--seed" => {
+                    opts.seed = take_value(&mut i).parse().unwrap_or_else(|_| usage("--seed"))
+                }
+                "--samples" => {
+                    opts.samples =
+                        take_value(&mut i).parse().unwrap_or_else(|_| usage("--samples"))
+                }
+                "--json" => opts.json = true,
+                "--save" => opts.save = Some(take_value(&mut i).into()),
+                "--load" => opts.load = Some(take_value(&mut i).into()),
+                "--help" | "-h" => usage(""),
+                other => usage(other),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The scenario configuration for a measurement under these options.
+    pub fn scenario(&self, which: Measurement) -> ScenarioConfig {
+        match which {
+            Measurement::Distributed => scenarios::distributed(self.seed, self.scale),
+            Measurement::Greedy => scenarios::greedy(self.seed, self.scale),
+        }
+    }
+
+    /// Runs the measurement and returns its merged log (with stats printed
+    /// to stderr so stdout stays report-only).  With `--load`, a previously
+    /// saved log is reused instead of re-running the simulation; with
+    /// `--save`, the fresh log is stored for later reuse.
+    pub fn run(&self, which: Measurement) -> MeasurementLog {
+        let label = match which {
+            Measurement::Distributed => "distributed",
+            Measurement::Greedy => "greedy",
+        };
+        if let Some(dir) = &self.load {
+            let path = dir.join(format!("{label}.edhp"));
+            if path.exists() {
+                match honeypot::storage::load(&path) {
+                    Ok(log) => {
+                        eprintln!("[run] {label}: loaded {} records from {}", log.records.len(), path.display());
+                        return log;
+                    }
+                    Err(e) => eprintln!("[run] {label}: could not load {}: {e}; re-running", path.display()),
+                }
+            }
+        }
+        let out = self.run_full(which);
+        if let Some(dir) = &self.save {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("[run] cannot create {}: {e}", dir.display());
+            } else {
+                let path = dir.join(format!("{label}.edhp"));
+                match honeypot::storage::save(&out.log, &path) {
+                    Ok(()) => eprintln!("[run] {label}: saved to {}", path.display()),
+                    Err(e) => eprintln!("[run] {label}: save failed: {e}"),
+                }
+            }
+        }
+        out.log
+    }
+
+    /// Runs the measurement, returning the full output.
+    pub fn run_full(&self, which: Measurement) -> SimOutput {
+        let label = match which {
+            Measurement::Distributed => "distributed",
+            Measurement::Greedy => "greedy",
+        };
+        eprintln!(
+            "[run] {label} measurement: scale {}, seed {:#x} …",
+            self.scale, self.seed
+        );
+        let started = std::time::Instant::now();
+        let out = run_scenario(self.scenario(which));
+        eprintln!(
+            "[run] {label}: {} peers, {} records in {:.1}s ({} arrivals, {} sessions, {} nc-det, {} rc-det, {} skipped)",
+            out.log.distinct_peers,
+            out.log.records.len(),
+            started.elapsed().as_secs_f64(),
+            out.stats.arrivals,
+            out.stats.sessions,
+            out.stats.detections_nc,
+            out.stats.detections_rc,
+            out.stats.skipped_invisible,
+        );
+        let problems = out.log.validate();
+        assert!(problems.is_empty(), "invalid measurement log: {problems:?}");
+        out
+    }
+}
+
+fn usage(offender: &str) -> ! {
+    if !offender.is_empty() {
+        eprintln!("invalid arguments: {offender}");
+    }
+    eprintln!(
+        "usage: <experiment> [--scale F] [--seed N] [--samples N] [--json]\n\
+         \n\
+         --scale F    population scale, 1.0 = paper scale (default 1.0)\n\
+         --seed N     master seed (default {:#x})\n\
+         --samples N  Monte-Carlo samples for subset figures (default 100)\n\
+         --json       also emit machine-readable JSON\n\
+         --save DIR   store the measurement logs under DIR (EDHP format)\n\
+         --load DIR   reuse measurement logs from DIR instead of re-running",
+        scenarios::DEFAULT_SEED
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edonkey_analysis::basic_stats;
+
+    #[test]
+    fn small_distributed_run_is_coherent() {
+        let opts = Options { scale: 0.01, seed: 5, samples: 10, json: false, ..Default::default() };
+        let log = opts.run(Measurement::Distributed);
+        assert_eq!(log.honeypots.len(), 24);
+        let stats = basic_stats(&log);
+        assert!(stats.distinct_peers > 50, "got {}", stats.distinct_peers);
+        assert_eq!(stats.shared_files, 4);
+        assert!((stats.duration_days - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_greedy_run_adopts_files() {
+        let opts = Options { scale: 0.01, seed: 5, samples: 10, json: false, ..Default::default() };
+        let log = opts.run(Measurement::Greedy);
+        assert_eq!(log.honeypots.len(), 1);
+        let stats = basic_stats(&log);
+        assert!(
+            stats.shared_files > 3,
+            "greedy honeypot must adopt beyond its seeds, got {}",
+            stats.shared_files
+        );
+        assert!(stats.distinct_files as u32 >= stats.shared_files);
+    }
+}

@@ -1,0 +1,363 @@
+//! The two calibrated measurement scenarios of the paper's evaluation
+//! (§IV):
+//!
+//! * **distributed** — 24 honeypots on one large server for 32 days, all
+//!   advertising the same four files (a movie, a song, a linux
+//!   distribution and a text); honeypots with even index answer nothing,
+//!   odd ones send random content (two groups of 12, as in the paper);
+//! * **greedy** — a single honeypot for 15 days that starts from three
+//!   seed files, adopts every file seen in contacting peers' shared lists
+//!   during day 1, then freezes its (~3,000-file) list.
+//!
+//! Calibration targets are the paper's published magnitudes (Table I and
+//! Figs. 2–12); see `EXPERIMENTS.md` for paper-vs-measured values.
+
+use edonkey_sim::catalog::FileClass;
+use edonkey_sim::{
+    BehaviorConfig, BlacklistConfig, CatalogConfig, HoneypotSetup, PopulationConfig, RobotConfig,
+    ScenarioConfig,
+};
+use honeypot::ContentStrategy;
+use netsim::time::{MS_PER_HOUR, MS_PER_MIN, MS_PER_SEC};
+use netsim::{DiurnalCurve, SimTime};
+
+/// Default master seed of the published experiments.
+pub const DEFAULT_SEED: u64 = 0xED0_2009;
+
+/// Number of honeypots in the distributed measurement.
+pub const DISTRIBUTED_HONEYPOTS: usize = 24;
+/// Duration of the distributed measurement (the paper ran October 2008,
+/// reported as 32 days in Table I).
+pub const DISTRIBUTED_DAYS: u64 = 32;
+/// Duration of the greedy measurement (first two weeks of November 2008).
+pub const GREEDY_DAYS: u64 = 15;
+
+/// Picks, per file class, the most popular catalog file of that class —
+/// the distributed measurement's "a movie, a song, a linux distribution
+/// and a text".
+fn pick_four_files(catalog: &edonkey_sim::Catalog) -> Vec<u32> {
+    let mut best: [Option<(f64, u32)>; 4] = [None; 4];
+    for i in 0..catalog.len() as u32 {
+        let f = catalog.file(i);
+        let slot = match f.class {
+            FileClass::Video => 0,
+            FileClass::Audio => 1,
+            FileClass::Archive => 2,
+            FileClass::Document => 3,
+        };
+        if best[slot].is_none_or(|(p, _)| f.popularity > p) {
+            best[slot] = Some((f.popularity, i));
+        }
+    }
+    best.iter().filter_map(|b| b.map(|(_, i)| i)).collect()
+}
+
+/// Builds the distributed scenario at volume `scale` (1.0 = paper scale).
+pub fn distributed(seed: u64, scale: f64) -> ScenarioConfig {
+    let catalog = CatalogConfig {
+        // ~30 k reachable files: with ~400 k shared-list draws over a
+        // month, the observable universe saturates near Table I's 28,007
+        // distinct files.
+        n_files: 30_000,
+        zipf_exponent: 0.45,
+        popularity_sigma: 1.1,
+        // Class mix tuned for a ≈330 MB mean file size (Table I: 9 TB /
+        // 28 k files).
+        class_weights: [0.32, 0.36, 0.09, 0.23],
+        hit_count: 0,
+        hit_multiplier: 1.0,
+        dead_fraction: 0.10,
+        dead_multiplier: 0.002,
+    };
+    let mut config = ScenarioConfig {
+        seed,
+        duration: SimTime::from_days(DISTRIBUTED_DAYS),
+        catalog,
+        honeypots: Vec::new(),
+        population: PopulationConfig {
+            rate_per_popularity: 0.0, // normalised below
+            daily_decay: 0.976,
+            // Amplitude 0.9 after retry-traffic damping yields the strong
+            // day/night swing of Fig. 4.
+            diurnal: DiurnalCurve { peak_hour: 15.0, amplitude: 0.85 },
+            local_offset_hours: 9.0,
+            wanted_files_mean: 1.25,
+            share_list_prob: 0.35,
+            shared_list_mean: 11.0,
+            arrival_tick_ms: 5 * MS_PER_MIN,
+        },
+        behavior: BehaviorConfig {
+            hello_only_prob: 0.30,
+            // Heavy-tailed provider fan-out: most peers try one or two
+            // sources, a fat tail contacts everything.  This single knob
+            // carries both Fig. 10's spread and the ~30 % of peers that
+            // never touch one strategy group (Figs. 5-6).
+            subset_mean: 2.6,
+            subset_all_prob: 0.13,
+            // Re-ask timeout only moderately above the ~11 s three-block
+            // transfer: that ratio is exactly the top peer's rc/nc pacing
+            // gap in Figs. 8–9 (paper: ≈1.4×).
+            nc_timeout_ms: 15 * MS_PER_SEC,
+            nc_timeouts_to_fail: 5,
+            nc_detect_prob: 0.40,
+            rc_transfer_ms: 11 * MS_PER_SEC,
+            rc_budget_mean: 2.5,
+            rc_detect_prob: 0.03,
+            abandon_failures: 6,
+            retry_interval_ms: 80 * MS_PER_MIN,
+            interest_mean_ms: 26 * MS_PER_HOUR,
+            retry_request_prob: 0.60,
+            contact_gap_ms: 2 * MS_PER_SEC,
+        },
+        blacklist: BlacklistConfig { skip_cap: 0.5, halfway_detections: 25_000.0, source_quality_bonus: 0.35 },
+        robots: RobotConfig {
+            count: 5,
+            budget: 2,
+            nc_timeout_ms: 12 * MS_PER_MIN,
+            lockout_ms: 100 * MS_PER_MIN,
+            off_prob: 0.000_5,
+            off_duration_ms: 60 * MS_PER_HOUR,
+        },
+        crashes: None,
+        manager_check_ms: 10 * MS_PER_MIN,
+        collect_ms: 12 * MS_PER_HOUR,
+        keepalive_ms: 30 * MS_PER_MIN,
+        name_threshold: 3,
+    };
+
+    let catalog = config.build_catalog();
+    let four = pick_four_files(&catalog);
+    assert_eq!(four.len(), 4, "catalog must contain all four classes");
+
+    // 24 honeypots: alternating strategies so both groups share the same
+    // attractiveness profile; attractiveness spans ~[0.55, 1.55] to create
+    // the single-honeypot spread of Fig. 10 (13k–37k).
+    for i in 0..DISTRIBUTED_HONEYPOTS {
+        let content = if i % 2 == 0 {
+            ContentStrategy::NoContent
+        } else {
+            ContentStrategy::RandomContent
+        };
+        let attractiveness = 0.28 + ((i / 2) as f64) * (2.72 / 11.0);
+        config.honeypots.push(HoneypotSetup::fixed(content, four.clone(), attractiveness));
+    }
+
+    // Normalise the arrival rate so day 0 brings ≈ 4,900 new peers/day at
+    // scale 1 (decaying to ≈ 2,700/day by day 31 — Fig. 2's right axis).
+    let pop4 = catalog.popularity_sum(four.iter().copied());
+    config.population.rate_per_popularity = 5_000.0 / pop4;
+    config.scaled(scale)
+}
+
+/// Builds the greedy scenario at volume `scale` (1.0 = paper scale).
+pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
+    let catalog = CatalogConfig {
+        n_files: 400_000,
+        // Gentle rank skew + moderate jitter: within the harvested set the
+        // per-file interest spread must match Fig. 11/12 (random-100 ≈ 2.7×
+        // below popular-100, not orders of magnitude); the explicit hits
+        // supply the 13 k-peer best file.
+        zipf_exponent: 0.10,
+        popularity_sigma: 0.48,
+        class_weights: [0.32, 0.36, 0.09, 0.23],
+        hit_count: 5,
+        hit_multiplier: 12.0,
+        // A large near-dead tail: files shared by someone but wanted by
+        // almost nobody (Fig. 12's 2-peer worst file; Table I's 267 k
+        // distinct files out of a 400 k universe).
+        dead_fraction: 0.35,
+        dead_multiplier: 0.005,
+    };
+    let mut config = ScenarioConfig {
+        seed: seed ^ 0x6EED,
+        duration: SimTime::from_days(GREEDY_DAYS),
+        catalog,
+        honeypots: Vec::new(),
+        population: PopulationConfig {
+            rate_per_popularity: 0.0, // normalised below
+            daily_decay: 1.0,
+            diurnal: DiurnalCurve::european(),
+            local_offset_hours: 9.0,
+            wanted_files_mean: 4.6,
+            share_list_prob: 0.38,
+            shared_list_mean: 12.0,
+            arrival_tick_ms: 5 * MS_PER_MIN,
+        },
+        behavior: BehaviorConfig {
+            hello_only_prob: 0.25,
+            subset_mean: 3.0, // moot: one provider
+            subset_all_prob: 1.0,
+            nc_timeout_ms: 45 * MS_PER_SEC,
+            nc_timeouts_to_fail: 2,
+            nc_detect_prob: 0.85,
+            rc_transfer_ms: 11 * MS_PER_SEC,
+            rc_budget_mean: 3.0,
+            rc_detect_prob: 0.30,
+            abandon_failures: 2,
+            retry_interval_ms: 4 * MS_PER_HOUR,
+            interest_mean_ms: 10 * MS_PER_HOUR,
+            retry_request_prob: 0.15,
+            contact_gap_ms: 2 * MS_PER_SEC,
+        },
+        blacklist: BlacklistConfig { skip_cap: 0.0, halfway_detections: 1.0, source_quality_bonus: 0.0 },
+        robots: RobotConfig {
+            count: 2,
+            budget: 2,
+            nc_timeout_ms: 12 * MS_PER_MIN,
+            lockout_ms: 80 * MS_PER_MIN,
+            off_prob: 0.000_15,
+            off_duration_ms: 84 * MS_PER_HOUR,
+        },
+        crashes: None,
+        manager_check_ms: 10 * MS_PER_MIN,
+        collect_ms: 12 * MS_PER_HOUR,
+        keepalive_ms: 30 * MS_PER_MIN,
+        name_threshold: 3,
+    };
+
+    let catalog = config.build_catalog();
+    // Estimate the eventual harvest's popularity mass (peers' shared lists
+    // are popularity-weighted distinct samples, so draw one of the
+    // expected size).
+    let harvest_mass = {
+        let mut rng = netsim::Rng::seed_from(seed ^ 0xCA11B);
+        let sample = catalog.sample_distinct_by_popularity(&mut rng, 3_175);
+        catalog.popularity_sum(sample.into_iter())
+    };
+    // Three moderately popular seed files, chosen so that together they
+    // hold ≈1.5 % of the harvested mass: enough day-1 traffic (≈900
+    // contacts at scale 1) to harvest thousands of shared-list files, yet
+    // small against the harvested mass — that contrast is the day-1
+    // initialisation dip of Fig. 3.
+    let ranked = catalog_by_popularity(&catalog);
+    let per_seed_target = 0.005 * harvest_mass;
+    let mut seeds = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let best = ranked
+            .iter()
+            .copied()
+            .filter(|i| !seeds.contains(i))
+            .min_by(|&a, &b| {
+                let da = (catalog.file(a).popularity - per_seed_target).abs();
+                let db = (catalog.file(b).popularity - per_seed_target).abs();
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("non-empty catalog");
+        seeds.push(best);
+    }
+    config.honeypots.push(HoneypotSetup::greedy(
+        seeds,
+        SimTime::from_days(1),
+        // Cap the adopted list at the size the paper's honeypot reached
+        // (3,175): uncapped adoption would depend on unobservable details
+        // of the 2008 network's day-1 dynamics.
+        3_175,
+    ));
+
+    // Normalisation: the steady state (days 2–15) should bring ≈ 58,000 new
+    // peers/day once the honeypot advertises its harvested list.  The
+    // harvest is a popularity-weighted distinct sample of the catalog
+    // (peers' shared lists are sampled that way), so we estimate its mass
+    // by drawing one ourselves and normalise against that.  The run then
+    // lands where it lands — shape matters, not the exact count.
+    config.population.rate_per_popularity = 61_000.0 / harvest_mass;
+    config.scaled(scale)
+}
+
+/// Catalog indices sorted by descending popularity.
+fn catalog_by_popularity(catalog: &edonkey_sim::Catalog) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..catalog.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        catalog
+            .file(b)
+            .popularity
+            .partial_cmp(&catalog.file(a).popularity)
+            .expect("finite")
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_has_24_alternating_honeypots() {
+        let c = distributed(1, 1.0);
+        assert_eq!(c.honeypots.len(), 24);
+        let nc = c.honeypots.iter().filter(|h| h.content == ContentStrategy::NoContent).count();
+        assert_eq!(nc, 12, "two groups of 12");
+        assert_eq!(c.duration, SimTime::from_days(32));
+        // All advertise the same four files.
+        let first = c.honeypots[0].fixed_files.clone().unwrap();
+        assert_eq!(first.len(), 4);
+        for h in &c.honeypots {
+            assert_eq!(h.fixed_files.as_ref().unwrap(), &first);
+        }
+        assert!(c.population.rate_per_popularity > 0.0);
+    }
+
+    #[test]
+    fn distributed_attractiveness_spread() {
+        let c = distributed(1, 1.0);
+        let min = c.honeypots.iter().map(|h| h.attractiveness).fold(f64::MAX, f64::min);
+        let max = c.honeypots.iter().map(|h| h.attractiveness).fold(f64::MIN, f64::max);
+        assert!(min >= 0.2 && max <= 3.2 && max > min * 2.0, "spread [{min}, {max}]");
+        // Both strategy groups see the same attractiveness profile.
+        let sum_nc: f64 = c
+            .honeypots
+            .iter()
+            .filter(|h| h.content == ContentStrategy::NoContent)
+            .map(|h| h.attractiveness)
+            .sum();
+        let sum_rc: f64 = c
+            .honeypots
+            .iter()
+            .filter(|h| h.content == ContentStrategy::RandomContent)
+            .map(|h| h.attractiveness)
+            .sum();
+        assert!((sum_nc - sum_rc).abs() < 1e-9, "groups must be attractiveness-balanced");
+    }
+
+    #[test]
+    fn greedy_has_single_greedy_honeypot() {
+        let c = greedy(1, 1.0);
+        assert_eq!(c.honeypots.len(), 1);
+        assert!(c.honeypots[0].fixed_files.is_none());
+        assert_eq!(c.honeypots[0].greedy_seeds.len(), 3);
+        assert_eq!(c.duration, SimTime::from_days(15));
+        assert_eq!(c.honeypots[0].greedy_adopt_until, SimTime::from_days(1));
+    }
+
+    #[test]
+    fn four_files_cover_four_classes() {
+        let c = distributed(3, 1.0);
+        let catalog = c.build_catalog();
+        let four = c.honeypots[0].fixed_files.clone().unwrap();
+        let classes: std::collections::HashSet<_> =
+            four.iter().map(|&i| catalog.file(i).class).collect();
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    fn scenarios_deterministic_per_seed() {
+        let a = distributed(9, 1.0);
+        let b = distributed(9, 1.0);
+        assert_eq!(a.honeypots[0].fixed_files, b.honeypots[0].fixed_files);
+        assert!(
+            (a.population.rate_per_popularity - b.population.rate_per_popularity).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn scale_reduces_rate_only() {
+        let full = greedy(1, 1.0);
+        let tenth = greedy(1, 0.1);
+        assert!(
+            (tenth.population.rate_per_popularity - full.population.rate_per_popularity * 0.1)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(tenth.duration, full.duration);
+    }
+}

@@ -1,0 +1,154 @@
+//! Blocking socket I/O for eDonkey frames.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use edonkey_proto::codec::{encode_client_server_message, encode_peer_message, FrameDecoder, RawFrame};
+use edonkey_proto::{ClientServerMessage, PeerMessage, ProtoError};
+
+/// A framed connection over a blocking TCP stream.
+pub struct FramedStream {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    buf: [u8; 16 * 1024],
+}
+
+/// Errors of the framed transport.
+#[derive(Debug)]
+pub enum NetError {
+    Io(std::io::Error),
+    Proto(ProtoError),
+    /// The remote closed the connection.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(fm, "io error: {e}"),
+            NetError::Proto(e) => write!(fm, "protocol error: {e}"),
+            NetError::Closed => write!(fm, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+impl FramedStream {
+    pub fn new(stream: TcpStream) -> Self {
+        FramedStream { stream, decoder: FrameDecoder::new(), buf: [0; 16 * 1024] }
+    }
+
+    /// The underlying stream (for peer-address queries and shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Tries to clone the underlying stream for a concurrent writer.
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+
+    /// Reads the next complete frame, blocking.
+    pub fn read_frame(&mut self) -> Result<RawFrame, NetError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(NetError::Closed);
+            }
+            self.decoder.feed(&self.buf[..n]);
+        }
+    }
+
+    /// Reads and decodes the next peer message.
+    pub fn read_peer_message(&mut self) -> Result<PeerMessage, NetError> {
+        let frame = self.read_frame()?;
+        Ok(PeerMessage::decode_payload(frame.opcode, &frame.payload)?)
+    }
+
+    /// Reads and decodes the next client↔server message.
+    pub fn read_server_message(&mut self, from_server: bool) -> Result<ClientServerMessage, NetError> {
+        let frame = self.read_frame()?;
+        Ok(ClientServerMessage::decode_payload(frame.opcode, &frame.payload, from_server)?)
+    }
+
+    /// Writes a peer message.
+    pub fn write_peer_message(&mut self, msg: &PeerMessage) -> Result<(), NetError> {
+        self.stream.write_all(&encode_peer_message(msg))?;
+        Ok(())
+    }
+
+    /// Writes a client↔server message.
+    pub fn write_server_message(&mut self, msg: &ClientServerMessage) -> Result<(), NetError> {
+        self.stream.write_all(&encode_client_server_message(msg))?;
+        Ok(())
+    }
+}
+
+/// Writes a peer message to a raw stream (used by writer threads holding a
+/// cloned stream).
+pub fn write_peer_message_to(stream: &mut TcpStream, msg: &PeerMessage) -> Result<(), NetError> {
+    stream.write_all(&encode_peer_message(msg))?;
+    Ok(())
+}
+
+/// Writes a client↔server message to a raw stream.
+pub fn write_server_message_to(
+    stream: &mut TcpStream,
+    msg: &ClientServerMessage,
+) -> Result<(), NetError> {
+    stream.write_all(&encode_client_server_message(msg))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut s = FramedStream::new(TcpStream::connect(addr).unwrap());
+            s.write_peer_message(&PeerMessage::AskSharedFiles).unwrap();
+            s.write_peer_message(&PeerMessage::AcceptUpload).unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut r = FramedStream::new(conn);
+        assert_eq!(r.read_peer_message().unwrap(), PeerMessage::AskSharedFiles);
+        assert_eq!(r.read_peer_message().unwrap(), PeerMessage::AcceptUpload);
+        sender.join().unwrap();
+        assert!(matches!(r.read_peer_message(), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn garbage_surfaces_protocol_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0x00, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut r = FramedStream::new(conn);
+        assert!(matches!(r.read_peer_message(), Err(NetError::Proto(_))));
+        sender.join().unwrap();
+    }
+}

@@ -1,0 +1,276 @@
+//! Runs a [`honeypot::Honeypot`] state machine over real TCP sockets.
+//!
+//! The host owns two socket roles:
+//!
+//! * a **client connection** to the eDonkey server (login, OFFER-FILES,
+//!   keep-alives) with a dedicated writer fed by a crossbeam channel, so
+//!   peer-connection threads can publish greedy adoptions without sharing
+//!   the socket;
+//! * a **listener** for incoming peer connections; each accepted peer gets
+//!   a thread that decodes frames, drives the shared honeypot state
+//!   machine, and writes back the `Reply` actions.
+//!
+//! Time is wall-clock milliseconds since host start, mapped onto
+//! [`netsim::SimTime`] so the log schema is identical to the simulation's.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use edonkey_proto::{ClientServerMessage, Ipv4};
+use honeypot::{Action, ConnId, Honeypot, LogChunk, StatusReport};
+use netsim::SimTime;
+use parking_lot::Mutex;
+
+use crate::framing::{write_server_message_to, FramedStream, NetError};
+
+/// A honeypot running over TCP.
+pub struct HoneypotHost {
+    honeypot: Arc<Mutex<Honeypot>>,
+    peer_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+    accept_thread: Option<JoinHandle<()>>,
+    server_reader: Option<JoinHandle<()>>,
+    server_writer: Option<JoinHandle<()>>,
+    to_server: Sender<ClientServerMessage>,
+    /// A clone of the server-session stream, kept to force-shutdown the
+    /// reader thread on stop.
+    server_stream: TcpStream,
+    status: Arc<Mutex<Vec<StatusReport>>>,
+    live_peers: Arc<AtomicU64>,
+}
+
+impl HoneypotHost {
+    /// Connects `honeypot` to the server at `server_addr` and starts
+    /// listening for peers on an ephemeral loopback port.
+    pub fn start(mut honeypot: Honeypot, server_addr: SocketAddr) -> Result<Self, NetError> {
+        let started = Instant::now();
+        let now = SimTime::ZERO;
+
+        // Peer listener first: its port is announced in the login.
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let peer_addr = listener.local_addr()?;
+
+        let server_stream = TcpStream::connect(server_addr)?;
+        let mut server_framed = FramedStream::new(server_stream);
+        let mut writer_stream = server_framed.try_clone_stream()?;
+        let shutdown_stream = server_framed.try_clone_stream()?;
+
+        let (to_server, from_host) = unbounded::<ClientServerMessage>();
+        let status: Arc<Mutex<Vec<StatusReport>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Kick off the login handshake.
+        let connect_actions = honeypot.connect(now);
+        let honeypot = Arc::new(Mutex::new(honeypot));
+        route_actions(connect_actions, &to_server, &status);
+
+        // Server writer: drains the channel onto the socket.
+        let server_writer = std::thread::spawn(move || {
+            while let Ok(msg) = from_host.recv() {
+                // Patch the announced port into the login so peers can find
+                // the real listener.
+                let msg = match msg {
+                    ClientServerMessage::LoginRequest { user_id, client_id, tags, .. } => {
+                        ClientServerMessage::LoginRequest {
+                            user_id,
+                            client_id,
+                            port: peer_addr.port(),
+                            tags,
+                        }
+                    }
+                    other => other,
+                };
+                if write_server_message_to(&mut writer_stream, &msg).is_err() {
+                    break;
+                }
+            }
+        });
+
+        // Server reader: feeds server messages into the state machine.
+        let reader_honeypot = honeypot.clone();
+        let reader_sender = to_server.clone();
+        let reader_status = status.clone();
+        let reader_started = started;
+        let server_reader = std::thread::spawn(move || {
+            while let Ok(msg) = server_framed.read_server_message(true) {
+                let now = SimTime::from_millis(reader_started.elapsed().as_millis() as u64);
+                let actions = reader_honeypot.lock().on_server_message(now, &msg);
+                route_actions(actions, &reader_sender, &reader_status);
+            }
+        });
+
+        // Peer accept loop.
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let live_peers = Arc::new(AtomicU64::new(0));
+        let accept_shutdown = shutdown.clone();
+        let accept_honeypot = honeypot.clone();
+        let accept_sender = to_server.clone();
+        let accept_status = status.clone();
+        let accept_live = live_peers.clone();
+        let next_conn = AtomicU64::new(1);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let conn_id = ConnId(next_conn.fetch_add(1, Ordering::Relaxed));
+                let hp = accept_honeypot.clone();
+                let sender = accept_sender.clone();
+                let status = accept_status.clone();
+                let live = accept_live.clone();
+                live.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    let _ = serve_peer(stream, conn_id, &hp, &sender, &status, started);
+                    hp.lock().on_peer_disconnected(conn_id);
+                    live.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+        });
+
+        Ok(HoneypotHost {
+            honeypot,
+            peer_addr,
+            shutdown,
+            started,
+            accept_thread: Some(accept_thread),
+            server_reader: Some(server_reader),
+            server_writer: Some(server_writer),
+            to_server,
+            server_stream: shutdown_stream,
+            status,
+            live_peers,
+        })
+    }
+
+    /// The address peers connect to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer_addr
+    }
+
+    /// Milliseconds since host start, as the log's time base.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_millis(self.started.elapsed().as_millis() as u64)
+    }
+
+    /// Waits until the honeypot reports Connected (the login round trip
+    /// completed), up to `timeout`.
+    pub fn wait_connected(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if matches!(
+                self.honeypot.lock().status(),
+                honeypot::HoneypotStatus::Connected { .. }
+            ) {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        false
+    }
+
+    /// Sends a keep-alive OFFER-FILES now.
+    pub fn keepalive(&self) {
+        let now = self.now();
+        let actions = self.honeypot.lock().keepalive(now);
+        route_actions(actions, &self.to_server, &self.status);
+    }
+
+    /// Collects the honeypot's buffered log.
+    pub fn collect_log(&self) -> LogChunk {
+        self.honeypot.lock().collect_log()
+    }
+
+    /// Status reports seen so far.
+    pub fn status_reports(&self) -> Vec<StatusReport> {
+        self.status.lock().clone()
+    }
+
+    /// Currently connected peer count.
+    pub fn live_peers(&self) -> u64 {
+        self.live_peers.load(Ordering::Relaxed)
+    }
+
+    /// Stops the host: collects the final log chunk, closes the listener,
+    /// tears down the server session and joins the service threads.
+    pub fn stop(mut self) -> LogChunk {
+        let chunk = self.collect_log();
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throw-away connection, then join
+        // the accept loop (its per-peer threads exit when their peers
+        // disconnect).
+        let _ = TcpStream::connect(self.peer_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Kill the server session: the reader's blocking read fails and the
+        // thread exits, dropping its channel sender.
+        let _ = self.server_stream.shutdown(std::net::Shutdown::Both);
+        if let Some(t) = self.server_reader.take() {
+            let _ = t.join();
+        }
+        // Drop our own sender; once every clone is gone the writer's recv
+        // fails and it exits too.
+        let (dummy, _) = unbounded();
+        self.to_server = dummy;
+        if let Some(t) = self.server_writer.take() {
+            let _ = t.join();
+        }
+        chunk
+    }
+}
+
+fn route_actions(
+    actions: Vec<Action>,
+    to_server: &Sender<ClientServerMessage>,
+    status: &Mutex<Vec<StatusReport>>,
+) {
+    for a in actions {
+        match a {
+            Action::SendServer(msg) => {
+                let _ = to_server.send(msg);
+            }
+            Action::Report(r) => status.lock().push(r),
+            Action::Reply(_) => {
+                debug_assert!(false, "replies are handled by the peer thread");
+            }
+        }
+    }
+}
+
+fn serve_peer(
+    stream: TcpStream,
+    conn: ConnId,
+    honeypot: &Mutex<Honeypot>,
+    to_server: &Sender<ClientServerMessage>,
+    status: &Mutex<Vec<StatusReport>>,
+    started: Instant,
+) -> Result<(), NetError> {
+    let src_ip = match stream.peer_addr()?.ip() {
+        std::net::IpAddr::V4(v4) => Ipv4::from(v4),
+        std::net::IpAddr::V6(_) => Ipv4::new(127, 0, 0, 1),
+    };
+    let mut framed = FramedStream::new(stream);
+    loop {
+        let msg = match framed.read_peer_message() {
+            Ok(m) => m,
+            Err(NetError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let now = SimTime::from_millis(started.elapsed().as_millis() as u64);
+        let actions = honeypot.lock().on_peer_message(now, conn, src_ip, &msg);
+        for a in actions {
+            match a {
+                Action::Reply(reply) => framed.write_peer_message(&reply)?,
+                Action::SendServer(m) => {
+                    let _ = to_server.send(m);
+                }
+                Action::Report(r) => status.lock().push(r),
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The discrete-event engine.
+//!
+//! The engine owns the clock and the event queue; the *world* (everything
+//! domain-specific: servers, peers, honeypots) is a single state machine
+//! implementing [`World`].  Each step pops the earliest event and hands it
+//! to the world together with a [`Scheduler`] restricted view through which
+//! the handler may enqueue future events — never past ones, which the
+//! scheduler enforces, keeping causality intact by construction.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Handle through which event handlers schedule future events.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay_ms` milliseconds from now.
+    pub fn in_ms(&mut self, delay_ms: u64, event: E) {
+        self.queue.push(self.now.plus_millis(delay_ms), event);
+    }
+
+    /// Schedules `event` at an absolute instant, clamped to "not before
+    /// now" so handlers cannot violate causality.
+    pub fn at(&mut self, time: SimTime, event: E) {
+        self.queue.push(time.max(self.now), event);
+    }
+
+    /// Number of pending events (diagnostics, back-pressure heuristics).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The domain state machine driven by the engine.
+pub trait World {
+    /// Event payload type.
+    type Event;
+
+    /// Handles one event at its firing time.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Outcome of a bounded run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (runaway protection).
+    BudgetExhausted,
+}
+
+/// The discrete-event engine.
+pub struct Engine<W: World> {
+    now: SimTime,
+    queue: EventQueue<W::Event>,
+    events_handled: u64,
+}
+
+impl<W: World> Engine<W> {
+    pub fn new() -> Self {
+        Engine { now: SimTime::ZERO, queue: EventQueue::new(), events_handled: 0 }
+    }
+
+    /// Current simulation time (the timestamp of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seeds an event before (or during) a run.
+    pub fn schedule(&mut self, time: SimTime, event: W::Event) {
+        self.queue.push(time.max(self.now), event);
+    }
+
+    /// Handles a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue yielded a past event");
+        self.now = time;
+        self.events_handled += 1;
+        let mut sched = Scheduler { now: time, queue: &mut self.queue };
+        world.handle(time, event, &mut sched);
+        true
+    }
+
+    /// Runs until the queue drains or an event at/after `horizon` would
+    /// fire.  Events scheduled exactly at the horizon are *not* executed, so
+    /// `run_until(d32)` simulates the half-open interval `[0, d32)` — a
+    /// 32-day measurement, matching how the paper buckets days.
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) -> RunOutcome {
+        self.run_until_with_budget(world, horizon, u64::MAX)
+    }
+
+    /// [`Engine::run_until`] with an event budget as runaway protection.
+    pub fn run_until_with_budget(
+        &mut self,
+        world: &mut W,
+        horizon: SimTime,
+        max_events: u64,
+    ) -> RunOutcome {
+        let mut handled = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t >= horizon => {
+                    self.now = self.now.max(horizon);
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if handled >= max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            self.step(world);
+            handled += 1;
+        }
+    }
+}
+
+impl<W: World> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: World> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_handled", &self.events_handled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records what fired and chains follow-up events.
+    struct Recorder {
+        fired: Vec<(SimTime, u32)>,
+        chain_until: u32,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.fired.push((now, ev));
+            if ev < self.chain_until {
+                sched.in_ms(10, ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chained_events_advance_the_clock() {
+        let mut world = Recorder { fired: vec![], chain_until: 5 };
+        let mut engine = Engine::new();
+        engine.schedule(SimTime(100), 0);
+        assert_eq!(engine.run_until(&mut world, SimTime(10_000)), RunOutcome::Drained);
+        assert_eq!(world.fired.len(), 6);
+        assert_eq!(world.fired[0], (SimTime(100), 0));
+        assert_eq!(world.fired[5], (SimTime(150), 5));
+        assert_eq!(engine.events_handled(), 6);
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut world = Recorder { fired: vec![], chain_until: 0 };
+        let mut engine = Engine::new();
+        engine.schedule(SimTime(10), 1);
+        engine.schedule(SimTime(20), 2);
+        let out = engine.run_until(&mut world, SimTime(20));
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(world.fired, vec![(SimTime(10), 1)]);
+        assert_eq!(engine.pending(), 1, "the horizon event stays queued");
+        assert_eq!(engine.now(), SimTime(20), "clock parks at the horizon");
+    }
+
+    #[test]
+    fn budget_stops_runaway_worlds() {
+        // chain_until = u32::MAX would never drain on its own.
+        let mut world = Recorder { fired: vec![], chain_until: u32::MAX };
+        let mut engine = Engine::new();
+        engine.schedule(SimTime(0), 0);
+        let out = engine.run_until_with_budget(&mut world, SimTime(u64::MAX), 1_000);
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        assert_eq!(world.fired.len(), 1_000);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped_to_now() {
+        struct PastScheduler {
+            saw_second: Option<SimTime>,
+        }
+        impl World for PastScheduler {
+            type Event = u8;
+            fn handle(&mut self, now: SimTime, ev: u8, sched: &mut Scheduler<'_, u8>) {
+                match ev {
+                    0 => sched.at(SimTime(0), 1), // "yesterday"
+                    1 => self.saw_second = Some(now),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let mut world = PastScheduler { saw_second: None };
+        let mut engine = Engine::new();
+        engine.schedule(SimTime(500), 0);
+        engine.run_until(&mut world, SimTime(1_000));
+        assert_eq!(world.saw_second, Some(SimTime(500)));
+    }
+
+    #[test]
+    fn empty_engine_drains_immediately() {
+        let mut world = Recorder { fired: vec![], chain_until: 0 };
+        let mut engine = Engine::new();
+        assert_eq!(engine.run_until(&mut world, SimTime(10)), RunOutcome::Drained);
+        assert!(!engine.step(&mut world));
+    }
+}

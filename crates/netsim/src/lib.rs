@@ -1,0 +1,37 @@
+//! # netsim
+//!
+//! A deterministic discrete-event simulation engine, built for the
+//! `edonkey-honeypots` reproduction but domain-agnostic:
+//!
+//! * [`time`] — the millisecond simulation clock with hour/day views;
+//! * [`event`] — a stable (insertion-order tie-breaking) event queue;
+//! * [`engine`] — the event loop: a [`engine::World`] state machine driven
+//!   by an [`engine::Engine`], with causality enforced by the
+//!   [`engine::Scheduler`] handle;
+//! * [`rng`] — from-scratch `xoshiro256**` with named sub-streams for
+//!   component-level reproducibility;
+//! * [`dist`] — exponential/Poisson/normal/log-normal/Zipf sampling and the
+//!   diurnal activity curve;
+//! * [`latency`] — link latency/bandwidth models;
+//! * [`metrics`] — bucketed time series and first-seen tracking.
+//!
+//! Everything is deterministic: a simulation is a pure function of its
+//! configuration and one 64-bit seed.
+
+pub mod calendar;
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod latency;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use calendar::CalendarQueue;
+pub use dist::{DiurnalCurve, Zipf};
+pub use engine::{Engine, RunOutcome, Scheduler, World};
+pub use event::EventQueue;
+pub use latency::LatencyModel;
+pub use metrics::{BucketSeries, FirstSeen};
+pub use rng::Rng;
+pub use time::SimTime;

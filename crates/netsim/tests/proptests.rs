@@ -1,0 +1,131 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use proptest::prelude::*;
+
+use netsim::dist::{poisson, Zipf};
+use netsim::engine::{Engine, Scheduler, World};
+use netsim::metrics::{BucketSeries, FirstSeen};
+use netsim::{EventQueue, Rng, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            popped += 1;
+            if let Some((pt, pidx)) = prev {
+                prop_assert!(t >= pt, "times must be non-decreasing");
+                if t == pt {
+                    prop_assert!(idx > pidx, "ties must preserve insertion order");
+                }
+            }
+            prop_assert_eq!(SimTime(times[idx]), t, "payload must carry its own time");
+            prev = Some((t, idx));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_sample_indices_invariants(seed in any::<u64>(), n in 1usize..500, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = Rng::seed_from(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn zipf_probabilities_form_a_distribution(n in 1usize..2_000, s in 0.0f64..2.5) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|k| z.probability(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        // Monotone non-increasing in rank.
+        for k in 1..n.min(50) {
+            prop_assert!(z.probability(k) <= z.probability(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(seed in any::<u64>(), n in 1usize..500) {
+        let z = Zipf::new(n, 1.0);
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn poisson_is_finite_and_plausible(seed in any::<u64>(), lambda in 0.0f64..2_000.0) {
+        let mut rng = Rng::seed_from(seed);
+        let x = poisson(&mut rng, lambda);
+        // A draw 60σ above the mean indicates a broken sampler, not luck.
+        prop_assert!((x as f64) < lambda + 60.0 * lambda.sqrt() + 60.0);
+    }
+
+    #[test]
+    fn bucket_series_total_is_preserved(events in prop::collection::vec((0u64..100_000_000, 1u64..5), 0..200)) {
+        let mut s = BucketSeries::hourly();
+        let mut expect = 0;
+        for &(t, n) in &events {
+            s.add(SimTime(t), n);
+            expect += n;
+        }
+        prop_assert_eq!(s.total(), expect);
+        let cum = s.cumulative(s.len());
+        if let Some(&last) = cum.last() {
+            prop_assert_eq!(last, expect);
+        }
+    }
+
+    #[test]
+    fn first_seen_distinct_matches_set(keys in prop::collection::vec(0u32..50, 0..300)) {
+        let mut fs = FirstSeen::new();
+        for (i, &k) in keys.iter().enumerate() {
+            fs.observe(k, SimTime(i as u64));
+        }
+        let expect: std::collections::HashSet<_> = keys.iter().collect();
+        prop_assert_eq!(fs.distinct(), expect.len());
+        // New-per-bucket sums to distinct.
+        let per: u64 = fs.new_per_bucket(1_000, 0).iter().sum();
+        prop_assert_eq!(per as usize, expect.len());
+    }
+
+    #[test]
+    fn engine_handles_every_scheduled_event_before_horizon(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        horizon in 1u64..12_000,
+    ) {
+        struct Count(u64);
+        impl World for Count {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut Scheduler<'_, ()>) {
+                self.0 += 1;
+            }
+        }
+        let mut engine: Engine<Count> = Engine::new();
+        for &t in &times {
+            engine.schedule(SimTime(t), ());
+        }
+        let mut world = Count(0);
+        engine.run_until(&mut world, SimTime(horizon));
+        let expect = times.iter().filter(|&&t| t < horizon).count() as u64;
+        prop_assert_eq!(world.0, expect);
+    }
+}

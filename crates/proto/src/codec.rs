@@ -1,0 +1,225 @@
+//! Frame-level codec: turning typed messages into length-prefixed TCP frames
+//! and back.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! u8   protocol marker  (0xE3 classic)
+//! u32  length           (covers opcode byte + payload)
+//! u8   opcode
+//! [u8] payload
+//! ```
+//!
+//! [`FrameDecoder`] is an incremental decoder suitable for a TCP stream: feed
+//! it arbitrary chunks, pull out complete frames.
+
+use crate::error::ProtoError;
+use crate::messages::{ClientServerMessage, PeerMessage};
+use crate::opcodes::{MAX_FRAME_LEN, PROTO_EDONKEY, PROTO_EMULE, PROTO_PACKED};
+use crate::wire::Writer;
+
+/// A raw, framing-validated frame: opcode plus opaque payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawFrame {
+    pub proto: u8,
+    pub opcode: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one already-serialised payload into a full frame.
+pub fn encode_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + payload.len());
+    out.push(PROTO_EDONKEY);
+    out.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a peer message into a full frame.
+pub fn encode_peer_message(msg: &PeerMessage) -> Vec<u8> {
+    let mut w = Writer::new();
+    msg.encode_payload(&mut w);
+    encode_frame(msg.opcode(), &w.into_bytes())
+}
+
+/// Encodes a client↔server message into a full frame.
+pub fn encode_client_server_message(msg: &ClientServerMessage) -> Vec<u8> {
+    let mut w = Writer::new();
+    msg.encode_payload(&mut w);
+    encode_frame(msg.opcode(), &w.into_bytes())
+}
+
+/// Decodes exactly one frame from `data`, returning it and the number of
+/// bytes consumed.  Fails on partial input (use [`FrameDecoder`] for
+/// streams).
+pub fn decode_frame(data: &[u8]) -> Result<(RawFrame, usize), ProtoError> {
+    if data.len() < 6 {
+        return Err(ProtoError::Truncated("frame header"));
+    }
+    let proto = data[0];
+    if proto != PROTO_EDONKEY && proto != PROTO_EMULE && proto != PROTO_PACKED {
+        return Err(ProtoError::BadProtocolByte(proto));
+    }
+    let len = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+    if len == 0 {
+        return Err(ProtoError::Invalid("frame length must cover the opcode byte"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::OversizedFrame { declared: len, limit: MAX_FRAME_LEN });
+    }
+    let total = 5 + len as usize;
+    if data.len() < total {
+        return Err(ProtoError::Truncated("frame body"));
+    }
+    let opcode = data[5];
+    let payload = data[6..total].to_vec();
+    Ok((RawFrame { proto, opcode, payload }, total))
+}
+
+/// Incremental frame decoder for byte streams.
+///
+/// ```
+/// use edonkey_proto::codec::{encode_peer_message, FrameDecoder};
+/// use edonkey_proto::messages::PeerMessage;
+///
+/// let frame = encode_peer_message(&PeerMessage::AskSharedFiles);
+/// let mut dec = FrameDecoder::new();
+/// dec.feed(&frame[..3]);          // partial chunk: nothing ready yet
+/// assert!(dec.next_frame().unwrap().is_none());
+/// dec.feed(&frame[3..]);
+/// let raw = dec.next_frame().unwrap().unwrap();
+/// assert_eq!(PeerMessage::decode_payload(raw.opcode, &raw.payload).unwrap(),
+///            PeerMessage::AskSharedFiles);
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read offset into `buf`; consumed prefixes are compacted lazily.
+    start: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact when the dead prefix dominates, so long sessions do not
+        // grow the buffer without bound.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pulls the next complete frame, `Ok(None)` if more bytes are needed.
+    ///
+    /// Framing errors (bad marker, oversized length) are fatal for the
+    /// stream: the caller should drop the connection, as resynchronising an
+    /// eDonkey stream is not possible in general.
+    pub fn next_frame(&mut self) -> Result<Option<RawFrame>, ProtoError> {
+        let pending = &self.buf[self.start..];
+        match decode_frame(pending) {
+            Ok((frame, used)) => {
+                self.start += used;
+                Ok(Some(frame))
+            }
+            Err(ProtoError::Truncated(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FileId;
+    use crate::messages::PartRange;
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = PeerMessage::StartUpload { file_id: FileId::from_seed(b"f") };
+        let bytes = encode_peer_message(&msg);
+        let (raw, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(raw.proto, PROTO_EDONKEY);
+        assert_eq!(PeerMessage::decode_payload(raw.opcode, &raw.payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = encode_peer_message(&PeerMessage::AcceptUpload);
+        bytes[0] = 0x42;
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::BadProtocolByte(0x42))));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = encode_peer_message(&PeerMessage::AcceptUpload);
+        bytes[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(ProtoError::OversizedFrame { .. })));
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let bytes = [PROTO_EDONKEY, 0, 0, 0, 0, 0x55];
+        assert!(decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn streaming_decoder_handles_arbitrary_chunking() {
+        let msgs = vec![
+            PeerMessage::AskSharedFiles,
+            PeerMessage::StartUpload { file_id: FileId::from_seed(b"x") },
+            PeerMessage::RequestParts {
+                file_id: FileId::from_seed(b"x"),
+                ranges: [PartRange::new(0, 10), PartRange::new(10, 20), PartRange::new(0, 0)],
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_peer_message(m));
+        }
+        // Feed in pathological chunk sizes and confirm all frames surface in
+        // order.
+        for chunk in [1usize, 2, 3, 5, 7, 11, 64] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(raw) = dec.next_frame().unwrap() {
+                    got.push(PeerMessage::decode_payload(raw.opcode, &raw.payload).unwrap());
+                }
+            }
+            assert_eq!(got, msgs, "chunk size {chunk}");
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn decoder_surfaces_fatal_errors() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0x00, 1, 2, 3, 4, 5]);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let frame = encode_peer_message(&PeerMessage::AcceptUpload);
+        let mut dec = FrameDecoder::new();
+        for _ in 0..10_000 {
+            dec.feed(&frame);
+            assert!(dec.next_frame().unwrap().is_some());
+        }
+        // After compaction kicks in, the internal buffer must stay bounded.
+        assert!(dec.buf.len() < 64 * 1024, "buffer grew to {}", dec.buf.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! Protocol decoding errors.
+
+/// Errors raised while decoding eDonkey wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before a declared field was complete.
+    Truncated(&'static str),
+    /// A message decoded fine but left unexplained bytes behind.
+    TrailingBytes(usize),
+    /// Unknown framing protocol byte (expected 0xE3 / 0xC5).
+    BadProtocolByte(u8),
+    /// Opcode not understood in this direction.
+    UnknownOpcode { opcode: u8, context: &'static str },
+    /// Tag type byte outside the supported subset.
+    UnknownTagType(u8),
+    /// A declared length exceeds the hard sanity limit.
+    OversizedFrame { declared: u32, limit: u32 },
+    /// Semantically invalid field (e.g. zero part ranges).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated(what) => write!(fm, "truncated payload: {what}"),
+            ProtoError::TrailingBytes(n) => write!(fm, "{n} unexplained trailing bytes"),
+            ProtoError::BadProtocolByte(b) => write!(fm, "bad protocol byte 0x{b:02x}"),
+            ProtoError::UnknownOpcode { opcode, context } => {
+                write!(fm, "unknown opcode 0x{opcode:02x} ({context})")
+            }
+            ProtoError::UnknownTagType(t) => write!(fm, "unknown tag type 0x{t:02x}"),
+            ProtoError::OversizedFrame { declared, limit } => {
+                write!(fm, "declared frame length {declared} exceeds limit {limit}")
+            }
+            ProtoError::Invalid(what) => write!(fm, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}

@@ -1,0 +1,103 @@
+//! Protocol framing constants and opcodes, after the unofficial eMule
+//! protocol specification (Kulbak & Bickson, 2005) cited by the paper.
+//!
+//! Every eDonkey TCP frame starts with a one-byte protocol marker, a
+//! little-endian u32 length covering `opcode + payload`, and the opcode
+//! byte.  Client↔server and client↔client conversations reuse some opcode
+//! values (e.g. `0x01` is LOGIN-REQUEST towards a server but HELLO towards a
+//! peer), so decoding is always directional.
+
+/// Classic eDonkey protocol marker.
+pub const PROTO_EDONKEY: u8 = 0xE3;
+/// eMule extended protocol marker (recognised, not required).
+pub const PROTO_EMULE: u8 = 0xC5;
+/// Compressed eMule frames (recognised so we can reject them cleanly).
+pub const PROTO_PACKED: u8 = 0xD4;
+
+/// Hard upper bound on a frame's declared length.  The largest legitimate
+/// frame we ever produce is a SENDING-PART body (≤ 180 KB block + headers);
+/// 4 MiB leaves generous slack while stopping hostile 4 GiB allocations.
+pub const MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// Client → server opcodes.
+pub mod client_server {
+    /// LOGIN-REQUEST: first message after connecting to a server.
+    pub const LOGIN_REQUEST: u8 = 0x01;
+    /// OFFER-FILES: publish (or keep-alive) the client's shared-file list.
+    pub const OFFER_FILES: u8 = 0x15;
+    /// GET-SOURCES: ask which peers provide a file ID.
+    pub const GET_SOURCES: u8 = 0x19;
+    /// SEARCH-REQUEST: keyword search (recognised; honeypots never search).
+    pub const SEARCH_REQUEST: u8 = 0x16;
+}
+
+/// Server → client opcodes.
+pub mod server_client {
+    /// ID-CHANGE: the server grants the session client ID (high or low).
+    pub const ID_CHANGE: u8 = 0x40;
+    /// SERVER-MESSAGE: free-text MOTD / warnings.
+    pub const SERVER_MESSAGE: u8 = 0x38;
+    /// SERVER-STATUS: user / file counts.
+    pub const SERVER_STATUS: u8 = 0x34;
+    /// FOUND-SOURCES: answer to GET-SOURCES.
+    pub const FOUND_SOURCES: u8 = 0x42;
+    /// SEARCH-RESULT: answer to SEARCH-REQUEST.
+    pub const SEARCH_RESULT: u8 = 0x33;
+}
+
+/// Client ↔ client (peer) opcodes.
+pub mod peer {
+    /// HELLO: opens a peer session (same value as LOGIN-REQUEST, different
+    /// direction — footnote in module docs).
+    pub const HELLO: u8 = 0x01;
+    /// HELLO-ANSWER.
+    pub const HELLO_ANSWER: u8 = 0x4C;
+    /// START-UPLOAD request: declare interest in downloading a file.
+    pub const START_UPLOAD: u8 = 0x54;
+    /// ACCEPT-UPLOAD: provider accepts the requester into its upload slot.
+    pub const ACCEPT_UPLOAD: u8 = 0x55;
+    /// QUEUE-RANK: provider reports the requester's upload-queue position.
+    pub const QUEUE_RANK: u8 = 0x5C;
+    /// REQUEST-PARTS: ask for up to three byte ranges of a file.
+    pub const REQUEST_PARTS: u8 = 0x47;
+    /// SENDING-PART: one data block in answer to REQUEST-PARTS.
+    pub const SENDING_PART: u8 = 0x46;
+    /// ASK-SHARED-FILES: request the remote peer's shared-file list (used by
+    /// the greedy honeypot strategy).
+    pub const ASK_SHARED_FILES: u8 = 0x4E;
+    /// ASK-SHARED-FILES-ANSWER.
+    pub const ASK_SHARED_FILES_ANSWER: u8 = 0x4F;
+    /// FILE-REQUEST: ask the provider for the name it has for a file ID.
+    pub const FILE_REQUEST: u8 = 0x58;
+    /// FILE-REQUEST-ANSWER.
+    pub const FILE_REQUEST_ANSWER: u8 = 0x59;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directional_reuse_of_0x01_is_intentional() {
+        assert_eq!(client_server::LOGIN_REQUEST, peer::HELLO);
+    }
+
+    #[test]
+    fn opcode_values_match_the_emule_spec() {
+        assert_eq!(client_server::OFFER_FILES, 0x15);
+        assert_eq!(client_server::GET_SOURCES, 0x19);
+        assert_eq!(server_client::FOUND_SOURCES, 0x42);
+        assert_eq!(server_client::ID_CHANGE, 0x40);
+        assert_eq!(peer::START_UPLOAD, 0x54);
+        assert_eq!(peer::REQUEST_PARTS, 0x47);
+        assert_eq!(peer::SENDING_PART, 0x46);
+        assert_eq!(peer::ASK_SHARED_FILES, 0x4E);
+    }
+
+    #[test]
+    fn frame_limit_fits_a_sending_part_block() {
+        // 180 KB block + frame/message headers must fit under the limit.
+        let block = u32::try_from(crate::parts::BLOCK_SIZE).unwrap();
+        assert!(MAX_FRAME_LEN > block + 64, "must fit a SENDING-PART block");
+    }
+}

@@ -1,0 +1,401 @@
+//! The synthetic file catalog.
+//!
+//! The live eDonkey network carries hundreds of millions of files; the
+//! measurement only ever observes (a) the files honeypots advertise and
+//! (b) the shared-file lists of contacting peers.  The catalog models that
+//! universe: every file has a stable [`edonkey_proto::FileId`], a name
+//! generated from keyword pools, a size drawn from a type-dependent mixture
+//! (calibrated so that the *average* size of observed distinct files is a
+//! few hundred MB, as implied by Table I: 9 TB / 28,007 files ≈ 320 MB), and
+//! a popularity weight (heavy-tailed, so the best advertised file attracts
+//! thousands of peers and the worst a handful — Figs. 11–12).
+
+use edonkey_proto::FileId;
+use netsim::dist::log_normal;
+use netsim::{Rng, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Broad content classes with distinct size and naming profiles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FileClass {
+    Video,
+    Audio,
+    Archive,
+    Document,
+}
+
+impl FileClass {
+    /// File-name extension for the class.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            FileClass::Video => "avi",
+            FileClass::Audio => "mp3",
+            FileClass::Archive => "iso",
+            FileClass::Document => "pdf",
+        }
+    }
+}
+
+/// One catalog entry.
+#[derive(Clone, Debug)]
+pub struct CatalogFile {
+    pub id: FileId,
+    pub name: String,
+    pub size: u64,
+    pub class: FileClass,
+    /// Relative popularity weight (not normalised).
+    pub popularity: f64,
+}
+
+/// Catalog generation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of files in the universe.
+    pub n_files: usize,
+    /// Zipf exponent of the rank-based component of popularity.
+    pub zipf_exponent: f64,
+    /// σ of the per-file log-normal popularity jitter.  The product of the
+    /// Zipf rank term and this jitter yields the wide per-file spread of
+    /// Figs. 11–12 (13,373 peers for the best file, 2 for the worst).
+    pub popularity_sigma: f64,
+    /// Class mix as (video, audio, archive, document) weights.
+    pub class_weights: [f64; 4],
+    /// Number of outlier "hit" files whose popularity is boosted — the
+    /// extreme head of Fig. 12 (best file: 13,373 peers).
+    pub hit_count: usize,
+    /// Popularity multiplier applied to hits.
+    pub hit_multiplier: f64,
+    /// Fraction of near-dead files (shared by peers, wanted by almost
+    /// nobody) — the extreme tail of Fig. 12 (worst file: 2 peers) and the
+    /// reason Table I's distinct-file counts sit well below the universe
+    /// size.
+    pub dead_fraction: f64,
+    /// Popularity multiplier applied to dead files.
+    pub dead_multiplier: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            n_files: 50_000,
+            zipf_exponent: 0.45,
+            popularity_sigma: 1.1,
+            class_weights: [0.40, 0.28, 0.10, 0.22],
+            hit_count: 0,
+            hit_multiplier: 1.0,
+            dead_fraction: 0.0,
+            dead_multiplier: 1.0,
+        }
+    }
+}
+
+/// The generated catalog.
+pub struct Catalog {
+    files: Vec<CatalogFile>,
+    /// Cumulative popularity (for weighted sampling over the whole
+    /// catalog).
+    cumulative: Vec<f64>,
+}
+
+const ADJECTIVES: &[&str] = &[
+    "final", "new", "complete", "ultimate", "best", "full", "original", "extended", "special",
+    "classic", "live", "limited", "deluxe", "rare", "official", "uncut", "remastered", "bonus",
+    "golden", "platinum",
+];
+
+const NOUNS: &[&str] = &[
+    "concert", "album", "movie", "episode", "season", "mix", "collection", "soundtrack",
+    "documentary", "show", "session", "track", "record", "film", "series", "compilation",
+    "anthology", "release", "edition", "set",
+];
+
+const SOURCES: &[&str] = &[
+    "dvdrip", "webrip", "cdrip", "vinyl", "radio", "tv", "studio", "bootleg", "promo", "retail",
+];
+
+impl Catalog {
+    /// Generates the catalog deterministically from `rng`.
+    pub fn generate(config: &CatalogConfig, rng: &mut Rng) -> Self {
+        assert!(config.n_files > 0, "catalog cannot be empty");
+        let zipf = Zipf::new(config.n_files, config.zipf_exponent);
+        let class_cum: Vec<f64> = config
+            .class_weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let class_total = *class_cum.last().expect("4 classes");
+
+        let mut files = Vec::with_capacity(config.n_files);
+        let mut cumulative = Vec::with_capacity(config.n_files);
+        let mut acc = 0.0;
+        for rank in 0..config.n_files {
+            let x = rng.f64() * class_total;
+            let class = match class_cum.iter().position(|&c| x < c).unwrap_or(3) {
+                0 => FileClass::Video,
+                1 => FileClass::Audio,
+                2 => FileClass::Archive,
+                _ => FileClass::Document,
+            };
+            let size = Self::sample_size(rng, class);
+            let name = Self::sample_name(rng, class, rank);
+            let id = FileId::from_seed(format!("catalog/{rank}/{name}").as_bytes());
+            // Rank-based head plus log-normal jitter: a mid-rank file can
+            // still be a sleeper hit, and tail files can be near-dead.
+            let jitter = log_normal(rng, 0.0, config.popularity_sigma);
+            let mut popularity = zipf.probability(rank) * jitter;
+            if rng.chance(config.dead_fraction) {
+                popularity *= config.dead_multiplier;
+            }
+            acc += popularity;
+            cumulative.push(acc);
+            files.push(CatalogFile { id, name, size, class, popularity });
+        }
+        // Promote a few randomly chosen files to outlier hits, then rebuild
+        // the cumulative weights.
+        if config.hit_count > 0 {
+            for idx in rng.sample_indices(config.n_files, config.hit_count.min(config.n_files)) {
+                files[idx].popularity *= config.hit_multiplier;
+            }
+            let mut acc = 0.0;
+            for (f, c) in files.iter().zip(cumulative.iter_mut()) {
+                acc += f.popularity;
+                *c = acc;
+            }
+        }
+        Catalog { files, cumulative }
+    }
+
+    fn sample_size(rng: &mut Rng, class: FileClass) -> u64 {
+        // Log-normal sizes per class; parameters chosen so the catalog-wide
+        // mean lands near the ~330 MB/file implied by Table I.
+        // Sizes are capped below 4 GB: the classic eDonkey wire protocol
+        // carries 32-bit file offsets, so larger files did not circulate.
+        let (mu, sigma, min, max) = match class {
+            // ~700 MB typical CD-image rip, up to a few GB.
+            FileClass::Video => (20.3, 0.55, 50 << 20, 3_u64 << 30),
+            // ~5 MB song.
+            FileClass::Audio => (15.4, 0.6, 1 << 20, 200 << 20),
+            // ~700 MB ISO.
+            FileClass::Archive => (20.4, 0.7, 10 << 20, 3_u64 << 30),
+            // ~2 MB document.
+            FileClass::Document => (14.5, 1.0, 16 << 10, 100 << 20),
+        };
+        (log_normal(rng, mu, sigma) as u64).clamp(min, max)
+    }
+
+    fn sample_name(rng: &mut Rng, class: FileClass, rank: usize) -> String {
+        let adj = rng.choose(ADJECTIVES);
+        let noun = rng.choose(NOUNS);
+        let src = rng.choose(SOURCES);
+        // The rank suffix keeps names unique-ish, standing in for the
+        // artist/title tokens of real shared files.
+        format!("{adj}.{noun}.{rank:05}.{src}.{}", class.extension())
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Access a file by catalog index.
+    pub fn file(&self, idx: u32) -> &CatalogFile {
+        &self.files[idx as usize]
+    }
+
+    /// Draws one file index weighted by popularity.
+    pub fn sample_by_popularity(&self, rng: &mut Rng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.f64() * total;
+        self.cumulative.partition_point(|&c| c <= x).min(self.files.len() - 1) as u32
+    }
+
+    /// Draws `k` distinct indices weighted by popularity (rejection over
+    /// [`Catalog::sample_by_popularity`], falling back to sequential fill
+    /// for large `k`).
+    pub fn sample_distinct_by_popularity(&self, rng: &mut Rng, k: usize) -> Vec<u32> {
+        let k = k.min(self.files.len());
+        let mut seen = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        let mut tries = 0usize;
+        while out.len() < k && tries < k * 40 {
+            tries += 1;
+            let idx = self.sample_by_popularity(rng);
+            if seen.insert(idx) {
+                out.push(idx);
+            }
+        }
+        // Pathological case (tiny catalog, huge k): fill with unused
+        // indices.
+        if out.len() < k {
+            for idx in 0..self.files.len() as u32 {
+                if out.len() == k {
+                    break;
+                }
+                if seen.insert(idx) {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total popularity mass of a set of files (used by the arrival process
+    /// to scale peer rates with the advertised set).
+    pub fn popularity_sum(&self, idxs: impl Iterator<Item = u32>) -> f64 {
+        idxs.map(|i| self.files[i as usize].popularity).sum()
+    }
+
+    /// Mean file size over the whole catalog (calibration diagnostics).
+    pub fn mean_size(&self) -> f64 {
+        self.files.iter().map(|f| f.size as f64).sum::<f64>() / self.files.len() as f64
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("Catalog").field("files", &self.files.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut rng = Rng::seed_from(1);
+        Catalog::generate(&CatalogConfig { n_files: n, ..Default::default() }, &mut rng)
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = catalog(100);
+        let b = catalog(100);
+        for i in 0..100 {
+            assert_eq!(a.file(i).id, b.file(i).id);
+            assert_eq!(a.file(i).size, b.file(i).size);
+        }
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let c = catalog(1_000);
+        let ids: std::collections::HashSet<_> = (0..1_000).map(|i| c.file(i).id).collect();
+        assert_eq!(ids.len(), 1_000);
+    }
+
+    #[test]
+    fn mean_size_in_table1_ballpark() {
+        let c = catalog(20_000);
+        let mean = c.mean_size();
+        // Table I implies ≈320–340 MB per distinct file; accept a broad
+        // band since observation re-weights towards popular files.
+        assert!(
+            (100e6..800e6).contains(&mean),
+            "catalog mean size {mean:.0} B outside plausible band"
+        );
+    }
+
+    #[test]
+    fn popularity_sampling_prefers_popular_files() {
+        let c = catalog(1_000);
+        let mut rng = Rng::seed_from(2);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..50_000 {
+            counts[c.sample_by_popularity(&mut rng) as usize] += 1;
+        }
+        // The most popular file must be sampled far more often than the
+        // median file.
+        let best = (0..1_000)
+            .max_by(|&a, &b| {
+                c.file(a as u32)
+                    .popularity
+                    .partial_cmp(&c.file(b as u32).popularity)
+                    .unwrap()
+            })
+            .unwrap();
+        let mut sorted: Vec<u32> = counts.clone();
+        sorted.sort_unstable();
+        assert!(counts[best] > sorted[500] * 5, "head not heavy enough");
+    }
+
+    #[test]
+    fn sample_distinct_yields_distinct() {
+        let c = catalog(200);
+        let mut rng = Rng::seed_from(3);
+        let s = c.sample_distinct_by_popularity(&mut rng, 50);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn sample_distinct_handles_k_near_n() {
+        let c = catalog(20);
+        let mut rng = Rng::seed_from(4);
+        let s = c.sample_distinct_by_popularity(&mut rng, 20);
+        assert_eq!(s.len(), 20);
+        let s = c.sample_distinct_by_popularity(&mut rng, 50);
+        assert_eq!(s.len(), 20, "clamped to catalog size");
+    }
+
+    #[test]
+    fn popularity_sum_adds_up() {
+        let c = catalog(100);
+        let total = c.popularity_sum(0..100u32);
+        let head = c.popularity_sum(0..50u32);
+        let tail = c.popularity_sum(50..100u32);
+        assert!((head + tail - total).abs() < 1e-12);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn names_carry_class_extension() {
+        let c = catalog(500);
+        for i in 0..500 {
+            let f = c.file(i);
+            assert!(f.name.ends_with(f.class.extension()), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn hits_and_dead_tail_shape_the_distribution() {
+        let mut rng = Rng::seed_from(9);
+        let config = CatalogConfig {
+            n_files: 5_000,
+            hit_count: 3,
+            hit_multiplier: 50.0,
+            dead_fraction: 0.3,
+            dead_multiplier: 0.001,
+            ..Default::default()
+        };
+        let c = Catalog::generate(&config, &mut rng);
+        let mut pops: Vec<f64> = (0..5_000).map(|i| c.file(i).popularity).collect();
+        pops.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        // The boosted head towers over the median; the dead tail is far
+        // below it.
+        assert!(pops[0] / pops[2_500] > 50.0, "head/median {}", pops[0] / pops[2_500]);
+        assert!(pops[2_500] / pops[4_999] > 100.0, "median/tail {}", pops[2_500] / pops[4_999]);
+        // Sampling must remain functional with the extreme weights.
+        let s = c.sample_distinct_by_popularity(&mut rng, 100);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn sizes_respect_class_bounds() {
+        let c = catalog(2_000);
+        for i in 0..2_000 {
+            let f = c.file(i);
+            match f.class {
+                FileClass::Audio => assert!(f.size <= 200 << 20),
+                FileClass::Video => assert!(f.size >= 50 << 20),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # edonkey-sim
+//!
+//! The synthetic eDonkey world the honeypot platform is measured against —
+//! the substitution for the live network the paper used (see DESIGN.md):
+//!
+//! * [`catalog`] — a deterministic file universe with heavy-tailed
+//!   popularity, class-dependent sizes and generated names;
+//! * [`identity`] — synthetic peer identities (unique IPs, user hashes,
+//!   client names/versions, high/low IDs);
+//! * [`server`] — the eDonkey index server (login, OFFER-FILES indexing,
+//!   GET-SOURCES);
+//! * [`peer`] — the genuine-peer download state machine (paper Fig. 1) with
+//!   timeout- vs corruption-based honeypot detection and client-level
+//!   blacklisting;
+//! * [`config`] — every behavioural knob, with paper-calibrated defaults;
+//! * [`world`] — the discrete-event world tying it all together, hosting
+//!   the *actual* `honeypot` crate state machines.
+//!
+//! ```
+//! use edonkey_sim::config::ScenarioConfig;
+//! use edonkey_sim::world::run_scenario;
+//!
+//! let out = run_scenario(ScenarioConfig::tiny(42).scaled(0.2));
+//! assert!(out.log.distinct_peers > 0);
+//! ```
+
+pub mod catalog;
+pub mod config;
+pub mod identity;
+pub mod peer;
+pub mod server;
+pub mod world;
+
+pub use catalog::{Catalog, CatalogConfig};
+pub use config::{
+    BehaviorConfig, BlacklistConfig, CrashConfig, HoneypotSetup, PopulationConfig, RobotConfig,
+    ScenarioConfig,
+};
+pub use server::SimServer;
+pub use world::{run_scenario, EdonkeyWorld, Event, SimOutput, WorldStats};

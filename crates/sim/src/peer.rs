@@ -1,0 +1,221 @@
+//! Genuine-peer state.
+//!
+//! A simulated peer is a compact record plus a small per-session state
+//! machine; the heavy lifting (sampling decisions, message construction)
+//! happens in [`crate::world`].  Only peers that end up contacting at least
+//! one honeypot are materialised — the rest of the eDonkey population is
+//! invisible to the measurement and therefore never allocated.
+
+use netsim::SimTime;
+
+use crate::identity::PeerIdentity;
+
+/// Maximum honeypots per scenario (peer-side blacklists and shared-list
+/// bookkeeping are u64 bitmasks).
+pub const MAX_HONEYPOTS: usize = 64;
+
+/// Phase of a peer↔honeypot session (paper Fig. 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionState {
+    /// About to send HELLO.
+    Greet,
+    /// Got HELLO-ANSWER; about to send START-UPLOAD.
+    Upload,
+    /// Upload accepted; requesting parts.
+    Request,
+}
+
+/// One in-flight session with a honeypot.
+#[derive(Clone, Copy, Debug)]
+pub struct Session {
+    /// Honeypot index.
+    pub hp: u8,
+    /// Catalog index of the file the peer asks for.
+    pub file: u32,
+    pub state: SessionState,
+    /// Remaining REQUEST-PARTS budget (random-content pacing).
+    pub budget: u8,
+    /// Consecutive unanswered REQUEST-PARTS so far.
+    pub timeouts: u8,
+    /// The session stops after HELLO (alive probe).
+    pub hello_only: bool,
+    /// The session proceeds past START-UPLOAD into part requests.
+    pub do_request: bool,
+    /// Connection token (unique per session).
+    pub conn: u64,
+    /// Next block triple to request.
+    pub block_cursor: u32,
+    /// Whether any SENDING-PART arrived in this session.
+    pub delivered: bool,
+}
+
+/// How a finished session ended, as seen by the peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionOutcome {
+    /// Stopped after HELLO by design.
+    HelloOnly,
+    /// Ended without a verdict (patience ran out).
+    Inconclusive,
+    /// The peer concluded the source is fake/dead and blacklists it.
+    Detected,
+    /// The honeypot never answered HELLO (offline source).
+    NoAnswer,
+}
+
+/// One simulated peer.
+#[derive(Clone, Debug)]
+pub struct SimPeer {
+    pub identity: PeerIdentity,
+    /// Probe-only client: greets sources but never requests uploads.
+    pub probe_only: bool,
+    /// Whether the client exposes its shared list when asked.
+    pub shares_list: bool,
+    /// Catalog indices of the files this peer itself shares.
+    pub shared_files: Vec<u32>,
+    /// Catalog indices of advertised files the peer wants.
+    pub wanted: Vec<u32>,
+    /// The peer stops retrying after this instant.
+    pub interest_until: SimTime,
+    /// Honeypot indices in the peer's provider subset.
+    pub providers: Vec<u8>,
+    /// Personal blacklist bitmask over honeypot indices.
+    pub blacklist: u64,
+    /// Honeypots that already received this peer's shared list.
+    pub shared_sent: u64,
+    /// Cumulative hard failures across sessions.
+    pub failures: u8,
+    /// Retry rounds completed so far.
+    pub rounds: u16,
+    /// Automated client (Figs. 8–9 heavy tail).
+    pub robot: bool,
+    /// Contact order for the current round (honeypot indices).
+    pub order: Vec<u8>,
+    /// Position within `order`.
+    pub pos: u8,
+    /// In-flight session, if any.
+    pub session: Option<Session>,
+}
+
+impl SimPeer {
+    /// Whether the peer has personally blacklisted honeypot `hp`.
+    pub fn is_blacklisted(&self, hp: u8) -> bool {
+        self.blacklist & (1u64 << hp) != 0
+    }
+
+    /// Adds `hp` to the personal blacklist.
+    pub fn blacklist_hp(&mut self, hp: u8) {
+        self.blacklist |= 1u64 << hp;
+    }
+
+    /// Whether the shared list was already sent to `hp`.
+    pub fn shared_sent_to(&self, hp: u8) -> bool {
+        self.shared_sent & (1u64 << hp) != 0
+    }
+
+    pub fn mark_shared_sent(&mut self, hp: u8) {
+        self.shared_sent |= 1u64 << hp;
+    }
+
+    /// Whether every provider is personally blacklisted (the peer has
+    /// nothing left to try).
+    pub fn all_blacklisted(&self) -> bool {
+        self.providers.iter().all(|&hp| self.is_blacklisted(hp))
+    }
+
+    /// Whether the peer abandons the measurement entirely: interest
+    /// expired, too many failures (robots never abandon), or nothing left
+    /// to contact.
+    pub fn done(&self, now: SimTime, abandon_failures: u32) -> bool {
+        if self.robot {
+            return false;
+        }
+        now >= self.interest_until
+            || u32::from(self.failures) >= abandon_failures
+            || self.all_blacklisted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::IdentityFactory;
+    use netsim::Rng;
+
+    fn peer() -> SimPeer {
+        let mut f = IdentityFactory::new(Rng::seed_from(1));
+        SimPeer {
+            identity: f.create(),
+            probe_only: false,
+            shares_list: true,
+            shared_files: vec![1, 2],
+            wanted: vec![0],
+            interest_until: SimTime::from_days(1),
+            providers: vec![0, 1, 2],
+            blacklist: 0,
+            shared_sent: 0,
+            failures: 0,
+            rounds: 0,
+            robot: false,
+            order: vec![],
+            pos: 0,
+            session: None,
+        }
+    }
+
+    #[test]
+    fn blacklist_bitmask() {
+        let mut p = peer();
+        assert!(!p.is_blacklisted(2));
+        p.blacklist_hp(2);
+        assert!(p.is_blacklisted(2));
+        assert!(!p.is_blacklisted(0));
+        assert!(!p.all_blacklisted());
+        p.blacklist_hp(0);
+        p.blacklist_hp(1);
+        assert!(p.all_blacklisted());
+    }
+
+    #[test]
+    fn shared_sent_tracking() {
+        let mut p = peer();
+        assert!(!p.shared_sent_to(5));
+        p.mark_shared_sent(5);
+        assert!(p.shared_sent_to(5));
+        assert!(!p.shared_sent_to(4));
+    }
+
+    #[test]
+    fn done_conditions() {
+        let mut p = peer();
+        assert!(!p.done(SimTime::from_hours(1), 4));
+        assert!(p.done(SimTime::from_days(2), 4), "interest expired");
+        p.failures = 4;
+        assert!(p.done(SimTime::ZERO, 4), "too many failures");
+        p.failures = 0;
+        for hp in [0, 1, 2] {
+            p.blacklist_hp(hp);
+        }
+        assert!(p.done(SimTime::ZERO, 4), "everything blacklisted");
+    }
+
+    #[test]
+    fn robots_never_give_up() {
+        let mut p = peer();
+        p.robot = true;
+        p.failures = 200;
+        for hp in [0, 1, 2] {
+            p.blacklist_hp(hp);
+        }
+        assert!(!p.done(SimTime::from_days(100), 4));
+    }
+
+    #[test]
+    fn highest_honeypot_index_fits_the_masks() {
+        let mut p = peer();
+        let top = (MAX_HONEYPOTS - 1) as u8;
+        p.blacklist_hp(top);
+        assert!(p.is_blacklisted(top));
+        p.mark_shared_sent(top);
+        assert!(p.shared_sent_to(top));
+    }
+}

@@ -1,0 +1,347 @@
+//! The simulated eDonkey index server.
+//!
+//! The paper's honeypots connect to a large public server; the server's
+//! role in the measurement is narrow but essential: grant client IDs,
+//! index OFFER-FILES advertisements, and answer GET-SOURCES with provider
+//! lists.  This module implements exactly that (plus user/file counters for
+//! SERVER-STATUS), keyed by `FileId`, speaking the typed protocol messages.
+
+use std::collections::HashMap;
+
+use edonkey_proto::{ClientId, ClientServerMessage, FileId, PeerAddr, PublishedFile, SearchExpr};
+#[cfg(test)]
+use edonkey_proto::Ipv4;
+
+use honeypot::types::ServerInfo;
+
+/// A connected client's registration.
+#[derive(Clone, Debug)]
+struct Registration {
+    addr: PeerAddr,
+    client_id: ClientId,
+    /// Files this client currently offers.
+    offered: Vec<FileId>,
+}
+
+/// The index server.
+pub struct SimServer {
+    info: ServerInfo,
+    /// Provider lists per file.
+    index: HashMap<FileId, Vec<u64>>,
+    /// Published metadata per file (first-offer name and size), for
+    /// SEARCH-REQUEST answering.
+    metadata: HashMap<FileId, (String, u64)>,
+    /// Connected clients by session token.
+    clients: HashMap<u64, Registration>,
+    next_low_id: u32,
+}
+
+impl SimServer {
+    pub fn new(info: ServerInfo) -> Self {
+        SimServer {
+            info,
+            index: HashMap::new(),
+            metadata: HashMap::new(),
+            clients: HashMap::new(),
+            next_low_id: 1,
+        }
+    }
+
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Handles a LOGIN-REQUEST from the client at `addr` (session token
+    /// `session`); returns the ID-CHANGE answer.
+    ///
+    /// Clients dialling in from a publicly reachable address receive their
+    /// IP as a high ID; `reachable = false` models NATed clients and yields
+    /// a low ID.
+    pub fn login(&mut self, session: u64, addr: PeerAddr, reachable: bool) -> ClientServerMessage {
+        let client_id = if reachable {
+            ClientId::high_from_ip(addr.ip)
+        } else {
+            let id = ClientId::low(self.next_low_id);
+            self.next_low_id = (self.next_low_id % (edonkey_proto::ids::LOW_ID_LIMIT - 1)) + 1;
+            id
+        };
+        self.clients.insert(session, Registration { addr, client_id, offered: Vec::new() });
+        ClientServerMessage::IdChange { client_id }
+    }
+
+    /// Handles OFFER-FILES: merges the published files into the session's
+    /// offer set and the global index (additive, like real servers treat
+    /// keep-alive offers).
+    pub fn offer_files(&mut self, session: u64, msg: &ClientServerMessage) {
+        let ClientServerMessage::OfferFiles { files } = msg else {
+            debug_assert!(false, "offer_files fed a non-OFFER message");
+            return;
+        };
+        let Some(reg) = self.clients.get_mut(&session) else {
+            return; // not logged in: real servers drop such packets
+        };
+        for f in files {
+            if !reg.offered.contains(&f.file_id) {
+                reg.offered.push(f.file_id);
+                let providers = self.index.entry(f.file_id).or_default();
+                if !providers.contains(&session) {
+                    providers.push(session);
+                }
+                self.metadata.entry(f.file_id).or_insert_with(|| {
+                    (f.name().unwrap_or("").to_string(), f.size().unwrap_or(0))
+                });
+            }
+        }
+    }
+
+    /// Handles GET-SOURCES: returns FOUND-SOURCES with the providers'
+    /// addresses.
+    pub fn get_sources(&self, file_id: FileId) -> ClientServerMessage {
+        let sources = self
+            .index
+            .get(&file_id)
+            .map(|sessions| {
+                sessions
+                    .iter()
+                    .filter_map(|s| self.clients.get(s))
+                    .map(|r| r.addr)
+                    .collect()
+            })
+            .unwrap_or_default();
+        ClientServerMessage::FoundSources { file_id, sources }
+    }
+
+    /// Provider session tokens for a file (the simulation's fast path,
+    /// avoiding address round-trips).
+    pub fn provider_sessions(&self, file_id: &FileId) -> &[u64] {
+        self.index.get(file_id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The client ID granted to a session (None if not logged in).
+    pub fn client_id_of(&self, session: u64) -> Option<ClientId> {
+        self.clients.get(&session).map(|r| r.client_id)
+    }
+
+    /// Answers a SEARCH-REQUEST: indexed files (with at least one live
+    /// provider) matching the expression, capped at `limit` results like
+    /// real servers.
+    pub fn search(&self, expr: &SearchExpr, limit: usize) -> ClientServerMessage {
+        let mut files = Vec::new();
+        for (fid, providers) in &self.index {
+            if providers.is_empty() {
+                continue;
+            }
+            let Some((name, size)) = self.metadata.get(fid) else { continue };
+            let file_type = match name.rsplit('.').next() {
+                Some("avi") | Some("mpg") | Some("mkv") => "Video",
+                Some("mp3") | Some("ogg") => "Audio",
+                Some("iso") | Some("zip") | Some("rar") => "Archive",
+                _ => "Document",
+            };
+            if expr.matches(name, *size, file_type) {
+                files.push(PublishedFile::new(*fid, name, *size));
+                if files.len() >= limit {
+                    break;
+                }
+            }
+        }
+        ClientServerMessage::SearchResult { files }
+    }
+
+    /// Disconnects a session, dropping its offers from the index.
+    pub fn disconnect(&mut self, session: u64) {
+        if let Some(reg) = self.clients.remove(&session) {
+            for f in reg.offered {
+                if let Some(list) = self.index.get_mut(&f) {
+                    list.retain(|&s| s != session);
+                    if list.is_empty() {
+                        self.index.remove(&f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// SERVER-STATUS snapshot.
+    pub fn status(&self) -> ClientServerMessage {
+        ClientServerMessage::ServerStatus {
+            users: self.clients.len() as u32,
+            files: self.index.len() as u32,
+        }
+    }
+
+    /// Number of connected clients.
+    pub fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of indexed files.
+    pub fn indexed_files(&self) -> usize {
+        self.index.len()
+    }
+}
+
+impl std::fmt::Debug for SimServer {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("SimServer")
+            .field("clients", &self.clients.len())
+            .field("indexed_files", &self.index.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edonkey_proto::PublishedFile;
+
+    fn server() -> SimServer {
+        SimServer::new(ServerInfo::new("srv", Ipv4::new(195, 0, 0, 1), 4661))
+    }
+
+    fn addr(last: u8) -> PeerAddr {
+        PeerAddr::new(Ipv4::new(80, 1, 1, last), 4662)
+    }
+
+    fn offer(ids: &[FileId]) -> ClientServerMessage {
+        ClientServerMessage::OfferFiles {
+            files: ids.iter().map(|id| PublishedFile::new(*id, "f", 10)).collect(),
+        }
+    }
+
+    #[test]
+    fn login_grants_high_id_to_reachable_clients() {
+        let mut s = server();
+        let msg = s.login(1, addr(5), true);
+        let ClientServerMessage::IdChange { client_id } = msg else { panic!() };
+        assert!(client_id.is_high());
+        assert_eq!(client_id.ip(), Some(addr(5).ip));
+        assert_eq!(s.client_id_of(1), Some(client_id));
+        assert_eq!(s.client_id_of(99), None);
+    }
+
+    #[test]
+    fn login_grants_distinct_low_ids_to_nated_clients() {
+        let mut s = server();
+        let ClientServerMessage::IdChange { client_id: a } = s.login(1, addr(5), false) else {
+            panic!()
+        };
+        let ClientServerMessage::IdChange { client_id: b } = s.login(2, addr(6), false) else {
+            panic!()
+        };
+        assert!(a.is_low() && b.is_low());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn offers_build_the_index_and_sources_return_providers() {
+        let mut s = server();
+        let f = FileId::from_seed(b"f");
+        s.login(1, addr(1), true);
+        s.login(2, addr(2), true);
+        s.offer_files(1, &offer(&[f]));
+        s.offer_files(2, &offer(&[f]));
+        let ClientServerMessage::FoundSources { sources, .. } = s.get_sources(f) else {
+            panic!()
+        };
+        assert_eq!(sources.len(), 2);
+        assert!(sources.contains(&addr(1)) && sources.contains(&addr(2)));
+        assert_eq!(s.provider_sessions(&f), &[1, 2]);
+    }
+
+    #[test]
+    fn offers_are_idempotent_and_additive() {
+        let mut s = server();
+        let f1 = FileId::from_seed(b"a");
+        let f2 = FileId::from_seed(b"b");
+        s.login(1, addr(1), true);
+        s.offer_files(1, &offer(&[f1]));
+        s.offer_files(1, &offer(&[f1, f2])); // keep-alive with one new file
+        assert_eq!(s.provider_sessions(&f1).len(), 1, "no duplicate provider entries");
+        assert_eq!(s.indexed_files(), 2);
+    }
+
+    #[test]
+    fn unknown_file_has_no_sources() {
+        let s = server();
+        let ClientServerMessage::FoundSources { sources, .. } =
+            s.get_sources(FileId::from_seed(b"nope"))
+        else {
+            panic!()
+        };
+        assert!(sources.is_empty());
+    }
+
+    #[test]
+    fn offers_from_unlogged_sessions_dropped() {
+        let mut s = server();
+        s.offer_files(99, &offer(&[FileId::from_seed(b"f")]));
+        assert_eq!(s.indexed_files(), 0);
+    }
+
+    #[test]
+    fn disconnect_withdraws_offers() {
+        let mut s = server();
+        let f = FileId::from_seed(b"f");
+        s.login(1, addr(1), true);
+        s.login(2, addr(2), true);
+        s.offer_files(1, &offer(&[f]));
+        s.offer_files(2, &offer(&[f]));
+        s.disconnect(1);
+        assert_eq!(s.provider_sessions(&f), &[2]);
+        assert_eq!(s.clients(), 1);
+        s.disconnect(2);
+        assert_eq!(s.indexed_files(), 0, "empty provider lists pruned");
+    }
+
+    #[test]
+    fn search_finds_matching_indexed_files() {
+        let mut s = server();
+        s.login(1, addr(1), true);
+        s.offer_files(1, &ClientServerMessage::OfferFiles {
+            files: vec![
+                PublishedFile::new(FileId::from_seed(b"u"), "ubuntu.8.10.iso", 700 << 20),
+                PublishedFile::new(FileId::from_seed(b"m"), "some.song.mp3", 5 << 20),
+            ],
+        });
+        let expr = SearchExpr::keyword("ubuntu");
+        let ClientServerMessage::SearchResult { files } = s.search(&expr, 100) else { panic!() };
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].name(), Some("ubuntu.8.10.iso"));
+        // Withdrawn offers disappear from results.
+        s.disconnect(1);
+        let ClientServerMessage::SearchResult { files } = s.search(&expr, 100) else { panic!() };
+        assert!(files.is_empty());
+    }
+
+    #[test]
+    fn search_respects_result_limit() {
+        let mut s = server();
+        s.login(1, addr(1), true);
+        let files: Vec<PublishedFile> = (0..50)
+            .map(|i| {
+                PublishedFile::new(
+                    FileId::from_seed(format!("f{i}").as_bytes()),
+                    &format!("linux.{i}.iso"),
+                    1,
+                )
+            })
+            .collect();
+        s.offer_files(1, &ClientServerMessage::OfferFiles { files });
+        let ClientServerMessage::SearchResult { files } =
+            s.search(&SearchExpr::keyword("linux"), 10)
+        else {
+            panic!()
+        };
+        assert_eq!(files.len(), 10);
+    }
+
+    #[test]
+    fn status_reports_counts() {
+        let mut s = server();
+        s.login(1, addr(1), true);
+        s.offer_files(1, &offer(&[FileId::from_seed(b"f")]));
+        let ClientServerMessage::ServerStatus { users, files } = s.status() else { panic!() };
+        assert_eq!((users, files), (1, 1));
+    }
+}

@@ -1,0 +1,1187 @@
+//! The simulated eDonkey world: honeypots, manager, index server and a
+//! synthetic peer population, driven by the `netsim` discrete-event engine.
+//!
+//! Design notes:
+//!
+//! * Only traffic that touches the measurement infrastructure is simulated;
+//!   peers that would never contact a honeypot are never allocated.
+//! * Honeypot ↔ peer exchanges use the *typed protocol messages* of
+//!   `edonkey-proto`, handled by the *actual* [`honeypot::Honeypot`] state
+//!   machine — the simulation exercises the same code as the TCP substrate.
+//! * A request/response pair is one event: the honeypot's reply is computed
+//!   inline and the peer's next move is scheduled after the appropriate
+//!   pacing delay (timeout for silence, transfer time for data) — this is
+//!   what makes month-scale measurements with ~10⁷ messages tractable.
+
+use edonkey_proto::parts::BLOCK_SIZE;
+use edonkey_proto::tags::{special, Tag};
+use edonkey_proto::{FileId, PartRange, PeerAddr, PeerMessage, PublishedFile};
+use honeypot::{
+    Action, AdvertisedFile, ConnId, ContentStrategy, FileStrategy, Honeypot, HoneypotConfig,
+    HoneypotId, HoneypotSpec, IpHasher, Manager, MeasurementLog, ServerInfo,
+};
+use netsim::dist::{exponential, poisson};
+use netsim::engine::{Scheduler, World};
+use netsim::time::MS_PER_DAY;
+use netsim::{Engine, Rng, SimTime};
+use std::collections::HashMap;
+
+use crate::catalog::Catalog;
+use crate::config::ScenarioConfig;
+use crate::identity::IdentityFactory;
+use crate::peer::{SessionOutcome, SessionState, Session, SimPeer, MAX_HONEYPOTS};
+use crate::server::SimServer;
+
+/// Events of the eDonkey world.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// Spawn the next batch of peer arrivals.
+    ArrivalTick,
+    /// Advance one peer's session state machine.
+    SessionStep { peer: u32 },
+    /// Begin a peer's next retry round.
+    RoundStart { peer: u32 },
+    /// Manager's periodic status check (relaunches dead honeypots).
+    ManagerCheck,
+    /// Manager's periodic log collection.
+    CollectLogs,
+    /// Honeypots re-offer their shared lists.
+    Keepalive,
+    /// Failure injection: kill one honeypot.
+    Crash { hp: u8 },
+    /// One step of a robot's independent per-honeypot query chain.
+    RobotStep { peer: u32, hp: u8, phase: RobotPhase, remaining: u8, conn: u64 },
+    /// A robot goes dark for a while (the plateaus of Figs. 8–9).
+    RobotOff { peer: u32, duration_ms: u64 },
+}
+
+/// Phase of a robot session (paper Fig. 1 flow, automated client).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RobotPhase {
+    Greet,
+    Upload,
+    Request,
+}
+
+/// Aggregate counters for diagnostics and calibration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldStats {
+    pub arrivals: u64,
+    pub skipped_invisible: u64,
+    pub sessions: u64,
+    pub hello_sent: u64,
+    pub start_upload_sent: u64,
+    pub request_parts_sent: u64,
+    pub detections_nc: u64,
+    pub detections_rc: u64,
+    pub dead_contacts: u64,
+    pub crashes: u64,
+}
+
+/// The world state machine.
+pub struct EdonkeyWorld {
+    pub config: ScenarioConfig,
+    pub catalog: Catalog,
+    server: SimServer,
+    honeypots: Vec<Honeypot>,
+    hp_attract: Vec<f64>,
+    manager: Manager,
+    identities: IdentityFactory,
+    peers: Vec<SimPeer>,
+    /// Community-blacklist exposure per honeypot (detections so far).
+    exposure: Vec<u32>,
+    /// Per-honeypot sessions that reached part requests / that delivered
+    /// any data (drives the source-quality selection bonus).
+    hp_request_sessions: Vec<u64>,
+    hp_delivered_sessions: Vec<u64>,
+    /// FileId → catalog index for the whole catalog.
+    id_index: HashMap<FileId, u32>,
+    /// Advertised catalog indices (deduplicated, insertion-ordered).
+    advert_list: Vec<u32>,
+    advert_set: std::collections::HashSet<u32>,
+    /// Cumulative popularity over `advert_list` (rebuilt when dirty).
+    advert_cum: Vec<f64>,
+    advert_dirty: bool,
+    rng_arrival: Rng,
+    rng_behavior: Rng,
+    next_conn: u64,
+    /// Per-robot off-period gate (indexed by robot = peer index, robots
+    /// are spawned first).
+    robot_off_until: Vec<SimTime>,
+    pub stats: WorldStats,
+}
+
+impl EdonkeyWorld {
+    /// Builds the world and seeds the initial events into `engine`.
+    pub fn new(config: ScenarioConfig, engine: &mut Engine<Self>) -> Self {
+        assert!(
+            config.honeypots.len() <= MAX_HONEYPOTS,
+            "at most {MAX_HONEYPOTS} honeypots supported"
+        );
+        let mut root = Rng::seed_from(config.seed);
+        let mut rng_catalog = root.substream("catalog");
+        let catalog = Catalog::generate(&config.catalog, &mut rng_catalog);
+        let id_index: HashMap<FileId, u32> =
+            (0..catalog.len() as u32).map(|i| (catalog.file(i).id, i)).collect();
+
+        let server_info = ServerInfo::new(
+            "Big Server One",
+            edonkey_proto::Ipv4::new(195, 200, 1, 1),
+            4661,
+        );
+        let server = SimServer::new(server_info.clone());
+        let ip_hasher = IpHasher::from_seed(root.substream("salt").next_u64());
+
+        let mut honeypots = Vec::with_capacity(config.honeypots.len());
+        let mut hp_attract = Vec::with_capacity(config.honeypots.len());
+        let mut specs = Vec::with_capacity(config.honeypots.len());
+        for (i, setup) in config.honeypots.iter().enumerate() {
+            let id = HoneypotId(i as u32);
+            let to_files = |idxs: &[u32]| -> Vec<AdvertisedFile> {
+                idxs.iter()
+                    .map(|&ci| {
+                        let f = catalog.file(ci);
+                        AdvertisedFile::new(f.id, f.name.clone(), f.size)
+                    })
+                    .collect()
+            };
+            let files = match &setup.fixed_files {
+                Some(fixed) => FileStrategy::Fixed(to_files(fixed)),
+                None => FileStrategy::Greedy {
+                    seeds: to_files(&setup.greedy_seeds),
+                    adopt_until: setup.greedy_adopt_until,
+                    max_files: setup.greedy_max_files,
+                },
+            };
+            let hp_config = HoneypotConfig {
+                id,
+                content: setup.content,
+                files,
+                ask_shared_files: true,
+                materialize_content: false,
+                port: 4662,
+                client_name: format!("client-{i}"),
+            };
+            honeypots.push(Honeypot::new(
+                hp_config,
+                server_info.clone(),
+                ip_hasher.clone(),
+                root.substream_indexed("hp", i as u64),
+            ));
+            hp_attract.push(setup.attractiveness);
+            specs.push(HoneypotSpec { id, content: setup.content, server: server_info.clone() });
+        }
+        let manager = Manager::new(specs);
+
+        let mut world = EdonkeyWorld {
+            catalog,
+            server,
+            honeypots,
+            hp_attract,
+            manager,
+            identities: IdentityFactory::new(root.substream("identities")),
+            peers: Vec::new(),
+            exposure: vec![0; config.honeypots.len()],
+            hp_request_sessions: vec![0; config.honeypots.len()],
+            hp_delivered_sessions: vec![0; config.honeypots.len()],
+            id_index,
+            advert_list: Vec::new(),
+            advert_set: std::collections::HashSet::new(),
+            advert_cum: Vec::new(),
+            advert_dirty: true,
+            rng_arrival: root.substream("arrival"),
+            rng_behavior: root.substream("behavior"),
+            next_conn: 0,
+            robot_off_until: Vec::new(),
+            stats: WorldStats::default(),
+            config,
+        };
+
+        world.launch_all(SimTime::ZERO);
+        world.spawn_robots();
+        world.robot_off_until = vec![SimTime::ZERO; world.peers.len()];
+        // Robots run one independent query chain per honeypot, staggered
+        // so they do not lock-step.  Each robot also takes two scheduled
+        // multi-day off periods (client restarts / maintenance) — the
+        // plateaus the paper observes in its top peer's curves.
+        for robot in 0..world.peers.len() as u32 {
+            for hp in 0..world.honeypots.len() as u8 {
+                engine.schedule(
+                    SimTime::from_mins(10 + 3 * u64::from(robot) + 7 * u64::from(hp)),
+                    Event::RobotStep {
+                        peer: robot,
+                        hp,
+                        phase: RobotPhase::Greet,
+                        remaining: 0,
+                        conn: 0,
+                    },
+                );
+            }
+            let off = world.config.robots.off_duration_ms;
+            if off > 0 {
+                for (i, start_day_x10) in [70u64, 200].iter().enumerate() {
+                    engine.schedule(
+                        SimTime::from_hours((start_day_x10 * 24) / 10 + 13 * u64::from(robot) + i as u64),
+                        Event::RobotOff { peer: robot, duration_ms: off },
+                    );
+                }
+            }
+        }
+
+        // The honeypots need a few minutes of server-side indexing and
+        // source propagation before the first genuine peer finds them
+        // (the paper waited ten minutes for its first query).
+        engine.schedule(SimTime::from_mins(6), Event::ArrivalTick);
+        engine.schedule(SimTime::from_millis(world.config.manager_check_ms), Event::ManagerCheck);
+        engine.schedule(SimTime::from_millis(world.config.collect_ms), Event::CollectLogs);
+        engine.schedule(SimTime::from_millis(world.config.keepalive_ms), Event::Keepalive);
+        if let Some(crash) = world.config.crashes {
+            for hp in 0..world.honeypots.len() as u8 {
+                let delay = exponential(&mut world.rng_behavior, 1.0 / crash.mtbf_ms as f64);
+                engine.schedule(SimTime::from_millis(delay as u64), Event::Crash { hp });
+            }
+        }
+        world
+    }
+
+    /// Connects (or reconnects) every honeypot needing it, inline: the
+    /// latency of login handshakes is irrelevant at measurement scale.
+    fn launch_all(&mut self, now: SimTime) {
+        for id in self.manager.needing_relaunch() {
+            self.launch_one(now, id.0 as usize);
+        }
+    }
+
+    fn launch_one(&mut self, now: SimTime, idx: usize) {
+        let actions = self.honeypots[idx].connect(now);
+        self.route_actions(now, idx, actions);
+        // The server answers the login immediately.
+        let addr = PeerAddr::new(edonkey_proto::Ipv4::new(138, 96, 1, (idx + 1) as u8), 4662);
+        let id_change = self.server.login(idx as u64, addr, true);
+        let actions = self.honeypots[idx].on_server_message(now, &id_change);
+        self.route_actions(now, idx, actions);
+    }
+
+    fn spawn_robots(&mut self) {
+        self.refresh_advert();
+        if self.advert_list.is_empty() {
+            return;
+        }
+        // Robots chase the most popular advertised file and sweep every
+        // honeypot.
+        let target = *self
+            .advert_list
+            .iter()
+            .max_by(|&&a, &&b| {
+                self.catalog
+                    .file(a)
+                    .popularity
+                    .partial_cmp(&self.catalog.file(b).popularity)
+                    .expect("finite popularity")
+            })
+            .expect("non-empty");
+        for _ in 0..self.config.robots.count {
+            let identity = self.identities.create();
+            self.peers.push(SimPeer {
+                identity,
+                probe_only: false,
+                shares_list: false,
+                shared_files: Vec::new(),
+                wanted: vec![target],
+                interest_until: SimTime(u64::MAX),
+                providers: (0..self.honeypots.len() as u8).collect(),
+                blacklist: 0,
+                shared_sent: 0,
+                failures: 0,
+                rounds: 0,
+                robot: true,
+                order: Vec::new(),
+                pos: 0,
+                session: None,
+            });
+        }
+        self.stats.arrivals += self.config.robots.count as u64;
+    }
+
+    /// Applies honeypot actions: server messages are routed to the index
+    /// server, status reports to the manager.  Peer replies are handled by
+    /// the session logic at the call site.
+    fn route_actions(&mut self, _now: SimTime, hp_idx: usize, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::SendServer(msg) => match &msg {
+                    edonkey_proto::ClientServerMessage::OfferFiles { files } => {
+                        for f in files {
+                            if let Some(&ci) = self.id_index.get(&f.file_id) {
+                                if self.advert_set.insert(ci) {
+                                    self.advert_list.push(ci);
+                                    self.advert_dirty = true;
+                                }
+                            }
+                        }
+                        self.server.offer_files(hp_idx as u64, &msg);
+                    }
+                    edonkey_proto::ClientServerMessage::LoginRequest { .. } => {
+                        // Login round-trips are handled inline in
+                        // `launch_one`.
+                    }
+                    _ => {}
+                },
+                Action::Report(report) => self.manager.on_status(report),
+                Action::Reply(_) => {
+                    debug_assert!(false, "peer replies must be consumed by session logic");
+                }
+            }
+        }
+    }
+
+    fn refresh_advert(&mut self) {
+        if !self.advert_dirty {
+            return;
+        }
+        self.advert_cum.clear();
+        let mut acc = 0.0;
+        for &ci in &self.advert_list {
+            acc += self.catalog.file(ci).popularity;
+            self.advert_cum.push(acc);
+        }
+        self.advert_dirty = false;
+    }
+
+    /// Popularity-weighted draw over the advertised set.
+    fn sample_advertised(&mut self, rng_draw: f64) -> Option<u32> {
+        self.refresh_advert();
+        let total = *self.advert_cum.last()?;
+        let x = rng_draw * total;
+        let idx = self.advert_cum.partition_point(|&c| c <= x).min(self.advert_list.len() - 1);
+        Some(self.advert_list[idx])
+    }
+
+    /// Instantaneous arrival rate (peers per ms) at `now`.
+    fn arrival_rate(&mut self, now: SimTime) -> f64 {
+        self.refresh_advert();
+        let pop = self.advert_cum.last().copied().unwrap_or(0.0);
+        let p = &self.config.population;
+        let decay = p.daily_decay.powi(now.day_index() as i32);
+        let diurnal = p.diurnal.multiplier(now, p.local_offset_hours);
+        p.rate_per_popularity * pop * decay * diurnal / MS_PER_DAY as f64
+    }
+
+    /// Community-blacklist skip probability for honeypot `hp`:
+    /// a saturating function of its accumulated detections.
+    fn skip_prob(&self, hp: usize) -> f64 {
+        let d = f64::from(self.exposure[hp]);
+        let b = self.config.blacklist;
+        if b.skip_cap <= 0.0 {
+            return 0.0;
+        }
+        b.skip_cap * d / (d + b.halfway_detections.max(1.0))
+    }
+
+    /// Builds a new peer on arrival; returns `None` when the peer would
+    /// never contact a honeypot (invisible to the measurement).
+    fn build_arrival(&mut self, now: SimTime) -> Option<SimPeer> {
+        let behavior = self.config.behavior;
+        let population = self.config.population;
+        // Wanted files: popularity-weighted over the advertised set.
+        let n_wanted = 1 + geometric(&mut self.rng_behavior, population.wanted_files_mean - 1.0);
+        let mut wanted = Vec::with_capacity(n_wanted as usize);
+        for _ in 0..n_wanted {
+            let draw = self.rng_behavior.f64();
+            if let Some(ci) = self.sample_advertised(draw) {
+                if !wanted.contains(&ci) {
+                    wanted.push(ci);
+                }
+            }
+        }
+        if wanted.is_empty() {
+            return None;
+        }
+        // Provider candidates: every live provider of any wanted file,
+        // minus community-blacklist skips.
+        let mut candidates: Vec<u8> = Vec::new();
+        for &ci in &wanted {
+            let fid = self.catalog.file(ci).id;
+            for &session in self.server.provider_sessions(&fid) {
+                let hp = session as u8;
+                if !candidates.contains(&hp) {
+                    candidates.push(hp);
+                }
+            }
+        }
+        let skips: Vec<f64> =
+            candidates.iter().map(|&hp| self.skip_prob(hp as usize)).collect();
+        let rng = &mut self.rng_behavior;
+        let mut i = 0;
+        candidates.retain(|_| {
+            let keep = !rng.chance(skips[i]);
+            i += 1;
+            keep
+        });
+        if candidates.is_empty() {
+            self.stats.skipped_invisible += 1;
+            return None;
+        }
+        // Subset selection: all-providers clients vs. small-subset clients,
+        // weighted by honeypot attractiveness times the source-quality
+        // bonus (delivering sources circulate via peer exchange).
+        let providers: Vec<u8> = if self.rng_behavior.chance(behavior.subset_all_prob) {
+            candidates
+        } else {
+            let bonus = self.config.blacklist.source_quality_bonus;
+            let weights: Vec<f64> = (0..self.honeypots.len())
+                .map(|h| {
+                    let ratio = self.hp_delivered_sessions[h] as f64
+                        / (self.hp_request_sessions[h] + 1) as f64;
+                    self.hp_attract[h] * (1.0 + bonus * ratio)
+                })
+                .collect();
+            let k = (1 + geometric(&mut self.rng_behavior, behavior.subset_mean - 1.0) as usize)
+                .min(candidates.len());
+            weighted_distinct(&mut self.rng_behavior, &candidates, &weights, k)
+        };
+
+        let shares_list = self.rng_behavior.chance(population.share_list_prob);
+        // Probe-only clients (PEX crawlers, source checkers) greet sources
+        // but never request uploads — a per-client trait, which is why the
+        // paper's Fig. 6 (START-UPLOAD peers) tops well below Fig. 5
+        // (HELLO peers).
+        let probe_only = self.rng_behavior.chance(behavior.hello_only_prob);
+        let shared_files = if shares_list {
+            let n = 1 + geometric(&mut self.rng_behavior, population.shared_list_mean - 1.0);
+            self.catalog.sample_distinct_by_popularity(&mut self.rng_behavior, n as usize)
+        } else {
+            Vec::new()
+        };
+        let life_ms =
+            exponential(&mut self.rng_behavior, 1.0 / behavior.interest_mean_ms as f64) as u64;
+
+        Some(SimPeer {
+            identity: self.identities.create(),
+            probe_only,
+            shares_list,
+            shared_files,
+            wanted,
+            interest_until: now.plus_millis(life_ms.max(60_000)),
+            providers,
+            blacklist: 0,
+            shared_sent: 0,
+            failures: 0,
+            rounds: 0,
+            robot: false,
+            order: Vec::new(),
+            pos: 0,
+            session: None,
+        })
+    }
+
+    /// Starts a retry round: ordered contact list over non-blacklisted
+    /// providers.
+    fn start_round(&mut self, now: SimTime, peer_idx: u32, sched: &mut Scheduler<'_, Event>) {
+        let peer = &mut self.peers[peer_idx as usize];
+        peer.order =
+            peer.providers.iter().copied().filter(|&hp| !peer.is_blacklisted(hp)).collect();
+        let mut order = std::mem::take(&mut peer.order);
+        self.rng_behavior.shuffle(&mut order);
+        let peer = &mut self.peers[peer_idx as usize];
+        peer.order = order;
+        peer.pos = 0;
+        peer.session = None;
+        if peer.order.is_empty() {
+            return;
+        }
+        let _ = now;
+        self.session_step(peer_idx, sched);
+    }
+
+    /// Ends the current session with `outcome` and advances to the next
+    /// provider or the next round.
+    fn finish_session(
+        &mut self,
+        now: SimTime,
+        peer_idx: u32,
+        outcome: SessionOutcome,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let behavior = self.config.behavior;
+        let peer = &mut self.peers[peer_idx as usize];
+        let Some(session) = peer.session.take() else { return };
+        match outcome {
+            SessionOutcome::Detected => {
+                if !peer.robot {
+                    peer.blacklist_hp(session.hp);
+                    peer.failures = peer.failures.saturating_add(1);
+                }
+                let strategy = self.honeypots[session.hp as usize].content_strategy();
+                self.exposure[session.hp as usize] += 1;
+                match strategy {
+                    ContentStrategy::NoContent => self.stats.detections_nc += 1,
+                    ContentStrategy::RandomContent => self.stats.detections_rc += 1,
+                }
+            }
+            SessionOutcome::NoAnswer => {
+                self.stats.dead_contacts += 1;
+            }
+            SessionOutcome::HelloOnly | SessionOutcome::Inconclusive => {}
+        }
+
+        let peer = &mut self.peers[peer_idx as usize];
+        peer.pos = peer.pos.saturating_add(1);
+        if (peer.pos as usize) < peer.order.len() && !peer.done(now, behavior.abandon_failures) {
+            sched.in_ms(behavior.contact_gap_ms, Event::SessionStep { peer: peer_idx });
+            return;
+        }
+        // Round over.
+        peer.rounds = peer.rounds.saturating_add(1);
+        if !peer.done(now, behavior.abandon_failures) {
+            let delay =
+                exponential(&mut self.rng_behavior, 1.0 / behavior.retry_interval_ms as f64)
+                    as u64;
+            sched.in_ms(delay.max(60_000), Event::RoundStart { peer: peer_idx });
+        }
+    }
+
+    /// Advances one peer's session machine by one message exchange.
+    fn session_step(&mut self, peer_idx: u32, sched: &mut Scheduler<'_, Event>) {
+        let now = sched.now();
+        let behavior = self.config.behavior;
+        let peer = &mut self.peers[peer_idx as usize];
+
+        // Open a session with the provider at `pos` if none is in flight.
+        if peer.session.is_none() {
+            if (peer.pos as usize) >= peer.order.len() {
+                return;
+            }
+            let hp = peer.order[peer.pos as usize];
+            let file = {
+                // Sessions ask for one wanted file; robots always use their
+                // single target.
+                let i = self.rng_behavior.below(peer.wanted.len() as u64) as usize;
+                peer.wanted[i]
+            };
+            debug_assert!(!peer.robot, "robots use their own chain events");
+            let hello_only = peer.probe_only;
+            // First-round sessions always attempt the download (the peer
+            // genuinely wants the file); later rounds are mostly re-polls.
+            let do_request =
+                peer.rounds == 0 || self.rng_behavior.chance(behavior.retry_request_prob);
+            let budget =
+                (1 + geometric(&mut self.rng_behavior, behavior.rc_budget_mean - 1.0)).min(60)
+                    as u8;
+            let conn = self.next_conn;
+            self.next_conn += 1;
+            let peer = &mut self.peers[peer_idx as usize];
+            peer.session = Some(Session {
+                hp,
+                file,
+                state: SessionState::Greet,
+                budget,
+                timeouts: 0,
+                hello_only,
+                do_request,
+                conn,
+                block_cursor: 0,
+                delivered: false,
+            });
+            self.stats.sessions += 1;
+        }
+
+        let peer = &self.peers[peer_idx as usize];
+        let session = peer.session.expect("session just ensured");
+        let hp_idx = session.hp as usize;
+
+        match session.state {
+            SessionState::Greet => {
+                let msg = PeerMessage::Hello {
+                    user_id: peer.identity.user_id,
+                    client_id: peer.identity.client_id,
+                    port: peer.identity.port,
+                    tags: vec![
+                        Tag::string(special::NAME, peer.identity.name()),
+                        Tag::u32(special::VERSION, peer.identity.version),
+                    ],
+                };
+                self.stats.hello_sent += 1;
+                let src_ip = peer.identity.ip;
+                let conn = ConnId(session.conn);
+                let replies =
+                    self.honeypots[hp_idx].on_peer_message(now, conn, src_ip, &msg);
+                let answered =
+                    replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::HelloAnswer { .. })));
+                let asked_shared =
+                    replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::AskSharedFiles)));
+                self.route_non_replies(now, hp_idx, replies);
+                if !answered {
+                    self.finish_session(now, peer_idx, SessionOutcome::NoAnswer, sched);
+                    return;
+                }
+                // Answer the shared-files request once per honeypot.
+                let peer = &mut self.peers[peer_idx as usize];
+                if asked_shared && peer.shares_list && !peer.shared_sent_to(session.hp) {
+                    peer.mark_shared_sent(session.hp);
+                    let files: Vec<PublishedFile> = peer
+                        .shared_files
+                        .iter()
+                        .map(|&ci| {
+                            let f = self.catalog.file(ci);
+                            PublishedFile::new(f.id, &f.name, f.size)
+                        })
+                        .collect();
+                    let answer = PeerMessage::AskSharedFilesAnswer { files };
+                    let src_ip = self.peers[peer_idx as usize].identity.ip;
+                    let replies = self.honeypots[hp_idx].on_peer_message(
+                        now,
+                        ConnId(session.conn),
+                        src_ip,
+                        &answer,
+                    );
+                    self.route_non_replies(now, hp_idx, replies);
+                }
+                let peer = &mut self.peers[peer_idx as usize];
+                if session.hello_only {
+                    self.finish_session(now, peer_idx, SessionOutcome::HelloOnly, sched);
+                    return;
+                }
+                if let Some(s) = peer.session.as_mut() {
+                    s.state = SessionState::Upload;
+                }
+                sched.in_ms(400, Event::SessionStep { peer: peer_idx });
+            }
+            SessionState::Upload => {
+                // The client declares interest in *every* wanted file this
+                // source advertises (real clients ask a multi-file source
+                // about each download in progress); the part-request loop
+                // then proceeds on the session's primary file.  This is
+                // what populates the per-file peer sets of Figs. 11-12.
+                let src_ip = peer.identity.ip;
+                let wanted = peer.wanted.clone();
+                let primary = session.file;
+                let mut accepted = false;
+                for ci in wanted.into_iter().filter(|&ci| ci != primary).chain([primary]) {
+                    if !self.honeypots[hp_idx].advertises(&self.catalog.file(ci).id) {
+                        continue;
+                    }
+                    let msg =
+                        PeerMessage::StartUpload { file_id: self.catalog.file(ci).id };
+                    self.stats.start_upload_sent += 1;
+                    let replies = self.honeypots[hp_idx].on_peer_message(
+                        now,
+                        ConnId(session.conn),
+                        src_ip,
+                        &msg,
+                    );
+                    accepted = replies
+                        .iter()
+                        .any(|a| matches!(a, Action::Reply(PeerMessage::AcceptUpload)));
+                    self.route_non_replies(now, hp_idx, replies);
+                }
+                if !accepted {
+                    self.finish_session(now, peer_idx, SessionOutcome::NoAnswer, sched);
+                    return;
+                }
+                if !session.do_request {
+                    self.finish_session(now, peer_idx, SessionOutcome::Inconclusive, sched);
+                    return;
+                }
+                let peer = &mut self.peers[peer_idx as usize];
+                if let Some(s) = peer.session.as_mut() {
+                    s.state = SessionState::Request;
+                }
+                sched.in_ms(400, Event::SessionStep { peer: peer_idx });
+            }
+            SessionState::Request => {
+                let file = self.catalog.file(session.file);
+                let size = file.size.min(u64::from(u32::MAX - 1));
+                let msg = PeerMessage::RequestParts {
+                    file_id: file.id,
+                    ranges: block_triple(size, session.block_cursor),
+                };
+                self.stats.request_parts_sent += 1;
+                let src_ip = peer.identity.ip;
+                let replies = self.honeypots[hp_idx].on_peer_message(
+                    now,
+                    ConnId(session.conn),
+                    src_ip,
+                    &msg,
+                );
+                let got_data =
+                    replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
+                self.route_non_replies(now, hp_idx, replies);
+                if session.block_cursor == 0 {
+                    // First part request of this session.
+                    self.hp_request_sessions[hp_idx] += 1;
+                }
+                if got_data && !session.delivered {
+                    self.hp_delivered_sessions[hp_idx] += 1;
+                }
+                let peer = &mut self.peers[peer_idx as usize];
+                let Some(s) = peer.session.as_mut() else { return };
+                if got_data {
+                    s.delivered = true;
+                    s.timeouts = 0;
+                    s.block_cursor += 3;
+                    s.budget = s.budget.saturating_sub(1);
+                    if s.budget == 0 {
+                        let detected = self.rng_behavior.chance(behavior.rc_detect_prob);
+                        let outcome = if detected {
+                            SessionOutcome::Detected
+                        } else {
+                            SessionOutcome::Inconclusive
+                        };
+                        self.finish_session(now, peer_idx, outcome, sched);
+                        return;
+                    }
+                    let delay = exponential(
+                        &mut self.rng_behavior,
+                        1.0 / behavior.rc_transfer_ms as f64,
+                    ) as u64;
+                    sched.in_ms(delay.max(500), Event::SessionStep { peer: peer_idx });
+                } else {
+                    s.timeouts += 1;
+                    if u32::from(s.timeouts) >= behavior.nc_timeouts_to_fail {
+                        let detected = self.rng_behavior.chance(behavior.nc_detect_prob);
+                        let outcome = if detected {
+                            SessionOutcome::Detected
+                        } else {
+                            SessionOutcome::Inconclusive
+                        };
+                        self.finish_session(now, peer_idx, outcome, sched);
+                        return;
+                    }
+                    // Silence paces at the timeout, near-constant (Fig. 9's
+                    // smooth no-content curve).
+                    let jitter = self.rng_behavior.below(2_000);
+                    sched.in_ms(behavior.nc_timeout_ms + jitter, Event::SessionStep {
+                        peer: peer_idx,
+                    });
+                }
+            }
+        }
+    }
+
+    /// One step of a robot's independent query chain against honeypot
+    /// `hp`: the automated client re-runs HELLO → START-UPLOAD →
+    /// REQUEST-PARTS sessions back-to-back (modulo a lockout), paced by
+    /// the source's answer behaviour — silence holds it for the robot's
+    /// generous timeout, data only for the transfer (Figs. 8–9).
+    #[allow(clippy::too_many_arguments)]
+    fn robot_step(
+        &mut self,
+        peer_idx: u32,
+        hp: u8,
+        phase: RobotPhase,
+        remaining: u8,
+        conn: u64,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let now = sched.now();
+        let robots = self.config.robots;
+        let hp_idx = hp as usize;
+        // Off periods gate new sessions only; an in-flight session runs out.
+        if phase == RobotPhase::Greet {
+            let off_until = self.robot_off_until[peer_idx as usize];
+            if now < off_until {
+                sched.at(off_until.plus_millis(u64::from(hp) * 30_000), Event::RobotStep {
+                    peer: peer_idx,
+                    hp,
+                    phase,
+                    remaining,
+                    conn,
+                });
+                return;
+            }
+        }
+        let next = |phase: RobotPhase, remaining: u8, conn: u64| Event::RobotStep {
+            peer: peer_idx,
+            hp,
+            phase,
+            remaining,
+            conn,
+        };
+        match phase {
+            RobotPhase::Greet => {
+                let conn = self.next_conn;
+                self.next_conn += 1;
+                let peer = &self.peers[peer_idx as usize];
+                let msg = PeerMessage::Hello {
+                    user_id: peer.identity.user_id,
+                    client_id: peer.identity.client_id,
+                    port: peer.identity.port,
+                    tags: vec![
+                        Tag::string(special::NAME, peer.identity.name()),
+                        Tag::u32(special::VERSION, peer.identity.version),
+                    ],
+                };
+                self.stats.hello_sent += 1;
+                let src_ip = peer.identity.ip;
+                let replies =
+                    self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
+                let answered = replies
+                    .iter()
+                    .any(|a| matches!(a, Action::Reply(PeerMessage::HelloAnswer { .. })));
+                self.route_non_replies(now, hp_idx, replies);
+                if answered {
+                    sched.in_ms(400, next(RobotPhase::Upload, 0, conn));
+                } else {
+                    // Dead source: try again after the lockout.
+                    sched.in_ms(robots.lockout_ms, next(RobotPhase::Greet, 0, 0));
+                }
+            }
+            RobotPhase::Upload => {
+                let peer = &self.peers[peer_idx as usize];
+                let file = peer.wanted[0];
+                let msg = PeerMessage::StartUpload { file_id: self.catalog.file(file).id };
+                self.stats.start_upload_sent += 1;
+                let src_ip = peer.identity.ip;
+                let replies =
+                    self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
+                let accepted = replies
+                    .iter()
+                    .any(|a| matches!(a, Action::Reply(PeerMessage::AcceptUpload)));
+                self.route_non_replies(now, hp_idx, replies);
+                if accepted {
+                    let budget = robots.budget.clamp(1, 250) as u8;
+                    sched.in_ms(400, next(RobotPhase::Request, budget, conn));
+                } else {
+                    sched.in_ms(robots.lockout_ms, next(RobotPhase::Greet, 0, 0));
+                }
+            }
+            RobotPhase::Request => {
+                let peer = &self.peers[peer_idx as usize];
+                let file = self.catalog.file(peer.wanted[0]);
+                let size = file.size.min(u64::from(u32::MAX - 1));
+                let msg = PeerMessage::RequestParts {
+                    file_id: file.id,
+                    ranges: block_triple(size, u32::from(remaining) * 3),
+                };
+                self.stats.request_parts_sent += 1;
+                let src_ip = peer.identity.ip;
+                let replies =
+                    self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
+                let got_data = replies
+                    .iter()
+                    .any(|a| matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
+                self.route_non_replies(now, hp_idx, replies);
+                let remaining = remaining.saturating_sub(1);
+                let pace = if got_data {
+                    (exponential(
+                        &mut self.rng_behavior,
+                        1.0 / self.config.behavior.rc_transfer_ms as f64,
+                    ) as u64)
+                        .max(500)
+                } else {
+                    // Near-constant timeout pacing: the smooth no-content
+                    // curve of Fig. 9.
+                    robots.nc_timeout_ms + self.rng_behavior.below(2_000)
+                };
+                if remaining == 0 {
+                    // Session over; occasionally the whole robot goes dark
+                    // (the plateaus of Figs. 8-9).
+                    if self.rng_behavior.chance(robots.off_prob) {
+                        self.robot_off_until[peer_idx as usize] =
+                            now.plus_millis(robots.off_duration_ms);
+                    }
+                    sched.in_ms(pace + robots.lockout_ms, next(RobotPhase::Greet, 0, 0));
+                } else {
+                    sched.in_ms(pace, next(RobotPhase::Request, remaining, conn));
+                }
+            }
+        }
+    }
+
+    /// Routes the non-`Reply` subset of honeypot actions (server traffic,
+    /// status reports); `Reply` actions were inspected by the caller.
+    fn route_non_replies(&mut self, now: SimTime, hp_idx: usize, actions: Vec<Action>) {
+        let forward: Vec<Action> =
+            actions.into_iter().filter(|a| !matches!(a, Action::Reply(_))).collect();
+        if !forward.is_empty() {
+            self.route_actions(now, hp_idx, forward);
+        }
+    }
+
+    /// Finishes the measurement: collects outstanding logs and produces the
+    /// merged anonymised dataset plus final statistics.
+    pub fn finish(mut self, duration: SimTime) -> SimOutput {
+        for hp in &mut self.honeypots {
+            let chunk = hp.collect_log();
+            self.manager.collect(chunk);
+        }
+        let shared_final = self.honeypots.iter().map(|h| h.shared_files().len()).max().unwrap_or(0);
+        let relaunches = self.manager.relaunch_count();
+        let log = self.manager.finalize(
+            duration,
+            shared_final as u32,
+            self.config.name_threshold,
+        );
+        SimOutput { log, stats: self.stats, relaunches }
+    }
+
+    /// Number of materialised peers (diagnostics).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The honeypots (tests & diagnostics).
+    pub fn honeypots(&self) -> &[Honeypot] {
+        &self.honeypots
+    }
+
+    /// The index server (tests & diagnostics).
+    pub fn server(&self) -> &SimServer {
+        &self.server
+    }
+}
+
+/// Result of a completed scenario run.
+pub struct SimOutput {
+    pub log: MeasurementLog,
+    pub stats: WorldStats,
+    pub relaunches: u64,
+}
+
+impl World for EdonkeyWorld {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::ArrivalTick => {
+                let tick = self.config.population.arrival_tick_ms;
+                let rate = self.arrival_rate(now);
+                let n = poisson(&mut self.rng_arrival, rate * tick as f64);
+                for _ in 0..n {
+                    let offset = self.rng_arrival.below(tick);
+                    if let Some(peer) = self.build_arrival(now) {
+                        let idx = self.peers.len() as u32;
+                        self.peers.push(peer);
+                        self.stats.arrivals += 1;
+                        sched.in_ms(offset, Event::RoundStart { peer: idx });
+                    }
+                }
+                sched.in_ms(tick, Event::ArrivalTick);
+            }
+            Event::RoundStart { peer } => {
+                if self.peers[peer as usize].done(now, self.config.behavior.abandon_failures) {
+                    return;
+                }
+                // Users follow the daily rhythm in their retries too (the
+                // client is off at night): defer rounds falling into
+                // low-activity hours — this, not just arrivals, carries the
+                // day/night oscillation of Fig. 4 into the query volume.
+                let p = &self.config.population;
+                let gate = p.diurnal.multiplier(now, p.local_offset_hours)
+                    / (1.0 + p.diurnal.amplitude);
+                if !self.rng_behavior.chance(gate) {
+                    let delay = 45 * 60_000 + self.rng_behavior.below(45 * 60_000);
+                    sched.in_ms(delay, Event::RoundStart { peer });
+                    return;
+                }
+                self.start_round(now, peer, sched);
+            }
+            Event::SessionStep { peer } => self.session_step(peer, sched),
+            Event::ManagerCheck => {
+                self.launch_all(now);
+                sched.in_ms(self.config.manager_check_ms, Event::ManagerCheck);
+            }
+            Event::CollectLogs => {
+                for i in 0..self.honeypots.len() {
+                    let chunk = self.honeypots[i].collect_log();
+                    self.manager.collect(chunk);
+                }
+                sched.in_ms(self.config.collect_ms, Event::CollectLogs);
+            }
+            Event::Keepalive => {
+                for i in 0..self.honeypots.len() {
+                    let actions = self.honeypots[i].keepalive(now);
+                    self.route_actions(now, i, actions);
+                }
+                sched.in_ms(self.config.keepalive_ms, Event::Keepalive);
+            }
+            Event::RobotStep { peer, hp, phase, remaining, conn } => {
+                self.robot_step(peer, hp, phase, remaining, conn, sched);
+            }
+            Event::RobotOff { peer, duration_ms } => {
+                let until = now.plus_millis(duration_ms);
+                let slot = &mut self.robot_off_until[peer as usize];
+                *slot = (*slot).max(until);
+            }
+            Event::Crash { hp } => {
+                let idx = hp as usize;
+                let actions = self.honeypots[idx].kill(now);
+                self.route_actions(now, idx, actions);
+                self.server.disconnect(idx as u64);
+                self.stats.crashes += 1;
+                if let Some(crash) = self.config.crashes {
+                    let delay =
+                        exponential(&mut self.rng_behavior, 1.0 / crash.mtbf_ms as f64) as u64;
+                    sched.in_ms(delay.max(60_000), Event::Crash { hp });
+                }
+            }
+        }
+    }
+}
+
+/// Geometric sample with the given mean (number of successes before
+/// failure); mean 0 yields constant 0.
+fn geometric(rng: &mut Rng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let u = rng.f64_open();
+    (u.ln() / (1.0 - p).ln()).floor() as u32
+}
+
+/// Samples `k` distinct items from `candidates`, weighted by
+/// `weights[item]` (weights indexed by honeypot id).
+fn weighted_distinct(rng: &mut Rng, candidates: &[u8], weights: &[f64], k: usize) -> Vec<u8> {
+    let k = k.min(candidates.len());
+    let mut pool: Vec<u8> = candidates.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = pool.iter().map(|&c| weights[c as usize]).sum();
+        let mut x = rng.f64() * total;
+        let mut chosen = pool.len() - 1;
+        for (i, &c) in pool.iter().enumerate() {
+            x -= weights[c as usize];
+            if x <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        out.push(pool.swap_remove(chosen));
+    }
+    out
+}
+
+/// The three consecutive block ranges starting at block index `cursor`,
+/// wrapped within the first part of a file of `size` bytes (u32 offsets per
+/// the classic protocol).
+fn block_triple(size: u64, cursor: u32) -> [PartRange; 3] {
+    let size32 = size.min(u64::from(u32::MAX - 1)) as u32;
+    let blocks_total = (u64::from(size32).div_ceil(BLOCK_SIZE)).max(1) as u32;
+    let mut ranges = [PartRange::new(0, 0); 3];
+    for (i, r) in ranges.iter_mut().enumerate() {
+        let b = (cursor + i as u32) % blocks_total;
+        let start = (u64::from(b) * BLOCK_SIZE) as u32;
+        let end = ((u64::from(b) + 1) * BLOCK_SIZE).min(u64::from(size32)) as u32;
+        *r = PartRange::new(start, end);
+    }
+    ranges
+}
+
+/// Runs a scenario end-to-end and returns its output.
+pub fn run_scenario(config: ScenarioConfig) -> SimOutput {
+    let duration = config.duration;
+    let mut engine = Engine::new();
+    let mut world = EdonkeyWorld::new(config, &mut engine);
+    engine.run_until(&mut world, duration);
+    world.finish(duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::QueryKind;
+
+    #[test]
+    fn geometric_mean_approximately_right() {
+        let mut rng = Rng::seed_from(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| f64::from(geometric(&mut rng, 3.0))).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        assert_eq!(geometric(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_distinct_is_distinct_and_biased() {
+        let mut rng = Rng::seed_from(2);
+        let candidates = [0u8, 1, 2, 3];
+        let weights = [10.0, 1.0, 1.0, 1.0];
+        let mut count0 = 0;
+        for _ in 0..2_000 {
+            let s = weighted_distinct(&mut rng, &candidates, &weights, 2);
+            assert_eq!(s.len(), 2);
+            assert_ne!(s[0], s[1]);
+            if s.contains(&0) {
+                count0 += 1;
+            }
+        }
+        assert!(count0 > 1_500, "heavy item picked in {count0}/2000 pairs");
+    }
+
+    #[test]
+    fn block_triple_within_bounds() {
+        let size = 1_000_000u64;
+        for cursor in [0u32, 1, 5, 100] {
+            for r in block_triple(size, cursor) {
+                assert!(u64::from(r.end) <= size);
+                assert!(r.start < r.end);
+                assert!(u64::from(r.len()) <= BLOCK_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn block_triple_tiny_file() {
+        let ranges = block_triple(1_000, 0);
+        for r in ranges {
+            assert_eq!((r.start, r.end), (0, 1_000), "single-block file wraps onto itself");
+        }
+    }
+
+    #[test]
+    fn tiny_scenario_produces_coherent_log() {
+        let out = run_scenario(ScenarioConfig::tiny(42));
+        assert!(out.log.distinct_peers > 0, "some peers must be observed");
+        assert!(out.log.records_of(QueryKind::Hello).count() > 0);
+        assert!(out.log.validate().is_empty(), "{:?}", out.log.validate());
+        assert!(out.stats.hello_sent >= out.log.records_of(QueryKind::Hello).count() as u64);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_log() {
+        let a = run_scenario(ScenarioConfig::tiny(7));
+        let b = run_scenario(ScenarioConfig::tiny(7));
+        assert_eq!(a.log.records.len(), b.log.records.len());
+        assert_eq!(a.log.distinct_peers, b.log.distinct_peers);
+        assert_eq!(a.stats.request_parts_sent, b.stats.request_parts_sent);
+        // Spot-check full record equality on a sample.
+        for i in (0..a.log.records.len()).step_by(97) {
+            assert_eq!(a.log.records[i], b.log.records[i]);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(ScenarioConfig::tiny(1));
+        let b = run_scenario(ScenarioConfig::tiny(2));
+        assert_ne!(
+            (a.log.records.len(), a.log.distinct_peers),
+            (b.log.records.len(), b.log.distinct_peers)
+        );
+    }
+
+    #[test]
+    fn scaling_shrinks_population() {
+        let full = run_scenario(ScenarioConfig::tiny(5));
+        let small = run_scenario(ScenarioConfig::tiny(5).scaled(0.25));
+        assert!(
+            (small.log.distinct_peers as f64) < 0.6 * full.log.distinct_peers as f64,
+            "scaled run {} vs full {}",
+            small.log.distinct_peers,
+            full.log.distinct_peers
+        );
+    }
+
+    #[test]
+    fn crashes_trigger_relaunches() {
+        let mut config = ScenarioConfig::tiny(11);
+        config.crashes = Some(crate::config::CrashConfig {
+            mtbf_ms: 6 * netsim::time::MS_PER_HOUR,
+        });
+        let out = run_scenario(config);
+        assert!(out.stats.crashes > 0, "failure injection must fire");
+        assert!(out.relaunches > 0, "manager must relaunch dead honeypots");
+        assert!(out.log.distinct_peers > 0, "measurement survives crashes");
+    }
+}

@@ -1,0 +1,59 @@
+//! Peer-population demographics over a distributed measurement: high/low
+//! ID split, client software, per-peer query-volume distribution, honeypot
+//! load balance, and co-interest structure.
+//!
+//! ```sh
+//! cargo run --release --example demographics -- --scale 0.05
+//! ```
+
+use edonkey_honeypots::analysis::report::{ascii_table, format_count};
+use edonkey_honeypots::analysis::{
+    co_interest, client_software, honeypot_load_gini, id_status_breakdown,
+    queries_per_peer_histogram,
+};
+use edonkey_honeypots::experiments::{Measurement, Options};
+use edonkey_honeypots::platform::QueryKind;
+
+fn main() {
+    let mut opts = Options::from_args();
+    if (opts.scale - 1.0).abs() < f64::EPSILON {
+        opts.scale = 0.05;
+    }
+    let log = opts.run(Measurement::Distributed);
+
+    let ids = id_status_breakdown(&log);
+    println!(
+        "ID status: {} high, {} low ({:.1} % behind NAT)",
+        format_count(ids.high),
+        format_count(ids.low),
+        100.0 * ids.low_fraction()
+    );
+
+    println!("\nclient software (distinct peers):");
+    let rows: Vec<Vec<String>> = client_software(&log)
+        .into_iter()
+        .take(10)
+        .map(|(name, count)| vec![name, format_count(count)])
+        .collect();
+    println!("{}", ascii_table(&["client", "peers"], &rows));
+
+    println!("HELLO messages per peer (log₂ buckets):");
+    let rows: Vec<Vec<String>> = queries_per_peer_histogram(&log, QueryKind::Hello)
+        .into_iter()
+        .map(|(bucket, count)| vec![bucket, format_count(count)])
+        .collect();
+    println!("{}", ascii_table(&["messages", "peers"], &rows));
+
+    println!(
+        "honeypot load balance: Gini = {:.3} (0 = even, 1 = one honeypot takes all)",
+        honeypot_load_gini(&log)
+    );
+
+    let ci = co_interest(&log, 5);
+    println!(
+        "\nco-interest: {} querying peers, {} with ≥2 files, {} co-interested file pairs",
+        format_count(ci.querying_peers),
+        format_count(ci.multi_file_peers),
+        format_count(ci.file_pairs)
+    );
+}

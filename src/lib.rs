@@ -1,0 +1,41 @@
+//! # edonkey-honeypots
+//!
+//! A distributed honeypot measurement platform for the eDonkey
+//! peer-to-peer network — a full reproduction of Allali, Latapy & Magnien,
+//! *Measurement of eDonkey Activity with Distributed Honeypots* (2009) —
+//! together with every substrate it needs: a from-scratch eDonkey wire
+//! protocol, a deterministic discrete-event network simulator, a synthetic
+//! eDonkey world, a real-TCP loopback substrate, analytics, and calibrated
+//! experiment harnesses regenerating every table and figure of the paper.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`proto`] | MD4, IDs, tags, messages, framing, part geometry |
+//! | [`netsim`] | engine, event queue, RNG, distributions, metrics |
+//! | [`sim`] | catalog, identities, index server, peer models, world |
+//! | [`platform`] | **the paper's contribution**: honeypots, manager, logs, anonymisation |
+//! | [`analysis`] | Table I, Figs. 2–12 analytics, reports |
+//! | [`experiments`] | calibrated scenarios + per-figure binaries |
+//! | [`net`] | the same platform over real TCP sockets |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edonkey_honeypots::sim::{run_scenario, ScenarioConfig};
+//! use edonkey_honeypots::analysis::basic_stats;
+//!
+//! // A two-day miniature measurement with one honeypot.
+//! let out = run_scenario(ScenarioConfig::tiny(42).scaled(0.3));
+//! let stats = basic_stats(&out.log);
+//! assert!(stats.distinct_peers > 0);
+//! ```
+
+pub use edonkey_analysis as analysis;
+pub use edonkey_experiments as experiments;
+pub use edonkey_net as net;
+pub use edonkey_proto as proto;
+pub use edonkey_sim as sim;
+pub use honeypot as platform;
+pub use netsim;
