@@ -9,6 +9,8 @@ use netsim::metrics::FirstSeen;
 use netsim::time::MS_PER_DAY;
 use serde::Serialize;
 
+use crate::index::{cumulate, new_per_bucket, LogIndex};
+
 /// The two series of Fig. 2/3, daily buckets.
 #[derive(Clone, Debug, Serialize)]
 pub struct PeerGrowth {
@@ -85,6 +87,28 @@ pub fn file_growth(log: &MeasurementLog) -> PeerGrowth {
         cumulative.push(acc);
     }
     PeerGrowth { cumulative, new_per_day }
+}
+
+/// Index-backed equivalents of this module's scans; asserted equal to the
+/// direct functions in `tests/index_equivalence.rs`.
+impl LogIndex {
+    /// Indexed [`peer_growth`].
+    pub fn peer_growth(&self) -> PeerGrowth {
+        self.peer_growth_filtered(None)
+    }
+
+    /// Indexed [`peer_growth_filtered`].
+    pub fn peer_growth_filtered(&self, kind: Option<QueryKind>) -> PeerGrowth {
+        let firsts = self.peer_first_merged(kind);
+        let new_per_day = new_per_bucket(&firsts, MS_PER_DAY, self.days());
+        PeerGrowth { cumulative: cumulate(new_per_day.clone()), new_per_day }
+    }
+
+    /// Indexed [`file_growth`].
+    pub fn file_growth(&self) -> PeerGrowth {
+        let new_per_day = new_per_bucket(self.file_first(), MS_PER_DAY, self.days());
+        PeerGrowth { cumulative: cumulate(new_per_day.clone()), new_per_day }
+    }
 }
 
 #[cfg(test)]

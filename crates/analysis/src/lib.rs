@@ -23,6 +23,7 @@
 
 pub mod cointerest;
 pub mod distinct;
+pub mod index;
 pub mod population;
 pub mod report;
 pub mod strategy;
@@ -38,6 +39,7 @@ pub use population::{
     queries_per_peer_histogram, IdStatusBreakdown,
 };
 pub use distinct::{file_growth, peer_growth, peer_growth_filtered, PeerGrowth};
+pub use index::LogIndex;
 pub use strategy::{distinct_peers_by_strategy, messages_by_strategy, StrategyComparison};
 pub use subset::{
     file_peer_counts, peer_sets_by_file, peer_sets_by_honeypot, popular_files, random_files,
@@ -45,4 +47,6 @@ pub use subset::{
 };
 pub use table::{basic_stats, BasicStats};
 pub use timeseries::{first_event_ms, hourly_counts, HourlySeries};
-pub use toppeer::{peer_series, plateaus, top_peer, top_peer_summary, TopPeerSummary};
+pub use toppeer::{
+    peer_series, plateaus, top_peer, top_peer_summary, top_peer_summary_indexed, TopPeerSummary,
+};

@@ -10,6 +10,8 @@ use netsim::metrics::{BucketSeries, FirstSeen};
 use netsim::time::MS_PER_DAY;
 use serde::Serialize;
 
+use crate::index::{cumulate, new_per_bucket, LogIndex};
+
 /// A per-day cumulative series for each strategy group.
 #[derive(Clone, Debug, Serialize)]
 pub struct StrategyComparison {
@@ -77,6 +79,30 @@ pub fn messages_by_strategy(log: &MeasurementLog, kind: QueryKind) -> StrategyCo
     StrategyComparison {
         random_content: rc.cumulative(days),
         no_content: nc.cumulative(days),
+    }
+}
+
+/// Index-backed equivalents of this module's scans; asserted equal to the
+/// direct functions in `tests/index_equivalence.rs`.
+impl LogIndex {
+    /// Indexed [`distinct_peers_by_strategy`].
+    pub fn distinct_peers_by_strategy(&self, kind: QueryKind) -> StrategyComparison {
+        let days = self.days();
+        let per_group = |s: ContentStrategy| {
+            cumulate(new_per_bucket(self.peer_first_cell(s, kind), MS_PER_DAY, days))
+        };
+        StrategyComparison {
+            random_content: per_group(ContentStrategy::RandomContent),
+            no_content: per_group(ContentStrategy::NoContent),
+        }
+    }
+
+    /// Indexed [`messages_by_strategy`].
+    pub fn messages_by_strategy(&self, kind: QueryKind) -> StrategyComparison {
+        StrategyComparison {
+            random_content: cumulate(self.daily_padded(ContentStrategy::RandomContent, kind)),
+            no_content: cumulate(self.daily_padded(ContentStrategy::NoContent, kind)),
+        }
     }
 }
 

@@ -4,6 +4,7 @@ use honeypot::MeasurementLog;
 use serde::Serialize;
 
 use crate::distinct::peer_growth;
+use crate::index::LogIndex;
 
 /// One column of the paper's Table I.
 #[derive(Clone, Debug, Serialize)]
@@ -40,6 +41,14 @@ pub fn basic_stats(log: &MeasurementLog) -> BasicStats {
 /// the experiment runner's self-check).
 pub fn recount_distinct_peers(log: &MeasurementLog) -> u64 {
     peer_growth(log).total()
+}
+
+impl LogIndex {
+    /// Indexed [`recount_distinct_peers`] — the runner's self-check without
+    /// the extra record scan.
+    pub fn recount_distinct_peers(&self) -> u64 {
+        self.peer_growth().total()
+    }
 }
 
 #[cfg(test)]

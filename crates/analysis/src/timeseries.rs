@@ -6,6 +6,8 @@ use netsim::metrics::BucketSeries;
 use netsim::time::MS_PER_HOUR;
 use serde::Serialize;
 
+use crate::index::LogIndex;
+
 /// An hourly count series.
 #[derive(Clone, Debug, Serialize)]
 pub struct HourlySeries {
@@ -63,6 +65,20 @@ pub fn hourly_counts(log: &MeasurementLog, kind: QueryKind) -> HourlySeries {
 /// notes its first query arrived ten minutes into the measurement.
 pub fn first_event_ms(log: &MeasurementLog, kind: QueryKind) -> Option<u64> {
     log.records_of(kind).map(|r| r.at.as_millis()).min()
+}
+
+/// Index-backed equivalents of this module's scans; asserted equal to the
+/// direct functions in `tests/index_equivalence.rs`.
+impl LogIndex {
+    /// Indexed [`hourly_counts`].
+    pub fn hourly_counts(&self, kind: QueryKind) -> HourlySeries {
+        HourlySeries { counts: self.hourly_padded(kind) }
+    }
+
+    /// Indexed [`first_event_ms`].
+    pub fn first_event_ms(&self, kind: QueryKind) -> Option<u64> {
+        self.kind_first(kind)
+    }
 }
 
 #[cfg(test)]

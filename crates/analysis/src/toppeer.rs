@@ -13,6 +13,7 @@ use netsim::metrics::BucketSeries;
 use netsim::time::MS_PER_DAY;
 use serde::Serialize;
 
+use crate::index::LogIndex;
 use crate::strategy::StrategyComparison;
 
 /// Identifies the peer with the most records of `kind` (ties broken by the
@@ -87,6 +88,40 @@ pub struct TopPeerSummary {
 /// volume, as in the paper).
 pub fn top_peer_summary(log: &MeasurementLog) -> Option<TopPeerSummary> {
     let peer = top_peer(log, QueryKind::StartUpload)?;
+    let su = peer_series(log, peer, QueryKind::StartUpload);
+    let rp = peer_series(log, peer, QueryKind::RequestPart);
+    let (su_rc, su_nc) = su.finals();
+    let (rp_rc, rp_nc) = rp.finals();
+    Some(TopPeerSummary {
+        peer: peer.0,
+        start_upload_rc: su_rc,
+        start_upload_nc: su_nc,
+        request_part_rc: rp_rc,
+        request_part_nc: rp_nc,
+    })
+}
+
+/// Index-backed equivalents of this module's scans; asserted equal to the
+/// direct functions in `tests/index_equivalence.rs`.
+impl LogIndex {
+    /// Indexed [`top_peer`]: reads the per-peer count array instead of
+    /// re-tallying the records, same tie-break (smaller anonymised ID).
+    pub fn top_peer(&self, kind: QueryKind) -> Option<AnonPeerId> {
+        self.peer_counts(kind)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .max_by_key(|&(peer, &count)| (count, std::cmp::Reverse(peer)))
+            .map(|(peer, _)| AnonPeerId(peer as u32))
+    }
+}
+
+/// [`top_peer_summary`] with the top-peer search served from the index;
+/// the single-peer series stay direct scans (they touch one peer's records
+/// only, and per-peer-per-day series are deliberately not materialised in
+/// the index).
+pub fn top_peer_summary_indexed(log: &MeasurementLog, ix: &LogIndex) -> Option<TopPeerSummary> {
+    let peer = ix.top_peer(QueryKind::StartUpload)?;
     let su = peer_series(log, peer, QueryKind::StartUpload);
     let rp = peer_series(log, peer, QueryKind::RequestPart);
     let (su_rc, su_nc) = su.finals();

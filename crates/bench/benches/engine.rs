@@ -6,24 +6,36 @@ use std::hint::black_box;
 
 use netsim::dist::{exponential, poisson};
 use netsim::engine::{Engine, Scheduler, World};
-use netsim::{CalendarQueue, EventQueue, Rng, SimTime, Zipf};
+use netsim::{CalendarQueue, EventQueue, PendingQueue, Rng, SimTime, Zipf};
+
+/// Pushes every `(time, i)` pair, then drains the queue — the fill/drain
+/// pattern both [`PendingQueue`] implementations must handle.
+fn fill_then_drain<Q: PendingQueue<u32>>(q: &mut Q, times: &[u64]) {
+    for (i, &t) in times.iter().enumerate() {
+        q.push(SimTime(t), i as u32);
+    }
+    while let Some(e) = q.pop() {
+        black_box(e);
+    }
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
     group.throughput(Throughput::Elements(100_000));
-    group.bench_function("push_pop_100k_random_times", |b| {
-        let mut rng = Rng::seed_from(1);
-        let times: Vec<u64> = (0..100_000).map(|_| rng.below(1_000_000)).collect();
+    let mut rng = Rng::seed_from(1);
+    let times: Vec<u64> = (0..100_000).map(|_| rng.below(1_000_000)).collect();
+    group.bench_function("push_pop_100k_random_times/binary_heap", |b| {
         b.iter_batched(
             EventQueue::<u32>::new,
-            |mut q| {
-                for (i, &t) in times.iter().enumerate() {
-                    q.push(SimTime(t), i as u32);
-                }
-                while let Some(e) = q.pop() {
-                    black_box(e);
-                }
-            },
+            |mut q| fill_then_drain(&mut q, &times),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("push_pop_100k_random_times/calendar", |b| {
+        b.iter_batched(
+            // 1-second buckets covering the full range of pushed times.
+            || CalendarQueue::<u32>::new(1_024, 1_000),
+            |mut q| fill_then_drain(&mut q, &times),
             BatchSize::SmallInput,
         );
     });

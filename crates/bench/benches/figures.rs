@@ -7,6 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use edonkey_analysis::LogIndex;
 use edonkey_experiments::figures;
 use edonkey_experiments::scenarios;
 use edonkey_sim::run_scenario;
@@ -22,46 +23,51 @@ fn logs() -> (MeasurementLog, MeasurementLog) {
 
 fn bench_figures(c: &mut Criterion) {
     let (dist, greedy) = logs();
+    let (dist_ix, greedy_ix) = (LogIndex::build(&dist), LogIndex::build(&greedy));
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(8));
 
+    group.bench_function("index_build_both", |b| {
+        b.iter(|| (black_box(LogIndex::build(&dist)), black_box(LogIndex::build(&greedy))));
+    });
+
     group.bench_function("table1", |b| {
         b.iter(|| black_box(figures::table1(&dist, &greedy)));
     });
     group.bench_function("fig02_growth_distributed", |b| {
-        b.iter(|| black_box(figures::fig_growth(&dist, 2)));
+        b.iter(|| black_box(figures::fig_growth(&dist_ix, 2)));
     });
     group.bench_function("fig03_growth_greedy", |b| {
-        b.iter(|| black_box(figures::fig_growth(&greedy, 3)));
+        b.iter(|| black_box(figures::fig_growth(&greedy_ix, 3)));
     });
     group.bench_function("fig04_hourly_hello", |b| {
-        b.iter(|| black_box(figures::fig04(&dist)));
+        b.iter(|| black_box(figures::fig04(&dist_ix)));
     });
     group.bench_function("fig05_distinct_hello_by_strategy", |b| {
-        b.iter(|| black_box(figures::fig05(&dist)));
+        b.iter(|| black_box(figures::fig05(&dist_ix)));
     });
     group.bench_function("fig06_distinct_startupload_by_strategy", |b| {
-        b.iter(|| black_box(figures::fig06(&dist)));
+        b.iter(|| black_box(figures::fig06(&dist_ix)));
     });
     group.bench_function("fig07_requestpart_by_strategy", |b| {
-        b.iter(|| black_box(figures::fig07(&dist)));
+        b.iter(|| black_box(figures::fig07(&dist_ix)));
     });
     group.bench_function("fig08_top_peer_startupload", |b| {
-        b.iter(|| black_box(figures::fig_top_peer(&dist, 8)));
+        b.iter(|| black_box(figures::fig_top_peer(&dist, &dist_ix, 8)));
     });
     group.bench_function("fig09_top_peer_requestpart", |b| {
-        b.iter(|| black_box(figures::fig_top_peer(&dist, 9)));
+        b.iter(|| black_box(figures::fig_top_peer(&dist, &dist_ix, 9)));
     });
     group.bench_function("fig10_subset_honeypots", |b| {
-        b.iter(|| black_box(figures::fig10(&dist, 50, 3)));
+        b.iter(|| black_box(figures::fig10(&dist_ix, 50, 3)));
     });
     group.bench_function("fig11_subset_random_files", |b| {
-        b.iter(|| black_box(figures::fig_files(&greedy, 11, 50, 3)));
+        b.iter(|| black_box(figures::fig_files(&greedy_ix, 11, 50, 3)));
     });
     group.bench_function("fig12_subset_popular_files", |b| {
-        b.iter(|| black_box(figures::fig_files(&greedy, 12, 50, 3)));
+        b.iter(|| black_box(figures::fig_files(&greedy_ix, 12, 50, 3)));
     });
     group.finish();
 }

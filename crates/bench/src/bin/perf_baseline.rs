@@ -1,0 +1,179 @@
+//! Hand-rolled performance baseline for the hot paths this crate's
+//! criterion benches cover statistically: raw engine throughput under both
+//! pending-event queues, one-pass index build throughput, and the
+//! wall-clock of a scaled end-to-end `all` pipeline.  Writes the numbers
+//! to `BENCH_baseline.json` at the repository root so scale sweeps and
+//! future optimisation PRs have a committed reference point.
+//!
+//! Usage: `cargo run --release -p edonkey-bench --bin perf_baseline -- [--scale F]`
+
+use std::time::Instant;
+
+use edonkey_analysis::LogIndex;
+use edonkey_experiments::{figures, scenarios};
+use edonkey_sim::config::QueueKind;
+use edonkey_sim::run_scenario;
+use netsim::engine::{Engine, Scheduler, World};
+use netsim::{CalendarQueue, EventQueue, PendingQueue, SimTime};
+
+const ENGINE_EVENTS: u64 = 2_000_000;
+const DEFAULT_SCALE: f64 = 0.05;
+
+/// The simulator's dominant scheduling pattern: every handled event
+/// schedules a near-future follow-up (retries, keepalives, timeouts).
+struct TimerWorld {
+    handled: u64,
+}
+
+impl World for TimerWorld {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+        self.handled += 1;
+        sched.in_ms(500 + u64::from(ev % 7_919) * 17, ev);
+    }
+}
+
+fn engine_events_per_sec<Q: PendingQueue<u32>>(queue: Q) -> f64 {
+    let mut engine = Engine::with_queue(queue);
+    let mut world = TimerWorld { handled: 0 };
+    for i in 0..256u32 {
+        engine.schedule(SimTime(u64::from(i)), i);
+    }
+    let t = Instant::now();
+    engine.run_until_with_budget(&mut world, SimTime(u64::MAX), ENGINE_EVENTS);
+    assert_eq!(world.handled, ENGINE_EVENTS);
+    ENGINE_EVENTS as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut scale = DEFAULT_SCALE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: perf_baseline [--scale F]");
+                        std::process::exit(2)
+                    });
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // 1. Raw engine throughput, heap vs calendar, chained-timer pattern.
+    //    The calendar's buckets are sized to the workload (256 chains over
+    //    a ~4.3 s delay spread → ~50 ms buckets, a few events per bucket),
+    //    as a user of CalendarQueue::new would size them; the scenario
+    //    below exercises the minute-scale for_simulation geometry.
+    eprintln!("[bench] engine: {ENGINE_EVENTS} chained-timer events per queue …");
+    let heap_eps = engine_events_per_sec(EventQueue::new());
+    let cal_eps = engine_events_per_sec(CalendarQueue::new(4_096, 50));
+    eprintln!("[bench] engine: heap {heap_eps:.0}/s, calendar {cal_eps:.0}/s");
+
+    // 2. Scaled scenario wall-clock under both queues (same log either
+    //    way — asserted by sim/tests/determinism.rs).
+    let seed = scenarios::DEFAULT_SEED;
+    let mut heap_cfg = scenarios::distributed(seed, scale);
+    heap_cfg.queue = QueueKind::Heap;
+    let t = Instant::now();
+    let heap_out = run_scenario(heap_cfg);
+    let dist_heap_secs = t.elapsed().as_secs_f64();
+    let mut cal_cfg = scenarios::distributed(seed, scale);
+    cal_cfg.queue = QueueKind::Calendar;
+    let t = Instant::now();
+    let dist = run_scenario(cal_cfg).log;
+    let dist_cal_secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "[bench] distributed @ {scale}: heap {dist_heap_secs:.2}s, calendar {dist_cal_secs:.2}s ({} records)",
+        dist.records.len()
+    );
+    drop(heap_out);
+
+    // 3. Index build throughput over the distributed log.
+    let reps = 5;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(LogIndex::build(&dist));
+    }
+    let par_rps = (dist.records.len() * reps) as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(LogIndex::build_sequential(&dist));
+    }
+    let seq_rps = (dist.records.len() * reps) as f64 / t.elapsed().as_secs_f64();
+    eprintln!("[bench] index: parallel {par_rps:.0} rec/s, sequential {seq_rps:.0} rec/s");
+
+    // 4. End-to-end scaled `all` pipeline (greedy sim + indexes + the
+    //    figure set; the distributed log is reused from step 2).
+    let t = Instant::now();
+    let greedy = run_scenario(scenarios::greedy(seed, scale)).log;
+    let dist_ix = LogIndex::build(&dist);
+    let greedy_ix = LogIndex::build(&greedy);
+    let figs = [
+        figures::table1(&dist, &greedy),
+        figures::fig_growth(&dist_ix, 2),
+        figures::fig_growth(&greedy_ix, 3),
+        figures::fig04(&dist_ix),
+        figures::fig05(&dist_ix),
+        figures::fig06(&dist_ix),
+        figures::fig07(&dist_ix),
+        figures::fig_top_peer(&dist, &dist_ix, 8),
+        figures::fig_top_peer(&dist, &dist_ix, 9),
+        figures::fig10(&dist_ix, 100, seed),
+        figures::fig_files(&greedy_ix, 11, 100, seed),
+        figures::fig_files(&greedy_ix, 12, 100, seed),
+    ];
+    let all_secs = dist_cal_secs + t.elapsed().as_secs_f64();
+    eprintln!("[bench] scaled all pipeline: {all_secs:.2}s ({} artefacts)", figs.len());
+
+    // Hand-rolled JSON (no serde needed for a dozen scalars).
+    let json = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
+         \"threads\": {threads},\n  \
+         \"engine\": {{\n    \
+           \"pattern\": \"chained timers, {ENGINE_EVENTS} events\",\n    \
+           \"heap_events_per_sec\": {heap_eps:.0},\n    \
+           \"calendar_events_per_sec\": {cal_eps:.0},\n    \
+           \"calendar_over_heap\": {ratio:.3}\n  \
+         }},\n  \
+         \"index_build\": {{\n    \
+           \"records\": {records},\n    \
+           \"parallel_records_per_sec\": {par_rps:.0},\n    \
+           \"sequential_records_per_sec\": {seq_rps:.0}\n  \
+         }},\n  \
+         \"scaled_run\": {{\n    \
+           \"scale\": {scale},\n    \
+           \"distributed_sim_heap_secs\": {dist_heap_secs:.3},\n    \
+           \"distributed_sim_calendar_secs\": {dist_cal_secs:.3},\n    \
+           \"all_pipeline_secs\": {all_secs:.3}\n  \
+         }}\n}}\n",
+        threads = rayon::current_num_threads(),
+        ratio = cal_eps / heap_eps,
+        records = dist.records.len(),
+    );
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_baseline.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

@@ -83,13 +83,26 @@ pub struct SharedListRecord {
 }
 
 /// Deduplicated file metadata observed during a measurement.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct FileTable {
     ids: Vec<FileId>,
     names: Vec<String>,
     sizes: Vec<u64>,
     #[serde(skip)]
     index: HashMap<FileId, FileIdx>,
+}
+
+// Manual impl: the lookup index is a rebuildable cache (serde also skips
+// it), and rendering a HashMap would make the Debug output — which tests
+// compare across runs — depend on per-map iteration order.
+impl std::fmt::Debug for FileTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileTable")
+            .field("ids", &self.ids)
+            .field("names", &self.names)
+            .field("sizes", &self.sizes)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FileTable {

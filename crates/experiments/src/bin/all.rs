@@ -1,8 +1,14 @@
-//! Runs both measurements once, regenerates every table and figure, and
-//! rewrites `EXPERIMENTS.md` with paper-vs-measured values.
+//! Runs both measurements once (concurrently — they are independent
+//! seeded simulations), builds one [`LogIndex`] per log, regenerates every
+//! table and figure from the shared indexes, and rewrites `EXPERIMENTS.md`
+//! with paper-vs-measured values.  Per-phase wall-clock timings go to
+//! stderr so `--scale` sweeps can attribute time to simulate / index /
+//! figures.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
+use edonkey_analysis::LogIndex;
 use edonkey_experiments::figures;
 use edonkey_experiments::{Measurement, Options};
 use honeypot::MeasurementLog;
@@ -33,23 +39,47 @@ fn paper_reference() -> serde_json::Value {
 
 fn main() {
     let opts = Options::from_args();
-    let dist = opts.run(Measurement::Distributed);
-    let greedy = opts.run(Measurement::Greedy);
+    let t_total = Instant::now();
 
+    // The two measurements share nothing (separate seeded worlds), so they
+    // run on their own OS threads; each log's index is then built once and
+    // serves every figure below.
+    let t_phase = Instant::now();
+    let (dist, greedy) = crossbeam::scope(|s| {
+        let d = s.spawn(|_| opts.run(Measurement::Distributed));
+        let g = s.spawn(|_| opts.run(Measurement::Greedy));
+        (d.join().expect("distributed run"), g.join().expect("greedy run"))
+    })
+    .expect("scoped simulation threads");
+    eprintln!("[all] phase simulate: {:.2}s (both measurements, concurrent)", t_phase.elapsed().as_secs_f64());
+
+    let t_phase = Instant::now();
+    let dist_ix = LogIndex::build(&dist);
+    let greedy_ix = LogIndex::build(&greedy);
+    assert_eq!(dist_ix.recount_distinct_peers(), u64::from(dist.distinct_peers));
+    assert_eq!(greedy_ix.recount_distinct_peers(), u64::from(greedy.distinct_peers));
+    eprintln!(
+        "[all] phase index: {:.2}s ({} records)",
+        t_phase.elapsed().as_secs_f64(),
+        dist.records.len() + greedy.records.len()
+    );
+
+    let t_phase = Instant::now();
     let artefacts: Vec<(&str, figures::Artefact)> = vec![
         ("table1", figures::table1(&dist, &greedy)),
-        ("fig02", figures::fig_growth(&dist, 2)),
-        ("fig03", figures::fig_growth(&greedy, 3)),
-        ("fig04", figures::fig04(&dist)),
-        ("fig05", figures::fig05(&dist)),
-        ("fig06", figures::fig06(&dist)),
-        ("fig07", figures::fig07(&dist)),
-        ("fig08", figures::fig_top_peer(&dist, 8)),
-        ("fig09", figures::fig_top_peer(&dist, 9)),
-        ("fig10", figures::fig10(&dist, opts.samples, opts.seed)),
-        ("fig11", figures::fig_files(&greedy, 11, opts.samples, opts.seed)),
-        ("fig12", figures::fig_files(&greedy, 12, opts.samples, opts.seed)),
+        ("fig02", figures::fig_growth(&dist_ix, 2)),
+        ("fig03", figures::fig_growth(&greedy_ix, 3)),
+        ("fig04", figures::fig04(&dist_ix)),
+        ("fig05", figures::fig05(&dist_ix)),
+        ("fig06", figures::fig06(&dist_ix)),
+        ("fig07", figures::fig07(&dist_ix)),
+        ("fig08", figures::fig_top_peer(&dist, &dist_ix, 8)),
+        ("fig09", figures::fig_top_peer(&dist, &dist_ix, 9)),
+        ("fig10", figures::fig10(&dist_ix, opts.samples, opts.seed)),
+        ("fig11", figures::fig_files(&greedy_ix, 11, opts.samples, opts.seed)),
+        ("fig12", figures::fig_files(&greedy_ix, 12, opts.samples, opts.seed)),
     ];
+    eprintln!("[all] phase figures: {:.2}s", t_phase.elapsed().as_secs_f64());
 
     for (_, a) in &artefacts {
         println!("{}\n", a.text);
@@ -74,6 +104,7 @@ fn main() {
             .into();
         println!("{}", serde_json::to_string_pretty(&combined).expect("serialisable"));
     }
+    eprintln!("[all] total: {:.2}s", t_total.elapsed().as_secs_f64());
 }
 
 fn summary_line(id: &str, data: &serde_json::Value) -> String {

@@ -1,12 +1,14 @@
 //! Regenerates Fig. 12 (peers vs number of popular files).
 
+use edonkey_analysis::LogIndex;
 use edonkey_experiments::figures;
 use edonkey_experiments::{Measurement, Options};
 
 fn main() {
     let opts = Options::from_args();
     let log = opts.run(Measurement::Greedy);
-    let artefact = figures::fig_files(&log, 12, opts.samples, opts.seed);
+    let ix = LogIndex::build(&log);
+    let artefact = figures::fig_files(&ix, 12, opts.samples, opts.seed);
     println!("{}", artefact.text);
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&artefact.data).expect("serialisable"));

@@ -1,12 +1,13 @@
-//! One function per paper artefact: computes the figure's data from a
-//! measurement log and renders the human-readable report (plus a JSON
-//! value for EXPERIMENTS.md).
+//! One function per paper artefact: computes the figure's data from the
+//! shared [`LogIndex`] (built once per measurement) and renders the
+//! human-readable report (plus a JSON value for EXPERIMENTS.md).
+//!
+//! Only [`table1`] (O(1) header fields) and the top-peer series (a single
+//! peer's records) still read the raw log.
 
 use edonkey_analysis::{
-    basic_stats, distinct_peers_by_strategy, file_growth, file_peer_counts, first_event_ms,
-    hourly_counts, messages_by_strategy, peer_growth, peer_series, peer_sets_by_file,
-    peer_sets_by_honeypot, plateaus, popular_files, random_files, subset_curve, top_peer,
-    StrategyComparison, SubsetPoint,
+    basic_stats, file_peer_counts, peer_series, plateaus, popular_files, random_files,
+    subset_curve, LogIndex, StrategyComparison, SubsetPoint,
 };
 use edonkey_analysis::report::{ascii_chart, ascii_table, format_bytes, format_count, series_table};
 use honeypot::{MeasurementLog, QueryKind};
@@ -76,9 +77,9 @@ pub fn table1(dist: &MeasurementLog, greedy: &MeasurementLog) -> Artefact {
 }
 
 /// Figs. 2 (distributed) and 3 (greedy): distinct-peer growth.
-pub fn fig_growth(log: &MeasurementLog, fig_no: u8) -> Artefact {
-    let g = peer_growth(log);
-    let files = file_growth(log);
+pub fn fig_growth(ix: &LogIndex, fig_no: u8) -> Artefact {
+    let g = ix.peer_growth();
+    let files = ix.file_growth();
     let days: Vec<u64> = (0..g.cumulative.len() as u64).collect();
     let chart = ascii_chart(
         &[
@@ -105,10 +106,10 @@ pub fn fig_growth(log: &MeasurementLog, fig_no: u8) -> Artefact {
 }
 
 /// Fig. 4: HELLO messages per hour over the first week.
-pub fn fig04(log: &MeasurementLog) -> Artefact {
-    let s = hourly_counts(log, QueryKind::Hello);
+pub fn fig04(ix: &LogIndex) -> Artefact {
+    let s = ix.hourly_counts(QueryKind::Hello);
     let week: Vec<u64> = s.counts.iter().copied().take(168).collect();
-    let first_ms = first_event_ms(log, QueryKind::Hello).unwrap_or(0);
+    let first_ms = ix.first_event_ms(QueryKind::Hello).unwrap_or(0);
     let ratio = edonkey_analysis::HourlySeries { counts: week.clone() }.day_night_ratio();
     let chart =
         ascii_chart(&[("HELLO/hour", &week.iter().map(|&v| v as f64).collect::<Vec<_>>()[..])], 84, 14);
@@ -170,8 +171,8 @@ fn strategy_artefact(
 }
 
 /// Fig. 5: distinct peers sending HELLO per strategy group.
-pub fn fig05(log: &MeasurementLog) -> Artefact {
-    let c = distinct_peers_by_strategy(log, QueryKind::Hello);
+pub fn fig05(ix: &LogIndex) -> Artefact {
+    let c = ix.distinct_peers_by_strategy(QueryKind::Hello);
     strategy_artefact(
         "Fig. 5 — distinct peers sending HELLO, by content strategy".into(),
         &c,
@@ -180,8 +181,8 @@ pub fn fig05(log: &MeasurementLog) -> Artefact {
 }
 
 /// Fig. 6: distinct peers sending START-UPLOAD per strategy group.
-pub fn fig06(log: &MeasurementLog) -> Artefact {
-    let c = distinct_peers_by_strategy(log, QueryKind::StartUpload);
+pub fn fig06(ix: &LogIndex) -> Artefact {
+    let c = ix.distinct_peers_by_strategy(QueryKind::StartUpload);
     strategy_artefact(
         "Fig. 6 — distinct peers sending START-UPLOAD, by content strategy".into(),
         &c,
@@ -190,8 +191,8 @@ pub fn fig06(log: &MeasurementLog) -> Artefact {
 }
 
 /// Fig. 7: cumulative REQUEST-PART messages per strategy group.
-pub fn fig07(log: &MeasurementLog) -> Artefact {
-    let c = messages_by_strategy(log, QueryKind::RequestPart);
+pub fn fig07(ix: &LogIndex) -> Artefact {
+    let c = ix.messages_by_strategy(QueryKind::RequestPart);
     strategy_artefact(
         "Fig. 7 — REQUEST-PART messages received, by content strategy".into(),
         &c,
@@ -200,9 +201,11 @@ pub fn fig07(log: &MeasurementLog) -> Artefact {
 }
 
 /// Figs. 8 and 9: the top peer's START-UPLOAD / REQUEST-PART series.
-pub fn fig_top_peer(log: &MeasurementLog, fig_no: u8) -> Artefact {
+/// The top-peer search reads the index; the single-peer series scans the
+/// log (one peer's records only).
+pub fn fig_top_peer(log: &MeasurementLog, ix: &LogIndex, fig_no: u8) -> Artefact {
     let kind = if fig_no == 8 { QueryKind::StartUpload } else { QueryKind::RequestPart };
-    let Some(peer) = top_peer(log, QueryKind::StartUpload) else {
+    let Some(peer) = ix.top_peer(QueryKind::StartUpload) else {
         return Artefact {
             text: format!("Fig. {fig_no} — no queries recorded"),
             data: json!(null),
@@ -259,9 +262,8 @@ fn subset_artefact(title: String, curve: &[SubsetPoint], per_file: serde_json::V
 
 /// Fig. 10: distinct peers vs number of honeypots (100 random subsets per
 /// n; min/avg/max).
-pub fn fig10(log: &MeasurementLog, samples: usize, seed: u64) -> Artefact {
-    let sets = peer_sets_by_honeypot(log);
-    let curve = subset_curve(&sets, samples, seed);
+pub fn fig10(ix: &LogIndex, samples: usize, seed: u64) -> Artefact {
+    let curve = subset_curve(ix.honeypot_peer_sets(), samples, seed);
     let single_min = curve.first().map_or(0, |p| p.min);
     let single_max = curve.first().map_or(0, |p| p.max);
     subset_artefact(
@@ -277,13 +279,13 @@ pub fn fig10(log: &MeasurementLog, samples: usize, seed: u64) -> Artefact {
 
 /// Figs. 11 (random files) and 12 (popular files): distinct peers vs
 /// number of advertised files.
-pub fn fig_files(log: &MeasurementLog, fig_no: u8, samples: usize, seed: u64) -> Artefact {
-    let sets = peer_sets_by_file(log);
-    let counts = file_peer_counts(&sets);
+pub fn fig_files(ix: &LogIndex, fig_no: u8, samples: usize, seed: u64) -> Artefact {
+    let sets = ix.file_peer_sets();
+    let counts = file_peer_counts(sets);
     let (label, chosen) = if fig_no == 11 {
-        ("random-files", random_files(&sets, 100, seed ^ 0xF11E5))
+        ("random-files", random_files(sets, 100, seed ^ 0xF11E5))
     } else {
-        ("popular-files", popular_files(&sets, 100))
+        ("popular-files", popular_files(sets, 100))
     };
     let curve = subset_curve(&chosen, samples, seed);
     let final_avg = curve.last().map_or(0.0, |p| p.avg);
@@ -312,20 +314,22 @@ mod tests {
     use edonkey_analysis::testutil::synthetic_log;
     use netsim::SimTime;
 
-    fn fixture() -> MeasurementLog {
-        synthetic_log(&[
+    fn fixture() -> (MeasurementLog, LogIndex) {
+        let log = synthetic_log(&[
             (0, QueryKind::Hello, 0, SimTime::from_hours(1)),
             (0, QueryKind::StartUpload, 0, SimTime::from_hours(1)),
             (1, QueryKind::Hello, 1, SimTime::from_hours(2)),
             (1, QueryKind::StartUpload, 1, SimTime::from_hours(2)),
             (1, QueryKind::RequestPart, 1, SimTime::from_hours(3)),
             (2, QueryKind::Hello, 1, SimTime::from_hours(30)),
-        ])
+        ]);
+        let ix = LogIndex::build(&log);
+        (log, ix)
     }
 
     #[test]
     fn table1_renders_both_columns() {
-        let log = fixture();
+        let (log, _) = fixture();
         let a = table1(&log, &log);
         assert!(a.text.contains("distributed") && a.text.contains("greedy"));
         assert!(a.data["distributed"]["distinct_peers"].as_u64().unwrap() == 3);
@@ -333,21 +337,24 @@ mod tests {
 
     #[test]
     fn growth_figures_render() {
-        let a = fig_growth(&fixture(), 2);
+        let (_, ix) = fixture();
+        let a = fig_growth(&ix, 2);
         assert!(a.text.contains("Fig. 2"));
         assert_eq!(a.data["total_peers"].as_u64(), Some(3));
     }
 
     #[test]
     fn fig04_reports_first_query() {
-        let a = fig04(&fixture());
+        let (_, ix) = fixture();
+        let a = fig04(&ix);
         assert!(a.text.contains("Fig. 4"));
         assert!((a.data["first_query_min"].as_f64().unwrap() - 60.0).abs() < 1e-9);
     }
 
     #[test]
     fn strategy_figures_render() {
-        for f in [fig05(&fixture()), fig06(&fixture()), fig07(&fixture())] {
+        let (_, ix) = fixture();
+        for f in [fig05(&ix), fig06(&ix), fig07(&ix)] {
             assert!(f.text.contains("random content"));
             assert!(f.data["final_random"].is_u64());
         }
@@ -355,26 +362,29 @@ mod tests {
 
     #[test]
     fn top_peer_figures_render() {
-        let a = fig_top_peer(&fixture(), 8);
+        let (log, ix) = fixture();
+        let a = fig_top_peer(&log, &ix, 8);
         assert!(a.text.contains("top peer"));
-        let b = fig_top_peer(&fixture(), 9);
+        let b = fig_top_peer(&log, &ix, 9);
         assert!(b.text.contains("REQUEST-PART"));
     }
 
     #[test]
     fn top_peer_empty_log() {
         let log = synthetic_log(&[]);
-        let a = fig_top_peer(&log, 8);
+        let ix = LogIndex::build(&log);
+        let a = fig_top_peer(&log, &ix, 8);
         assert!(a.text.contains("no queries"));
     }
 
     #[test]
     fn subset_figures_render() {
-        let a = fig10(&fixture(), 10, 1);
+        let (_, ix) = fixture();
+        let a = fig10(&ix, 10, 1);
         assert!(a.text.contains("Fig. 10"));
-        let b = fig_files(&fixture(), 11, 10, 1);
+        let b = fig_files(&ix, 11, 10, 1);
         assert!(b.data["set"].as_str() == Some("random-files"));
-        let c = fig_files(&fixture(), 12, 10, 1);
+        let c = fig_files(&ix, 12, 10, 1);
         assert!(c.data["set"].as_str() == Some("popular-files"));
     }
 }

@@ -29,6 +29,9 @@ pub struct Options {
     /// Directory to load previously saved measurement logs from (skips the
     /// simulation when the file exists).
     pub load: Option<std::path::PathBuf>,
+    /// Size of the rayon worker pool used by the parallel analyses
+    /// (`None` = rayon's default, one worker per core).
+    pub threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -40,6 +43,7 @@ impl Default for Options {
             json: false,
             save: None,
             load: None,
+            threads: None,
         }
     }
 }
@@ -73,12 +77,31 @@ impl Options {
                 "--json" => opts.json = true,
                 "--save" => opts.save = Some(take_value(&mut i).into()),
                 "--load" => opts.load = Some(take_value(&mut i).into()),
+                "--threads" => {
+                    let n: usize =
+                        take_value(&mut i).parse().unwrap_or_else(|_| usage("--threads"));
+                    if n == 0 {
+                        usage("--threads must be at least 1");
+                    }
+                    opts.threads = Some(n);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(other),
             }
             i += 1;
         }
+        opts.install_thread_pool();
         opts
+    }
+
+    /// Sizes rayon's global pool to `--threads` (first caller wins; a
+    /// no-op when unset or when a pool already exists).
+    pub fn install_thread_pool(&self) {
+        if let Some(n) = self.threads {
+            if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
+                eprintln!("[run] rayon pool already initialised ({e}); --threads ignored");
+            }
+        }
     }
 
     /// The scenario configuration for a measurement under these options.
@@ -102,9 +125,25 @@ impl Options {
             let path = dir.join(format!("{label}.edhp"));
             if path.exists() {
                 match honeypot::storage::load(&path) {
+                    // A log that decodes but fails validation (truncated
+                    // write, foreign file) would silently corrupt every
+                    // figure — fall back to re-running instead.
                     Ok(log) => {
-                        eprintln!("[run] {label}: loaded {} records from {}", log.records.len(), path.display());
-                        return log;
+                        let problems = log.validate();
+                        if problems.is_empty() {
+                            eprintln!(
+                                "[run] {label}: loaded {} records from {}",
+                                log.records.len(),
+                                path.display()
+                            );
+                            return log;
+                        }
+                        eprintln!(
+                            "[run] {label}: {} fails validation ({} problems, first: {}); re-running",
+                            path.display(),
+                            problems.len(),
+                            problems.first().map(String::as_str).unwrap_or("?"),
+                        );
                     }
                     Err(e) => eprintln!("[run] {label}: could not load {}: {e}; re-running", path.display()),
                 }
@@ -166,7 +205,8 @@ fn usage(offender: &str) -> ! {
          --samples N  Monte-Carlo samples for subset figures (default 100)\n\
          --json       also emit machine-readable JSON\n\
          --save DIR   store the measurement logs under DIR (EDHP format)\n\
-         --load DIR   reuse measurement logs from DIR instead of re-running",
+         --load DIR   reuse measurement logs from DIR instead of re-running\n\
+         --threads N  size of the rayon worker pool (default: one per core)",
         scenarios::DEFAULT_SEED
     );
     std::process::exit(2)
@@ -186,6 +226,32 @@ mod tests {
         assert!(stats.distinct_peers > 50, "got {}", stats.distinct_peers);
         assert_eq!(stats.shared_files, 4);
         assert!((stats.duration_days - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_saved_log_is_rerun_not_trusted() {
+        use edonkey_analysis::testutil::synthetic_log;
+        use honeypot::QueryKind;
+        use netsim::SimTime;
+
+        let dir = std::env::temp_dir().join(format!("edhp-load-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        // A log that decodes fine but violates the peer-range invariant.
+        let mut bad = synthetic_log(&[(0, QueryKind::Hello, 0, SimTime::from_hours(1))]);
+        bad.distinct_peers = 0;
+        assert!(!bad.validate().is_empty(), "fixture must actually be invalid");
+        honeypot::storage::save(&bad, &dir.join("distributed.edhp")).expect("save");
+
+        let opts = Options {
+            scale: 0.01,
+            seed: 5,
+            load: Some(dir.clone()),
+            ..Default::default()
+        };
+        let log = opts.run(Measurement::Distributed);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(log.honeypots.len(), 24, "must come from a fresh run, not the bad file");
+        assert!(log.validate().is_empty());
     }
 
     #[test]

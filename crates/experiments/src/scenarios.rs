@@ -14,8 +14,8 @@
 
 use edonkey_sim::catalog::FileClass;
 use edonkey_sim::{
-    BehaviorConfig, BlacklistConfig, CatalogConfig, HoneypotSetup, PopulationConfig, RobotConfig,
-    ScenarioConfig,
+    BehaviorConfig, BlacklistConfig, CatalogConfig, HoneypotSetup, PopulationConfig, QueueKind,
+    RobotConfig, ScenarioConfig,
 };
 use honeypot::ContentStrategy;
 use netsim::time::{MS_PER_HOUR, MS_PER_MIN, MS_PER_SEC};
@@ -123,6 +123,10 @@ pub fn distributed(seed: u64, scale: f64) -> ScenarioConfig {
         collect_ms: 12 * MS_PER_HOUR,
         keepalive_ms: 30 * MS_PER_MIN,
         name_threshold: 3,
+        // Retry/keepalive traffic clusters tightly in time — exactly the
+        // pattern the calendar queue wins on (results are identical either
+        // way; see the sim crate's determinism test).
+        queue: QueueKind::Calendar,
     };
 
     let catalog = config.build_catalog();
@@ -213,6 +217,7 @@ pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
         collect_ms: 12 * MS_PER_HOUR,
         keepalive_ms: 30 * MS_PER_MIN,
         name_threshold: 3,
+        queue: QueueKind::Calendar,
     };
 
     let catalog = config.build_catalog();

@@ -8,12 +8,18 @@
 //! scheduler enforces, keeping causality intact by construction.
 
 use crate::event::EventQueue;
+use crate::queue::PendingQueue;
 use crate::time::SimTime;
 
 /// Handle through which event handlers schedule future events.
+///
+/// Holds the queue as a trait object so [`World`] implementations stay
+/// oblivious to which [`PendingQueue`] the engine runs on; only the push
+/// goes through dynamic dispatch, pops remain statically dispatched in the
+/// engine loop.
 pub struct Scheduler<'a, E> {
     now: SimTime,
-    queue: &'a mut EventQueue<E>,
+    queue: &'a mut (dyn PendingQueue<E> + 'a),
 }
 
 impl<'a, E> Scheduler<'a, E> {
@@ -59,16 +65,34 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
-/// The discrete-event engine.
-pub struct Engine<W: World> {
+/// The discrete-event engine, generic over its pending-event queue.
+///
+/// `Q` defaults to the binary-heap [`EventQueue`], so existing callers
+/// construct and use the engine exactly as before; scenarios that benefit
+/// from the bucketed [`crate::CalendarQueue`] pass one to
+/// [`Engine::with_queue`].
+pub struct Engine<W: World, Q: PendingQueue<W::Event> = EventQueue<<W as World>::Event>> {
     now: SimTime,
-    queue: EventQueue<W::Event>,
+    queue: Q,
     events_handled: u64,
+    _world: std::marker::PhantomData<fn() -> W>,
 }
 
 impl<W: World> Engine<W> {
     pub fn new() -> Self {
-        Engine { now: SimTime::ZERO, queue: EventQueue::new(), events_handled: 0 }
+        Self::with_queue(EventQueue::new())
+    }
+}
+
+impl<W: World, Q: PendingQueue<W::Event>> Engine<W, Q> {
+    /// Creates an engine driven by the given queue.
+    pub fn with_queue(queue: Q) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue,
+            events_handled: 0,
+            _world: std::marker::PhantomData,
+        }
     }
 
     /// Current simulation time (the timestamp of the last handled event).
@@ -113,6 +137,14 @@ impl<W: World> Engine<W> {
     }
 
     /// [`Engine::run_until`] with an event budget as runaway protection.
+    ///
+    /// The loop pops first and parks the event back with
+    /// [`PendingQueue::unpop`] when it lies at or past the horizon (or the
+    /// budget is spent), rather than peeking before every pop: peek is
+    /// O(1) on a heap but a scan on a calendar queue, and popping is the
+    /// one operation both queues make fast.  `unpop` keeps the parked
+    /// event at the front of its timestamp's FIFO class, so staged runs
+    /// replay identically to the peek-based formulation.
     pub fn run_until_with_budget(
         &mut self,
         world: &mut W,
@@ -121,19 +153,24 @@ impl<W: World> Engine<W> {
     ) -> RunOutcome {
         let mut handled = 0u64;
         loop {
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t >= horizon => {
-                    self.now = self.now.max(horizon);
-                    return RunOutcome::HorizonReached;
-                }
-                Some(_) => {}
+            let Some((time, event)) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
+            if time >= horizon {
+                self.queue.unpop(time, event);
+                self.now = self.now.max(horizon);
+                return RunOutcome::HorizonReached;
             }
             if handled >= max_events {
+                self.queue.unpop(time, event);
                 return RunOutcome::BudgetExhausted;
             }
-            self.step(world);
+            debug_assert!(time >= self.now, "event queue yielded a past event");
+            self.now = time;
+            self.events_handled += 1;
             handled += 1;
+            let mut sched = Scheduler { now: time, queue: &mut self.queue };
+            world.handle(time, event, &mut sched);
         }
     }
 }
@@ -144,7 +181,7 @@ impl<W: World> Default for Engine<W> {
     }
 }
 
-impl<W: World> std::fmt::Debug for Engine<W> {
+impl<W: World, Q: PendingQueue<W::Event>> std::fmt::Debug for Engine<W, Q> {
     fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         fm.debug_struct("Engine")
             .field("now", &self.now)
@@ -230,6 +267,45 @@ mod tests {
         engine.schedule(SimTime(500), 0);
         engine.run_until(&mut world, SimTime(1_000));
         assert_eq!(world.saw_second, Some(SimTime(500)));
+    }
+
+    #[test]
+    fn heap_and_calendar_engines_fire_identically() {
+        use crate::calendar::CalendarQueue;
+
+        let mut on_heap = Recorder { fired: vec![], chain_until: 40 };
+        let mut heap_engine = Engine::new();
+        heap_engine.schedule(SimTime(3), 0);
+        heap_engine.schedule(SimTime(3), 7);
+        let heap_out = heap_engine.run_until(&mut on_heap, SimTime(250));
+
+        let mut on_cal = Recorder { fired: vec![], chain_until: 40 };
+        let mut cal_engine = Engine::with_queue(CalendarQueue::new(8, 25));
+        cal_engine.schedule(SimTime(3), 0);
+        cal_engine.schedule(SimTime(3), 7);
+        let cal_out = cal_engine.run_until(&mut on_cal, SimTime(250));
+
+        assert_eq!(heap_out, cal_out);
+        assert_eq!(on_heap.fired, on_cal.fired);
+        assert_eq!(heap_engine.now(), cal_engine.now());
+        assert_eq!(heap_engine.pending(), cal_engine.pending());
+        assert_eq!(heap_engine.events_handled(), cal_engine.events_handled());
+    }
+
+    #[test]
+    fn budget_resume_preserves_tie_order() {
+        // Exhaust the budget in the middle of a same-timestamp tie class,
+        // then resume: the parked event must still fire before its peers.
+        let mut world = Recorder { fired: vec![], chain_until: 0 };
+        let mut engine = Engine::new();
+        for i in 0..4 {
+            engine.schedule(SimTime(10), i);
+        }
+        let out = engine.run_until_with_budget(&mut world, SimTime(100), 2);
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        engine.run_until(&mut world, SimTime(100));
+        let order: Vec<u32> = world.fired.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

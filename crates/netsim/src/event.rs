@@ -7,12 +7,17 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::queue::PendingQueue;
 use crate::time::SimTime;
 
 /// Internal heap entry.  Ordering ignores the payload entirely.
+///
+/// `seq` is signed: ordinary pushes count up from zero, while
+/// [`EventQueue::unpop`] counts down from −1 so a re-parked event sorts
+/// ahead of every same-time entry that was pushed normally.
 struct Entry<E> {
     time: SimTime,
-    seq: u64,
+    seq: i64,
     payload: E,
 }
 
@@ -39,7 +44,8 @@ impl<E> Ord for Entry<E> {
 /// A stable time-ordered event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    next_seq: u64,
+    next_seq: i64,
+    front_seq: i64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -50,7 +56,7 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, front_seq: 0 }
     }
 
     /// Schedules `payload` to fire at `time`.
@@ -58,6 +64,13 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Reinserts a just-popped minimum at the front of its FIFO class
+    /// (see [`crate::queue::PendingQueue::unpop`]).
+    pub fn unpop(&mut self, time: SimTime, payload: E) {
+        self.front_seq -= 1;
+        self.heap.push(Reverse(Entry { time, seq: self.front_seq, payload }));
     }
 
     /// Removes and returns the earliest event.
@@ -80,7 +93,29 @@ impl<E> EventQueue<E> {
 
     /// Total number of events ever pushed (diagnostics).
     pub fn pushed_total(&self) -> u64 {
-        self.next_seq
+        self.next_seq as u64
+    }
+}
+
+impl<E> PendingQueue<E> for EventQueue<E> {
+    fn push(&mut self, time: SimTime, payload: E) {
+        EventQueue::push(self, time, payload);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn unpop(&mut self, time: SimTime, payload: E) {
+        EventQueue::unpop(self, time, payload);
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn pushed_total(&self) -> u64 {
+        EventQueue::pushed_total(self)
     }
 }
 
@@ -127,6 +162,19 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(9)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn unpop_keeps_fifo_front_position() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), "first");
+        q.push(SimTime(5), "second");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        q.unpop(t, e);
+        // A plain push would send "first" behind "second"; unpop must not.
+        assert_eq!(q.pop(), Some((SimTime(5), "first")));
+        assert_eq!(q.pop(), Some((SimTime(5), "second")));
     }
 
     #[test]

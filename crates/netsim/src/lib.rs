@@ -4,10 +4,12 @@
 //! `edonkey-honeypots` reproduction but domain-agnostic:
 //!
 //! * [`time`] — the millisecond simulation clock with hour/day views;
-//! * [`event`] — a stable (insertion-order tie-breaking) event queue;
+//! * [`queue`] — the [`queue::PendingQueue`] abstraction the engine runs on;
+//! * [`event`] — a stable (insertion-order tie-breaking) binary-heap queue;
+//! * [`calendar`] — a bucketed calendar queue with identical semantics;
 //! * [`engine`] — the event loop: a [`engine::World`] state machine driven
-//!   by an [`engine::Engine`], with causality enforced by the
-//!   [`engine::Scheduler`] handle;
+//!   by an [`engine::Engine`] generic over its queue, with causality
+//!   enforced by the [`engine::Scheduler`] handle;
 //! * [`rng`] — from-scratch `xoshiro256**` with named sub-streams for
 //!   component-level reproducibility;
 //! * [`dist`] — exponential/Poisson/normal/log-normal/Zipf sampling and the
@@ -24,6 +26,7 @@ pub mod engine;
 pub mod event;
 pub mod latency;
 pub mod metrics;
+pub mod queue;
 pub mod rng;
 pub mod time;
 
@@ -31,6 +34,7 @@ pub use calendar::CalendarQueue;
 pub use dist::{DiurnalCurve, Zipf};
 pub use engine::{Engine, RunOutcome, Scheduler, World};
 pub use event::EventQueue;
+pub use queue::PendingQueue;
 pub use latency::LatencyModel;
 pub use metrics::{BucketSeries, FirstSeen};
 pub use rng::Rng;

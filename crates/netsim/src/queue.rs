@@ -1,0 +1,41 @@
+//! The queue abstraction behind the engine.
+//!
+//! Two implementations exist — the binary-heap [`crate::event::EventQueue`]
+//! and the bucketed [`crate::calendar::CalendarQueue`] — with identical
+//! observable semantics: pops are monotone in time and FIFO among equal
+//! timestamps.  [`crate::Engine`] is generic over this trait so a scenario
+//! can pick whichever wins on its scheduling pattern without touching any
+//! world code; the equivalence is asserted by property tests and by a
+//! byte-identical-log determinism test in the simulator crate.
+
+use crate::time::SimTime;
+
+/// A time-ordered pending-event queue with stable FIFO tie-breaking.
+pub trait PendingQueue<E> {
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// Implementations may require `time` to be no earlier than the last
+    /// popped event (the engine's causality clamp guarantees this).
+    fn push(&mut self, time: SimTime, payload: E);
+
+    /// Removes and returns the earliest event; FIFO among equal times.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Reinserts an event that was just popped as the global minimum and
+    /// not handled.  Unlike [`PendingQueue::push`], the event keeps its
+    /// place at the *front* of its timestamp's FIFO class, so a later pop
+    /// yields it before any other pending event with the same time.  The
+    /// engine uses this to park the first at-or-past-horizon event back in
+    /// the queue without disturbing replay determinism.
+    fn unpop(&mut self, time: SimTime, payload: E);
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever pushed (diagnostics).
+    fn pushed_total(&self) -> u64;
+}

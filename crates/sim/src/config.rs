@@ -246,6 +246,23 @@ pub struct CrashConfig {
     pub mtbf_ms: u64,
 }
 
+/// Which pending-event queue drives the engine.
+///
+/// Both queues are observably identical (`determinism.rs` in this crate's
+/// tests asserts byte-identical measurement logs), so this is purely a
+/// performance knob: the calendar queue wins on the simulator's
+/// tightly-clustered retry/keepalive traffic, the heap is the safe
+/// general-purpose default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Binary heap ([`netsim::EventQueue`]).
+    #[default]
+    Heap,
+    /// Bucketed calendar queue ([`netsim::CalendarQueue`]), sized for one
+    /// day of one-minute buckets.
+    Calendar,
+}
+
 /// The full scenario.
 #[derive(Clone, Debug)]
 pub struct ScenarioConfig {
@@ -268,6 +285,8 @@ pub struct ScenarioConfig {
     pub keepalive_ms: u64,
     /// Word-frequency threshold of the file-name anonymiser.
     pub name_threshold: u32,
+    /// Engine queue selection (performance only; results are identical).
+    pub queue: QueueKind,
 }
 
 impl ScenarioConfig {
@@ -291,6 +310,7 @@ impl ScenarioConfig {
             collect_ms: 6 * MS_PER_HOUR,
             keepalive_ms: 30 * MS_PER_MIN,
             name_threshold: 3,
+            queue: QueueKind::default(),
         }
     }
 

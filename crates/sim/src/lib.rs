@@ -33,8 +33,8 @@ pub mod world;
 
 pub use catalog::{Catalog, CatalogConfig};
 pub use config::{
-    BehaviorConfig, BlacklistConfig, CrashConfig, HoneypotSetup, PopulationConfig, RobotConfig,
-    ScenarioConfig,
+    BehaviorConfig, BlacklistConfig, CrashConfig, HoneypotSetup, PopulationConfig, QueueKind,
+    RobotConfig, ScenarioConfig,
 };
 pub use server::SimServer;
 pub use world::{run_scenario, EdonkeyWorld, Event, SimOutput, WorldStats};

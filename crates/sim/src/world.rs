@@ -23,11 +23,11 @@ use honeypot::{
 use netsim::dist::{exponential, poisson};
 use netsim::engine::{Scheduler, World};
 use netsim::time::MS_PER_DAY;
-use netsim::{Engine, Rng, SimTime};
+use netsim::{CalendarQueue, Engine, EventQueue, PendingQueue, Rng, SimTime};
 use std::collections::HashMap;
 
 use crate::catalog::Catalog;
-use crate::config::ScenarioConfig;
+use crate::config::{QueueKind, ScenarioConfig};
 use crate::identity::IdentityFactory;
 use crate::peer::{SessionOutcome, SessionState, Session, SimPeer, MAX_HONEYPOTS};
 use crate::server::SimServer;
@@ -113,7 +113,10 @@ pub struct EdonkeyWorld {
 
 impl EdonkeyWorld {
     /// Builds the world and seeds the initial events into `engine`.
-    pub fn new(config: ScenarioConfig, engine: &mut Engine<Self>) -> Self {
+    pub fn new<Q: PendingQueue<Event>>(
+        config: ScenarioConfig,
+        engine: &mut Engine<Self, Q>,
+    ) -> Self {
         assert!(
             config.honeypots.len() <= MAX_HONEYPOTS,
             "at most {MAX_HONEYPOTS} honeypots supported"
@@ -1070,9 +1073,21 @@ fn block_triple(size: u64, cursor: u32) -> [PartRange; 3] {
 }
 
 /// Runs a scenario end-to-end and returns its output.
+///
+/// Dispatches on [`crate::config::QueueKind`] once, up front; both queues
+/// produce byte-identical output (see `tests/determinism.rs`), so the
+/// choice only affects wall-clock time.
 pub fn run_scenario(config: ScenarioConfig) -> SimOutput {
+    match config.queue {
+        QueueKind::Heap => run_scenario_on(config, EventQueue::new()),
+        QueueKind::Calendar => run_scenario_on(config, CalendarQueue::for_simulation()),
+    }
+}
+
+/// [`run_scenario`] on a concrete queue.
+fn run_scenario_on<Q: PendingQueue<Event>>(config: ScenarioConfig, queue: Q) -> SimOutput {
     let duration = config.duration;
-    let mut engine = Engine::new();
+    let mut engine = Engine::with_queue(queue);
     let mut world = EdonkeyWorld::new(config, &mut engine);
     engine.run_until(&mut world, duration);
     world.finish(duration)
