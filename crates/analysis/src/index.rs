@@ -46,6 +46,17 @@ pub(crate) const STRATEGIES: usize = 2;
 /// result, never depends on the pool executing it.
 const BUILD_CHUNKS: usize = 16;
 
+/// Below this record count [`LogIndex::build`] stays sequential.  Each
+/// parallel chunk allocates its own universe-sized accumulators
+/// (`Partial::new` holds 9 peer-indexed vectors), so on small logs the
+/// 16-way split costs more in allocation + merge than the scan saves —
+/// `BENCH_baseline.json` measured the parallel path at 45.8M records/s vs
+/// 57.5M sequential on a 547k-record log.  Both paths produce identical
+/// results (see `tests/index_equivalence.rs`); this is purely a
+/// performance crossover.  Public so the bench binary can report which
+/// path `build()` selects for a given log.
+pub const PAR_BUILD_MIN_RECORDS: usize = 2_000_000;
+
 /// Sentinel for "never observed" in first-seen arrays.
 pub(crate) const NEVER: u64 = u64::MAX;
 
@@ -195,8 +206,22 @@ fn bump_ragged(v: &mut Vec<u64>, idx: usize) {
 }
 
 impl LogIndex {
-    /// Builds the index in one rayon-parallel pass over the log.
+    /// Builds the index in one pass over the log, auto-selecting the
+    /// execution: sequential below [`PAR_BUILD_MIN_RECORDS`] or on a
+    /// single-thread pool (where the chunked build only adds allocation
+    /// and merge overhead), rayon-parallel otherwise.  The two paths are
+    /// result-identical, so the choice is invisible to callers.
     pub fn build(log: &MeasurementLog) -> LogIndex {
+        if log.records.len() < PAR_BUILD_MIN_RECORDS || rayon::current_num_threads() <= 1 {
+            Self::build_sequential(log)
+        } else {
+            Self::build_parallel(log)
+        }
+    }
+
+    /// The rayon-parallel chunked build (forced; [`LogIndex::build`]
+    /// normally decides).
+    pub fn build_parallel(log: &MeasurementLog) -> LogIndex {
         let chunk = log.records.len().div_ceil(BUILD_CHUNKS).max(1);
         Self::build_chunked(log, chunk)
     }

@@ -1,18 +1,20 @@
 //! Hand-rolled performance baseline for the hot paths this crate's
 //! criterion benches cover statistically: raw engine throughput under both
-//! pending-event queues, one-pass index build throughput, and the
-//! wall-clock of a scaled end-to-end `all` pipeline.  Writes the numbers
-//! to `BENCH_baseline.json` at the repository root so scale sweeps and
-//! future optimisation PRs have a committed reference point.
+//! pending-event queues, index build throughput (parallel, sequential, and
+//! what `build()` auto-selects), the lane-sharded scenario execution swept
+//! across rayon pool sizes, and the content-addressed run cache warm-path.
+//! Writes the numbers to `BENCH_pr2.json` at the repository root so scale
+//! sweeps and future optimisation PRs have a committed reference point
+//! (`BENCH_baseline.json` holds the pre-sharding numbers).
 //!
 //! Usage: `cargo run --release -p edonkey-bench --bin perf_baseline -- [--scale F]`
 
 use std::time::Instant;
 
 use edonkey_analysis::LogIndex;
-use edonkey_experiments::{figures, scenarios};
+use edonkey_experiments::{figures, scenarios, RunCache};
 use edonkey_sim::config::QueueKind;
-use edonkey_sim::run_scenario;
+use edonkey_sim::{run_scenario, run_sharded};
 use netsim::engine::{Engine, Scheduler, World};
 use netsim::{CalendarQueue, EventQueue, PendingQueue, SimTime};
 
@@ -80,8 +82,9 @@ fn main() {
     let cal_eps = engine_events_per_sec(CalendarQueue::new(4_096, 50));
     eprintln!("[bench] engine: heap {heap_eps:.0}/s, calendar {cal_eps:.0}/s");
 
-    // 2. Scaled scenario wall-clock under both queues (same log either
-    //    way — asserted by sim/tests/determinism.rs).
+    // 2. Scaled coupled scenario wall-clock under both queues (same log
+    //    either way — asserted by sim/tests/determinism.rs).  The calendar
+    //    run is also the coupled reference the sharding sweep compares to.
     let seed = scenarios::DEFAULT_SEED;
     let mut heap_cfg = scenarios::distributed(seed, scale);
     heap_cfg.queue = QueueKind::Heap;
@@ -99,11 +102,40 @@ fn main() {
     );
     drop(heap_out);
 
-    // 3. Index build throughput over the distributed log.
+    // 3. Lane-sharded execution swept across pool sizes.  The sharded log
+    //    is a different (equally valid) sample than the coupled one, so the
+    //    honest comparison is sharded-vs-sharded across thread counts plus
+    //    the coupled wall-clock for context.
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, max_threads];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut sweep: Vec<(usize, f64, usize)> = Vec::new();
+    for &threads in &counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("rayon pool");
+        let cfg = scenarios::distributed(seed, scale);
+        let t = Instant::now();
+        let out = pool.install(|| run_sharded(cfg));
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!(
+            "[bench] sharded @ {scale}, {threads} thread(s): {secs:.2}s ({} records)",
+            out.log.records.len()
+        );
+        sweep.push((threads, secs, out.log.records.len()));
+    }
+    let sharded_1t = sweep.first().map(|&(_, s, _)| s).unwrap_or(f64::NAN);
+
+    // 4. Index build throughput over the distributed log: the chunked
+    //    parallel path, the sequential path, and which one `build()`
+    //    auto-selects for a log of this size (small logs pick sequential —
+    //    the parallel partials allocate per-universe state per chunk).
     let reps = 5;
     let t = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(LogIndex::build(&dist));
+        std::hint::black_box(LogIndex::build_parallel(&dist));
     }
     let par_rps = (dist.records.len() * reps) as f64 / t.elapsed().as_secs_f64();
     let t = Instant::now();
@@ -111,9 +143,42 @@ fn main() {
         std::hint::black_box(LogIndex::build_sequential(&dist));
     }
     let seq_rps = (dist.records.len() * reps) as f64 / t.elapsed().as_secs_f64();
-    eprintln!("[bench] index: parallel {par_rps:.0} rec/s, sequential {seq_rps:.0} rec/s");
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(LogIndex::build(&dist));
+    }
+    let auto_rps = (dist.records.len() * reps) as f64 / t.elapsed().as_secs_f64();
+    let auto_picks = if dist.records.len() < edonkey_analysis::index::PAR_BUILD_MIN_RECORDS
+        || rayon::current_num_threads() <= 1
+    {
+        "sequential"
+    } else {
+        "parallel"
+    };
+    eprintln!(
+        "[bench] index: parallel {par_rps:.0} rec/s, sequential {seq_rps:.0} rec/s, auto ({auto_picks}) {auto_rps:.0} rec/s"
+    );
 
-    // 4. End-to-end scaled `all` pipeline (greedy sim + indexes + the
+    // 5. Run-cache warm path: storing the distributed log once, then
+    //    loading it back, versus the simulation wall-clock it replaces.
+    let cache_dir =
+        std::env::temp_dir().join(format!("edhp-bench-cache-{}", std::process::id()));
+    let cache = RunCache::new(cache_dir.clone());
+    let cfg = scenarios::distributed(seed, scale);
+    let t = Instant::now();
+    cache.store(&cfg, &dist).expect("cache store");
+    let store_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm = cache.load(&cfg).expect("cache load");
+    let load_secs = t.elapsed().as_secs_f64();
+    assert_eq!(warm.records.len(), dist.records.len());
+    drop(warm);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    eprintln!(
+        "[bench] run-cache: store {store_secs:.3}s, warm load {load_secs:.3}s (vs {dist_cal_secs:.2}s simulate)"
+    );
+
+    // 6. End-to-end scaled `all` pipeline (greedy sim + indexes + the
     //    figure set; the distributed log is reused from step 2).
     let t = Instant::now();
     let greedy = run_scenario(scenarios::greedy(seed, scale)).log;
@@ -136,11 +201,27 @@ fn main() {
     let all_secs = dist_cal_secs + t.elapsed().as_secs_f64();
     eprintln!("[bench] scaled all pipeline: {all_secs:.2}s ({} artefacts)", figs.len());
 
-    // Hand-rolled JSON (no serde needed for a dozen scalars).
+    // Hand-rolled JSON (no serde needed for a few dozen scalars).
+    let mut sweep_json = String::new();
+    for (i, &(threads, secs, records)) in sweep.iter().enumerate() {
+        if i > 0 {
+            sweep_json.push_str(",\n");
+        }
+        sweep_json.push_str(&format!(
+            "      {{ \"threads\": {threads}, \"secs\": {secs:.3}, \
+             \"records\": {records}, \
+             \"speedup_vs_1_thread\": {s1:.3}, \
+             \"speedup_vs_coupled\": {sc:.3} }}",
+            s1 = sharded_1t / secs,
+            sc = dist_cal_secs / secs,
+        ));
+    }
     let json = format!(
         "{{\n  \
          \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
-         \"threads\": {threads},\n  \
+         \"note\": \"lane-sharding sweep speedups are bounded by threads_available; a single-core host reports ~1.0x regardless of pool size\",\n  \
+         \"threads_available\": {max_threads},\n  \
+         \"rayon_default_threads\": {rayon_threads},\n  \
          \"engine\": {{\n    \
            \"pattern\": \"chained timers, {ENGINE_EVENTS} events\",\n    \
            \"heap_events_per_sec\": {heap_eps:.0},\n    \
@@ -150,7 +231,21 @@ fn main() {
          \"index_build\": {{\n    \
            \"records\": {records},\n    \
            \"parallel_records_per_sec\": {par_rps:.0},\n    \
-           \"sequential_records_per_sec\": {seq_rps:.0}\n  \
+           \"sequential_records_per_sec\": {seq_rps:.0},\n    \
+           \"auto_records_per_sec\": {auto_rps:.0},\n    \
+           \"auto_selected\": \"{auto_picks}\",\n    \
+           \"parallel_min_records\": {par_min}\n  \
+         }},\n  \
+         \"lane_sharding\": {{\n    \
+           \"scale\": {scale},\n    \
+           \"coupled_calendar_secs\": {dist_cal_secs:.3},\n    \
+           \"sweep\": [\n{sweep_json}\n    ]\n  \
+         }},\n  \
+         \"run_cache\": {{\n    \
+           \"store_secs\": {store_secs:.4},\n    \
+           \"warm_load_secs\": {load_secs:.4},\n    \
+           \"simulate_secs\": {dist_cal_secs:.3},\n    \
+           \"warm_speedup\": {warm_speedup:.1}\n  \
          }},\n  \
          \"scaled_run\": {{\n    \
            \"scale\": {scale},\n    \
@@ -158,16 +253,18 @@ fn main() {
            \"distributed_sim_calendar_secs\": {dist_cal_secs:.3},\n    \
            \"all_pipeline_secs\": {all_secs:.3}\n  \
          }}\n}}\n",
-        threads = rayon::current_num_threads(),
+        rayon_threads = rayon::current_num_threads(),
         ratio = cal_eps / heap_eps,
         records = dist.records.len(),
+        par_min = edonkey_analysis::index::PAR_BUILD_MIN_RECORDS,
+        warm_speedup = dist_cal_secs / load_secs.max(1e-9),
     );
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root")
-        .join("BENCH_baseline.json");
+        .join("BENCH_pr2.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[bench] wrote {}", path.display()),
         Err(e) => {

@@ -73,6 +73,7 @@ pub struct AnonPeerId(pub u32);
 #[derive(Clone, Debug, Default)]
 pub struct AnonMap {
     map: HashMap<IpHash, AnonPeerId>,
+    order: Vec<IpHash>,
 }
 
 impl AnonMap {
@@ -84,12 +85,24 @@ impl AnonMap {
     /// first sight.
     pub fn intern(&mut self, hash: IpHash) -> AnonPeerId {
         let next = AnonPeerId(self.map.len() as u32);
-        *self.map.entry(hash).or_insert(next)
+        let id = *self.map.entry(hash).or_insert(next);
+        if id == next {
+            self.order.push(hash);
+        }
+        id
     }
 
     /// Lookup without assignment.
     pub fn get(&self, hash: &IpHash) -> Option<AnonPeerId> {
         self.map.get(hash).copied()
+    }
+
+    /// The interned hashes in assignment order: `hashes()[id.0]` is the hash
+    /// that was mapped to `id`.  Lane-sharded execution uses this to carry a
+    /// lane's peer identities into the global merge without re-reading any
+    /// raw log.
+    pub fn hashes(&self) -> &[IpHash] {
+        &self.order
     }
 
     /// Number of distinct peers interned.
@@ -135,16 +148,41 @@ impl NameAnonymizer {
     /// Second pass setup: fix the threshold and assign integer tokens to
     /// rare words in deterministic (sorted) order.
     pub fn freeze(self, threshold: u32) -> FrozenNameAnonymizer {
-        let mut rare: Vec<&String> =
-            self.counts.iter().filter(|(_, &c)| c < threshold).map(|(w, _)| w).collect();
+        // Partition the count map by moving its keys: rare words become
+        // token keys, frequent words keep their counts for `is_public` (a
+        // word absent from `counts` reads as count 0 there, i.e. rare —
+        // exactly what dropping the rare entries preserves).
+        let mut rare: Vec<String> = Vec::new();
+        let mut counts = HashMap::with_capacity(self.counts.len());
+        for (w, c) in self.counts {
+            if c < threshold {
+                rare.push(w);
+            } else {
+                counts.insert(w, c);
+            }
+        }
         rare.sort_unstable();
-        let tokens = rare
-            .into_iter()
-            .enumerate()
-            .map(|(i, w)| (w.clone(), i as u32))
-            .collect();
-        FrozenNameAnonymizer { threshold, counts: self.counts, tokens }
+        let tokens =
+            rare.into_iter().enumerate().map(|(i, w)| (w, i as u32)).collect();
+        FrozenNameAnonymizer { threshold, counts, tokens }
     }
+}
+
+/// Appends the decimal rendering of `v` to `out` without a heap-allocated
+/// intermediate (`u32::MAX` is 10 digits).
+fn push_u32(out: &mut String, v: u32) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 /// The frozen, ready-to-rewrite anonymiser.
@@ -165,11 +203,17 @@ impl FrozenNameAnonymizer {
             let word_end = rest.find(|c: char| !c.is_alphanumeric()).unwrap_or(rest.len());
             if word_end > 0 {
                 let word = &rest[..word_end];
-                let key = word.to_ascii_lowercase();
-                match self.tokens.get(&key) {
-                    Some(tok) => {
+                // Look the word up without allocating: keys are lowercase,
+                // so only mixed-case words need a scratch buffer.
+                let tok = if word.bytes().any(|b| b.is_ascii_uppercase()) {
+                    self.tokens.get(&word.to_ascii_lowercase())
+                } else {
+                    self.tokens.get(word)
+                };
+                match tok {
+                    Some(&tok) => {
                         out.push('<');
-                        out.push_str(&tok.to_string());
+                        push_u32(&mut out, tok);
                         out.push('>');
                     }
                     None => out.push_str(word),
@@ -277,6 +321,31 @@ mod tests {
         counter.count("LINUX");
         let frozen = counter.freeze(3);
         assert!(frozen.is_public("Linux"));
+    }
+
+    #[test]
+    fn push_u32_matches_display() {
+        for v in [0u32, 1, 9, 10, 99, 100, 12345, u32::MAX] {
+            let mut s = String::new();
+            push_u32(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
+    }
+
+    #[test]
+    fn anon_map_hashes_follow_assignment_order() {
+        let hasher = IpHasher::from_seed(3);
+        let mut map = AnonMap::new();
+        let hs: Vec<IpHash> =
+            (0..5).map(|i| hasher.hash(Ipv4::new(10, 0, 0, i))).collect();
+        for h in &hs {
+            map.intern(*h);
+        }
+        map.intern(hs[0]); // re-intern must not duplicate
+        assert_eq!(map.hashes(), &hs[..]);
+        for (i, h) in hs.iter().enumerate() {
+            assert_eq!(map.get(h), Some(AnonPeerId(i as u32)));
+        }
     }
 
     #[test]

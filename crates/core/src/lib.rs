@@ -25,6 +25,7 @@ pub mod honeypot;
 pub mod log;
 pub mod manager;
 pub mod measurement;
+pub mod merge;
 pub mod storage;
 pub mod strategy;
 pub mod types;
@@ -34,6 +35,9 @@ pub use honeypot::{Action, ConnId, Honeypot, HoneypotConfig};
 pub use log::{HoneypotLog, LogChunk, QueryKind, QueryRecord};
 pub use manager::{HoneypotSpec, Manager};
 pub use measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
-pub use storage::{load as load_measurement, save as save_measurement, StorageError};
+pub use merge::{merge_lanes, LaneHarvest};
+pub use storage::{
+    load as load_measurement, save as save_measurement, StorageError, VERSION as STORAGE_VERSION,
+};
 pub use strategy::{AdvertisedFile, ContentStrategy, FileStrategy};
 pub use types::{HoneypotId, HoneypotStatus, IdStatus, ServerInfo, StatusReport};

@@ -1,0 +1,292 @@
+//! Deterministic merge of lane-sharded measurement output.
+//!
+//! Lane-sharded execution (see the `edonkey-sim` crate) runs each honeypot
+//! — or, for the greedy strategy, each group of honeypots that must share
+//! state — in its own *lane*: an independent world with its own arrival
+//! process and RNG stream.  Each lane ends with a [`LaneHarvest`]: the
+//! lane manager's merge state *before* finalisation, with lane-local peer
+//! ids, name indices and file indices.
+//!
+//! This module folds the harvests into one [`MeasurementLog`] with a fully
+//! deterministic discipline, independent of how lanes were scheduled:
+//!
+//! 1. every lane event is tagged `(at, lane, seq)` where `seq` is its
+//!    position inside its lane — a **unique** sort key, so the merged
+//!    order never depends on comparison ties;
+//! 2. records are sorted by that key and walked in order, re-interning
+//!    each lane-local peer id (via the lane's hash table) into a global
+//!    step-2 dictionary — global ids are dense in order of first
+//!    appearance in the merged, time-ordered stream, the same contract
+//!    [`crate::anonymize::AnonMap`] gives a coupled run;
+//! 3. shared lists follow, under the same key;
+//! 4. file-name word anonymisation runs once over the *unified* file
+//!    table — the paper's rarity threshold is a whole-corpus property, so
+//!    it cannot be applied per lane.
+
+use std::collections::HashMap;
+
+use netsim::SimTime;
+
+use crate::anonymize::{AnonMap, IpHash, NameAnonymizer};
+use crate::log::FileTable;
+use crate::measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
+use crate::types::HoneypotId;
+
+/// One lane's contribution to a sharded measurement: the lane manager's
+/// pre-finalisation state (see [`crate::manager::Manager::harvest`]).
+#[derive(Clone, Debug)]
+pub struct LaneHarvest {
+    /// The lane's honeypots, with lane-local dense ids `0..n`.
+    pub honeypots: Vec<HoneypotMeta>,
+    /// Records with lane-local peer/name/file indices.
+    pub records: Vec<AnonRecord>,
+    /// Shared lists with lane-local peer/file indices.
+    pub shared_lists: Vec<AnonSharedList>,
+    /// Lane-local peer-name table.
+    pub peer_names: Vec<String>,
+    /// Lane-local peer id → step-1 IP hash, in assignment order
+    /// (`peer_hashes[id]` is the hash behind lane-local id `id`).
+    pub peer_hashes: Vec<IpHash>,
+    /// Lane-local file table, names **not** yet anonymised.
+    pub files: FileTable,
+}
+
+/// Merges lane harvests into one measurement log.
+///
+/// Lane order is significant: honeypot ids are renumbered by offsetting
+/// each lane's local ids with the sizes of the preceding lanes, so callers
+/// must pass lanes in global honeypot order.  The result is a pure
+/// function of the harvest list — bit-identical no matter how the lanes
+/// themselves were computed.
+pub fn merge_lanes(
+    lanes: Vec<LaneHarvest>,
+    duration: SimTime,
+    shared_files_final: u32,
+    name_threshold: u32,
+) -> MeasurementLog {
+    // Honeypot id offsets: lane l's local id j becomes offsets[l] + j.
+    let mut offsets = Vec::with_capacity(lanes.len());
+    let mut total_hps = 0u32;
+    for lane in &lanes {
+        offsets.push(total_hps);
+        total_hps += lane.honeypots.len() as u32;
+    }
+
+    let mut honeypots = Vec::with_capacity(total_hps as usize);
+    let mut peer_names: Vec<String> = Vec::new();
+    let mut peer_name_index: HashMap<String, u32> = HashMap::new();
+    let mut files = FileTable::new();
+    // Per-lane translation tables, built in lane order so the global
+    // name/file tables are themselves deterministic.
+    let mut name_maps: Vec<Vec<u32>> = Vec::with_capacity(lanes.len());
+    let mut file_maps: Vec<Vec<u32>> = Vec::with_capacity(lanes.len());
+    for (l, lane) in lanes.iter().enumerate() {
+        honeypots.extend(lane.honeypots.iter().map(|h| HoneypotMeta {
+            id: HoneypotId(offsets[l] + h.id.0),
+            content: h.content,
+            server: h.server.clone(),
+        }));
+        let name_map = lane
+            .peer_names
+            .iter()
+            .map(|n| {
+                if let Some(&idx) = peer_name_index.get(n) {
+                    return idx;
+                }
+                let idx = peer_names.len() as u32;
+                peer_names.push(n.clone());
+                peer_name_index.insert(n.clone(), idx);
+                idx
+            })
+            .collect();
+        name_maps.push(name_map);
+        let file_map = (0..lane.files.len() as u32)
+            .map(|i| files.intern(lane.files.id(i), lane.files.name(i), lane.files.size(i)))
+            .collect();
+        file_maps.push(file_map);
+    }
+
+    // Deterministic event order: (at, lane, seq).  `seq` is the event's
+    // position within its lane, so the key is unique and the sort can
+    // never depend on tie-breaking.
+    let mut keyed: Vec<(SimTime, u32, u32, usize)> = Vec::new();
+    for (l, lane) in lanes.iter().enumerate() {
+        keyed.extend(
+            lane.records.iter().enumerate().map(|(seq, r)| (r.at, l as u32, seq as u32, l)),
+        );
+    }
+    keyed.sort_unstable_by_key(|&(at, lane, seq, _)| (at, lane, seq));
+
+    // Walk the merged stream, re-interning peers into the global step-2
+    // dictionary: ids come out dense in first-appearance order.
+    let mut anon = AnonMap::new();
+    let mut records = Vec::with_capacity(keyed.len());
+    for (_, lane_no, seq, l) in keyed {
+        let lane = &lanes[l];
+        let r = &lane.records[seq as usize];
+        records.push(AnonRecord {
+            at: r.at,
+            honeypot: HoneypotId(offsets[l] + r.honeypot.0),
+            kind: r.kind,
+            peer: anon.intern(lane.peer_hashes[r.peer.0 as usize]),
+            port: r.port,
+            id_status: r.id_status,
+            user_id: r.user_id,
+            name: name_maps[l][r.name as usize],
+            version: r.version,
+            file: if r.file == crate::log::FILE_NONE {
+                crate::log::FILE_NONE
+            } else {
+                file_maps[l][r.file as usize]
+            },
+        });
+        debug_assert_eq!(lane_no as usize, l);
+    }
+
+    // Shared lists follow the records under the same key; a peer that only
+    // ever appears in shared lists is interned here, after all record
+    // peers.
+    let mut list_keys: Vec<(SimTime, u32, u32)> = Vec::new();
+    for (l, lane) in lanes.iter().enumerate() {
+        list_keys
+            .extend(lane.shared_lists.iter().enumerate().map(|(seq, s)| (s.at, l as u32, seq as u32)));
+    }
+    list_keys.sort_unstable();
+    let mut shared_lists = Vec::with_capacity(list_keys.len());
+    for (_, l, seq) in list_keys {
+        let lane = &lanes[l as usize];
+        let s = &lane.shared_lists[seq as usize];
+        shared_lists.push(AnonSharedList {
+            at: s.at,
+            honeypot: HoneypotId(offsets[l as usize] + s.honeypot.0),
+            peer: anon.intern(lane.peer_hashes[s.peer.0 as usize]),
+            files: s.files.iter().map(|&f| file_maps[l as usize][f as usize]).collect(),
+        });
+    }
+
+    // Whole-corpus file-name anonymisation, as in Manager::finalize.
+    let mut counter = NameAnonymizer::new();
+    for i in 0..files.len() as u32 {
+        counter.count(files.name(i));
+    }
+    let frozen = counter.freeze(name_threshold);
+    files.map_names(|n| frozen.anonymize(n));
+
+    MeasurementLog {
+        honeypots,
+        records,
+        shared_lists,
+        peer_names,
+        files,
+        distinct_peers: anon.len() as u32,
+        duration,
+        shared_files_final,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymize::{AnonPeerId, IpHasher};
+    use crate::log::{HoneypotLog, QueryKind, QueryRecord, SharedListRecord, FILE_NONE};
+    use crate::manager::{HoneypotSpec, Manager};
+    use crate::strategy::ContentStrategy;
+    use crate::types::{IdStatus, ServerInfo};
+    use edonkey_proto::{FileId, Ipv4, UserId};
+
+    fn server() -> ServerInfo {
+        ServerInfo::new("srv", Ipv4::new(9, 9, 9, 9), 4661)
+    }
+
+    /// Builds one single-honeypot lane whose records hit the given IPs at
+    /// the given times.
+    fn lane(ips_at: &[(Ipv4, u64)], list_ip: Option<Ipv4>) -> LaneHarvest {
+        let hasher = IpHasher::from_seed(7);
+        let mut log = HoneypotLog::new(HoneypotId(0), server());
+        let name = log.intern_name("eMule");
+        let file = log.files.intern(FileId::from_seed(b"f"), "holiday video.avi", 100);
+        for (ip, secs) in ips_at {
+            log.push(QueryRecord {
+                at: SimTime::from_secs(*secs),
+                kind: QueryKind::Hello,
+                peer: hasher.hash(*ip),
+                port: 4662,
+                id_status: IdStatus::High,
+                user_id: UserId::from_seed(b"u"),
+                name,
+                version: 1,
+                file: FILE_NONE,
+            });
+        }
+        if let Some(ip) = list_ip {
+            log.shared_lists.push(SharedListRecord {
+                at: SimTime::from_secs(999),
+                peer: hasher.hash(ip),
+                files: vec![file],
+            });
+        }
+        let mut mgr = Manager::new(vec![HoneypotSpec {
+            id: HoneypotId(0),
+            content: ContentStrategy::NoContent,
+            server: server(),
+        }]);
+        mgr.collect(log.take_chunk());
+        mgr.harvest()
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_lane() {
+        let a = lane(&[(Ipv4::new(1, 1, 1, 1), 10), (Ipv4::new(1, 1, 1, 2), 30)], None);
+        let b = lane(&[(Ipv4::new(2, 2, 2, 1), 20), (Ipv4::new(2, 2, 2, 2), 30)], None);
+        let log = merge_lanes(vec![a, b], SimTime::from_days(1), 4, 1);
+        let times: Vec<f64> = log.records.iter().map(|r| r.at.as_secs()).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0, 30.0]);
+        // The tie at t=30 resolves by lane: lane 0's record first.
+        assert_eq!(log.records[2].honeypot, HoneypotId(0));
+        assert_eq!(log.records[3].honeypot, HoneypotId(1));
+        // Peer ids are dense in merged-stream order.
+        let peers: Vec<u32> = log.records.iter().map(|r| r.peer.0).collect();
+        assert_eq!(peers, vec![0, 1, 2, 3]);
+        assert_eq!(log.distinct_peers, 4);
+        assert!(log.validate().is_empty());
+    }
+
+    #[test]
+    fn same_ip_across_lanes_is_one_peer() {
+        let shared = Ipv4::new(5, 5, 5, 5);
+        let a = lane(&[(shared, 10)], None);
+        let b = lane(&[(shared, 20), (Ipv4::new(6, 6, 6, 6), 25)], None);
+        let log = merge_lanes(vec![a, b], SimTime::from_days(1), 4, 1);
+        assert_eq!(log.distinct_peers, 2, "step-1 hashes unify across lanes");
+        assert_eq!(log.records[0].peer, log.records[1].peer);
+        assert_eq!(log.records[0].peer, AnonPeerId(0));
+    }
+
+    #[test]
+    fn honeypot_ids_offset_by_lane_and_tables_unify() {
+        let a = lane(&[(Ipv4::new(1, 1, 1, 1), 10)], Some(Ipv4::new(1, 1, 1, 1)));
+        let b = lane(&[(Ipv4::new(2, 2, 2, 1), 20)], Some(Ipv4::new(2, 2, 2, 1)));
+        let log = merge_lanes(vec![a, b], SimTime::from_days(2), 3, 5);
+        assert_eq!(log.honeypots.len(), 2);
+        assert_eq!(log.honeypots[1].id, HoneypotId(1), "lane 1's local id 0 offset to 1");
+        assert_eq!(log.shared_lists[1].honeypot, HoneypotId(1));
+        // Both lanes interned the same FileId and client name: unified once.
+        assert_eq!(log.files.len(), 1);
+        assert_eq!(log.peer_names, vec!["eMule".to_string()]);
+        // Name anonymisation ran over the merged corpus (threshold 5 ⇒ all
+        // words rare).
+        let name = log.files.name(0);
+        assert!(!name.contains("holiday"), "rare words tokenised: {name}");
+        assert_eq!(log.duration, SimTime::from_days(2));
+        assert_eq!(log.shared_files_final, 3);
+        assert!(log.validate().is_empty());
+    }
+
+    #[test]
+    fn empty_merge_is_empty_log() {
+        let log = merge_lanes(Vec::new(), SimTime::from_days(1), 0, 1);
+        assert!(log.records.is_empty() && log.honeypots.is_empty());
+        assert_eq!(log.distinct_peers, 0);
+        assert!(log.validate().is_empty());
+    }
+}

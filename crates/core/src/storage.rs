@@ -25,8 +25,9 @@ use crate::types::{HoneypotId, IdStatus, ServerInfo};
 
 /// File magic: "EDHP".
 const MAGIC: [u8; 4] = *b"EDHP";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version.  Public because run-cache keys incorporate it:
+/// bumping the format must invalidate every cached entry.
+pub const VERSION: u32 = 1;
 
 /// Errors of the storage layer.
 #[derive(Debug)]

@@ -7,13 +7,19 @@
 //! `EXPERIMENTS.md`.
 //!
 //! Binaries accept `--scale F` (population scale; 1.0 = paper scale),
-//! `--seed N`, `--samples N` (Monte-Carlo subsets) and `--json`.
+//! `--seed N`, `--samples N` (Monte-Carlo subsets), `--json`, plus the
+//! run-cache (`--no-cache`, `--cache-dir DIR`) and execution
+//! (`--sharded`, `--threads N`) knobs — completed runs are reused from
+//! the content-addressed cache ([`cache`]) across invocations and across
+//! binaries.
 
+pub mod cache;
 pub mod figures;
 pub mod runner;
 pub mod scenarios;
 pub mod targeted;
 
+pub use cache::{cache_key, RunCache};
 pub use figures::Artefact;
 pub use runner::{Measurement, Options};
 pub use targeted::{targeted, Coordination, TargetInfo};

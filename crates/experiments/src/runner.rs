@@ -1,9 +1,10 @@
 //! End-to-end experiment execution and shared CLI plumbing for the
 //! per-figure binaries.
 
-use edonkey_sim::{run_scenario, ScenarioConfig, SimOutput};
+use edonkey_sim::{run_scenario, ExecMode, ScenarioConfig, SimOutput};
 use honeypot::MeasurementLog;
 
+use crate::cache::RunCache;
 use crate::scenarios;
 
 /// Which measurement a figure draws on.
@@ -32,6 +33,13 @@ pub struct Options {
     /// Size of the rayon worker pool used by the parallel analyses
     /// (`None` = rayon's default, one worker per core).
     pub threads: Option<usize>,
+    /// Disable the content-addressed run cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Run-cache directory (`--cache-dir`; default
+    /// `target/run-cache` at the workspace root).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Execute scenarios lane-sharded on the rayon pool (`--sharded`).
+    pub sharded: bool,
 }
 
 impl Default for Options {
@@ -44,6 +52,9 @@ impl Default for Options {
             save: None,
             load: None,
             threads: None,
+            no_cache: false,
+            cache_dir: None,
+            sharded: false,
         }
     }
 }
@@ -85,6 +96,9 @@ impl Options {
                     }
                     opts.threads = Some(n);
                 }
+                "--no-cache" => opts.no_cache = true,
+                "--cache-dir" => opts.cache_dir = Some(take_value(&mut i).into()),
+                "--sharded" => opts.sharded = true,
                 "--help" | "-h" => usage(""),
                 other => usage(other),
             }
@@ -106,9 +120,21 @@ impl Options {
 
     /// The scenario configuration for a measurement under these options.
     pub fn scenario(&self, which: Measurement) -> ScenarioConfig {
-        match which {
+        let mut config = match which {
             Measurement::Distributed => scenarios::distributed(self.seed, self.scale),
             Measurement::Greedy => scenarios::greedy(self.seed, self.scale),
+        };
+        if self.sharded {
+            config.exec = ExecMode::Sharded;
+        }
+        config
+    }
+
+    /// The run cache under these options.
+    pub fn run_cache(&self) -> RunCache {
+        match &self.cache_dir {
+            Some(dir) => RunCache::new(dir.clone()),
+            None => RunCache::at_default_location(),
         }
     }
 
@@ -149,6 +175,22 @@ impl Options {
                 }
             }
         }
+        // Content-addressed cache: keyed by the full scenario config +
+        // storage format version, so a hit is guaranteed to be the log
+        // this exact simulation would produce.  Corrupt entries report
+        // and fall through to a fresh run, like a corrupt `--load` file.
+        let config = self.scenario(which);
+        let cache = self.run_cache();
+        if !self.no_cache {
+            if let Some(log) = cache.load(&config) {
+                eprintln!(
+                    "[run] {label}: cache hit, {} records from {}",
+                    log.records.len(),
+                    cache.entry_path(&config).display()
+                );
+                return log;
+            }
+        }
         let out = self.run_full(which);
         if let Some(dir) = &self.save {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -159,6 +201,12 @@ impl Options {
                     Ok(()) => eprintln!("[run] {label}: saved to {}", path.display()),
                     Err(e) => eprintln!("[run] {label}: save failed: {e}"),
                 }
+            }
+        }
+        if !self.no_cache {
+            match cache.store(&config, &out.log) {
+                Ok(path) => eprintln!("[run] {label}: cached to {}", path.display()),
+                Err(e) => eprintln!("[run] {label}: cache store failed: {e}"),
             }
         }
         out.log
@@ -206,7 +254,10 @@ fn usage(offender: &str) -> ! {
          --json       also emit machine-readable JSON\n\
          --save DIR   store the measurement logs under DIR (EDHP format)\n\
          --load DIR   reuse measurement logs from DIR instead of re-running\n\
-         --threads N  size of the rayon worker pool (default: one per core)",
+         --threads N  size of the rayon worker pool (default: one per core)\n\
+         --no-cache   bypass the content-addressed run cache\n\
+         --cache-dir DIR  run-cache location (default target/run-cache)\n\
+         --sharded    lane-sharded execution on the rayon pool",
         scenarios::DEFAULT_SEED
     );
     std::process::exit(2)
@@ -219,7 +270,14 @@ mod tests {
 
     #[test]
     fn small_distributed_run_is_coherent() {
-        let opts = Options { scale: 0.01, seed: 5, samples: 10, json: false, ..Default::default() };
+        let opts = Options {
+            scale: 0.01,
+            seed: 5,
+            samples: 10,
+            json: false,
+            no_cache: true,
+            ..Default::default()
+        };
         let log = opts.run(Measurement::Distributed);
         assert_eq!(log.honeypots.len(), 24);
         let stats = basic_stats(&log);
@@ -246,6 +304,7 @@ mod tests {
             scale: 0.01,
             seed: 5,
             load: Some(dir.clone()),
+            no_cache: true,
             ..Default::default()
         };
         let log = opts.run(Measurement::Distributed);
@@ -256,7 +315,14 @@ mod tests {
 
     #[test]
     fn small_greedy_run_adopts_files() {
-        let opts = Options { scale: 0.01, seed: 5, samples: 10, json: false, ..Default::default() };
+        let opts = Options {
+            scale: 0.01,
+            seed: 5,
+            samples: 10,
+            json: false,
+            no_cache: true,
+            ..Default::default()
+        };
         let log = opts.run(Measurement::Greedy);
         assert_eq!(log.honeypots.len(), 1);
         let stats = basic_stats(&log);

@@ -14,8 +14,8 @@
 
 use edonkey_sim::catalog::FileClass;
 use edonkey_sim::{
-    BehaviorConfig, BlacklistConfig, CatalogConfig, HoneypotSetup, PopulationConfig, QueueKind,
-    RobotConfig, ScenarioConfig,
+    BehaviorConfig, BlacklistConfig, CatalogConfig, ExecMode, HoneypotSetup, PopulationConfig,
+    QueueKind, RobotConfig, ScenarioConfig,
 };
 use honeypot::ContentStrategy;
 use netsim::time::{MS_PER_HOUR, MS_PER_MIN, MS_PER_SEC};
@@ -127,6 +127,10 @@ pub fn distributed(seed: u64, scale: f64) -> ScenarioConfig {
         // pattern the calendar queue wins on (results are identical either
         // way; see the sim crate's determinism test).
         queue: QueueKind::Calendar,
+        // Calibrated figures stay on the coupled engine; `--sharded`
+        // switches this at the runner level.
+        exec: ExecMode::Coupled,
+        lane: 0,
     };
 
     let catalog = config.build_catalog();
@@ -218,6 +222,8 @@ pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
         keepalive_ms: 30 * MS_PER_MIN,
         name_threshold: 3,
         queue: QueueKind::Calendar,
+        exec: ExecMode::Coupled,
+        lane: 0,
     };
 
     let catalog = config.build_catalog();

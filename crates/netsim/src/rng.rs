@@ -20,6 +20,29 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives an independent 64-bit seed for a numbered stream of a master
+/// seed.
+///
+/// Used by lane-sharded execution: lane `n` of a scenario seeded with `s`
+/// roots its behavioural RNG at `stream_seed(s, n)`, so lanes draw from
+/// decorrelated streams while remaining a pure function of `(seed, lane)` —
+/// no lane ever observes another lane's draws, which is what makes the
+/// sharded schedule independent of thread interleaving.  Stream 0 is
+/// reserved to mean "the unsharded stream": `stream_seed(s, 0) != s`, so
+/// callers that want the classic single-stream behaviour should use the
+/// master seed directly rather than stream 0.
+#[inline]
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    // Mix the stream number through the golden-ratio increment first so
+    // adjacent streams land far apart, then fold with the master seed
+    // through two SplitMix64 steps (one would leave `master ^ f(stream)`
+    // structure visible to xor-differential patterns).
+    let mut h = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mixed = splitmix64(&mut h);
+    let mut h2 = mixed ^ stream.rotate_left(32);
+    splitmix64(&mut h2)
+}
+
 /// A `xoshiro256**` generator.
 #[derive(Clone, Debug)]
 pub struct Rng {
@@ -224,6 +247,21 @@ mod tests {
         let mut root = Rng::seed_from(7);
         let y = root.substream_indexed("hp", 1).next_u64();
         assert_ne!(x, y);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let master = 0xED0_2009;
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..64 {
+            assert!(seen.insert(stream_seed(master, stream)), "stream seed collision");
+        }
+        // Pure function of (master, stream).
+        assert_eq!(stream_seed(master, 3), stream_seed(master, 3));
+        // Stream 0 is not the master seed itself.
+        assert_ne!(stream_seed(master, 0), master);
+        // Different masters give different stream families.
+        assert_ne!(stream_seed(1, 5), stream_seed(2, 5));
     }
 
     #[test]

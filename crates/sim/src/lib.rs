@@ -27,14 +27,16 @@
 pub mod catalog;
 pub mod config;
 pub mod identity;
+pub mod lanes;
 pub mod peer;
 pub mod server;
 pub mod world;
 
 pub use catalog::{Catalog, CatalogConfig};
 pub use config::{
-    BehaviorConfig, BlacklistConfig, CrashConfig, HoneypotSetup, PopulationConfig, QueueKind,
-    RobotConfig, ScenarioConfig,
+    BehaviorConfig, BlacklistConfig, CrashConfig, ExecMode, HoneypotSetup, PopulationConfig,
+    QueueKind, RobotConfig, ScenarioConfig,
 };
+pub use lanes::{run_sharded, run_sharded_reference, shardable};
 pub use server::SimServer;
 pub use world::{run_scenario, EdonkeyWorld, Event, SimOutput, WorldStats};
