@@ -2,9 +2,12 @@
 //! criterion benches cover statistically: raw engine throughput under both
 //! pending-event queues, index build throughput (parallel, sequential, and
 //! what `build()` auto-selects), the lane-sharded scenario execution swept
-//! across rayon pool sizes, and the content-addressed run cache warm-path.
-//! Writes the numbers to `BENCH_pr2.json` at the repository root so scale
-//! sweeps and future optimisation PRs have a committed reference point
+//! across rayon pool sizes, the content-addressed run cache warm-path, and
+//! the live control plane (chunk upload throughput and heartbeat
+//! round-trips against a real manager daemon, swept over agent counts).
+//! Writes the numbers to `BENCH_pr2.json` (simulation/pipeline) and
+//! `BENCH_pr3.json` (control plane) at the repository root so scale sweeps
+//! and future optimisation PRs have a committed reference point
 //! (`BENCH_baseline.json` holds the pre-sharding numbers).
 //!
 //! Usage: `cargo run --release -p edonkey-bench --bin perf_baseline -- [--scale F]`
@@ -45,6 +48,171 @@ fn engine_events_per_sec<Q: PendingQueue<u32>>(queue: Q) -> f64 {
     engine.run_until_with_budget(&mut world, SimTime(u64::MAX), ENGINE_EVENTS);
     assert_eq!(world.handled, ENGINE_EVENTS);
     ENGINE_EVENTS as f64 / t.elapsed().as_secs_f64()
+}
+
+/// One agent-count point of the control-plane sweep.
+struct ControlPoint {
+    agents: usize,
+    upload_mb_per_sec: f64,
+    chunk_bytes: u64,
+    chunks: u64,
+    heartbeats_per_sec: f64,
+    heartbeats: u64,
+}
+
+/// Measures the manager daemon under raw control-plane clients: each
+/// "agent" is a bare protocol speaker (no honeypot, no eDonkey server)
+/// that registers and then drives stop-and-wait sequenced uploads and
+/// heartbeat round-trips as fast as the daemon acks them.
+fn control_plane_point(agents: usize) -> ControlPoint {
+    use edonkey_platform::daemon::{Daemon, DaemonConfig};
+    use edonkey_platform::messages::{AgentConfig, ControlMessage};
+    use edonkey_platform::{ConnEvent, ControlConn};
+    use edonkey_proto::{FileId, Ipv4, UserId};
+    use honeypot::log::{HoneypotLog, QueryRecord, FILE_NONE};
+    use honeypot::{
+        ContentStrategy, FileStrategy, HoneypotId, IdStatus, IpHasher, QueryKind, ServerInfo,
+    };
+
+    const CHUNKS_PER_AGENT: u64 = 24;
+    const RECORDS_PER_CHUNK: usize = 2_000;
+    const HEARTBEATS_PER_AGENT: u64 = 400;
+
+    let server = ServerInfo::new("bench", Ipv4::new(127, 0, 0, 1), 4661);
+    let configs: Vec<AgentConfig> = (0..agents)
+        .map(|i| AgentConfig {
+            id: HoneypotId(i as u32),
+            content: ContentStrategy::NoContent,
+            files: FileStrategy::Fixed(Vec::new()),
+            server: server.clone(),
+            ip_salt: 1,
+            rng_seed: 1,
+            heartbeat_ms: 1_000,
+            collect_ms: 1_000,
+            client_name: format!("bench-{i}"),
+        })
+        .collect();
+    // Generous deadline: bench clients only "heartbeat" during the
+    // heartbeat phase, and nothing here should ever be declared dead.
+    let cfg = DaemonConfig { heartbeat_timeout_ms: 60_000, ..DaemonConfig::default() };
+    let daemon = Daemon::start(cfg, configs, Box::new(|_, _, _| {})).expect("start daemon");
+    let addr = daemon.addr();
+
+    // One synthetic chunk, reused by every upload.
+    let chunk = {
+        let hasher = IpHasher::from_seed(1);
+        let mut log = HoneypotLog::new(HoneypotId(0), server.clone());
+        let name = log.intern_name("bench-peer");
+        let file = log.files.intern(FileId::from_seed(b"bench"), "bench.avi", 1_000_000);
+        for i in 0..RECORDS_PER_CHUNK {
+            log.push(QueryRecord {
+                at: netsim::SimTime::from_millis(i as u64),
+                kind: QueryKind::Hello,
+                peer: hasher.hash(Ipv4::new(10, (i / 65_536) as u8, (i / 256) as u8, (i % 256) as u8)),
+                port: 4662,
+                id_status: IdStatus::High,
+                user_id: UserId::from_seed(b"bench-user"),
+                name,
+                version: 0x49,
+                file: if i % 2 == 0 { file } else { FILE_NONE },
+            });
+        }
+        log.take_chunk()
+    };
+    let frame_len =
+        ControlMessage::LogUpload { agent: 0, seq: 0, chunk: chunk.clone() }.encode_frame().len();
+
+    let workers: Vec<std::thread::JoinHandle<(f64, f64)>> = (0..agents as u32)
+        .map(|agent| {
+            // Each agent uploads under its own honeypot identity (the
+            // merge pipeline dedups sequence numbers per honeypot).
+            let mut chunk = chunk.clone();
+            chunk.honeypot = HoneypotId(agent);
+            std::thread::spawn(move || {
+                let mut conn = ControlConn::connect(addr).expect("connect");
+                conn.send(&ControlMessage::Register { agent, incarnation: 0, resume: false })
+                    .expect("register");
+                // Handshake (RegisterAck + ConfigPush); blocking reads.
+                let mut acked = false;
+                while !acked {
+                    for ev in conn.poll().expect("handshake") {
+                        if let ConnEvent::Msg(ControlMessage::RegisterAck { .. }) = ev {
+                            acked = true;
+                        }
+                    }
+                }
+
+                // Heartbeat round-trips, stop-and-wait.
+                let t = Instant::now();
+                for seq in 0..HEARTBEATS_PER_AGENT {
+                    conn.send(&ControlMessage::Heartbeat {
+                        agent,
+                        seq,
+                        sent_micros: 0,
+                        rtt_micros: 0,
+                    })
+                    .expect("heartbeat");
+                    let mut got = false;
+                    while !got {
+                        for ev in conn.poll().expect("heartbeat ack") {
+                            if let ConnEvent::Msg(ControlMessage::HeartbeatAck { .. }) = ev {
+                                got = true;
+                            }
+                        }
+                    }
+                }
+                let hb_secs = t.elapsed().as_secs_f64();
+
+                // Sequenced chunk uploads, stop-and-wait.
+                let t = Instant::now();
+                for seq in 0..CHUNKS_PER_AGENT {
+                    conn.send(&ControlMessage::LogUpload { agent, seq, chunk: chunk.clone() })
+                        .expect("upload");
+                    let mut got = false;
+                    while !got {
+                        for ev in conn.poll().expect("chunk ack") {
+                            if let ConnEvent::Msg(ControlMessage::ChunkAck { seq: s }) = ev {
+                                if s == seq {
+                                    got = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                let up_secs = t.elapsed().as_secs_f64();
+                conn.send(&ControlMessage::Goodbye { agent, final_seq: CHUNKS_PER_AGENT })
+                    .expect("goodbye");
+                (hb_secs, up_secs)
+            })
+        })
+        .collect();
+
+    let mut hb_max = 0f64;
+    let mut up_max = 0f64;
+    for w in workers {
+        let (hb, up) = w.join().expect("bench worker");
+        hb_max = hb_max.max(hb);
+        up_max = up_max.max(up);
+    }
+    let (log, _metrics, _order) =
+        daemon.finish(netsim::SimTime::from_secs(60), 0, 1, std::time::Duration::from_secs(2));
+    assert_eq!(
+        log.records.len(),
+        agents * CHUNKS_PER_AGENT as usize * RECORDS_PER_CHUNK,
+        "every uploaded record must be merged exactly once"
+    );
+
+    let total_chunks = agents as u64 * CHUNKS_PER_AGENT;
+    let total_bytes = total_chunks * frame_len as u64;
+    let total_heartbeats = agents as u64 * HEARTBEATS_PER_AGENT;
+    ControlPoint {
+        agents,
+        upload_mb_per_sec: total_bytes as f64 / (1024.0 * 1024.0) / up_max.max(1e-9),
+        chunk_bytes: total_bytes,
+        chunks: total_chunks,
+        heartbeats_per_sec: total_heartbeats as f64 / hb_max.max(1e-9),
+        heartbeats: total_heartbeats,
+    }
 }
 
 fn main() {
@@ -201,6 +369,18 @@ fn main() {
     let all_secs = dist_cal_secs + t.elapsed().as_secs_f64();
     eprintln!("[bench] scaled all pipeline: {all_secs:.2}s ({} artefacts)", figs.len());
 
+    // 7. Control plane: chunk-upload throughput and heartbeat round-trips
+    //    against a real manager daemon, swept over agent counts.
+    let mut control: Vec<ControlPoint> = Vec::new();
+    for &n in &[1usize, 2, 4] {
+        let p = control_plane_point(n);
+        eprintln!(
+            "[bench] control plane @ {n} agent(s): {:.1} MB/s chunk upload, {:.0} heartbeat round-trips/s",
+            p.upload_mb_per_sec, p.heartbeats_per_sec
+        );
+        control.push(p);
+    }
+
     // Hand-rolled JSON (no serde needed for a few dozen scalars).
     let mut sweep_json = String::new();
     for (i, &(threads, secs, records)) in sweep.iter().enumerate() {
@@ -273,4 +453,43 @@ fn main() {
         }
     }
     print!("{json}");
+
+    // The control-plane sweep gets its own file: these numbers track the
+    // live platform's transport, not the simulation pipeline.
+    let mut control_json = String::new();
+    for (i, p) in control.iter().enumerate() {
+        if i > 0 {
+            control_json.push_str(",\n");
+        }
+        control_json.push_str(&format!(
+            "    {{ \"agents\": {}, \"chunk_upload_mb_per_sec\": {:.2}, \
+             \"chunk_bytes\": {}, \"chunks\": {}, \
+             \"heartbeat_roundtrips_per_sec\": {:.0}, \"heartbeats\": {} }}",
+            p.agents,
+            p.upload_mb_per_sec,
+            p.chunk_bytes,
+            p.chunks,
+            p.heartbeats_per_sec,
+            p.heartbeats,
+        ));
+    }
+    let pr3 = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
+         \"note\": \"raw control-plane clients against a real manager daemon over loopback TCP; stop-and-wait sequenced uploads and heartbeat round-trips, per-point wall-clock is the slowest agent\",\n  \
+         \"control_plane_sweep\": [\n{control_json}\n  ]\n}}\n"
+    );
+    let path3 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_pr3.json");
+    match std::fs::write(&path3, &pr3) {
+        Ok(()) => eprintln!("[bench] wrote {}", path3.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path3.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{pr3}");
 }

@@ -92,9 +92,18 @@ pub struct FileTable {
     index: HashMap<FileId, FileIdx>,
 }
 
-// Manual impl: the lookup index is a rebuildable cache (serde also skips
-// it), and rendering a HashMap would make the Debug output — which tests
-// compare across runs — depend on per-map iteration order.
+// Manual impls: the lookup index is a rebuildable cache (serde also skips
+// it), equality is defined by the table contents alone, and rendering a
+// HashMap would make the Debug output — which tests compare across runs —
+// depend on per-map iteration order.
+impl PartialEq for FileTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids && self.names == other.names && self.sizes == other.sizes
+    }
+}
+
+impl Eq for FileTable {}
+
 impl std::fmt::Debug for FileTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FileTable")
@@ -240,7 +249,7 @@ impl HoneypotLog {
 ///
 /// Name/file tables are snapshots of the honeypot's interning state; record
 /// indices refer to them.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct LogChunk {
     pub honeypot: HoneypotId,
     pub server: ServerInfo,

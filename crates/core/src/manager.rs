@@ -41,6 +41,9 @@ pub struct Manager {
     peer_name_index: HashMap<String, u32>,
     files: FileTable,
     chunks_collected: u64,
+    /// Per-honeypot upload sequence numbers already merged (networked
+    /// collection may re-deliver a chunk after an ack is lost).
+    collected_seqs: Vec<std::collections::BTreeSet<u64>>,
 }
 
 impl Manager {
@@ -66,6 +69,7 @@ impl Manager {
             peer_name_index: HashMap::new(),
             files: FileTable::new(),
             chunks_collected: 0,
+            collected_seqs: vec![std::collections::BTreeSet::new(); n],
         }
     }
 
@@ -98,18 +102,30 @@ impl Manager {
     /// The periodic status check: honeypots that must be (re)launched
     /// (paper: "This makes it possible to re-launch dead honeypots …  The
     /// manager regularly checks the status of each honeypot").
-    pub fn needing_relaunch(&mut self) -> Vec<HoneypotId> {
-        let need: Vec<HoneypotId> = self
-            .specs
+    ///
+    /// This is a pure query — polling it repeatedly never changes any
+    /// accounting.  Call [`Manager::mark_relaunched`] once a relaunch is
+    /// actually issued for an id.
+    pub fn needing_relaunch(&self) -> Vec<HoneypotId> {
+        self.specs
             .iter()
             .filter(|s| self.status[s.id.0 as usize].needs_relaunch())
             .map(|s| s.id)
-            .collect();
-        self.relaunches += need
-            .iter()
-            .filter(|id| !matches!(self.status[id.0 as usize], HoneypotStatus::Pending))
-            .count() as u64;
-        need
+            .collect()
+    }
+
+    /// Records that a (re)launch was issued for `id`: a first launch from
+    /// `Pending` is free, everything else counts as one relaunch.  The
+    /// status moves to `Pending` ("launch in flight"), so a supervision
+    /// loop that polls [`Manager::needing_relaunch`] between issuing the
+    /// relaunch and the honeypot's first status report cannot count the
+    /// same incident twice.
+    pub fn mark_relaunched(&mut self, id: HoneypotId) {
+        let idx = id.0 as usize;
+        if !matches!(self.status[idx], HoneypotStatus::Pending) {
+            self.relaunches += 1;
+        }
+        self.status[idx] = HoneypotStatus::Pending;
     }
 
     /// Number of relaunches issued so far (diagnostics).
@@ -167,6 +183,27 @@ impl Manager {
                 files: l.files.iter().map(|&f| file_map[f as usize]).collect(),
             });
         }
+    }
+
+    /// Ingests a chunk tagged with its per-honeypot upload sequence number,
+    /// dropping duplicates: the networked collection path retransmits a
+    /// chunk when its ack is lost, and exactly-once merging must hold
+    /// regardless.  Returns whether the chunk was merged (`false` =
+    /// duplicate).
+    pub fn collect_sequenced(&mut self, seq: u64, chunk: LogChunk) -> bool {
+        let idx = chunk.honeypot.0 as usize;
+        if !self.collected_seqs[idx].insert(seq) {
+            return false;
+        }
+        self.collect(chunk);
+        true
+    }
+
+    /// Highest upload sequence number merged for `id` (`None` before the
+    /// first sequenced chunk).  The control plane resumes an agent's upload
+    /// stream from the next number after a reconnect.
+    pub fn collected_seq_high(&self, id: HoneypotId) -> Option<u64> {
+        self.collected_seqs[id.0 as usize].iter().next_back().copied()
     }
 
     /// Number of chunks collected so far.
@@ -356,6 +393,10 @@ mod tests {
         // relaunch.
         assert_eq!(mgr.needing_relaunch().len(), 3);
         assert_eq!(mgr.relaunch_count(), 0);
+        for id in mgr.needing_relaunch() {
+            mgr.mark_relaunched(id);
+        }
+        assert_eq!(mgr.relaunch_count(), 0, "first launches are not relaunches");
         for i in 0..3 {
             mgr.on_status(StatusReport {
                 honeypot: HoneypotId(i),
@@ -370,8 +411,34 @@ mod tests {
             status: HoneypotStatus::Dead,
         });
         assert_eq!(mgr.needing_relaunch(), vec![HoneypotId(1)]);
-        assert_eq!(mgr.relaunch_count(), 1);
         assert_eq!(mgr.status_of(HoneypotId(1)), HoneypotStatus::Dead);
+        // The query is pure: polling does not count anything.
+        assert_eq!(mgr.needing_relaunch(), vec![HoneypotId(1)]);
+        assert_eq!(mgr.relaunch_count(), 0);
+        mgr.mark_relaunched(HoneypotId(1));
+        assert_eq!(mgr.relaunch_count(), 1);
+        assert_eq!(mgr.status_of(HoneypotId(1)), HoneypotStatus::Pending);
+        // A supervision poll between the relaunch and the honeypot's first
+        // status report must not double-count the same incident.
+        assert_eq!(mgr.needing_relaunch(), vec![HoneypotId(1)]);
+        mgr.mark_relaunched(HoneypotId(1));
+        assert_eq!(mgr.relaunch_count(), 1, "repeated marks on a pending launch are free");
+    }
+
+    #[test]
+    fn sequenced_collection_dedups_redelivered_chunks() {
+        let mut mgr = Manager::new(specs(2));
+        let chunk = chunk_with_peers(0, &[Ipv4::new(10, 0, 0, 1)]);
+        assert_eq!(mgr.collected_seq_high(HoneypotId(0)), None);
+        assert!(mgr.collect_sequenced(0, chunk.clone()));
+        assert!(!mgr.collect_sequenced(0, chunk.clone()), "redelivery dropped");
+        assert!(mgr.collect_sequenced(1, chunk_with_peers(0, &[Ipv4::new(10, 0, 0, 2)])));
+        assert!(mgr.collect_sequenced(7, chunk_with_peers(1, &[Ipv4::new(10, 0, 0, 3)])));
+        assert_eq!(mgr.chunks_collected(), 3, "duplicates never reach the merge");
+        assert_eq!(mgr.collected_seq_high(HoneypotId(0)), Some(1));
+        assert_eq!(mgr.collected_seq_high(HoneypotId(1)), Some(7));
+        let log = mgr.finalize(SimTime::from_days(1), 4, 1);
+        assert!(log.validate().is_empty());
     }
 
     #[test]

@@ -15,11 +15,13 @@
 
 pub mod cache;
 pub mod figures;
+pub mod live;
 pub mod runner;
 pub mod scenarios;
 pub mod targeted;
 
 pub use cache::{cache_key, RunCache};
 pub use figures::Artefact;
+pub use live::{run_live_loopback, LiveDemo};
 pub use runner::{Measurement, Options};
 pub use targeted::{targeted, Coordination, TargetInfo};

@@ -40,6 +40,9 @@ pub struct Options {
     pub cache_dir: Option<std::path::PathBuf>,
     /// Execute scenarios lane-sharded on the rayon pool (`--sharded`).
     pub sharded: bool,
+    /// Run the live control-plane loopback demo (manager daemon + agents
+    /// over real TCP) instead of / before the simulated measurements.
+    pub live_loopback: bool,
 }
 
 impl Default for Options {
@@ -55,6 +58,7 @@ impl Default for Options {
             no_cache: false,
             cache_dir: None,
             sharded: false,
+            live_loopback: false,
         }
     }
 }
@@ -99,6 +103,7 @@ impl Options {
                 "--no-cache" => opts.no_cache = true,
                 "--cache-dir" => opts.cache_dir = Some(take_value(&mut i).into()),
                 "--sharded" => opts.sharded = true,
+                "--live-loopback" => opts.live_loopback = true,
                 "--help" | "-h" => usage(""),
                 other => usage(other),
             }
@@ -257,7 +262,8 @@ fn usage(offender: &str) -> ! {
          --threads N  size of the rayon worker pool (default: one per core)\n\
          --no-cache   bypass the content-addressed run cache\n\
          --cache-dir DIR  run-cache location (default target/run-cache)\n\
-         --sharded    lane-sharded execution on the rayon pool",
+         --sharded    lane-sharded execution on the rayon pool\n\
+         --live-loopback  live control-plane demo over loopback TCP (all)",
         scenarios::DEFAULT_SEED
     );
     std::process::exit(2)

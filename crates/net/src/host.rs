@@ -32,6 +32,12 @@ pub struct HoneypotHost {
     honeypot: Arc<Mutex<Honeypot>>,
     peer_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Set by [`stop`] before it tears down the server session, so the
+    /// reader thread can tell a deliberate kill from the server dropping us.
+    stopping: Arc<AtomicBool>,
+    /// Latched by the reader thread when the server session dies while the
+    /// host was *not* stopping.
+    session_lost: Arc<AtomicBool>,
     started: Instant,
     accept_thread: Option<JoinHandle<()>>,
     server_reader: Option<JoinHandle<()>>,
@@ -90,15 +96,29 @@ impl HoneypotHost {
             }
         });
 
-        // Server reader: feeds server messages into the state machine.
+        // Server reader: feeds server messages into the state machine. When
+        // the session dies and we are *not* stopping, that is the server
+        // dropping us mid-session: report it as a clean disconnect instead
+        // of silently parking the host, so a supervisor can distinguish
+        // crash from kill.
+        let stopping = Arc::new(AtomicBool::new(false));
+        let session_lost = Arc::new(AtomicBool::new(false));
         let reader_honeypot = honeypot.clone();
         let reader_sender = to_server.clone();
         let reader_status = status.clone();
         let reader_started = started;
+        let reader_stopping = stopping.clone();
+        let reader_lost = session_lost.clone();
         let server_reader = std::thread::spawn(move || {
             while let Ok(msg) = server_framed.read_server_message(true) {
                 let now = SimTime::from_millis(reader_started.elapsed().as_millis() as u64);
                 let actions = reader_honeypot.lock().on_server_message(now, &msg);
+                route_actions(actions, &reader_sender, &reader_status);
+            }
+            if !reader_stopping.load(Ordering::SeqCst) {
+                reader_lost.store(true, Ordering::SeqCst);
+                let now = SimTime::from_millis(reader_started.elapsed().as_millis() as u64);
+                let actions = reader_honeypot.lock().on_disconnected(now);
                 route_actions(actions, &reader_sender, &reader_status);
             }
         });
@@ -136,6 +156,8 @@ impl HoneypotHost {
             honeypot,
             peer_addr,
             shutdown,
+            stopping,
+            session_lost,
             started,
             accept_thread: Some(accept_thread),
             server_reader: Some(server_reader),
@@ -195,10 +217,19 @@ impl HoneypotHost {
         self.live_peers.load(Ordering::Relaxed)
     }
 
+    /// True if the server session died while the host was *not* being
+    /// stopped (the server crashed or dropped us mid-session). The honeypot
+    /// has already been transitioned to `Disconnected` and a status report
+    /// pushed, so a supervisor can relaunch rather than hang.
+    pub fn server_session_lost(&self) -> bool {
+        self.session_lost.load(Ordering::SeqCst)
+    }
+
     /// Stops the host: collects the final log chunk, closes the listener,
     /// tears down the server session and joins the service threads.
     pub fn stop(mut self) -> LogChunk {
         let chunk = self.collect_log();
+        self.stopping.store(true, Ordering::SeqCst);
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throw-away connection, then join
         // the accept loop (its per-peer threads exit when their peers

@@ -1,0 +1,380 @@
+//! The supervised honeypot agent.
+//!
+//! An agent is what the paper calls "a honeypot": a process launched by the
+//! manager that logs into an eDonkey server, advertises files, logs every
+//! query, and periodically ships its log home (§III-A).  Here the process
+//! is a thread wrapping [`edonkey_net::HoneypotHost`]; the control side
+//! speaks the framed protocol of [`crate::messages`] to the manager
+//! daemon:
+//!
+//! * register (with incarnation and resume flag), receive the next upload
+//!   sequence number and the full honeypot configuration;
+//! * heartbeat on a fixed period, measuring RTT from the acks;
+//! * collect the honeypot log on a fixed period and upload it as a
+//!   sequenced chunk, stop-and-wait: at most one chunk is in flight, and
+//!   it is retained and re-sent until the daemon acknowledges it —
+//!   across corrupt-frame retries, connection loss and reconnects;
+//! * obey `Relaunch` (restart the honeypot in place) and `Shutdown`
+//!   (flush, say goodbye, exit).
+//!
+//! Every chunk is recorded in the shared [`ChunkJournal`] *before* it
+//! touches the wire, so tests can replay exactly what was sent through the
+//! in-process merge pipeline and prove the transport added or lost
+//! nothing.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use edonkey_net::HoneypotHost;
+use honeypot::{Honeypot, HoneypotConfig, IpHasher};
+use netsim::rng::stream_seed;
+use netsim::Rng;
+
+use crate::conn::{ConnError, ConnEvent, ControlConn};
+use crate::fault::{FaultPlan, FaultState};
+use crate::journal::ChunkJournal;
+use crate::messages::{AgentConfig, ControlMessage};
+
+/// How an agent's life ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AgentExit {
+    /// Orderly: the daemon sent `Shutdown`, the final chunk was flushed
+    /// and a `Goodbye` sent.
+    Shutdown,
+    /// A scripted `kill_after_chunk` fault fired: the agent died without a
+    /// goodbye, mid-conversation.
+    Killed,
+    /// The daemon became unreachable and the agent stopped retrying.
+    GaveUp,
+}
+
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(3);
+const ACK_RESEND_AFTER: Duration = Duration::from_millis(400);
+const RECONNECT_PAUSE: Duration = Duration::from_millis(25);
+const MAX_CONNECT_FAILURES: u32 = 80;
+
+/// Everything that must survive reconnects and in-place relaunches.
+struct AgentState {
+    agent: u32,
+    incarnation: u32,
+    fault: FaultPlan,
+    fstate: FaultState,
+    journal: ChunkJournal,
+    host: Option<HoneypotHost>,
+    /// The in-flight upload: kept until acked, re-sent on retry/reconnect.
+    pending: Option<Pending>,
+    hb_seq: u64,
+    last_rtt_micros: u64,
+    started: Instant,
+    /// Host status reports already forwarded to the daemon.
+    forwarded_status: usize,
+}
+
+struct Pending {
+    seq: u64,
+    /// The clean encoded frame (faults doctor a copy, never this).
+    frame: Vec<u8>,
+    sent_at: Instant,
+}
+
+enum SessionEnd {
+    Shutdown,
+    Killed,
+    Relaunch,
+    ConnLost,
+}
+
+impl AgentState {
+    fn micros_now(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn teardown_host(&mut self) {
+        if let Some(host) = self.host.take() {
+            // The final collect is discarded: a killed or relaunched
+            // honeypot loses whatever it had not yet shipped, exactly like
+            // a crashed process.
+            let _ = host.stop();
+        }
+        self.forwarded_status = 0;
+    }
+}
+
+/// Runs one agent to completion (blocking).  `first_incarnation` is 0 for
+/// an initial launch; the daemon's supervisor passes higher numbers when
+/// respawning a dead agent.
+pub fn run_agent(
+    daemon_addr: SocketAddr,
+    agent: u32,
+    first_incarnation: u32,
+    fault: FaultPlan,
+    journal: ChunkJournal,
+) -> AgentExit {
+    let mut st = AgentState {
+        agent,
+        incarnation: first_incarnation,
+        fault,
+        fstate: FaultState::default(),
+        journal,
+        host: None,
+        pending: None,
+        hb_seq: 0,
+        last_rtt_micros: 0,
+        started: Instant::now(),
+        forwarded_status: 0,
+    };
+    let mut connect_failures = 0u32;
+    loop {
+        let conn = match ControlConn::connect(daemon_addr) {
+            Ok(c) => c,
+            Err(_) => {
+                connect_failures += 1;
+                if connect_failures > MAX_CONNECT_FAILURES {
+                    st.teardown_host();
+                    return AgentExit::GaveUp;
+                }
+                std::thread::sleep(RECONNECT_PAUSE);
+                continue;
+            }
+        };
+        connect_failures = 0;
+        match session(conn, &mut st) {
+            Ok(SessionEnd::Shutdown) => {
+                st.teardown_host();
+                return AgentExit::Shutdown;
+            }
+            Ok(SessionEnd::Killed) => {
+                st.teardown_host();
+                return AgentExit::Killed;
+            }
+            Ok(SessionEnd::Relaunch) => {
+                // Restart the honeypot in place: new incarnation, fresh
+                // state machine, but the same control identity.
+                st.teardown_host();
+                st.pending = None;
+                st.incarnation += 1;
+                continue;
+            }
+            Ok(SessionEnd::ConnLost) | Err(_) => {
+                // Keep host and pending chunk; reconnect and resume.
+                std::thread::sleep(RECONNECT_PAUSE);
+                continue;
+            }
+        }
+    }
+}
+
+fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, ConnError> {
+    conn.set_read_timeout(Duration::from_millis(5)).ok();
+    let resume = st.host.is_some() || st.pending.is_some() || st.incarnation > 0;
+    conn.send(&ControlMessage::Register { agent: st.agent, incarnation: st.incarnation, resume })
+        .map_err(ConnError::Io)?;
+
+    // Handshake: RegisterAck (our resume point) then ConfigPush.
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut next_seq: Option<u64> = None;
+    let mut config: Option<AgentConfig> = None;
+    while next_seq.is_none() || config.is_none() {
+        if Instant::now() >= deadline {
+            return Ok(SessionEnd::ConnLost);
+        }
+        for ev in conn.poll()? {
+            match ev {
+                ConnEvent::Msg(ControlMessage::RegisterAck { agent, next_seq: ns })
+                    if agent == st.agent =>
+                {
+                    next_seq = Some(ns)
+                }
+                ConnEvent::Msg(ControlMessage::ConfigPush(cfg)) => config = Some(cfg),
+                ConnEvent::Msg(ControlMessage::Shutdown) => {
+                    let _ = conn.send(&ControlMessage::Goodbye {
+                        agent: st.agent,
+                        final_seq: next_seq.unwrap_or(0),
+                    });
+                    return Ok(SessionEnd::Shutdown);
+                }
+                _ => {}
+            }
+        }
+    }
+    let (mut seq, cfg) = (next_seq.unwrap(), config.unwrap());
+
+    if st.host.is_none() {
+        match start_host(&cfg, st.incarnation) {
+            Some(host) => st.host = Some(host),
+            None => {
+                // Server unreachable; back off and let the daemon's
+                // heartbeat deadline decide our fate.
+                std::thread::sleep(Duration::from_millis(50));
+                return Ok(SessionEnd::ConnLost);
+            }
+        }
+        st.forwarded_status = 0;
+    }
+    let peer_port = st.host.as_ref().unwrap().peer_addr().port();
+    conn.send(&ControlMessage::Ready { agent: st.agent, peer_port }).map_err(ConnError::Io)?;
+
+    // Reconcile the in-flight chunk with the daemon's resume point.
+    if let Some(p) = &st.pending {
+        if p.seq < seq {
+            // Merged before the connection died; the ack was lost.
+            st.pending = None;
+        }
+    }
+    if let Some(p) = &mut st.pending {
+        conn.send_raw(&p.frame).map_err(ConnError::Io)?;
+        p.sent_at = Instant::now();
+    }
+
+    let mut hb_due = Instant::now();
+    let mut collect_due = Instant::now() + Duration::from_millis(cfg.collect_ms);
+    let mut shutting_down = false;
+
+    loop {
+        let events = match conn.poll() {
+            Ok(ev) => ev,
+            Err(ConnError::Closed) | Err(ConnError::Io(_)) => return Ok(SessionEnd::ConnLost),
+            Err(e) => return Err(e),
+        };
+        for ev in events {
+            match ev {
+                ConnEvent::Msg(ControlMessage::HeartbeatAck { echo_micros, .. }) => {
+                    st.last_rtt_micros = st.micros_now().saturating_sub(echo_micros).max(1);
+                }
+                ConnEvent::Msg(ControlMessage::ChunkAck { seq: acked }) => {
+                    if st.pending.as_ref().map(|p| p.seq) == Some(acked) {
+                        st.pending = None;
+                    }
+                    if acked >= seq {
+                        seq = acked + 1;
+                    }
+                }
+                ConnEvent::Msg(ControlMessage::ChunkRetry { seq: want }) => {
+                    if let Some(p) = &mut st.pending {
+                        if p.seq == want {
+                            conn.send_raw(&p.frame).map_err(ConnError::Io)?;
+                            p.sent_at = Instant::now();
+                        }
+                    }
+                }
+                ConnEvent::Msg(ControlMessage::Relaunch) => return Ok(SessionEnd::Relaunch),
+                ConnEvent::Msg(ControlMessage::Shutdown) => shutting_down = true,
+                _ => {}
+            }
+        }
+
+        forward_status(st, &mut conn)?;
+
+        let now = Instant::now();
+
+        if let Some(p) = &mut st.pending {
+            if now.duration_since(p.sent_at) >= ACK_RESEND_AFTER {
+                conn.send_raw(&p.frame).map_err(ConnError::Io)?;
+                p.sent_at = now;
+            }
+        }
+
+        if st.pending.is_none() && (shutting_down || now >= collect_due) {
+            collect_due = now + Duration::from_millis(cfg.collect_ms.max(1));
+            let chunk = st.host.as_ref().unwrap().collect_log();
+            if !chunk.records.is_empty() || !chunk.shared_lists.is_empty() {
+                match upload_chunk(&mut conn, st, seq, chunk, now)? {
+                    Some(end) => return Ok(end),
+                    None => {}
+                }
+            } else if shutting_down {
+                conn.send(&ControlMessage::Goodbye { agent: st.agent, final_seq: seq })
+                    .map_err(ConnError::Io)?;
+                return Ok(SessionEnd::Shutdown);
+            }
+        }
+
+        if !shutting_down && now >= hb_due {
+            hb_due = now + Duration::from_millis(cfg.heartbeat_ms.max(1));
+            if !st.fault.should_drop_heartbeat(&mut st.fstate) {
+                if st.fault.delay_heartbeat_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(st.fault.delay_heartbeat_ms));
+                }
+                st.hb_seq += 1;
+                conn.send(&ControlMessage::Heartbeat {
+                    agent: st.agent,
+                    seq: st.hb_seq,
+                    sent_micros: st.micros_now(),
+                    rtt_micros: st.last_rtt_micros,
+                })
+                .map_err(ConnError::Io)?;
+            }
+        }
+    }
+}
+
+/// Journals and sends one chunk, applying scripted upload faults.  Returns
+/// a session end when a fault terminates the session.
+fn upload_chunk(
+    conn: &mut ControlConn,
+    st: &mut AgentState,
+    seq: u64,
+    chunk: honeypot::LogChunk,
+    now: Instant,
+) -> Result<Option<SessionEnd>, ConnError> {
+    // The journal copy is taken before any fault can touch the bytes: it
+    // is the ground truth of what this agent tried to report.
+    st.journal.record(st.agent, seq, chunk.clone());
+    let frame = ControlMessage::LogUpload { agent: st.agent, seq, chunk }.encode_frame();
+    let kill_now = st.fault.kill_after_chunk == Some(seq);
+
+    if st.fault.should_truncate(seq, &mut st.fstate) {
+        // Half a frame, then the connection dies: the daemon's decoder
+        // never completes the frame and the next session must resume.
+        let _ = conn.send_raw(&frame[..frame.len() / 2]);
+        st.pending = Some(Pending { seq, frame, sent_at: now });
+        return Ok(Some(SessionEnd::ConnLost));
+    }
+    if st.fault.should_corrupt(seq, &mut st.fstate) {
+        let mut doctored = frame.clone();
+        let last = doctored.len() - 1;
+        doctored[last] ^= 0xA5; // break the CRC trailer
+        conn.send_raw(&doctored).map_err(ConnError::Io)?;
+        st.pending = Some(Pending { seq, frame, sent_at: now });
+        return Ok(None); // wait for the daemon's ChunkRetry
+    }
+
+    conn.send_raw(&frame).map_err(ConnError::Io)?;
+    st.pending = Some(Pending { seq, frame, sent_at: now });
+    if kill_now {
+        // Crash right after the send: the daemon merges the chunk, but the
+        // ack is never read.  The next incarnation must resume past it.
+        return Ok(Some(SessionEnd::Killed));
+    }
+    Ok(None)
+}
+
+fn forward_status(st: &mut AgentState, conn: &mut ControlConn) -> Result<(), ConnError> {
+    let Some(host) = &st.host else { return Ok(()) };
+    let reports = host.status_reports();
+    while st.forwarded_status < reports.len() {
+        let report = reports[st.forwarded_status];
+        conn.send(&ControlMessage::Status(report)).map_err(ConnError::Io)?;
+        st.forwarded_status += 1;
+    }
+    Ok(())
+}
+
+fn start_host(cfg: &AgentConfig, incarnation: u32) -> Option<HoneypotHost> {
+    let server_addr = SocketAddr::from((cfg.server.ip.octets(), cfg.server.port));
+    let hp_config = HoneypotConfig {
+        id: cfg.id,
+        content: cfg.content,
+        files: cfg.files.clone(),
+        ask_shared_files: true,
+        materialize_content: true,
+        port: 4662,
+        client_name: cfg.client_name.clone(),
+    };
+    // Each incarnation draws a distinct RNG stream: a relaunched honeypot
+    // is a new process, not a replay of the old one.
+    let rng = Rng::seed_from(stream_seed(cfg.rng_seed, incarnation as u64));
+    let honeypot =
+        Honeypot::new(hp_config, cfg.server.clone(), IpHasher::from_seed(cfg.ip_salt), rng);
+    HoneypotHost::start(honeypot, server_addr).ok()
+}

@@ -1,0 +1,213 @@
+//! A blocking control-plane connection: framing + typed decode over a
+//! `TcpStream`.
+//!
+//! Reads are non-destructive with respect to corruption: a frame whose CRC
+//! fails surfaces as [`ConnEvent::Corrupt`] and the stream keeps going
+//! (framing stays in sync), which is what lets the daemon re-request a
+//! damaged chunk instead of dropping the whole agent.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use edonkey_proto::control::{ControlDecoder, ControlEvent};
+use edonkey_proto::ProtoError;
+
+use crate::messages::ControlMessage;
+
+/// What a poll of the connection can yield.
+#[derive(Clone, Debug)]
+pub enum ConnEvent {
+    /// A decoded, CRC-clean control message.
+    Msg(ControlMessage),
+    /// A frame with a valid envelope but a failed checksum; `opcode` is
+    /// what the frame claimed to carry.
+    Corrupt { opcode: u8 },
+}
+
+/// Connection-level errors (all fatal to the connection).
+#[derive(Debug)]
+pub enum ConnError {
+    /// The peer closed the stream.
+    Closed,
+    Io(std::io::Error),
+    /// Unrecoverable framing violation (bad magic/version, oversized
+    /// frame, undecodable payload).
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Closed => write!(f, "connection closed"),
+            ConnError::Io(e) => write!(f, "io error: {e}"),
+            ConnError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+/// A framed control connection.
+pub struct ControlConn {
+    stream: TcpStream,
+    decoder: ControlDecoder,
+}
+
+impl ControlConn {
+    /// Connects to a control endpoint.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<ControlConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ControlConn { stream, decoder: ControlDecoder::new() })
+    }
+
+    /// Wraps an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> ControlConn {
+        stream.set_nodelay(true).ok();
+        ControlConn { stream, decoder: ControlDecoder::new() }
+    }
+
+    /// Clones the underlying stream (for a writer held elsewhere).
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+
+    /// Sets the per-read timeout used by [`ControlConn::poll`].
+    pub fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Sends one message as a complete frame.
+    pub fn send(&mut self, msg: &ControlMessage) -> std::io::Result<()> {
+        self.stream.write_all(&msg.encode_frame())
+    }
+
+    /// Sends raw pre-encoded bytes (fault injection writes doctored
+    /// frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Performs at most one socket read (bounded by the read timeout) and
+    /// returns every control event that completed.  An empty vector means
+    /// the timeout passed without a full frame — not an error.
+    pub fn poll(&mut self) -> Result<Vec<ConnEvent>, ConnError> {
+        let mut buf = [0u8; 16 * 1024];
+        match self.stream.read(&mut buf) {
+            Ok(0) => {
+                let events = self.drain()?;
+                if events.is_empty() {
+                    return Err(ConnError::Closed);
+                }
+                Ok(events)
+            }
+            Ok(n) => {
+                self.decoder.feed(&buf[..n]);
+                self.drain()
+            }
+            Err(e) if is_timeout(&e) => self.drain(),
+            Err(e) => Err(ConnError::Io(e)),
+        }
+    }
+
+    /// Polls until `deadline`, returning the first batch of events (or an
+    /// empty vector at the deadline).
+    pub fn poll_until(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<Vec<ConnEvent>, ConnError> {
+        loop {
+            let events = self.poll()?;
+            if !events.is_empty() {
+                return Ok(events);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(Vec::new());
+            }
+        }
+    }
+
+    fn drain(&mut self) -> Result<Vec<ConnEvent>, ConnError> {
+        let mut events = Vec::new();
+        loop {
+            match self.decoder.next_event() {
+                Ok(Some(ControlEvent::Frame(frame))) => {
+                    let msg = ControlMessage::decode(frame.opcode, &frame.payload)
+                        .map_err(ConnError::Proto)?;
+                    events.push(ConnEvent::Msg(msg));
+                }
+                Ok(Some(ControlEvent::Corrupt { opcode })) => {
+                    events.push(ConnEvent::Corrupt { opcode });
+                }
+                Ok(None) => return Ok(events),
+                Err(e) => return Err(ConnError::Proto(e)),
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_roundtrip_over_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = ControlConn::from_stream(stream);
+            conn.set_read_timeout(Duration::from_millis(20)).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            let events = conn.poll_until(deadline).unwrap();
+            let ConnEvent::Msg(msg) = &events[0] else { panic!("corrupt?") };
+            assert_eq!(
+                *msg,
+                ControlMessage::Register { agent: 7, incarnation: 0, resume: false }
+            );
+            conn.send(&ControlMessage::RegisterAck { agent: 7, next_seq: 0 }).unwrap();
+        });
+        let mut conn = ControlConn::connect(addr).unwrap();
+        conn.set_read_timeout(Duration::from_millis(20)).unwrap();
+        conn.send(&ControlMessage::Register { agent: 7, incarnation: 0, resume: false })
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let events = conn.poll_until(deadline).unwrap();
+        assert!(matches!(
+            &events[0],
+            ConnEvent::Msg(ControlMessage::RegisterAck { agent: 7, next_seq: 0 })
+        ));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_surfaces_and_stream_continues() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = ControlConn::from_stream(stream);
+            conn.set_read_timeout(Duration::from_millis(20)).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            let mut got = Vec::new();
+            while got.len() < 2 && std::time::Instant::now() < deadline {
+                got.extend(conn.poll_until(deadline).unwrap());
+            }
+            assert!(matches!(got[0], ConnEvent::Corrupt { .. }));
+            assert!(matches!(got[1], ConnEvent::Msg(ControlMessage::ChunkAck { seq: 5 })));
+        });
+        let mut conn = ControlConn::connect(addr).unwrap();
+        let mut bad = ControlMessage::ChunkAck { seq: 5 }.encode_frame();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        conn.send_raw(&bad).unwrap();
+        conn.send(&ControlMessage::ChunkAck { seq: 5 }).unwrap();
+        t.join().unwrap();
+    }
+}

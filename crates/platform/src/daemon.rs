@@ -1,0 +1,645 @@
+//! The manager daemon (paper §III-A, as a live network service).
+//!
+//! One TCP listener; agents connect and register.  Three concerns run in
+//! the daemon:
+//!
+//! * **collection** — per-connection reader threads decode control frames,
+//!   answer heartbeats, and stream sequenced [`LogChunk`]s into the
+//!   in-process [`honeypot::Manager`] merge/anonymise pipeline via
+//!   `collect_sequenced` (exactly-once; duplicates re-acked, corrupt
+//!   frames re-requested with `ChunkRetry`, never merged);
+//! * **supervision** — a tick thread watches heartbeat deadlines, marks
+//!   silent agents dead in the core manager, and issues (re)launches
+//!   through a caller-provided launcher, gated by exponential backoff
+//!   with jitter and accounted through the core's pure
+//!   `needing_relaunch` + `mark_relaunched` pair;
+//! * **metrics** — heartbeat RTTs, relaunch/death counts, chunk bytes and
+//!   retries, per-agent uptime ([`crate::metrics::PlatformMetrics`]).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use edonkey_proto::control::opcodes;
+use honeypot::{
+    HoneypotId, HoneypotSpec, HoneypotStatus, Manager, MeasurementLog, StatusReport,
+};
+use netsim::{Rng, SimTime};
+use parking_lot::Mutex;
+
+use crate::conn::{ConnEvent, ControlConn};
+use crate::messages::{AgentConfig, ControlMessage};
+use crate::metrics::PlatformMetrics;
+
+/// Supervision and transport tuning.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// An agent silent for longer than this is declared dead.
+    pub heartbeat_timeout_ms: u64,
+    /// Supervision loop period.
+    pub supervision_tick_ms: u64,
+    /// First relaunch backoff; doubles per consecutive attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Seed of the backoff jitter stream.
+    pub backoff_seed: u64,
+    /// Stop relaunching an agent after this many consecutive failed
+    /// launch attempts (a registration that reaches `Connected` resets
+    /// the count).
+    pub max_launch_attempts: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            heartbeat_timeout_ms: 400,
+            supervision_tick_ms: 25,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            backoff_seed: 0x1eaf_5eed,
+            max_launch_attempts: 10,
+        }
+    }
+}
+
+/// Spawns (or re-spawns) an agent: `(agent_id, incarnation, daemon_addr)`.
+pub type Launcher = Box<dyn Fn(u32, u32, SocketAddr) + Send + Sync + 'static>;
+
+struct Slot {
+    config: AgentConfig,
+    /// Next upload sequence number this agent must send.
+    expected_seq: u64,
+    /// Incarnation the next launch will carry.
+    next_incarnation: u32,
+    /// A connection for this agent is currently registered.
+    registered: bool,
+    /// The agent said a clean goodbye; never relaunch it.
+    goodbye: bool,
+    last_activity: Option<Instant>,
+    registered_at: Option<Instant>,
+    /// Backoff gate: no launch before this instant.
+    next_launch_at: Option<Instant>,
+    /// Consecutive launch attempts without a `Connected` status.
+    attempts: u32,
+    /// Port of the honeypot's peer listener (from `Ready`).
+    peer_port: Option<u16>,
+    /// Write half of the agent's control connection (frame writes are
+    /// serialised through the lock).
+    writer: Option<Arc<Mutex<TcpStream>>>,
+}
+
+impl Slot {
+    fn new(config: AgentConfig) -> Self {
+        Slot {
+            config,
+            expected_seq: 0,
+            next_incarnation: 0,
+            registered: false,
+            goodbye: false,
+            last_activity: None,
+            registered_at: None,
+            next_launch_at: None,
+            attempts: 0,
+            peer_port: None,
+            writer: None,
+        }
+    }
+}
+
+struct Inner {
+    cfg: DaemonConfig,
+    addr: SocketAddr,
+    started: Instant,
+    /// `None` once `finish` has consumed it.
+    core: Mutex<Option<Manager>>,
+    slots: Mutex<Vec<Slot>>,
+    metrics: Mutex<PlatformMetrics>,
+    /// `(agent, seq)` in the exact order chunks were merged.
+    chunk_order: Mutex<Vec<(u32, u64)>>,
+    launcher: Launcher,
+    shutdown: AtomicBool,
+    jitter: Mutex<Rng>,
+}
+
+impl Inner {
+    fn now_sim(&self) -> SimTime {
+        SimTime::from_millis(self.started.elapsed().as_millis() as u64)
+    }
+
+}
+
+/// The manager daemon.  Create with [`Daemon::start`]; always call
+/// [`Daemon::finish`] to obtain the merged measurement.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    supervise: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds a loopback control endpoint and starts the accept and
+    /// supervision loops.  `configs[i].id` must equal `i` (the core
+    /// manager indexes honeypots densely).  The supervision loop performs
+    /// the *initial* launches too, through the same backoff-gated path as
+    /// relaunches.
+    pub fn start(
+        cfg: DaemonConfig,
+        configs: Vec<AgentConfig>,
+        launcher: Launcher,
+    ) -> std::io::Result<Daemon> {
+        let specs: Vec<HoneypotSpec> = configs
+            .iter()
+            .map(|c| HoneypotSpec { id: c.id, content: c.content, server: c.server.clone() })
+            .collect();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let n = configs.len();
+        let inner = Arc::new(Inner {
+            jitter: Mutex::new(Rng::seed_from(cfg.backoff_seed)),
+            cfg,
+            addr,
+            started: Instant::now(),
+            core: Mutex::new(Some(Manager::new(specs))),
+            slots: Mutex::new(configs.into_iter().map(Slot::new).collect()),
+            metrics: Mutex::new(PlatformMetrics::new(n)),
+            chunk_order: Mutex::new(Vec::new()),
+            launcher,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_inner = inner.clone();
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_inner = accept_inner.clone();
+                std::thread::spawn(move || serve_agent(conn_inner, stream));
+            }
+        });
+
+        let sup_inner = inner.clone();
+        let supervise = std::thread::spawn(move || {
+            while !sup_inner.shutdown.load(Ordering::SeqCst) {
+                supervision_tick(&sup_inner);
+                std::thread::sleep(Duration::from_millis(sup_inner.cfg.supervision_tick_ms));
+            }
+        });
+
+        Ok(Daemon { inner, accept: Some(accept), supervise: Some(supervise) })
+    }
+
+    /// The control endpoint agents connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Relaunches issued by the core accounting (initial launches not
+    /// counted).
+    pub fn relaunch_count(&self) -> u64 {
+        self.inner.core.lock().as_ref().map_or(0, |m| m.relaunch_count())
+    }
+
+    /// Chunks merged so far.
+    pub fn chunks_collected(&self) -> u64 {
+        self.inner.core.lock().as_ref().map_or(0, |m| m.chunks_collected())
+    }
+
+    /// Highest merged upload sequence for an agent.
+    pub fn collected_seq_high(&self, agent: u32) -> Option<u64> {
+        self.inner
+            .core
+            .lock()
+            .as_ref()
+            .and_then(|m| m.collected_seq_high(HoneypotId(agent)))
+    }
+
+    /// The honeypot peer-listener address of a registered, ready agent.
+    pub fn agent_peer_addr(&self, agent: u32) -> Option<SocketAddr> {
+        let slots = self.inner.slots.lock();
+        let slot = slots.get(agent as usize)?;
+        if !slot.registered {
+            return None;
+        }
+        slot.peer_port.map(|p| SocketAddr::from(([127, 0, 0, 1], p)))
+    }
+
+    /// Waits until every agent is registered and ready (or the timeout
+    /// passes); returns whether they all made it.
+    pub fn wait_agents_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let slots = self.inner.slots.lock();
+                if slots.iter().all(|s| s.registered && s.peer_port.is_some()) {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Snapshot of the platform metrics.
+    pub fn metrics(&self) -> PlatformMetrics {
+        self.inner.metrics.lock().clone()
+    }
+
+    /// The exact order in which `(agent, seq)` chunks were merged.
+    pub fn chunk_order(&self) -> Vec<(u32, u64)> {
+        self.inner.chunk_order.lock().clone()
+    }
+
+    /// Asks a live agent to tear down and restart its honeypot in place.
+    pub fn relaunch_agent(&self, agent: u32) -> bool {
+        let writer = {
+            let slots = self.inner.slots.lock();
+            slots.get(agent as usize).and_then(|s| s.writer.clone())
+        };
+        match writer {
+            Some(w) => send_to(&w, &ControlMessage::Relaunch).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Ends the measurement: stops supervision, asks every live agent to
+    /// flush and exit, waits up to `drain` for goodbyes, then finalizes
+    /// the merge pipeline.  Returns the merged log, the platform metrics
+    /// and the chunk merge order.
+    pub fn finish(
+        mut self,
+        duration: SimTime,
+        shared_files_final: u32,
+        name_threshold: u32,
+        drain: Duration,
+    ) -> (MeasurementLog, PlatformMetrics, Vec<(u32, u64)>) {
+        // Supervision first: a draining agent must not be "relaunched".
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.supervise.take() {
+            let _ = t.join();
+        }
+
+        let writers: Vec<Arc<Mutex<TcpStream>>> = {
+            let slots = self.inner.slots.lock();
+            slots.iter().filter_map(|s| s.writer.clone()).collect()
+        };
+        for w in &writers {
+            let _ = send_to(w, &ControlMessage::Shutdown);
+        }
+
+        let deadline = Instant::now() + drain;
+        loop {
+            {
+                let slots = self.inner.slots.lock();
+                if slots.iter().all(|s| !s.registered || s.goodbye) {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Unblock the accept loop and join it.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+
+        // Credit uptime of anything still registered (e.g. drain timeout).
+        {
+            let now = Instant::now();
+            let mut slots = self.inner.slots.lock();
+            for i in 0..slots.len() {
+                if slots[i].registered {
+                    let slot = &mut slots[i];
+                    slot.registered = false;
+                    slot.writer = None;
+                    if let Some(since) = slot.registered_at.take() {
+                        let ms = now.duration_since(since).as_millis() as u64;
+                        self.inner.metrics.lock().agents[i].uptime_ms += ms;
+                    }
+                }
+            }
+        }
+
+        let mgr = self.inner.core.lock().take().expect("finish called once");
+        let log = mgr.finalize(duration, shared_files_final, name_threshold);
+        let metrics = self.inner.metrics.lock().clone();
+        let order = self.inner.chunk_order.lock().clone();
+        (log, metrics, order)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(t) = self.supervise.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serialised frame write to an agent's connection.
+fn send_to(writer: &Arc<Mutex<TcpStream>>, msg: &ControlMessage) -> std::io::Result<()> {
+    use std::io::Write;
+    let bytes = msg.encode_frame();
+    writer.lock().write_all(&bytes)
+}
+
+/// One connection's reader loop.
+fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
+    let mut conn = ControlConn::from_stream(stream);
+    conn.set_read_timeout(Duration::from_millis(5)).ok();
+
+    // First frame must be a Register.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let (agent, resume) = loop {
+        if Instant::now() >= deadline {
+            return;
+        }
+        let events = match conn.poll() {
+            Ok(ev) => ev,
+            Err(_) => return,
+        };
+        let mut found = None;
+        for ev in events {
+            if let ConnEvent::Msg(ControlMessage::Register { agent, incarnation: _, resume }) = ev
+            {
+                found = Some((agent, resume));
+                break;
+            }
+        }
+        if let Some(f) = found {
+            break f;
+        }
+    };
+
+    let Ok(raw_writer) = conn.try_clone_stream() else { return };
+    let writer = Arc::new(Mutex::new(raw_writer));
+    let agent_idx = agent as usize;
+
+    let (next_seq, config) = {
+        let mut slots = inner.slots.lock();
+        let Some(slot) = slots.get_mut(agent_idx) else { return };
+        let now = Instant::now();
+        // Latest connection wins; credit the previous registration.
+        if slot.registered {
+            if let Some(since) = slot.registered_at.take() {
+                let ms = now.duration_since(since).as_millis() as u64;
+                drop(slots);
+                inner.metrics.lock().agents[agent_idx].uptime_ms += ms;
+                slots = inner.slots.lock();
+            }
+        }
+        let slot = &mut slots[agent_idx];
+        slot.registered = true;
+        slot.last_activity = Some(now);
+        slot.registered_at = Some(now);
+        slot.writer = Some(writer.clone());
+        (slot.expected_seq, slot.config.clone())
+    };
+    {
+        let mut metrics = inner.metrics.lock();
+        metrics.agents[agent_idx].registrations += 1;
+        if resume {
+            metrics.agents[agent_idx].resumes += 1;
+        }
+    }
+    if send_to(&writer, &ControlMessage::RegisterAck { agent, next_seq }).is_err() {
+        return;
+    }
+    if send_to(&writer, &ControlMessage::ConfigPush(config)).is_err() {
+        return;
+    }
+
+    let mut clean_goodbye = false;
+    'conn: loop {
+        let events = match conn.poll() {
+            Ok(ev) => ev,
+            Err(_) => break 'conn,
+        };
+        for ev in events {
+            touch(&inner, agent_idx);
+            match ev {
+                ConnEvent::Corrupt { opcode } => {
+                    inner.metrics.lock().corrupt_frames += 1;
+                    if opcode == opcodes::LOG_CHUNK {
+                        // A damaged upload is re-requested, never merged.
+                        let want = inner.slots.lock()[agent_idx].expected_seq;
+                        inner.metrics.lock().agents[agent_idx].chunk_retries += 1;
+                        let _ = send_to(&writer, &ControlMessage::ChunkRetry { seq: want });
+                    }
+                }
+                ConnEvent::Msg(ControlMessage::Heartbeat { seq, sent_micros, rtt_micros, .. }) => {
+                    {
+                        let mut metrics = inner.metrics.lock();
+                        metrics.agents[agent_idx].heartbeats += 1;
+                        if rtt_micros > 0 {
+                            metrics.agents[agent_idx].rtt.record(rtt_micros);
+                        }
+                    }
+                    let _ =
+                        send_to(&writer, &ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros });
+                }
+                ConnEvent::Msg(ControlMessage::Status(report)) => {
+                    if matches!(report.status, HoneypotStatus::Connected { .. }) {
+                        inner.slots.lock()[agent_idx].attempts = 0;
+                    }
+                    if let Some(core) = inner.core.lock().as_mut() {
+                        core.on_status(report);
+                    }
+                }
+                ConnEvent::Msg(ControlMessage::Ready { peer_port, .. }) => {
+                    inner.slots.lock()[agent_idx].peer_port = Some(peer_port);
+                }
+                ConnEvent::Msg(ControlMessage::LogUpload { agent: a, seq, chunk }) => {
+                    if a == agent {
+                        handle_upload(&inner, agent_idx, seq, chunk, &writer);
+                    }
+                }
+                ConnEvent::Msg(ControlMessage::Goodbye { .. }) => {
+                    clean_goodbye = true;
+                    break 'conn;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Connection over: close out this registration if it is still ours.
+    let now = Instant::now();
+    let mut credit_ms = None;
+    {
+        let mut slots = inner.slots.lock();
+        let slot = &mut slots[agent_idx];
+        let ours = slot.writer.as_ref().is_some_and(|w| Arc::ptr_eq(w, &writer));
+        if ours {
+            if clean_goodbye {
+                slot.goodbye = true;
+            }
+            slot.registered = false;
+            slot.writer = None;
+            if let Some(since) = slot.registered_at.take() {
+                credit_ms = Some(now.duration_since(since).as_millis() as u64);
+            }
+        }
+    }
+    if let Some(ms) = credit_ms {
+        inner.metrics.lock().agents[agent_idx].uptime_ms += ms;
+    }
+}
+
+fn touch(inner: &Inner, agent_idx: usize) {
+    inner.slots.lock()[agent_idx].last_activity = Some(Instant::now());
+}
+
+fn handle_upload(
+    inner: &Inner,
+    agent_idx: usize,
+    seq: u64,
+    chunk: honeypot::LogChunk,
+    writer: &Arc<Mutex<TcpStream>>,
+) {
+    let expected = inner.slots.lock()[agent_idx].expected_seq;
+    if seq < expected {
+        // Duplicate after a lost ack: already merged, just re-ack.
+        let _ = send_to(writer, &ControlMessage::ChunkAck { seq });
+        return;
+    }
+    if seq > expected {
+        // A hole would mean lost data; ask for the resume point.
+        let _ = send_to(writer, &ControlMessage::ChunkRetry { seq: expected });
+        return;
+    }
+    let bytes = ControlMessage::LogUpload {
+        agent: agent_idx as u32,
+        seq,
+        chunk: chunk.clone(),
+    }
+    .encode_payload()
+    .len() as u64;
+    let merged = match inner.core.lock().as_mut() {
+        Some(core) => core.collect_sequenced(seq, chunk),
+        None => false,
+    };
+    if merged {
+        inner.chunk_order.lock().push((agent_idx as u32, seq));
+        let mut metrics = inner.metrics.lock();
+        metrics.agents[agent_idx].chunks_merged += 1;
+        metrics.agents[agent_idx].chunk_bytes += bytes;
+    }
+    inner.slots.lock()[agent_idx].expected_seq = seq + 1;
+    let _ = send_to(writer, &ControlMessage::ChunkAck { seq });
+}
+
+/// One pass of the supervision loop: deadline-check registered agents,
+/// then issue backoff-gated (re)launches for everything the core manager
+/// reports as needing one.
+fn supervision_tick(inner: &Arc<Inner>) {
+    let now = Instant::now();
+    let timeout = Duration::from_millis(inner.cfg.heartbeat_timeout_ms);
+
+    // Heartbeat deadlines → deaths.  This covers both a registered agent
+    // that went silent and a crashed one whose connection already closed:
+    // `last_activity` keeps ticking from the agent's last sign of life,
+    // and taking it (`None`) latches the death so it is reported once.
+    let mut died: Vec<usize> = Vec::new();
+    {
+        let mut slots = inner.slots.lock();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if !slot.goodbye
+                && slot.last_activity.map_or(false, |t| now.duration_since(t) > timeout)
+            {
+                slot.registered = false;
+                slot.writer = None;
+                slot.last_activity = None;
+                died.push(i);
+            }
+        }
+    }
+    for &i in &died {
+        // Credit uptime and record the death.
+        let mut credit = None;
+        {
+            let mut slots = inner.slots.lock();
+            if let Some(since) = slots[i].registered_at.take() {
+                credit = Some(now.duration_since(since).as_millis() as u64);
+            }
+        }
+        {
+            let mut metrics = inner.metrics.lock();
+            metrics.agents[i].deaths += 1;
+            if let Some(ms) = credit {
+                metrics.agents[i].uptime_ms += ms;
+            }
+        }
+        let report = StatusReport {
+            honeypot: HoneypotId(i as u32),
+            at: inner.now_sim(),
+            status: HoneypotStatus::Dead,
+        };
+        if let Some(core) = inner.core.lock().as_mut() {
+            core.on_status(report);
+        }
+    }
+
+    // Launches: the core's pure query says who, the slot's backoff gate
+    // says when, `mark_relaunched` does the counting exactly once.
+    let needing: Vec<HoneypotId> = match inner.core.lock().as_ref() {
+        Some(core) => core.needing_relaunch(),
+        None => return,
+    };
+    for id in needing {
+        let i = id.0 as usize;
+        let launch = {
+            let mut slots = inner.slots.lock();
+            let slot = &mut slots[i];
+            if slot.goodbye || slot.registered {
+                None
+            } else if slot.next_launch_at.is_some_and(|t| now < t) {
+                None
+            } else if slot.attempts >= inner.cfg.max_launch_attempts {
+                None
+            } else {
+                let incarnation = slot.next_incarnation;
+                slot.next_incarnation += 1;
+                slot.attempts += 1;
+                let shift = (slot.attempts - 1).min(16);
+                let backoff = (inner.cfg.backoff_base_ms << shift).min(inner.cfg.backoff_cap_ms);
+                let jitter = inner.jitter.lock().below(inner.cfg.backoff_base_ms.max(1) + 1);
+                // The gate also covers registration latency, so a launch
+                // in flight is never doubled.
+                let gate_ms = (backoff + jitter).max(inner.cfg.heartbeat_timeout_ms);
+                slot.next_launch_at = Some(now + Duration::from_millis(gate_ms));
+                Some(incarnation)
+            }
+        };
+        let Some(incarnation) = launch else { continue };
+        // The core counts exactly once per incident (launches from
+        // `Pending` are free); mirror its decision in the metrics.
+        let counted = match inner.core.lock().as_mut() {
+            Some(core) => {
+                let was_pending = matches!(core.status_of(id), HoneypotStatus::Pending);
+                core.mark_relaunched(id);
+                !was_pending
+            }
+            None => false,
+        };
+        if counted {
+            inner.metrics.lock().agents[i].relaunches += 1;
+        }
+        (inner.launcher)(id.0, incarnation, inner.addr);
+    }
+}

@@ -1,0 +1,46 @@
+//! # edonkey-platform — live control plane
+//!
+//! The paper's measurement platform (§III-A) is a *distributed* system: a
+//! manager machine supervises honeypots running elsewhere, pushes their
+//! configuration, watches their health, relaunches the dead ones and
+//! collects their logs.  This crate is that platform as a live network
+//! service over TCP:
+//!
+//! * [`daemon::Daemon`] — the manager: accepts agent connections, pushes
+//!   [`messages::AgentConfig`]s, answers heartbeats, declares silent
+//!   agents dead and relaunches them with exponential backoff, and
+//!   streams sequenced log chunks into the same
+//!   [`honeypot::Manager`] merge/anonymise pipeline the in-process path
+//!   uses;
+//! * [`agent::run_agent`] — a supervised honeypot: wraps
+//!   [`edonkey_net::HoneypotHost`], registers with the daemon, heartbeats,
+//!   and ships its log as stop-and-wait sequenced chunks that survive
+//!   corruption, truncation, crashes and reconnects;
+//! * [`messages`] — the typed control protocol over the versioned,
+//!   CRC-protected framing of [`edonkey_proto::control`];
+//! * [`fault`] — scripted agent misbehaviour for recovery testing;
+//! * [`journal`] — a pre-transport chunk journal whose replay proves the
+//!   transport moved every record exactly once, unmodified, in order;
+//! * [`metrics`] — platform health counters (RTTs, relaunches, chunk
+//!   bytes, resumes, uptime) with a JSON report;
+//! * [`deployment`] — a one-call loopback deployment (manager + eDonkey
+//!   server + N agents on 127.0.0.1) used by tests, the experiment
+//!   runner's `--live-loopback` demo and CI.
+
+pub mod agent;
+pub mod conn;
+pub mod daemon;
+pub mod deployment;
+pub mod fault;
+pub mod journal;
+pub mod messages;
+pub mod metrics;
+
+pub use agent::{run_agent, AgentExit};
+pub use conn::{ConnError, ConnEvent, ControlConn};
+pub use daemon::{Daemon, DaemonConfig, Launcher};
+pub use deployment::{LoopbackDeployment, LoopbackOptions, LoopbackOutcome, LoopbackSpec};
+pub use fault::{FaultPlan, FaultState};
+pub use journal::{measurement_diff, ChunkJournal};
+pub use messages::{AgentConfig, ControlMessage};
+pub use metrics::{AgentMetrics, PlatformMetrics, RttStats};

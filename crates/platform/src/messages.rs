@@ -1,0 +1,679 @@
+//! Typed control-plane messages and their binary payload codec.
+//!
+//! Frames on the wire are [`edonkey_proto::control`] envelopes (magic,
+//! version, opcode, length, CRC); this module defines what goes *inside*
+//! the payload for each opcode.  The encoding is a hand-rolled
+//! little-endian format in the style of the measurement-log storage
+//! (`honeypot::storage`): length-prefixed strings and vectors, fixed-width
+//! integers, explicit enum tags.  Nothing here depends on a serialisation
+//! framework, so the codec behaves identically under every build of the
+//! workspace.
+
+use edonkey_proto::control::opcodes;
+use edonkey_proto::{ClientId, FileId, Ipv4, ProtoError, UserId};
+use honeypot::anonymize::IpHash;
+use honeypot::log::{LogChunk, QueryRecord, SharedListRecord};
+use honeypot::{
+    AdvertisedFile, ContentStrategy, FileStrategy, HoneypotId, HoneypotLog, HoneypotStatus,
+    IdStatus, QueryKind, ServerInfo, StatusReport,
+};
+use netsim::SimTime;
+
+/// Everything an agent needs to run its honeypot: the paper's manager
+/// "launches the honeypots" and "specifies the list of files" (§III-A), so
+/// the whole behaviour ships in one config push.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AgentConfig {
+    pub id: HoneypotId,
+    pub content: ContentStrategy,
+    pub files: FileStrategy,
+    /// eDonkey server the honeypot must log into (loopback: the manager's
+    /// `NetServer`).
+    pub server: ServerInfo,
+    /// Seed of the step-1 IP hasher.  All agents of one measurement share
+    /// it, so the same peer hashes identically across honeypots.
+    pub ip_salt: u64,
+    /// Seed of the honeypot's private RNG stream.
+    pub rng_seed: u64,
+    /// Heartbeat period.
+    pub heartbeat_ms: u64,
+    /// Log-collection (upload) period.
+    pub collect_ms: u64,
+    /// Client name shown to eDonkey peers.
+    pub client_name: String,
+}
+
+/// A typed control-plane message (one per control opcode).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControlMessage {
+    /// Agent → manager: first frame on a fresh connection.
+    Register {
+        agent: u32,
+        /// 0 for the first launch; bumped by every relaunch.
+        incarnation: u32,
+        /// True when the agent reconnects with upload state to resume.
+        resume: bool,
+    },
+    /// Manager → agent: registration accepted; uploads must continue at
+    /// `next_seq` (exactly-once resume after reconnects and crashes).
+    RegisterAck { agent: u32, next_seq: u64 },
+    /// Manager → agent: full honeypot configuration.
+    ConfigPush(AgentConfig),
+    /// Agent → manager: liveness beacon.  `rtt_micros` piggybacks the RTT
+    /// measured from the previous ack (0 = no sample yet).
+    Heartbeat { agent: u32, seq: u64, sent_micros: u64, rtt_micros: u64 },
+    /// Manager → agent: echoes the heartbeat's send timestamp.
+    HeartbeatAck { seq: u64, echo_micros: u64 },
+    /// Agent → manager: honeypot status change.
+    Status(StatusReport),
+    /// Agent → manager: the honeypot is serving peers on this port.
+    Ready { agent: u32, peer_port: u16 },
+    /// Agent → manager: one sequenced log chunk.
+    LogUpload { agent: u32, seq: u64, chunk: LogChunk },
+    /// Manager → agent: chunk `seq` merged.
+    ChunkAck { seq: u64 },
+    /// Manager → agent: re-send starting at `seq` (corrupt or out-of-order
+    /// upload).
+    ChunkRetry { seq: u64 },
+    /// Manager → agent: tear the honeypot down and start over.
+    Relaunch,
+    /// Manager → agent: flush logs and exit cleanly.
+    Shutdown,
+    /// Agent → manager: clean exit; `final_seq` is the next sequence the
+    /// agent would have used.
+    Goodbye { agent: u32, final_seq: u64 },
+}
+
+impl ControlMessage {
+    /// The control opcode this message travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            ControlMessage::Register { .. } => opcodes::REGISTER,
+            ControlMessage::RegisterAck { .. } => opcodes::REGISTER_ACK,
+            ControlMessage::ConfigPush(_) => opcodes::CONFIG_PUSH,
+            ControlMessage::Heartbeat { .. } => opcodes::HEARTBEAT,
+            ControlMessage::HeartbeatAck { .. } => opcodes::HEARTBEAT_ACK,
+            ControlMessage::Status(_) => opcodes::STATUS_REPORT,
+            ControlMessage::Ready { .. } => opcodes::READY,
+            ControlMessage::LogUpload { .. } => opcodes::LOG_CHUNK,
+            ControlMessage::ChunkAck { .. } => opcodes::CHUNK_ACK,
+            ControlMessage::ChunkRetry { .. } => opcodes::CHUNK_RETRY,
+            ControlMessage::Relaunch => opcodes::RELAUNCH,
+            ControlMessage::Shutdown => opcodes::SHUTDOWN,
+            ControlMessage::Goodbye { .. } => opcodes::GOODBYE,
+        }
+    }
+
+    /// Encodes the payload (without the frame envelope).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ControlMessage::Register { agent, incarnation, resume } => {
+                w.u32(*agent);
+                w.u32(*incarnation);
+                w.u8(*resume as u8);
+            }
+            ControlMessage::RegisterAck { agent, next_seq } => {
+                w.u32(*agent);
+                w.u64(*next_seq);
+            }
+            ControlMessage::ConfigPush(cfg) => put_config(&mut w, cfg),
+            ControlMessage::Heartbeat { agent, seq, sent_micros, rtt_micros } => {
+                w.u32(*agent);
+                w.u64(*seq);
+                w.u64(*sent_micros);
+                w.u64(*rtt_micros);
+            }
+            ControlMessage::HeartbeatAck { seq, echo_micros } => {
+                w.u64(*seq);
+                w.u64(*echo_micros);
+            }
+            ControlMessage::Status(report) => put_status_report(&mut w, report),
+            ControlMessage::Ready { agent, peer_port } => {
+                w.u32(*agent);
+                w.u16(*peer_port);
+            }
+            ControlMessage::LogUpload { agent, seq, chunk } => {
+                w.u32(*agent);
+                w.u64(*seq);
+                put_chunk(&mut w, chunk);
+            }
+            ControlMessage::ChunkAck { seq } => w.u64(*seq),
+            ControlMessage::ChunkRetry { seq } => w.u64(*seq),
+            ControlMessage::Relaunch | ControlMessage::Shutdown => {}
+            ControlMessage::Goodbye { agent, final_seq } => {
+                w.u32(*agent);
+                w.u64(*final_seq);
+            }
+        }
+        w.out
+    }
+
+    /// Encodes the message as one complete control frame.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        edonkey_proto::control::encode_control_frame(self.opcode(), &self.encode_payload())
+    }
+
+    /// Decodes a payload received under `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<ControlMessage, ProtoError> {
+        let mut r = Reader::new(payload);
+        let msg = match opcode {
+            opcodes::REGISTER => ControlMessage::Register {
+                agent: r.u32()?,
+                incarnation: r.u32()?,
+                resume: r.u8()? != 0,
+            },
+            opcodes::REGISTER_ACK => {
+                ControlMessage::RegisterAck { agent: r.u32()?, next_seq: r.u64()? }
+            }
+            opcodes::CONFIG_PUSH => ControlMessage::ConfigPush(get_config(&mut r)?),
+            opcodes::HEARTBEAT => ControlMessage::Heartbeat {
+                agent: r.u32()?,
+                seq: r.u64()?,
+                sent_micros: r.u64()?,
+                rtt_micros: r.u64()?,
+            },
+            opcodes::HEARTBEAT_ACK => {
+                ControlMessage::HeartbeatAck { seq: r.u64()?, echo_micros: r.u64()? }
+            }
+            opcodes::STATUS_REPORT => ControlMessage::Status(get_status_report(&mut r)?),
+            opcodes::READY => ControlMessage::Ready { agent: r.u32()?, peer_port: r.u16()? },
+            opcodes::LOG_CHUNK => {
+                let agent = r.u32()?;
+                let seq = r.u64()?;
+                let chunk = get_chunk(&mut r)?;
+                ControlMessage::LogUpload { agent, seq, chunk }
+            }
+            opcodes::CHUNK_ACK => ControlMessage::ChunkAck { seq: r.u64()? },
+            opcodes::CHUNK_RETRY => ControlMessage::ChunkRetry { seq: r.u64()? },
+            opcodes::RELAUNCH => ControlMessage::Relaunch,
+            opcodes::SHUTDOWN => ControlMessage::Shutdown,
+            opcodes::GOODBYE => {
+                ControlMessage::Goodbye { agent: r.u32()?, final_seq: r.u64()? }
+            }
+            _ => return Err(ProtoError::UnknownOpcode { opcode, context: "control message" }),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite encoders/decoders.
+
+fn put_config(w: &mut Writer, cfg: &AgentConfig) {
+    w.u32(cfg.id.0);
+    w.u8(content_tag(cfg.content));
+    put_file_strategy(w, &cfg.files);
+    put_server(w, &cfg.server);
+    w.u64(cfg.ip_salt);
+    w.u64(cfg.rng_seed);
+    w.u64(cfg.heartbeat_ms);
+    w.u64(cfg.collect_ms);
+    w.string(&cfg.client_name);
+}
+
+fn get_config(r: &mut Reader) -> Result<AgentConfig, ProtoError> {
+    Ok(AgentConfig {
+        id: HoneypotId(r.u32()?),
+        content: content_from(r.u8()?)?,
+        files: get_file_strategy(r)?,
+        server: get_server(r)?,
+        ip_salt: r.u64()?,
+        rng_seed: r.u64()?,
+        heartbeat_ms: r.u64()?,
+        collect_ms: r.u64()?,
+        client_name: r.string()?,
+    })
+}
+
+fn content_tag(c: ContentStrategy) -> u8 {
+    match c {
+        ContentStrategy::NoContent => 0,
+        ContentStrategy::RandomContent => 1,
+    }
+}
+
+fn content_from(tag: u8) -> Result<ContentStrategy, ProtoError> {
+    match tag {
+        0 => Ok(ContentStrategy::NoContent),
+        1 => Ok(ContentStrategy::RandomContent),
+        _ => Err(ProtoError::Invalid("content strategy tag")),
+    }
+}
+
+fn put_file_strategy(w: &mut Writer, s: &FileStrategy) {
+    match s {
+        FileStrategy::Fixed(files) => {
+            w.u8(0);
+            w.u32(files.len() as u32);
+            for f in files {
+                put_advertised(w, f);
+            }
+        }
+        FileStrategy::Greedy { seeds, adopt_until, max_files } => {
+            w.u8(1);
+            w.u32(seeds.len() as u32);
+            for f in seeds {
+                put_advertised(w, f);
+            }
+            w.u64(adopt_until.as_millis());
+            w.u64(*max_files as u64);
+        }
+    }
+}
+
+fn get_file_strategy(r: &mut Reader) -> Result<FileStrategy, ProtoError> {
+    match r.u8()? {
+        0 => {
+            let n = r.u32()? as usize;
+            let mut files = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                files.push(get_advertised(r)?);
+            }
+            Ok(FileStrategy::Fixed(files))
+        }
+        1 => {
+            let n = r.u32()? as usize;
+            let mut seeds = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                seeds.push(get_advertised(r)?);
+            }
+            let adopt_until = SimTime::from_millis(r.u64()?);
+            let max_files = r.u64()? as usize;
+            Ok(FileStrategy::Greedy { seeds, adopt_until, max_files })
+        }
+        _ => Err(ProtoError::Invalid("file strategy tag")),
+    }
+}
+
+fn put_advertised(w: &mut Writer, f: &AdvertisedFile) {
+    w.bytes16(&f.id.0);
+    w.string(&f.name);
+    w.u64(f.size);
+}
+
+fn get_advertised(r: &mut Reader) -> Result<AdvertisedFile, ProtoError> {
+    Ok(AdvertisedFile { id: FileId(r.bytes16()?), name: r.string()?, size: r.u64()? })
+}
+
+fn put_server(w: &mut Writer, s: &ServerInfo) {
+    w.string(&s.name);
+    w.u32(s.ip.0);
+    w.u16(s.port);
+}
+
+fn get_server(r: &mut Reader) -> Result<ServerInfo, ProtoError> {
+    let name = r.string()?;
+    let ip = Ipv4(r.u32()?);
+    let port = r.u16()?;
+    Ok(ServerInfo { name, ip, port })
+}
+
+fn put_status_report(w: &mut Writer, report: &StatusReport) {
+    w.u32(report.honeypot.0);
+    w.u64(report.at.as_millis());
+    match report.status {
+        HoneypotStatus::Pending => w.u8(0),
+        HoneypotStatus::Connected { client_id } => {
+            w.u8(1);
+            w.u32(client_id.0);
+        }
+        HoneypotStatus::Disconnected => w.u8(2),
+        HoneypotStatus::Dead => w.u8(3),
+    }
+}
+
+fn get_status_report(r: &mut Reader) -> Result<StatusReport, ProtoError> {
+    let honeypot = HoneypotId(r.u32()?);
+    let at = SimTime::from_millis(r.u64()?);
+    let status = match r.u8()? {
+        0 => HoneypotStatus::Pending,
+        1 => HoneypotStatus::Connected { client_id: ClientId(r.u32()?) },
+        2 => HoneypotStatus::Disconnected,
+        3 => HoneypotStatus::Dead,
+        _ => return Err(ProtoError::Invalid("honeypot status tag")),
+    };
+    Ok(StatusReport { honeypot, at, status })
+}
+
+fn put_chunk(w: &mut Writer, chunk: &LogChunk) {
+    w.u32(chunk.honeypot.0);
+    put_server(w, &chunk.server);
+    w.u32(chunk.records.len() as u32);
+    for rec in &chunk.records {
+        w.u64(rec.at.as_millis());
+        w.u8(kind_tag(rec.kind));
+        w.bytes16(&rec.peer.0);
+        w.u16(rec.port);
+        w.u8(match rec.id_status {
+            IdStatus::High => 0,
+            IdStatus::Low => 1,
+        });
+        w.bytes16(&rec.user_id.0);
+        w.u32(rec.name);
+        w.u32(rec.version);
+        w.u32(rec.file);
+    }
+    w.u32(chunk.shared_lists.len() as u32);
+    for l in &chunk.shared_lists {
+        w.u64(l.at.as_millis());
+        w.bytes16(&l.peer.0);
+        w.u32(l.files.len() as u32);
+        for &f in &l.files {
+            w.u32(f);
+        }
+    }
+    w.u32(chunk.peer_names.len() as u32);
+    for n in &chunk.peer_names {
+        w.string(n);
+    }
+    w.u32(chunk.files.len() as u32);
+    for i in 0..chunk.files.len() as u32 {
+        w.bytes16(&chunk.files.id(i).0);
+        w.string(chunk.files.name(i));
+        w.u64(chunk.files.size(i));
+    }
+}
+
+fn get_chunk(r: &mut Reader) -> Result<LogChunk, ProtoError> {
+    let honeypot = HoneypotId(r.u32()?);
+    let server = get_server(r)?;
+    let n_records = r.u32()? as usize;
+    let mut records = Vec::with_capacity(n_records.min(1 << 20));
+    for _ in 0..n_records {
+        records.push(QueryRecord {
+            at: SimTime::from_millis(r.u64()?),
+            kind: kind_from(r.u8()?)?,
+            peer: IpHash(r.bytes16()?),
+            port: r.u16()?,
+            id_status: match r.u8()? {
+                0 => IdStatus::High,
+                1 => IdStatus::Low,
+                _ => return Err(ProtoError::Invalid("id status tag")),
+            },
+            user_id: UserId(r.bytes16()?),
+            name: r.u32()?,
+            version: r.u32()?,
+            file: r.u32()?,
+        });
+    }
+    let n_lists = r.u32()? as usize;
+    let mut shared_lists = Vec::with_capacity(n_lists.min(1 << 20));
+    for _ in 0..n_lists {
+        let at = SimTime::from_millis(r.u64()?);
+        let peer = IpHash(r.bytes16()?);
+        let n_files = r.u32()? as usize;
+        let mut files = Vec::with_capacity(n_files.min(1 << 20));
+        for _ in 0..n_files {
+            files.push(r.u32()?);
+        }
+        shared_lists.push(SharedListRecord { at, peer, files });
+    }
+    let n_names = r.u32()? as usize;
+    let mut peer_names = Vec::with_capacity(n_names.min(1 << 20));
+    for _ in 0..n_names {
+        peer_names.push(r.string()?);
+    }
+    // Rebuild the file table through a throw-away log, preserving intern
+    // order (ids in a table are unique, so re-interning is order-exact).
+    let mut scratch = HoneypotLog::new(honeypot, server.clone());
+    let n_files = r.u32()? as usize;
+    for _ in 0..n_files {
+        let id = FileId(r.bytes16()?);
+        let name = r.string()?;
+        let size = r.u64()?;
+        scratch.files.intern(id, &name, size);
+    }
+    Ok(LogChunk { honeypot, server, records, shared_lists, peer_names, files: scratch.files })
+}
+
+fn kind_tag(kind: QueryKind) -> u8 {
+    match kind {
+        QueryKind::Hello => 0,
+        QueryKind::StartUpload => 1,
+        QueryKind::RequestPart => 2,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<QueryKind, ProtoError> {
+    match tag {
+        0 => Ok(QueryKind::Hello),
+        1 => Ok(QueryKind::StartUpload),
+        2 => Ok(QueryKind::RequestPart),
+        _ => Err(ProtoError::Invalid("query kind tag")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives.
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { out: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes16(&mut self, v: &[u8; 16]) {
+        self.out.extend_from_slice(v);
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.data.len() - self.pos < n {
+            return Err(ProtoError::Truncated("control payload"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes16(&mut self) -> Result<[u8; 16], ProtoError> {
+        Ok(self.take(16)?.try_into().unwrap())
+    }
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Invalid("non-UTF-8 string"))
+    }
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(self.data.len() - self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::log::FILE_NONE;
+
+    fn sample_chunk() -> LogChunk {
+        let server = ServerInfo::new("srv", Ipv4::new(127, 0, 0, 1), 4661);
+        let mut log = HoneypotLog::new(HoneypotId(2), server);
+        let name = log.intern_name("eMule v0.49");
+        let file = log.files.intern(FileId::from_seed(b"f1"), "vacation video.avi", 700 << 20);
+        log.push(QueryRecord {
+            at: SimTime::from_millis(1234),
+            kind: QueryKind::Hello,
+            peer: IpHash([7; 16]),
+            port: 4662,
+            id_status: IdStatus::High,
+            user_id: UserId::from_seed(b"peer"),
+            name,
+            version: 0x49,
+            file: FILE_NONE,
+        });
+        log.push(QueryRecord {
+            at: SimTime::from_millis(2345),
+            kind: QueryKind::RequestPart,
+            peer: IpHash([8; 16]),
+            port: 4662,
+            id_status: IdStatus::Low,
+            user_id: UserId::from_seed(b"peer2"),
+            name,
+            version: 0x50,
+            file,
+        });
+        log.shared_lists.push(SharedListRecord {
+            at: SimTime::from_millis(999),
+            peer: IpHash([7; 16]),
+            files: vec![file],
+        });
+        log.take_chunk()
+    }
+
+    fn roundtrip(msg: &ControlMessage) -> ControlMessage {
+        let payload = msg.encode_payload();
+        ControlMessage::decode(msg.opcode(), &payload).expect("decode")
+    }
+
+    #[test]
+    fn simple_messages_roundtrip() {
+        for msg in [
+            ControlMessage::Register { agent: 3, incarnation: 2, resume: true },
+            ControlMessage::RegisterAck { agent: 3, next_seq: 17 },
+            ControlMessage::Heartbeat { agent: 1, seq: 9, sent_micros: 55, rtt_micros: 120 },
+            ControlMessage::HeartbeatAck { seq: 9, echo_micros: 55 },
+            ControlMessage::Ready { agent: 0, peer_port: 40123 },
+            ControlMessage::ChunkAck { seq: 4 },
+            ControlMessage::ChunkRetry { seq: 4 },
+            ControlMessage::Relaunch,
+            ControlMessage::Shutdown,
+            ControlMessage::Goodbye { agent: 2, final_seq: 8 },
+            ControlMessage::Status(StatusReport {
+                honeypot: HoneypotId(1),
+                at: SimTime::from_millis(77),
+                status: HoneypotStatus::Connected { client_id: ClientId(0x0A00_0001) },
+            }),
+            ControlMessage::Status(StatusReport {
+                honeypot: HoneypotId(1),
+                at: SimTime::from_millis(78),
+                status: HoneypotStatus::Dead,
+            }),
+        ] {
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn config_roundtrips_both_strategies() {
+        let seeds = vec![
+            AdvertisedFile::new(FileId::from_seed(b"a"), "a.avi", 100),
+            AdvertisedFile::new(FileId::from_seed(b"b"), "b.mp3", 5_000_000),
+        ];
+        for files in [
+            FileStrategy::Fixed(seeds.clone()),
+            FileStrategy::Greedy {
+                seeds: seeds.clone(),
+                adopt_until: SimTime::from_hours(24),
+                max_files: 200,
+            },
+        ] {
+            let cfg = AgentConfig {
+                id: HoneypotId(4),
+                content: ContentStrategy::RandomContent,
+                files,
+                server: ServerInfo::new("live", Ipv4::new(127, 0, 0, 1), 5661),
+                ip_salt: 0xDEAD,
+                rng_seed: 0xBEEF,
+                heartbeat_ms: 100,
+                collect_ms: 250,
+                client_name: "agent".into(),
+            };
+            let msg = ControlMessage::ConfigPush(cfg);
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn log_upload_roundtrips_chunk_exactly() {
+        let chunk = sample_chunk();
+        let msg = ControlMessage::LogUpload { agent: 2, seq: 5, chunk: chunk.clone() };
+        let back = roundtrip(&msg);
+        let ControlMessage::LogUpload { agent, seq, chunk: got } = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!((agent, seq), (2, 5));
+        assert_eq!(got.honeypot, chunk.honeypot);
+        assert_eq!(got.server, chunk.server);
+        assert_eq!(got.records, chunk.records);
+        assert_eq!(got.shared_lists, chunk.shared_lists);
+        assert_eq!(got.peer_names, chunk.peer_names);
+        assert_eq!(got.files.len(), chunk.files.len());
+        for i in 0..chunk.files.len() as u32 {
+            assert_eq!(got.files.id(i), chunk.files.id(i));
+            assert_eq!(got.files.name(i), chunk.files.name(i));
+            assert_eq!(got.files.size(i), chunk.files.size(i));
+        }
+        // The rebuilt table's lookup index must be live, not stale.
+        assert_eq!(got.files.lookup(&chunk.files.id(0)), Some(0));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = ControlMessage::ChunkAck { seq: 1 }.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            ControlMessage::decode(opcodes::CHUNK_ACK, &payload),
+            Err(ProtoError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let payload = ControlMessage::RegisterAck { agent: 1, next_seq: 2 }.encode_payload();
+        assert!(matches!(
+            ControlMessage::decode(opcodes::REGISTER_ACK, &payload[..payload.len() - 1]),
+            Err(ProtoError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            ControlMessage::decode(0x7F, &[]),
+            Err(ProtoError::UnknownOpcode { opcode: 0x7F, .. })
+        ));
+    }
+}

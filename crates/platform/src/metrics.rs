@@ -1,0 +1,216 @@
+//! Platform health metrics.
+//!
+//! The paper's platform ran for months; what made that survivable was
+//! knowing *how* the collection layer was doing — which honeypots died,
+//! how often, how much data moved.  The daemon aggregates those numbers
+//! here and serialises them to JSON for the experiment runner.  The JSON
+//! is written by hand (like the bench reports) so the output is identical
+//! under every build of the workspace.
+
+/// Streaming min/mean/max over heartbeat round-trip times, in microseconds.
+#[derive(Clone, Debug, Default)]
+pub struct RttStats {
+    pub count: u64,
+    pub sum_micros: u64,
+    pub min_micros: u64,
+    pub max_micros: u64,
+}
+
+impl RttStats {
+    /// Records one RTT sample.
+    pub fn record(&mut self, micros: u64) {
+        if self.count == 0 || micros < self.min_micros {
+            self.min_micros = micros;
+        }
+        if micros > self.max_micros {
+            self.max_micros = micros;
+        }
+        self.count += 1;
+        self.sum_micros += micros;
+    }
+
+    /// Mean RTT in microseconds (0 with no samples).
+    pub fn mean_micros(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_micros / self.count
+        }
+    }
+}
+
+/// Per-agent control-plane counters.
+#[derive(Clone, Debug, Default)]
+pub struct AgentMetrics {
+    /// Heartbeats received by the daemon.
+    pub heartbeats: u64,
+    /// RTTs the agent measured and piggybacked on later heartbeats.
+    pub rtt: RttStats,
+    /// Relaunches issued (initial launch not counted).
+    pub relaunches: u64,
+    /// Times the supervision loop declared the agent dead.
+    pub deaths: u64,
+    /// Log chunks merged into the measurement.
+    pub chunks_merged: u64,
+    /// Encoded payload bytes of merged chunks.
+    pub chunk_bytes: u64,
+    /// Corrupt uploads re-requested via `ChunkRetry`.
+    pub chunk_retries: u64,
+    /// Registrations with `resume = true` (reconnects and relaunches that
+    /// continued an upload stream).
+    pub resumes: u64,
+    /// Total registrations (incarnations × reconnects).
+    pub registrations: u64,
+    /// Milliseconds spent registered, accumulated across incarnations.
+    pub uptime_ms: u64,
+}
+
+/// Whole-platform metrics: one [`AgentMetrics`] per agent plus global
+/// counters.
+#[derive(Clone, Debug, Default)]
+pub struct PlatformMetrics {
+    pub agents: Vec<AgentMetrics>,
+    /// Control frames that failed their CRC, over all connections.
+    pub corrupt_frames: u64,
+}
+
+impl PlatformMetrics {
+    pub fn new(agents: usize) -> Self {
+        PlatformMetrics { agents: vec![AgentMetrics::default(); agents], corrupt_frames: 0 }
+    }
+
+    pub fn total_relaunches(&self) -> u64 {
+        self.agents.iter().map(|a| a.relaunches).sum()
+    }
+
+    pub fn total_chunk_retries(&self) -> u64 {
+        self.agents.iter().map(|a| a.chunk_retries).sum()
+    }
+
+    pub fn total_chunks_merged(&self) -> u64 {
+        self.agents.iter().map(|a| a.chunks_merged).sum()
+    }
+
+    pub fn total_chunk_bytes(&self) -> u64 {
+        self.agents.iter().map(|a| a.chunk_bytes).sum()
+    }
+
+    pub fn total_heartbeats(&self) -> u64 {
+        self.agents.iter().map(|a| a.heartbeats).sum()
+    }
+
+    pub fn total_resumes(&self) -> u64 {
+        self.agents.iter().map(|a| a.resumes).sum()
+    }
+
+    /// RTT statistics pooled over all agents.
+    pub fn pooled_rtt(&self) -> RttStats {
+        let mut pooled = RttStats::default();
+        for a in &self.agents {
+            if a.rtt.count == 0 {
+                continue;
+            }
+            if pooled.count == 0 || a.rtt.min_micros < pooled.min_micros {
+                pooled.min_micros = a.rtt.min_micros;
+            }
+            if a.rtt.max_micros > pooled.max_micros {
+                pooled.max_micros = a.rtt.max_micros;
+            }
+            pooled.count += a.rtt.count;
+            pooled.sum_micros += a.rtt.sum_micros;
+        }
+        pooled
+    }
+
+    /// Serialises the report to JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"agents\": {},\n", self.agents.len()));
+        out.push_str(&format!("  \"relaunches\": {},\n", self.total_relaunches()));
+        out.push_str(&format!("  \"chunk_retries\": {},\n", self.total_chunk_retries()));
+        out.push_str(&format!("  \"chunks_merged\": {},\n", self.total_chunks_merged()));
+        out.push_str(&format!("  \"chunk_bytes\": {},\n", self.total_chunk_bytes()));
+        out.push_str(&format!("  \"heartbeats\": {},\n", self.total_heartbeats()));
+        out.push_str(&format!("  \"resumes\": {},\n", self.total_resumes()));
+        out.push_str(&format!("  \"corrupt_frames\": {},\n", self.corrupt_frames));
+        let rtt = self.pooled_rtt();
+        out.push_str(&format!(
+            "  \"heartbeat_rtt_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
+            rtt.count,
+            rtt.min_micros,
+            rtt.mean_micros(),
+            rtt.max_micros
+        ));
+        out.push_str("  \"per_agent\": [\n");
+        for (i, a) in self.agents.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"agent\": {}, \"heartbeats\": {}, \"relaunches\": {}, \"deaths\": {}, \
+                 \"chunks_merged\": {}, \"chunk_bytes\": {}, \"chunk_retries\": {}, \
+                 \"resumes\": {}, \"registrations\": {}, \"uptime_ms\": {}, \
+                 \"rtt_mean_micros\": {}}}{}\n",
+                i,
+                a.heartbeats,
+                a.relaunches,
+                a.deaths,
+                a.chunks_merged,
+                a.chunk_bytes,
+                a.chunk_retries,
+                a.resumes,
+                a.registrations,
+                a.uptime_ms,
+                a.rtt.mean_micros(),
+                if i + 1 < self.agents.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_stats_track_extremes() {
+        let mut s = RttStats::default();
+        assert_eq!(s.mean_micros(), 0);
+        s.record(100);
+        s.record(300);
+        s.record(200);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_micros, 100);
+        assert_eq!(s.max_micros, 300);
+        assert_eq!(s.mean_micros(), 200);
+    }
+
+    #[test]
+    fn totals_sum_over_agents() {
+        let mut m = PlatformMetrics::new(2);
+        m.agents[0].relaunches = 1;
+        m.agents[0].chunk_retries = 1;
+        m.agents[1].chunks_merged = 4;
+        m.agents[0].rtt.record(50);
+        m.agents[1].rtt.record(150);
+        assert_eq!(m.total_relaunches(), 1);
+        assert_eq!(m.total_chunk_retries(), 1);
+        assert_eq!(m.total_chunks_merged(), 4);
+        let pooled = m.pooled_rtt();
+        assert_eq!(pooled.count, 2);
+        assert_eq!(pooled.min_micros, 50);
+        assert_eq!(pooled.max_micros, 150);
+    }
+
+    #[test]
+    fn json_report_carries_headline_counters() {
+        let mut m = PlatformMetrics::new(1);
+        m.agents[0].relaunches = 1;
+        m.agents[0].chunk_retries = 2;
+        m.agents[0].heartbeats = 7;
+        let json = m.to_json();
+        assert!(json.contains("\"relaunches\": 1"));
+        assert!(json.contains("\"chunk_retries\": 2"));
+        assert!(json.contains("\"heartbeats\": 7"));
+        assert!(json.contains("\"per_agent\""));
+    }
+}

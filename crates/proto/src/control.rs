@@ -1,0 +1,313 @@
+//! The honeypot **control-plane** codec: versioned, length-prefixed,
+//! checksummed frames spoken between the measurement manager daemon and its
+//! honeypot agents (paper §III-A — launch, monitor, relaunch, collect).
+//!
+//! This is deliberately *not* the eDonkey wire format: control traffic is
+//! an internal protocol of the measurement platform, so it gets its own
+//! marker byte, an explicit protocol version (agents and manager from
+//! different builds must refuse to talk rather than misparse), and a CRC-32
+//! over the payload so a corrupted log-chunk upload is detected at the
+//! framing layer and re-requested instead of silently merged.
+//!
+//! Frame layout (integers little-endian):
+//!
+//! ```text
+//! u8   marker   (0xEC)
+//! u8   version  (CONTROL_VERSION)
+//! u8   opcode
+//! u32  length   (payload bytes)
+//! [u8] payload
+//! u32  crc32    (IEEE, over the payload only)
+//! ```
+//!
+//! [`ControlDecoder`] is incremental like [`crate::codec::FrameDecoder`],
+//! but distinguishes three outcomes per frame: a good frame, a frame whose
+//! payload failed its checksum (the stream is still in sync — framing was
+//! intact — so the receiver can ask for a retransmit), and fatal framing
+//! errors (bad marker/version, oversized length) after which the
+//! connection must be dropped.
+
+use crate::error::ProtoError;
+
+/// Marker byte of control frames (distinct from the eDonkey 0xE3/0xC5/0xD4
+/// family).
+pub const CONTROL_MAGIC: u8 = 0xEC;
+
+/// Control-protocol version; bumped on any incompatible change.
+pub const CONTROL_VERSION: u8 = 1;
+
+/// Hard cap on a control payload (a log chunk of a month-scale collection
+/// interval stays far below this).
+pub const MAX_CONTROL_PAYLOAD: u32 = 64 << 20;
+
+/// Control opcodes.
+pub mod opcodes {
+    /// Agent → manager: first frame after connect; carries the agent id.
+    pub const REGISTER: u8 = 0x01;
+    /// Manager → agent: registration accepted; carries the next expected
+    /// upload sequence number (resume-after-reconnect).
+    pub const REGISTER_ACK: u8 = 0x02;
+    /// Manager → agent: full honeypot configuration (advertise list +
+    /// content strategy + server assignment + intervals).
+    pub const CONFIG_PUSH: u8 = 0x03;
+    /// Agent → manager: liveness beacon.
+    pub const HEARTBEAT: u8 = 0x10;
+    /// Manager → agent: heartbeat echo (lets the agent measure RTT).
+    pub const HEARTBEAT_ACK: u8 = 0x11;
+    /// Agent → manager: honeypot status change (connected / disconnected /
+    /// dead).
+    pub const STATUS_REPORT: u8 = 0x12;
+    /// Agent → manager: the honeypot is up; carries the TCP port its peer
+    /// listener bound (the manager's traffic drivers need it).
+    pub const READY: u8 = 0x13;
+    /// Agent → manager: one sequenced log chunk.
+    pub const LOG_CHUNK: u8 = 0x20;
+    /// Manager → agent: chunk merged; the agent may discard its copy.
+    pub const CHUNK_ACK: u8 = 0x21;
+    /// Manager → agent: chunk arrived corrupted (checksum/decode failure);
+    /// re-send the given sequence number.
+    pub const CHUNK_RETRY: u8 = 0x22;
+    /// Manager → agent: tear down and restart the honeypot.
+    pub const RELAUNCH: u8 = 0x30;
+    /// Manager → agent: flush logs and exit.
+    pub const SHUTDOWN: u8 = 0x31;
+    /// Agent → manager: final frame before a clean exit.
+    pub const GOODBYE: u8 = 0x32;
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the classic
+/// zlib polynomial, computed bitwise; control frames are far from the hot
+/// path, so a lookup table would be wasted cache.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A framing-validated control frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ControlFrame {
+    pub version: u8,
+    pub opcode: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one control frame.
+pub fn encode_control_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11 + payload.len());
+    out.push(CONTROL_MAGIC);
+    out.push(CONTROL_VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Per-frame decode outcome of the incremental decoder.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ControlEvent {
+    /// A complete, checksum-verified frame.
+    Frame(ControlFrame),
+    /// A complete frame whose payload failed its CRC.  The stream is still
+    /// framed correctly; the receiver should request a retransmit keyed on
+    /// its own protocol state (the opcode is the header's claim and may
+    /// itself be unreliable on a corrupted link).
+    Corrupt { opcode: u8 },
+}
+
+/// Decodes exactly one control frame, returning the event and the bytes
+/// consumed.  `Truncated` means "feed more bytes".
+pub fn decode_control_frame(data: &[u8]) -> Result<(ControlEvent, usize), ProtoError> {
+    if data.len() < 7 {
+        return Err(ProtoError::Truncated("control frame header"));
+    }
+    if data[0] != CONTROL_MAGIC {
+        return Err(ProtoError::BadProtocolByte(data[0]));
+    }
+    let version = data[1];
+    if version != CONTROL_VERSION {
+        return Err(ProtoError::Invalid("unsupported control protocol version"));
+    }
+    let opcode = data[2];
+    let len = u32::from_le_bytes([data[3], data[4], data[5], data[6]]);
+    if len > MAX_CONTROL_PAYLOAD {
+        return Err(ProtoError::OversizedFrame { declared: len, limit: MAX_CONTROL_PAYLOAD });
+    }
+    let total = 7 + len as usize + 4;
+    if data.len() < total {
+        return Err(ProtoError::Truncated("control frame body"));
+    }
+    let payload = &data[7..7 + len as usize];
+    let declared_crc = u32::from_le_bytes([
+        data[total - 4],
+        data[total - 3],
+        data[total - 2],
+        data[total - 1],
+    ]);
+    if crc32(payload) != declared_crc {
+        return Ok((ControlEvent::Corrupt { opcode }, total));
+    }
+    Ok((
+        ControlEvent::Frame(ControlFrame { version, opcode, payload: payload.to_vec() }),
+        total,
+    ))
+}
+
+/// Incremental control-frame decoder for byte streams.
+#[derive(Debug, Default)]
+pub struct ControlDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl ControlDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pulls the next event, `Ok(None)` if more bytes are needed.  A
+    /// [`ControlEvent::Corrupt`] consumes its frame — the stream stays in
+    /// sync.  `Err` is fatal for the connection.
+    pub fn next_event(&mut self) -> Result<Option<ControlEvent>, ProtoError> {
+        let pending = &self.buf[self.start..];
+        match decode_control_frame(pending) {
+            Ok((event, used)) => {
+                self.start += used;
+                Ok(Some(event))
+            }
+            Err(ProtoError::Truncated(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let bytes = encode_control_frame(opcodes::LOG_CHUNK, b"hello chunk");
+        let (event, used) = decode_control_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        let ControlEvent::Frame(f) = event else { panic!("expected a good frame") };
+        assert_eq!(f.opcode, opcodes::LOG_CHUNK);
+        assert_eq!(f.version, CONTROL_VERSION);
+        assert_eq!(f.payload, b"hello chunk");
+    }
+
+    #[test]
+    fn corrupted_payload_is_flagged_but_consumed() {
+        let mut bytes = encode_control_frame(opcodes::LOG_CHUNK, b"precious log data");
+        bytes[9] ^= 0xFF; // flip a payload byte; header + CRC field intact
+        let (event, used) = decode_control_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len(), "corrupt frame must be fully consumed");
+        assert_eq!(event, ControlEvent::Corrupt { opcode: opcodes::LOG_CHUNK });
+    }
+
+    #[test]
+    fn stream_survives_a_corrupt_frame() {
+        let good = encode_control_frame(opcodes::HEARTBEAT, b"hb-1");
+        let mut bad = encode_control_frame(opcodes::LOG_CHUNK, b"chunk data");
+        let n = bad.len();
+        bad[n - 5] ^= 0x55; // corrupt the last payload byte
+        let tail = encode_control_frame(opcodes::HEARTBEAT, b"hb-2");
+
+        let mut dec = ControlDecoder::new();
+        dec.feed(&good);
+        dec.feed(&bad);
+        dec.feed(&tail);
+        assert!(matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(f)) if f.payload == b"hb-1"));
+        assert_eq!(
+            dec.next_event().unwrap(),
+            Some(ControlEvent::Corrupt { opcode: opcodes::LOG_CHUNK })
+        );
+        assert!(matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(f)) if f.payload == b"hb-2"));
+        assert_eq!(dec.next_event().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_decoding_handles_arbitrary_chunking() {
+        let frames = [
+            encode_control_frame(opcodes::REGISTER, b"agent-0"),
+            encode_control_frame(opcodes::LOG_CHUNK, &vec![0xAB; 1000]),
+            encode_control_frame(opcodes::GOODBYE, b""),
+        ];
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        for chunk in [1usize, 3, 7, 64, 500] {
+            let mut dec = ControlDecoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(ev) = dec.next_event().unwrap() {
+                    let ControlEvent::Frame(f) = ev else { panic!("no corruption injected") };
+                    got.push(f.opcode);
+                }
+            }
+            assert_eq!(
+                got,
+                vec![opcodes::REGISTER, opcodes::LOG_CHUNK, opcodes::GOODBYE],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_fatal() {
+        let mut bytes = encode_control_frame(opcodes::HEARTBEAT, b"x");
+        bytes[0] = 0xE3; // an eDonkey frame is not a control frame
+        assert!(matches!(decode_control_frame(&bytes), Err(ProtoError::BadProtocolByte(0xE3))));
+        let mut bytes = encode_control_frame(opcodes::HEARTBEAT, b"x");
+        bytes[1] = CONTROL_VERSION + 1;
+        assert!(matches!(decode_control_frame(&bytes), Err(ProtoError::Invalid(_))));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut bytes = encode_control_frame(opcodes::LOG_CHUNK, b"x");
+        bytes[3..7].copy_from_slice(&(MAX_CONTROL_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_control_frame(&bytes),
+            Err(ProtoError::OversizedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_asks_for_more_bytes() {
+        let bytes = encode_control_frame(opcodes::LOG_CHUNK, b"partial");
+        let mut dec = ControlDecoder::new();
+        dec.feed(&bytes[..bytes.len() - 1]);
+        assert_eq!(dec.next_event().unwrap(), None, "incomplete frame: wait");
+        dec.feed(&bytes[bytes.len() - 1..]);
+        assert!(matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(_))));
+    }
+}

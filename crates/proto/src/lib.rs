@@ -22,13 +22,17 @@
 //! * [`search`] — the boolean keyword query trees of SEARCH-REQUEST, used
 //!   by topic-targeted measurements;
 //! * [`udp`] — the UDP side-protocol (global source queries and server
-//!   status pings).
+//!   status pings);
+//! * [`control`] — the measurement platform's own control-plane framing
+//!   (manager daemon ↔ honeypot agents): versioned, length-prefixed,
+//!   CRC-checked frames, distinct from the eDonkey wire format.
 //!
 //! The same typed messages drive both the discrete-event simulation
 //! (`edonkey-sim`) and the real-TCP loopback substrate (`edonkey-net`), so
 //! the honeypot platform exercises one protocol implementation everywhere.
 
 pub mod codec;
+pub mod control;
 pub mod error;
 pub mod ids;
 pub mod md4;

@@ -284,6 +284,7 @@ impl EdonkeyWorld {
     /// latency of login handshakes is irrelevant at measurement scale.
     fn launch_all(&mut self, now: SimTime) {
         for id in self.manager.needing_relaunch() {
+            self.manager.mark_relaunched(id);
             self.launch_one(now, id.0 as usize);
         }
     }

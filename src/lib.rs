@@ -19,6 +19,7 @@
 //! | [`analysis`] | Table I, Figs. 2–12 analytics, reports |
 //! | [`experiments`] | calibrated scenarios + per-figure binaries |
 //! | [`net`] | the same platform over real TCP sockets |
+//! | [`control`] | live control plane: manager daemon + supervised agents over TCP |
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@
 pub use edonkey_analysis as analysis;
 pub use edonkey_experiments as experiments;
 pub use edonkey_net as net;
+pub use edonkey_platform as control;
 pub use edonkey_proto as proto;
 pub use edonkey_sim as sim;
 pub use honeypot as platform;

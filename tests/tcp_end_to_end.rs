@@ -164,6 +164,65 @@ fn greedy_honeypot_adopts_files_over_tcp() {
 }
 
 #[test]
+fn greedy_loopback_run_flows_through_merge_pipeline() {
+    use edonkey_honeypots::platform::{HoneypotSpec, Manager};
+
+    let server = NetServer::start().unwrap();
+    let server_info = ServerInfo::new("loopback", Ipv4::new(127, 0, 0, 1), server.addr().port());
+    let seed_file = FileId::from_seed(b"greedy-seed");
+    let config = HoneypotConfig {
+        id: HoneypotId(0),
+        content: ContentStrategy::NoContent,
+        files: FileStrategy::Greedy {
+            seeds: vec![AdvertisedFile::new(seed_file, "seed.mp3", 5_000_000)],
+            adopt_until: SimTime::from_days(1),
+            max_files: 100,
+        },
+        ask_shared_files: true,
+        materialize_content: false,
+        port: 4662,
+        client_name: "greedy-pipeline-hp".into(),
+    };
+    let hp = Honeypot::new(
+        config,
+        server_info.clone(),
+        IpHasher::from_seed(1),
+        Rng::seed_from(4),
+    );
+    let host = HoneypotHost::start(hp, server.addr()).expect("start host");
+    assert!(host.wait_connected(Duration::from_secs(5)));
+
+    let mut peer = ScriptedPeer::login(server.addr(), "pipeline-sharer").unwrap();
+    let shared = [
+        (FileId::from_seed(b"adopt-1"), "adopted first.avi", 700_000_000u64),
+        (FileId::from_seed(b"adopt-2"), "adopted second.mp3", 5_000_000u64),
+    ];
+    let attempt = peer
+        .attempt_download(host.peer_addr(), seed_file, 1, Duration::from_millis(300), &shared)
+        .unwrap();
+    assert!(attempt.was_asked_shared_files);
+
+    // The full collection path: the TCP-collected chunk goes through the
+    // manager's merge/anonymise pipeline into a MeasurementLog, exactly
+    // like a simulated or live-platform run.
+    let chunk = host.stop();
+    let mut manager = Manager::new(vec![HoneypotSpec {
+        id: HoneypotId(0),
+        content: ContentStrategy::NoContent,
+        server: server_info,
+    }]);
+    manager.collect(chunk);
+    let log = manager.finalize(SimTime::from_secs(60), 3, 1);
+
+    assert!(!log.records.is_empty(), "the greedy run must produce anonymised records");
+    assert_eq!(log.shared_lists.len(), 1, "the shared list must survive the merge");
+    assert_eq!(log.shared_lists[0].files.len(), 2);
+    assert!(log.files.len() >= 3, "seed + adopted files in the unified table");
+    assert!(log.distinct_peers >= 1);
+    server.stop();
+}
+
+#[test]
 fn keyword_search_over_tcp_finds_honeypot_files() {
     let server = NetServer::start().unwrap();
     let host = start_honeypot(&server, ContentStrategy::NoContent, false);
