@@ -5,9 +5,11 @@
 //! across rayon pool sizes, the content-addressed run cache warm-path, and
 //! the live control plane (chunk upload throughput and heartbeat
 //! round-trips against a real manager daemon, swept over agent counts).
-//! Writes the numbers to `BENCH_pr2.json` (simulation/pipeline) and
-//! `BENCH_pr3.json` (control plane) at the repository root so scale sweeps
-//! and future optimisation PRs have a committed reference point
+//! Writes the numbers to `BENCH_pr2.json` (simulation/pipeline),
+//! `BENCH_pr3.json` (control plane) and `BENCH_pr4.json` (durability:
+//! spooled vs in-memory upload throughput, spool append/recovery-scan and
+//! checkpoint save/load micro-costs) at the repository root so scale
+//! sweeps and future optimisation PRs have a committed reference point
 //! (`BENCH_baseline.json` holds the pre-sharding numbers).
 //!
 //! Usage: `cargo run --release -p edonkey-bench --bin perf_baseline -- [--scale F]`
@@ -63,11 +65,16 @@ struct ControlPoint {
 /// Measures the manager daemon under raw control-plane clients: each
 /// "agent" is a bare protocol speaker (no honeypot, no eDonkey server)
 /// that registers and then drives stop-and-wait sequenced uploads and
-/// heartbeat round-trips as fast as the daemon acks them.
-fn control_plane_point(agents: usize) -> ControlPoint {
+/// heartbeat round-trips as fast as the daemon acks them.  With
+/// `durable`, the full crash-safe write path is on: each client appends
+/// every chunk to its own on-disk spool before sending (trimming on ack)
+/// and the daemon runs its chunk WAL + checkpoint under the given root —
+/// the throughput delta against the in-memory point is the price of
+/// durability.
+fn control_plane_point(agents: usize, durable: Option<&std::path::Path>) -> ControlPoint {
     use edonkey_platform::daemon::{Daemon, DaemonConfig};
     use edonkey_platform::messages::{AgentConfig, ControlMessage};
-    use edonkey_platform::{ConnEvent, ControlConn};
+    use edonkey_platform::{CheckpointOptions, ConnEvent, ControlConn, Spool};
     use edonkey_proto::{FileId, Ipv4, UserId};
     use honeypot::log::{HoneypotLog, QueryRecord, FILE_NONE};
     use honeypot::{
@@ -94,7 +101,11 @@ fn control_plane_point(agents: usize) -> ControlPoint {
         .collect();
     // Generous deadline: bench clients only "heartbeat" during the
     // heartbeat phase, and nothing here should ever be declared dead.
-    let cfg = DaemonConfig { heartbeat_timeout_ms: 60_000, ..DaemonConfig::default() };
+    let cfg = DaemonConfig {
+        heartbeat_timeout_ms: 60_000,
+        checkpoint: durable.map(|root| CheckpointOptions::new(root.join("ckpt"))),
+        ..DaemonConfig::default()
+    };
     let daemon = Daemon::start(cfg, configs, Box::new(|_, _, _| {})).expect("start daemon");
     let addr = daemon.addr();
 
@@ -108,7 +119,12 @@ fn control_plane_point(agents: usize) -> ControlPoint {
             log.push(QueryRecord {
                 at: netsim::SimTime::from_millis(i as u64),
                 kind: QueryKind::Hello,
-                peer: hasher.hash(Ipv4::new(10, (i / 65_536) as u8, (i / 256) as u8, (i % 256) as u8)),
+                peer: hasher.hash(Ipv4::new(
+                    10,
+                    (i / 65_536) as u8,
+                    (i / 256) as u8,
+                    (i % 256) as u8,
+                )),
                 port: 4662,
                 id_status: IdStatus::High,
                 user_id: UserId::from_seed(b"bench-user"),
@@ -128,7 +144,9 @@ fn control_plane_point(agents: usize) -> ControlPoint {
             // merge pipeline dedups sequence numbers per honeypot).
             let mut chunk = chunk.clone();
             chunk.honeypot = HoneypotId(agent);
+            let spool_dir = durable.map(|root| root.join(format!("agent-{agent}")));
             std::thread::spawn(move || {
+                let mut spool = spool_dir.map(|d| Spool::open(d).expect("open bench spool"));
                 let mut conn = ControlConn::connect(addr).expect("connect");
                 conn.send(&ControlMessage::Register { agent, incarnation: 0, resume: false })
                     .expect("register");
@@ -163,11 +181,15 @@ fn control_plane_point(agents: usize) -> ControlPoint {
                 }
                 let hb_secs = t.elapsed().as_secs_f64();
 
-                // Sequenced chunk uploads, stop-and-wait.
+                // Sequenced chunk uploads, stop-and-wait (spool-first on
+                // the durable path, exactly like the real agent).
                 let t = Instant::now();
                 for seq in 0..CHUNKS_PER_AGENT {
-                    conn.send(&ControlMessage::LogUpload { agent, seq, chunk: chunk.clone() })
-                        .expect("upload");
+                    let msg = ControlMessage::LogUpload { agent, seq, chunk: chunk.clone() };
+                    if let Some(spool) = &mut spool {
+                        spool.append(seq, &msg.encode_payload()).expect("spool append");
+                    }
+                    conn.send(&msg).expect("upload");
                     let mut got = false;
                     while !got {
                         for ev in conn.poll().expect("chunk ack") {
@@ -177,6 +199,9 @@ fn control_plane_point(agents: usize) -> ControlPoint {
                                 }
                             }
                         }
+                    }
+                    if let Some(spool) = &mut spool {
+                        spool.trim_acked(seq).expect("spool trim");
                     }
                 }
                 let up_secs = t.elapsed().as_secs_f64();
@@ -215,6 +240,83 @@ fn control_plane_point(agents: usize) -> ControlPoint {
     }
 }
 
+/// Isolated micro-costs of the durability primitives.
+struct DurabilityMicro {
+    spool_append_mb_per_sec: f64,
+    spool_scan_secs: f64,
+    spool_records: usize,
+    ckpt_save_micros: f64,
+    ckpt_load_micros: f64,
+    ckpt_slots: usize,
+}
+
+/// Benchmarks the spool (append throughput, then the reopen/recovery
+/// scan over the same records) and the checkpoint (atomic save, load)
+/// in isolation, outside any socket traffic.
+fn durability_micro(root: &std::path::Path) -> DurabilityMicro {
+    use edonkey_platform::checkpoint::{
+        load_checkpoint, save_checkpoint, ManagerCheckpoint, SlotCheckpoint,
+    };
+    use edonkey_platform::Spool;
+
+    const SPOOL_RECORDS: usize = 10_000;
+    const PAYLOAD_BYTES: usize = 4 * 1024;
+    const CKPT_SLOTS: usize = 24;
+    const CKPT_REPS: u32 = 500;
+
+    let spool_dir = root.join("micro-spool");
+    let payload = vec![0xEDu8; PAYLOAD_BYTES];
+    let mut spool = Spool::open(&spool_dir).expect("open micro spool");
+    let t = Instant::now();
+    for seq in 0..SPOOL_RECORDS as u64 {
+        spool.append(seq, &payload).expect("append");
+    }
+    let append_secs = t.elapsed().as_secs_f64();
+    drop(spool);
+    let t = Instant::now();
+    let reopened = Spool::open(&spool_dir).expect("reopen micro spool");
+    let scan_secs = t.elapsed().as_secs_f64();
+    assert_eq!(reopened.unacked().len(), SPOOL_RECORDS, "scan must recover every record");
+    drop(reopened);
+
+    // The checkpoint at the paper's fleet size (24 honeypots).
+    let ckpt_dir = root.join("micro-ckpt");
+    std::fs::create_dir_all(&ckpt_dir).expect("ckpt dir");
+    let ckpt = ManagerCheckpoint {
+        slots: (0..CKPT_SLOTS)
+            .map(|i| SlotCheckpoint {
+                expected_seq: i as u64 * 100,
+                next_incarnation: 2,
+                relaunches: 1,
+                registrations: 3,
+                uptime_ms: 1_000_000,
+                ..SlotCheckpoint::default()
+            })
+            .collect(),
+    };
+    let t = Instant::now();
+    for _ in 0..CKPT_REPS {
+        save_checkpoint(&ckpt_dir, &ckpt).expect("save checkpoint");
+    }
+    let save_micros = t.elapsed().as_secs_f64() * 1e6 / f64::from(CKPT_REPS);
+    let t = Instant::now();
+    for _ in 0..CKPT_REPS {
+        assert!(load_checkpoint(&ckpt_dir).is_some());
+    }
+    let load_micros = t.elapsed().as_secs_f64() * 1e6 / f64::from(CKPT_REPS);
+
+    DurabilityMicro {
+        spool_append_mb_per_sec: (SPOOL_RECORDS * PAYLOAD_BYTES) as f64
+            / (1024.0 * 1024.0)
+            / append_secs.max(1e-9),
+        spool_scan_secs: scan_secs,
+        spool_records: SPOOL_RECORDS,
+        ckpt_save_micros: save_micros,
+        ckpt_load_micros: load_micros,
+        ckpt_slots: CKPT_SLOTS,
+    }
+}
+
 fn main() {
     let mut scale = DEFAULT_SCALE;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -223,14 +325,13 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&s| s > 0.0)
-                    .unwrap_or_else(|| {
-                        eprintln!("usage: perf_baseline [--scale F]");
-                        std::process::exit(2)
-                    });
+                scale =
+                    args.get(i).and_then(|v| v.parse().ok()).filter(|&s| s > 0.0).unwrap_or_else(
+                        || {
+                            eprintln!("usage: perf_baseline [--scale F]");
+                            std::process::exit(2)
+                        },
+                    );
             }
             other => {
                 eprintln!("unknown argument {other}; usage: perf_baseline [--scale F]");
@@ -280,10 +381,8 @@ fn main() {
     counts.dedup();
     let mut sweep: Vec<(usize, f64, usize)> = Vec::new();
     for &threads in &counts {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("rayon pool");
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
         let cfg = scenarios::distributed(seed, scale);
         let t = Instant::now();
         let out = pool.install(|| run_sharded(cfg));
@@ -329,8 +428,7 @@ fn main() {
 
     // 5. Run-cache warm path: storing the distributed log once, then
     //    loading it back, versus the simulation wall-clock it replaces.
-    let cache_dir =
-        std::env::temp_dir().join(format!("edhp-bench-cache-{}", std::process::id()));
+    let cache_dir = std::env::temp_dir().join(format!("edhp-bench-cache-{}", std::process::id()));
     let cache = RunCache::new(cache_dir.clone());
     let cfg = scenarios::distributed(seed, scale);
     let t = Instant::now();
@@ -373,13 +471,42 @@ fn main() {
     //    against a real manager daemon, swept over agent counts.
     let mut control: Vec<ControlPoint> = Vec::new();
     for &n in &[1usize, 2, 4] {
-        let p = control_plane_point(n);
+        let p = control_plane_point(n, None);
         eprintln!(
             "[bench] control plane @ {n} agent(s): {:.1} MB/s chunk upload, {:.0} heartbeat round-trips/s",
             p.upload_mb_per_sec, p.heartbeats_per_sec
         );
         control.push(p);
     }
+
+    // 8. Durability overheads: the same sweep with the crash-safe write
+    //    path on (client-side spool-before-send + daemon-side
+    //    WAL-before-ack + periodic checkpoint), plus the spool and
+    //    checkpoint micro-costs in isolation.
+    let durable_root =
+        std::env::temp_dir().join(format!("edhp-bench-durable-{}", std::process::id()));
+    let mut durable: Vec<ControlPoint> = Vec::new();
+    for &n in &[1usize, 2, 4] {
+        let point_root = durable_root.join(format!("sweep-{n}"));
+        let p = control_plane_point(n, Some(point_root.as_path()));
+        eprintln!(
+            "[bench] durable control plane @ {n} agent(s): {:.1} MB/s chunk upload (spool + WAL)",
+            p.upload_mb_per_sec
+        );
+        durable.push(p);
+    }
+    let micro = durability_micro(&durable_root);
+    let _ = std::fs::remove_dir_all(&durable_root);
+    eprintln!(
+        "[bench] spool: append {:.1} MB/s, recovery scan {:.3}s for {} records; \
+         checkpoint: save {:.1} µs, load {:.1} µs ({} slots)",
+        micro.spool_append_mb_per_sec,
+        micro.spool_scan_secs,
+        micro.spool_records,
+        micro.ckpt_save_micros,
+        micro.ckpt_load_micros,
+        micro.ckpt_slots,
+    );
 
     // Hand-rolled JSON (no serde needed for a few dozen scalars).
     let mut sweep_json = String::new();
@@ -492,4 +619,58 @@ fn main() {
         }
     }
     print!("{pr3}");
+
+    // Durability numbers (PR 4): the spooled sweep against the in-memory
+    // one, plus the primitive micro-costs.
+    let mut durable_json = String::new();
+    for (i, (mem, dur)) in control.iter().zip(&durable).enumerate() {
+        if i > 0 {
+            durable_json.push_str(",\n");
+        }
+        durable_json.push_str(&format!(
+            "    {{ \"agents\": {}, \"in_memory_mb_per_sec\": {:.2}, \
+             \"durable_mb_per_sec\": {:.2}, \"overhead_pct\": {:.1}, \
+             \"chunks\": {} }}",
+            dur.agents,
+            mem.upload_mb_per_sec,
+            dur.upload_mb_per_sec,
+            (mem.upload_mb_per_sec / dur.upload_mb_per_sec.max(1e-9) - 1.0) * 100.0,
+            dur.chunks,
+        ));
+    }
+    let pr4 = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
+         \"note\": \"crash-safe write path vs in-memory: durable points append every chunk to an on-disk spool before sending (trim on ack) while the daemon WAL-appends before every ack and checkpoints supervision state; micro section isolates the primitives\",\n  \
+         \"upload_throughput\": [\n{durable_json}\n  ],\n  \
+         \"spool\": {{\n    \
+           \"append_mb_per_sec\": {append:.2},\n    \
+           \"recovery_scan_secs\": {scan:.4},\n    \
+           \"records\": {srecords}\n  \
+         }},\n  \
+         \"checkpoint\": {{\n    \
+           \"slots\": {slots},\n    \
+           \"save_micros\": {save:.1},\n    \
+           \"load_micros\": {load:.1}\n  \
+         }}\n}}\n",
+        append = micro.spool_append_mb_per_sec,
+        scan = micro.spool_scan_secs,
+        srecords = micro.spool_records,
+        slots = micro.ckpt_slots,
+        save = micro.ckpt_save_micros,
+        load = micro.ckpt_load_micros,
+    );
+    let path4 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_pr4.json");
+    match std::fs::write(&path4, &pr4) {
+        Ok(()) => eprintln!("[bench] wrote {}", path4.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path4.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{pr4}");
 }

@@ -45,13 +45,17 @@ fn main() {
         // Demo path: deploy the real control plane (manager daemon + 3
         // supervised agents + eDonkey server, all loopback TCP) with one
         // injected crash, and prove the transport lossless by replay.
+        // With --spool-dir the run is durable and a manager crash plus
+        // recovery is exercised on top.
         let t_phase = Instant::now();
-        let demo = edonkey_experiments::run_live_loopback(3, opts.seed, true)
+        let durability = opts.live_durability();
+        let demo = edonkey_experiments::run_live_loopback(3, opts.seed, true, durability.as_ref())
             .expect("live loopback deployment");
         eprintln!(
-            "[all] live loopback: {} records, {} relaunches, {} resumes in {:.2}s",
+            "[all] live loopback: {} records, {} relaunches, {} manager restores, {} resumes in {:.2}s",
             demo.log.records.len(),
             demo.metrics.total_relaunches(),
+            demo.metrics.manager_restores,
             demo.metrics.total_resumes(),
             t_phase.elapsed().as_secs_f64()
         );
@@ -70,7 +74,10 @@ fn main() {
         (d.join().expect("distributed run"), g.join().expect("greedy run"))
     })
     .expect("scoped simulation threads");
-    eprintln!("[all] phase simulate: {:.2}s (both measurements, concurrent)", t_phase.elapsed().as_secs_f64());
+    eprintln!(
+        "[all] phase simulate: {:.2}s (both measurements, concurrent)",
+        t_phase.elapsed().as_secs_f64()
+    );
 
     let t_phase = Instant::now();
     let dist_ix = LogIndex::build(&dist);
@@ -128,36 +135,40 @@ fn main() {
 
 fn summary_line(id: &str, data: &serde_json::Value) -> String {
     match id {
-        "table1" => format!(
+        "table1" => {
+            format!(
             "distributed: {} peers / {} files / {:.1} TB — greedy: {} peers / {} files / {:.1} TB",
             data["distributed"]["distinct_peers"], data["distributed"]["distinct_files"],
             data["distributed"]["space_tb"].as_f64().unwrap_or(0.0),
             data["greedy"]["distinct_peers"], data["greedy"]["distinct_files"],
             data["greedy"]["space_tb"].as_f64().unwrap_or(0.0),
-        ),
+        )
+        }
         "fig02" | "fig03" => format!(
             "{} total peers, {:.0} new/day at the end",
-            data["total_peers"], data["tail_new_per_day"].as_f64().unwrap_or(0.0)
+            data["total_peers"],
+            data["tail_new_per_day"].as_f64().unwrap_or(0.0)
         ),
         "fig04" => format!(
             "first query after {:.1} min, day/night ratio {:.1}×",
             data["first_query_min"].as_f64().unwrap_or(0.0),
             data["day_night_ratio"].as_f64().unwrap_or(0.0)
         ),
-        "fig05" | "fig06" | "fig07" | "fig08" | "fig09" => format!(
-            "random content {} vs no content {}",
-            data["final_random"], data["final_no"]
-        ),
+        "fig05" | "fig06" | "fig07" | "fig08" | "fig09" => {
+            format!("random content {} vs no content {}", data["final_random"], data["final_no"])
+        }
         "fig10" => format!(
             "singles {}–{}, union(24) {}",
-            data["single_min"], data["single_max"],
+            data["single_min"],
+            data["single_max"],
             data["avg"].as_array().and_then(|a| a.last()).cloned().unwrap_or(json!(0))
         ),
         "fig11" | "fig12" => format!(
             "≈{:.0} peers/file, union(100) {}, best file {}, worst {}",
             data["peers_per_file"].as_f64().unwrap_or(0.0),
             data["avg"].as_array().and_then(|a| a.last()).cloned().unwrap_or(json!(0)),
-            data["best_file_peers"], data["worst_file_peers"]
+            data["best_file_peers"],
+            data["worst_file_peers"]
         ),
         _ => String::new(),
     }

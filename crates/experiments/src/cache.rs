@@ -118,13 +118,22 @@ impl RunCache {
     /// Stores `log` as `config`'s entry (write-to-temp + rename, so a
     /// crashed writer can only ever leave a stray temp file, not a
     /// half-written entry under the final name).
+    ///
+    /// The temp name is unique per *call* — pid plus a process-wide
+    /// counter — so two figure binaries (or two threads of one) storing
+    /// the same entry concurrently never interleave writes into a shared
+    /// temp file; each writes its own and the atomic renames race
+    /// harmlessly, last one wins with a complete file either way.
     pub fn store(&self, config: &ScenarioConfig, log: &MeasurementLog) -> std::io::Result<PathBuf> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static STORE_SERIAL: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(config);
         let tmp = self.dir.join(format!(
-            "{}.edhp.tmp-{}",
+            "{}.edhp.tmp-{}-{}",
             cache_key(config),
-            std::process::id()
+            std::process::id(),
+            STORE_SERIAL.fetch_add(1, Ordering::Relaxed)
         ));
         honeypot::storage::save(log, &tmp).map_err(|e| match e {
             honeypot::StorageError::Io(io) => io,
@@ -145,6 +154,41 @@ mod tests {
         assert_eq!(cache_key(&c), cache_key(&c.clone()));
         assert_eq!(cache_key(&c).len(), 32);
         assert!(cache_key(&c).bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_an_entry() {
+        // Two figure binaries can decide to fill the same cache miss at
+        // once.  Per-call temp names make their writes independent; the
+        // final renames race, but whichever wins, the entry under the
+        // final name must always be a complete, loadable log.
+        let config = ScenarioConfig::tiny(9);
+        let log = edonkey_sim::run_scenario(config.clone()).log;
+        let dir = std::env::temp_dir().join(format!("edhp-cache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::new(dir.clone());
+
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        cache.store(&config, &log).unwrap();
+                    }
+                });
+            }
+        });
+
+        let loaded = cache.load(&config).expect("entry must be a clean hit");
+        assert_eq!(loaded.records.len(), log.records.len());
+        assert_eq!(loaded.distinct_peers, log.distinct_peers);
+        // No temp litter: every writer renamed its own file away.
+        let stray = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .count();
+        assert_eq!(stray, 0, "temp files must not survive successful stores");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! Only [`table1`] (O(1) header fields) and the top-peer series (a single
 //! peer's records) still read the raw log.
 
+use edonkey_analysis::report::{
+    ascii_chart, ascii_table, format_bytes, format_count, series_table,
+};
 use edonkey_analysis::{
     basic_stats, file_peer_counts, peer_series, plateaus, popular_files, random_files,
     subset_curve, LogIndex, StrategyComparison, SubsetPoint,
 };
-use edonkey_analysis::report::{ascii_chart, ascii_table, format_bytes, format_count, series_table};
 use honeypot::{MeasurementLog, QueryKind};
 use serde_json::json;
 
@@ -26,11 +28,7 @@ pub fn table1(dist: &MeasurementLog, greedy: &MeasurementLog) -> Artefact {
     let d = basic_stats(dist);
     let g = basic_stats(greedy);
     let rows = vec![
-        vec![
-            "Number of honeypots".into(),
-            d.honeypots.to_string(),
-            g.honeypots.to_string(),
-        ],
+        vec!["Number of honeypots".into(), d.honeypots.to_string(), g.honeypots.to_string()],
         vec![
             "Duration in days".into(),
             format!("{:.0}", d.duration_days),
@@ -82,9 +80,7 @@ pub fn fig_growth(ix: &LogIndex, fig_no: u8) -> Artefact {
     let files = ix.file_growth();
     let days: Vec<u64> = (0..g.cumulative.len() as u64).collect();
     let chart = ascii_chart(
-        &[
-            ("total peers", &g.cumulative.iter().map(|&v| v as f64).collect::<Vec<_>>()[..]),
-        ],
+        &[("total peers", &g.cumulative.iter().map(|&v| v as f64).collect::<Vec<_>>()[..])],
         64,
         12,
     );
@@ -111,8 +107,11 @@ pub fn fig04(ix: &LogIndex) -> Artefact {
     let week: Vec<u64> = s.counts.iter().copied().take(168).collect();
     let first_ms = ix.first_event_ms(QueryKind::Hello).unwrap_or(0);
     let ratio = edonkey_analysis::HourlySeries { counts: week.clone() }.day_night_ratio();
-    let chart =
-        ascii_chart(&[("HELLO/hour", &week.iter().map(|&v| v as f64).collect::<Vec<_>>()[..])], 84, 14);
+    let chart = ascii_chart(
+        &[("HELLO/hour", &week.iter().map(|&v| v as f64).collect::<Vec<_>>()[..])],
+        84,
+        14,
+    );
     let hours: Vec<u64> = (0..week.len() as u64).collect();
     let text = format!(
         "Fig. 4 — HELLO messages per hour, first week (first query after {:.1} min; day/night ratio {:.1}×)\n{}\n{}",
@@ -129,11 +128,7 @@ pub fn fig04(ix: &LogIndex) -> Artefact {
     Artefact { text, data }
 }
 
-fn strategy_artefact(
-    title: String,
-    c: &StrategyComparison,
-    extra: serde_json::Value,
-) -> Artefact {
+fn strategy_artefact(title: String, c: &StrategyComparison, extra: serde_json::Value) -> Artefact {
     let days: Vec<u64> = (0..c.random_content.len() as u64).collect();
     let (rc, nc) = c.finals();
     let chart = ascii_chart(

@@ -22,6 +22,6 @@ pub mod targeted;
 
 pub use cache::{cache_key, RunCache};
 pub use figures::Artefact;
-pub use live::{run_live_loopback, LiveDemo};
+pub use live::{run_live_loopback, LiveDemo, LiveDurability};
 pub use runner::{Measurement, Options};
 pub use targeted::{targeted, Coordination, TargetInfo};

@@ -8,14 +8,41 @@
 //! artefact: its value is showing the control plane move real bytes and
 //! proving (by journal replay) that the transport was lossless.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use edonkey_platform::{
-    DaemonConfig, FaultPlan, LoopbackDeployment, LoopbackOptions, LoopbackSpec, PlatformMetrics,
+    CheckpointOptions, DaemonConfig, FaultPlan, LoopbackDeployment, LoopbackOptions, LoopbackSpec,
+    PlatformMetrics,
 };
 use edonkey_proto::FileId;
 use honeypot::{AdvertisedFile, ContentStrategy, FileStrategy, MeasurementLog};
 use netsim::SimTime;
+
+/// Durability knobs for the live demo (`--spool-dir`,
+/// `--checkpoint-interval`): agents spool chunks under `dir/spool`
+/// before sending and the manager snapshots supervision state plus its
+/// chunk WAL under `dir/ckpt`, so a crashed side replays instead of
+/// losing the run.
+#[derive(Clone, Debug)]
+pub struct LiveDurability {
+    /// Root directory for the spools and the checkpoint.
+    pub dir: PathBuf,
+    /// Snapshot cadence in milliseconds (the WAL is written continuously
+    /// regardless; `None` keeps the default).
+    pub checkpoint_interval_ms: Option<u64>,
+}
+
+impl LiveDurability {
+    /// The daemon-side checkpoint configuration.
+    fn checkpoint(&self) -> CheckpointOptions {
+        let mut opts = CheckpointOptions::new(self.dir.join("ckpt"));
+        if let Some(ms) = self.checkpoint_interval_ms {
+            opts.interval_ms = ms;
+        }
+        opts
+    }
+}
 
 /// Result of the live loopback demo.
 pub struct LiveDemo {
@@ -29,8 +56,15 @@ pub struct LiveDemo {
 
 /// Deploys `agents` supervised honeypots (one of them crash-injected when
 /// `inject_crash`), drives one scripted download against each, and
-/// finalizes the measurement.
-pub fn run_live_loopback(agents: usize, seed: u64, inject_crash: bool) -> std::io::Result<LiveDemo> {
+/// finalizes the measurement.  With `durability`, the whole run is
+/// crash-safe: a manager crash is additionally injected after round 1 and
+/// the recovered daemon must carry the measurement through unharmed.
+pub fn run_live_loopback(
+    agents: usize,
+    seed: u64,
+    inject_crash: bool,
+    durability: Option<&LiveDurability>,
+) -> std::io::Result<LiveDemo> {
     assert!(agents >= 1, "at least one agent");
     let specs: Vec<LoopbackSpec> = (0..agents)
         .map(|i| {
@@ -51,13 +85,15 @@ pub fn run_live_loopback(agents: usize, seed: u64, inject_crash: bool) -> std::i
         })
         .collect();
 
-    let opts = LoopbackOptions { daemon: DaemonConfig::default(), seed, ..LoopbackOptions::default() };
-    let deployment = LoopbackDeployment::start(specs, opts)?;
+    let daemon = DaemonConfig {
+        checkpoint: durability.map(LiveDurability::checkpoint),
+        ..DaemonConfig::default()
+    };
+    let spool_dir = durability.map(|d| d.dir.join("spool"));
+    let opts = LoopbackOptions { daemon, seed, spool_dir, ..LoopbackOptions::default() };
+    let mut deployment = LoopbackDeployment::start(specs, opts)?;
     if !deployment.wait_ready(Duration::from_secs(10)) {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::TimedOut,
-            "agents never became ready",
-        ));
+        return Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "agents never became ready"));
     }
 
     for i in 0..agents as u32 {
@@ -65,13 +101,29 @@ pub fn run_live_loopback(agents: usize, seed: u64, inject_crash: bool) -> std::i
     }
     deployment.wait_chunks(agents as u64, Duration::from_secs(10));
 
+    if durability.is_some() {
+        // The durable path earns its keep: kill the manager outright,
+        // recover a fresh one from the checkpoint + WAL, and keep
+        // measuring.  Without the WAL the merges so far would be gone and
+        // the replay check below would fail.
+        std::thread::sleep(Duration::from_millis(300));
+        deployment.crash_daemon();
+        deployment.recover_daemon()?;
+        if !deployment.wait_ready(Duration::from_secs(30)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "agents never re-registered after manager recovery",
+            ));
+        }
+        deployment.drive_download("demo-peer-postcrash", 0, demo_file(0), 1, &[]);
+        deployment.wait_chunks(agents as u64 + 1, Duration::from_secs(20));
+    }
+
     if inject_crash {
         // Wait for the supervision loop to notice the crash and bring the
         // agent back, then hit it again so the resumed stream carries data.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while deployment.daemon().relaunch_count() < 1
-            && std::time::Instant::now() < deadline
-        {
+        while deployment.daemon().relaunch_count() < 1 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(20));
         }
         deployment.wait_ready(Duration::from_secs(10));

@@ -43,6 +43,14 @@ pub struct Options {
     /// Run the live control-plane loopback demo (manager daemon + agents
     /// over real TCP) instead of / before the simulated measurements.
     pub live_loopback: bool,
+    /// Durable-spool root for the live demo (`--spool-dir`): agents
+    /// write-ahead their chunks under it and the manager checkpoints its
+    /// supervision state + chunk WAL, making the demo crash-safe (a
+    /// manager kill/recovery cycle is exercised when set).
+    pub spool_dir: Option<std::path::PathBuf>,
+    /// Manager snapshot cadence in milliseconds
+    /// (`--checkpoint-interval`; requires `--spool-dir`).
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for Options {
@@ -59,6 +67,8 @@ impl Default for Options {
             cache_dir: None,
             sharded: false,
             live_loopback: false,
+            spool_dir: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -86,8 +96,7 @@ impl Options {
                     opts.seed = take_value(&mut i).parse().unwrap_or_else(|_| usage("--seed"))
                 }
                 "--samples" => {
-                    opts.samples =
-                        take_value(&mut i).parse().unwrap_or_else(|_| usage("--samples"))
+                    opts.samples = take_value(&mut i).parse().unwrap_or_else(|_| usage("--samples"))
                 }
                 "--json" => opts.json = true,
                 "--save" => opts.save = Some(take_value(&mut i).into()),
@@ -104,13 +113,35 @@ impl Options {
                 "--cache-dir" => opts.cache_dir = Some(take_value(&mut i).into()),
                 "--sharded" => opts.sharded = true,
                 "--live-loopback" => opts.live_loopback = true,
+                "--spool-dir" => opts.spool_dir = Some(take_value(&mut i).into()),
+                "--checkpoint-interval" => {
+                    let ms: u64 = take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("--checkpoint-interval"));
+                    if ms == 0 {
+                        usage("--checkpoint-interval must be at least 1 ms");
+                    }
+                    opts.checkpoint_interval = Some(ms);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(other),
             }
             i += 1;
         }
+        if opts.checkpoint_interval.is_some() && opts.spool_dir.is_none() {
+            usage("--checkpoint-interval requires --spool-dir");
+        }
         opts.install_thread_pool();
         opts
+    }
+
+    /// The live demo's durability configuration under these options
+    /// (`None` unless `--spool-dir` was given).
+    pub fn live_durability(&self) -> Option<crate::live::LiveDurability> {
+        self.spool_dir.as_ref().map(|dir| crate::live::LiveDurability {
+            dir: dir.clone(),
+            checkpoint_interval_ms: self.checkpoint_interval,
+        })
     }
 
     /// Sizes rayon's global pool to `--threads` (first caller wins; a
@@ -176,7 +207,10 @@ impl Options {
                             problems.first().map(String::as_str).unwrap_or("?"),
                         );
                     }
-                    Err(e) => eprintln!("[run] {label}: could not load {}: {e}; re-running", path.display()),
+                    Err(e) => eprintln!(
+                        "[run] {label}: could not load {}: {e}; re-running",
+                        path.display()
+                    ),
                 }
             }
         }
@@ -223,10 +257,7 @@ impl Options {
             Measurement::Distributed => "distributed",
             Measurement::Greedy => "greedy",
         };
-        eprintln!(
-            "[run] {label} measurement: scale {}, seed {:#x} …",
-            self.scale, self.seed
-        );
+        eprintln!("[run] {label} measurement: scale {}, seed {:#x} …", self.scale, self.seed);
         let started = std::time::Instant::now();
         let out = run_scenario(self.scenario(which));
         eprintln!(
@@ -263,7 +294,10 @@ fn usage(offender: &str) -> ! {
          --no-cache   bypass the content-addressed run cache\n\
          --cache-dir DIR  run-cache location (default target/run-cache)\n\
          --sharded    lane-sharded execution on the rayon pool\n\
-         --live-loopback  live control-plane demo over loopback TCP (all)",
+         --live-loopback  live control-plane demo over loopback TCP (all)\n\
+         --spool-dir DIR  durable spools + manager checkpoint for the live\n\
+         \x20             demo; also exercises a manager crash/recovery\n\
+         --checkpoint-interval MS  manager snapshot cadence (needs --spool-dir)",
         scenarios::DEFAULT_SEED
     );
     std::process::exit(2)

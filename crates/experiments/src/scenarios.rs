@@ -109,7 +109,11 @@ pub fn distributed(seed: u64, scale: f64) -> ScenarioConfig {
             retry_request_prob: 0.60,
             contact_gap_ms: 2 * MS_PER_SEC,
         },
-        blacklist: BlacklistConfig { skip_cap: 0.5, halfway_detections: 25_000.0, source_quality_bonus: 0.35 },
+        blacklist: BlacklistConfig {
+            skip_cap: 0.5,
+            halfway_detections: 25_000.0,
+            source_quality_bonus: 0.35,
+        },
         robots: RobotConfig {
             count: 5,
             budget: 2,
@@ -141,11 +145,8 @@ pub fn distributed(seed: u64, scale: f64) -> ScenarioConfig {
     // attractiveness profile; attractiveness spans ~[0.55, 1.55] to create
     // the single-honeypot spread of Fig. 10 (13k–37k).
     for i in 0..DISTRIBUTED_HONEYPOTS {
-        let content = if i % 2 == 0 {
-            ContentStrategy::NoContent
-        } else {
-            ContentStrategy::RandomContent
-        };
+        let content =
+            if i % 2 == 0 { ContentStrategy::NoContent } else { ContentStrategy::RandomContent };
         let attractiveness = 0.28 + ((i / 2) as f64) * (2.72 / 11.0);
         config.honeypots.push(HoneypotSetup::fixed(content, four.clone(), attractiveness));
     }
@@ -207,7 +208,11 @@ pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
             retry_request_prob: 0.15,
             contact_gap_ms: 2 * MS_PER_SEC,
         },
-        blacklist: BlacklistConfig { skip_cap: 0.0, halfway_detections: 1.0, source_quality_bonus: 0.0 },
+        blacklist: BlacklistConfig {
+            skip_cap: 0.0,
+            halfway_detections: 1.0,
+            source_quality_bonus: 0.0,
+        },
         robots: RobotConfig {
             count: 2,
             budget: 2,
@@ -279,11 +284,7 @@ pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
 fn catalog_by_popularity(catalog: &edonkey_sim::Catalog) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..catalog.len() as u32).collect();
     idx.sort_unstable_by(|&a, &b| {
-        catalog
-            .file(b)
-            .popularity
-            .partial_cmp(&catalog.file(a).popularity)
-            .expect("finite")
+        catalog.file(b).popularity.partial_cmp(&catalog.file(a).popularity).expect("finite")
     });
     idx
 }

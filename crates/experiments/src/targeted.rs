@@ -66,10 +66,7 @@ pub fn targeted(
     // catalog targeting and honeypot layout change.
     let mut config = scenarios::distributed(seed, 1.0);
     config.duration = SimTime::from_days(days);
-    config.catalog = CatalogConfig {
-        n_files: 30_000,
-        ..config.catalog
-    };
+    config.catalog = CatalogConfig { n_files: 30_000, ..config.catalog };
 
     // "Search" the universe for the keyword, exactly as the manager would
     // query a large server.
@@ -84,30 +81,18 @@ pub fn targeted(
     // Most popular matches first: the operator targets the active part of
     // the topic.
     files.sort_by(|&a, &b| {
-        catalog
-            .file(b)
-            .popularity
-            .partial_cmp(&catalog.file(a).popularity)
-            .expect("finite")
+        catalog.file(b).popularity.partial_cmp(&catalog.file(a).popularity).expect("finite")
     });
     files.truncate(max_files);
     assert!(!files.is_empty(), "keyword {keyword:?} matches no catalog file");
 
     config.honeypots.clear();
     for i in 0..honeypots {
-        let content = if i % 2 == 0 {
-            ContentStrategy::NoContent
-        } else {
-            ContentStrategy::RandomContent
-        };
+        let content =
+            if i % 2 == 0 { ContentStrategy::NoContent } else { ContentStrategy::RandomContent };
         let advertised: Vec<u32> = match strategy {
             Coordination::Replicated => files.clone(),
-            Coordination::Partitioned => files
-                .iter()
-                .copied()
-                .skip(i)
-                .step_by(honeypots)
-                .collect(),
+            Coordination::Partitioned => files.iter().copied().skip(i).step_by(honeypots).collect(),
         };
         config.honeypots.push(HoneypotSetup::fixed(content, advertised, 1.0));
     }
@@ -119,12 +104,8 @@ pub fn targeted(
     config.population.rate_per_popularity = 1_500.0 / mass;
     let config = config.scaled(scale);
 
-    let info = TargetInfo {
-        keyword: keyword.to_string(),
-        files,
-        coordination: strategy,
-        honeypots,
-    };
+    let info =
+        TargetInfo { keyword: keyword.to_string(), files, coordination: strategy, honeypots };
     (config, info)
 }
 
@@ -195,11 +176,7 @@ mod tests {
         assert!(!sets.is_empty());
         // Coverage keeps growing with more target files (the paper's
         // conclusion that bigger target sets pay off).
-        let curves = subset_curve(
-            &sets.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
-            10,
-            1,
-        );
+        let curves = subset_curve(&sets.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(), 10, 1);
         assert!(curves.last().unwrap().avg >= curves[0].avg);
     }
 

@@ -133,11 +133,27 @@ impl HoneypotHost {
         let accept_live = live_peers.clone();
         let next_conn = AtomicU64::new(1);
         let accept_thread = std::thread::spawn(move || {
+            // Transient accept errors (EMFILE/ENFILE when peers flood in,
+            // ECONNABORTED, EINTR) must not kill the listener: back off and
+            // retry, escalating while the condition persists and resetting
+            // on the next successful accept.
+            let mut accept_errors: u32 = 0;
             for conn in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { continue };
+                let stream = match conn {
+                    Ok(s) => {
+                        accept_errors = 0;
+                        s
+                    }
+                    Err(_) => {
+                        accept_errors = accept_errors.saturating_add(1);
+                        let pause = (5u64 << accept_errors.min(6)).min(250);
+                        std::thread::sleep(std::time::Duration::from_millis(pause));
+                        continue;
+                    }
+                };
                 let conn_id = ConnId(next_conn.fetch_add(1, Ordering::Relaxed));
                 let hp = accept_honeypot.clone();
                 let sender = accept_sender.clone();

@@ -21,11 +21,20 @@
 //! touches the wire, so tests can replay exactly what was sent through the
 //! in-process merge pipeline and prove the transport added or lost
 //! nothing.
+//!
+//! With a spool directory the agent is additionally **crash-safe**: every
+//! chunk is appended to a durable [`Spool`] before its first send and
+//! trimmed only on ack, so a killed incarnation's unacknowledged uploads
+//! are replayed by the next one — ahead of any fresh collection, in
+//! sequence order — instead of being lost with the process.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use edonkey_net::HoneypotHost;
+use edonkey_proto::control::{encode_control_frame, opcodes};
 use honeypot::{Honeypot, HoneypotConfig, IpHasher};
 use netsim::rng::stream_seed;
 use netsim::Rng;
@@ -34,6 +43,8 @@ use crate::conn::{ConnError, ConnEvent, ControlConn};
 use crate::fault::{FaultPlan, FaultState};
 use crate::journal::ChunkJournal;
 use crate::messages::{AgentConfig, ControlMessage};
+use crate::retry::{Backoff, RetryPolicy};
+use crate::spool::{Spool, SpoolRecord};
 
 /// How an agent's life ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,9 +60,12 @@ pub enum AgentExit {
 }
 
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(3);
-const ACK_RESEND_AFTER: Duration = Duration::from_millis(400);
 const RECONNECT_PAUSE: Duration = Duration::from_millis(25);
-const MAX_CONNECT_FAILURES: u32 = 80;
+/// Failed connect attempts before the agent gives up (the schedule between
+/// them comes from [`RetryPolicy::reconnect`]).
+const MAX_CONNECT_ATTEMPTS: u32 = 20;
+/// Master seed of the agent-side retry jitter streams.
+const RETRY_SEED: u64 = 0xA6E2_7E72;
 
 /// Everything that must survive reconnects and in-place relaunches.
 struct AgentState {
@@ -63,6 +77,11 @@ struct AgentState {
     host: Option<HoneypotHost>,
     /// The in-flight upload: kept until acked, re-sent on retry/reconnect.
     pending: Option<Pending>,
+    /// Durable write-ahead spool (None = PR 3 in-memory behaviour).
+    spool: Option<Spool>,
+    /// Spooled records awaiting re-delivery, rebuilt from the spool at
+    /// every session start; drained stop-and-wait before fresh collects.
+    backlog: VecDeque<SpoolRecord>,
     hb_seq: u64,
     last_rtt_micros: u64,
     started: Instant,
@@ -74,7 +93,24 @@ struct Pending {
     seq: u64,
     /// The clean encoded frame (faults doctor a copy, never this).
     frame: Vec<u8>,
-    sent_at: Instant,
+    /// Re-send the frame at this instant if still unacked.
+    resend_at: Instant,
+    /// Backoff schedule driving `resend_at`.
+    backoff: Backoff,
+}
+
+impl Pending {
+    fn new(agent: u32, seq: u64, frame: Vec<u8>, now: Instant) -> Self {
+        let mut backoff = Backoff::new(RetryPolicy::resend(), RETRY_SEED ^ u64::from(agent), seq);
+        let delay = backoff.next_delay().expect("resend schedule is unbounded");
+        Pending { seq, frame, resend_at: now + delay, backoff }
+    }
+
+    /// Re-arms the resend timer after a (re)send.
+    fn rearm(&mut self, now: Instant) {
+        let delay = self.backoff.next_delay().expect("resend schedule is unbounded");
+        self.resend_at = now + delay;
+    }
 }
 
 enum SessionEnd {
@@ -102,14 +138,26 @@ impl AgentState {
 
 /// Runs one agent to completion (blocking).  `first_incarnation` is 0 for
 /// an initial launch; the daemon's supervisor passes higher numbers when
-/// respawning a dead agent.
+/// respawning a dead agent.  With `spool_dir`, unacknowledged chunks are
+/// spooled durably and a restarted incarnation replays them; the directory
+/// must be stable across this agent's incarnations and unique to it.
 pub fn run_agent(
     daemon_addr: SocketAddr,
     agent: u32,
     first_incarnation: u32,
     fault: FaultPlan,
     journal: ChunkJournal,
+    spool_dir: Option<PathBuf>,
 ) -> AgentExit {
+    let spool = spool_dir.and_then(|dir| match Spool::open(dir) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            // Degraded but alive: without the spool the agent still offers
+            // PR 3 semantics (resume from the daemon's acked sequence).
+            eprintln!("[agent {agent}] spool unavailable, running in-memory: {e}");
+            None
+        }
+    });
     let mut st = AgentState {
         agent,
         incarnation: first_incarnation,
@@ -118,26 +166,33 @@ pub fn run_agent(
         journal,
         host: None,
         pending: None,
+        spool,
+        backlog: VecDeque::new(),
         hb_seq: 0,
         last_rtt_micros: 0,
         started: Instant::now(),
         forwarded_status: 0,
     };
-    let mut connect_failures = 0u32;
+    let mut reconnect = Backoff::new(
+        RetryPolicy::reconnect(MAX_CONNECT_ATTEMPTS),
+        RETRY_SEED ^ u64::from(agent),
+        u64::from(first_incarnation),
+    );
     loop {
         let conn = match ControlConn::connect(daemon_addr) {
             Ok(c) => c,
-            Err(_) => {
-                connect_failures += 1;
-                if connect_failures > MAX_CONNECT_FAILURES {
+            Err(_) => match reconnect.next_delay() {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    continue;
+                }
+                None => {
                     st.teardown_host();
                     return AgentExit::GaveUp;
                 }
-                std::thread::sleep(RECONNECT_PAUSE);
-                continue;
-            }
+            },
         };
-        connect_failures = 0;
+        reconnect.reset();
         match session(conn, &mut st) {
             Ok(SessionEnd::Shutdown) => {
                 st.teardown_host();
@@ -214,8 +269,26 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
     let peer_port = st.host.as_ref().unwrap().peer_addr().port();
     conn.send(&ControlMessage::Ready { agent: st.agent, peer_port }).map_err(ConnError::Io)?;
 
-    // Reconcile the in-flight chunk with the daemon's resume point.
-    if let Some(p) = &st.pending {
+    // Reconcile the in-flight state with the daemon's resume point.
+    if let Some(spool) = &mut st.spool {
+        // Durable path: the spool is the source of truth.  Everything the
+        // daemon acknowledged is trimmed; everything else becomes the
+        // backlog, re-sent in order ahead of fresh collections.  The
+        // journal gets the replayed copies too, so a true process restart
+        // still satisfies the replay proof.
+        if seq > 0 {
+            let _ = spool.trim_acked(seq - 1);
+        }
+        st.pending = None;
+        st.backlog = spool.unacked().iter().filter(|r| r.seq >= seq).cloned().collect();
+        for rec in &st.backlog {
+            if let Ok(ControlMessage::LogUpload { agent, seq, chunk }) =
+                ControlMessage::decode(opcodes::LOG_CHUNK, &rec.payload)
+            {
+                st.journal.record(agent, seq, chunk);
+            }
+        }
+    } else if let Some(p) = &st.pending {
         if p.seq < seq {
             // Merged before the connection died; the ack was lost.
             st.pending = None;
@@ -223,8 +296,9 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
     }
     if let Some(p) = &mut st.pending {
         conn.send_raw(&p.frame).map_err(ConnError::Io)?;
-        p.sent_at = Instant::now();
+        p.rearm(Instant::now());
     }
+    send_next_backlog(&mut conn, st)?;
 
     let mut hb_due = Instant::now();
     let mut collect_due = Instant::now() + Duration::from_millis(cfg.collect_ms);
@@ -248,12 +322,17 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
                     if acked >= seq {
                         seq = acked + 1;
                     }
+                    if let Some(spool) = &mut st.spool {
+                        // Acked means durable on the manager side; only
+                        // now may the local copy go.
+                        let _ = spool.trim_acked(acked);
+                    }
                 }
                 ConnEvent::Msg(ControlMessage::ChunkRetry { seq: want }) => {
                     if let Some(p) = &mut st.pending {
                         if p.seq == want {
                             conn.send_raw(&p.frame).map_err(ConnError::Io)?;
-                            p.sent_at = Instant::now();
+                            p.rearm(Instant::now());
                         }
                     }
                 }
@@ -268,13 +347,16 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
         let now = Instant::now();
 
         if let Some(p) = &mut st.pending {
-            if now.duration_since(p.sent_at) >= ACK_RESEND_AFTER {
+            if now >= p.resend_at {
                 conn.send_raw(&p.frame).map_err(ConnError::Io)?;
-                p.sent_at = now;
+                p.rearm(now);
             }
         }
 
-        if st.pending.is_none() && (shutting_down || now >= collect_due) {
+        // Replayed spool records go out before anything fresh is cut.
+        send_next_backlog(&mut conn, st)?;
+
+        if st.pending.is_none() && st.backlog.is_empty() && (shutting_down || now >= collect_due) {
             collect_due = now + Duration::from_millis(cfg.collect_ms.max(1));
             let chunk = st.host.as_ref().unwrap().collect_log();
             if !chunk.records.is_empty() || !chunk.shared_lists.is_empty() {
@@ -320,14 +402,26 @@ fn upload_chunk(
     // The journal copy is taken before any fault can touch the bytes: it
     // is the ground truth of what this agent tried to report.
     st.journal.record(st.agent, seq, chunk.clone());
-    let frame = ControlMessage::LogUpload { agent: st.agent, seq, chunk }.encode_frame();
+    let msg = ControlMessage::LogUpload { agent: st.agent, seq, chunk };
+    if let Some(spool) = &mut st.spool {
+        // Durable before the first send: ack-or-replay from here on.
+        if let Err(e) = spool.append(seq, msg.encode_payload()) {
+            eprintln!("[agent {}] spool append failed for seq {seq}: {e}", st.agent);
+        }
+    }
+    if st.fault.kill_before_chunk == Some(seq) {
+        // Crash after journal+spool, before the send: the daemon never saw
+        // this chunk.  Only the spool can save it now.
+        return Ok(Some(SessionEnd::Killed));
+    }
+    let frame = msg.encode_frame();
     let kill_now = st.fault.kill_after_chunk == Some(seq);
 
     if st.fault.should_truncate(seq, &mut st.fstate) {
         // Half a frame, then the connection dies: the daemon's decoder
         // never completes the frame and the next session must resume.
         let _ = conn.send_raw(&frame[..frame.len() / 2]);
-        st.pending = Some(Pending { seq, frame, sent_at: now });
+        st.pending = Some(Pending::new(st.agent, seq, frame, now));
         return Ok(Some(SessionEnd::ConnLost));
     }
     if st.fault.should_corrupt(seq, &mut st.fstate) {
@@ -335,18 +429,32 @@ fn upload_chunk(
         let last = doctored.len() - 1;
         doctored[last] ^= 0xA5; // break the CRC trailer
         conn.send_raw(&doctored).map_err(ConnError::Io)?;
-        st.pending = Some(Pending { seq, frame, sent_at: now });
+        st.pending = Some(Pending::new(st.agent, seq, frame, now));
         return Ok(None); // wait for the daemon's ChunkRetry
     }
 
     conn.send_raw(&frame).map_err(ConnError::Io)?;
-    st.pending = Some(Pending { seq, frame, sent_at: now });
+    st.pending = Some(Pending::new(st.agent, seq, frame, now));
     if kill_now {
         // Crash right after the send: the daemon merges the chunk, but the
         // ack is never read.  The next incarnation must resume past it.
         return Ok(Some(SessionEnd::Killed));
     }
     Ok(None)
+}
+
+/// Promotes the next spooled backlog record to the in-flight slot, if the
+/// slot is free.  Backlog chunks were journaled and spooled by an earlier
+/// incarnation; they go back out verbatim, stop-and-wait, in seq order.
+fn send_next_backlog(conn: &mut ControlConn, st: &mut AgentState) -> Result<(), ConnError> {
+    if st.pending.is_some() {
+        return Ok(());
+    }
+    let Some(rec) = st.backlog.pop_front() else { return Ok(()) };
+    let frame = encode_control_frame(opcodes::LOG_CHUNK, &rec.payload);
+    conn.send_raw(&frame).map_err(ConnError::Io)?;
+    st.pending = Some(Pending::new(st.agent, rec.seq, frame, Instant::now()));
+    Ok(())
 }
 
 fn forward_status(st: &mut AgentState, conn: &mut ControlConn) -> Result<(), ConnError> {

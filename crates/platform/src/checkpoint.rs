@@ -1,0 +1,279 @@
+//! Manager checkpoint: atomic snapshots of supervision state plus a
+//! chunk write-ahead log, so a crashed daemon can be restarted without
+//! losing the measurement.
+//!
+//! Two durable artefacts live under the checkpoint directory:
+//!
+//! * **`wal/`** — a [`crate::spool::Spool`] to which the daemon appends
+//!   every chunk payload *before* acknowledging it, in exact merge order.
+//!   Replaying the WAL through a fresh [`honeypot::Manager`] reproduces
+//!   the merged state bit for bit (same intern order, same sequences), and
+//!   the per-agent resume points are derived from it — so even a daemon
+//!   that never managed to write a state snapshot recovers losslessly.
+//! * **`manager.ckpt`** — a small CRC-trailed snapshot of the supervision
+//!   state the WAL cannot carry: per-agent incarnation counters, launch
+//!   attempt counts, clean-goodbye flags and uptime/relaunch accounting.
+//!   It is replaced atomically (write to a temp file, then `rename`), so a
+//!   crash mid-checkpoint leaves the previous snapshot intact; a torn or
+//!   corrupt file is detected by its CRC and ignored.
+//!
+//! The split gives the durability contract its shape: *acked ⇒ in the
+//! WAL ⇒ recovered*.  The snapshot only improves supervision continuity;
+//! correctness of the measurement never depends on its freshness.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use edonkey_proto::control::crc32;
+
+/// Checkpointing knobs for the daemon.
+#[derive(Clone, Debug)]
+pub struct CheckpointOptions {
+    /// Directory holding `manager.ckpt` and the `wal/` spool.
+    pub dir: PathBuf,
+    /// How often the supervision loop writes a state snapshot.
+    pub interval_ms: u64,
+}
+
+impl CheckpointOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointOptions { dir: dir.into(), interval_ms: 100 }
+    }
+
+    /// The state snapshot path.
+    pub fn state_path(&self) -> PathBuf {
+        self.dir.join(STATE_FILE)
+    }
+
+    /// The chunk WAL directory.
+    pub fn wal_dir(&self) -> PathBuf {
+        self.dir.join("wal")
+    }
+}
+
+/// Snapshot file name inside the checkpoint directory.
+pub const STATE_FILE: &str = "manager.ckpt";
+
+const MAGIC: [u8; 4] = *b"EDCK";
+const VERSION: u8 = 1;
+/// Encoded size of one slot: u64 + u32 + u32 + u8 + five u64 counters.
+const SLOT_BYTES: usize = 8 + 4 + 4 + 1 + 5 * 8;
+
+/// Per-agent supervision state carried across a manager restart.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlotCheckpoint {
+    /// Next upload sequence expected from this agent.
+    pub expected_seq: u64,
+    /// Incarnation the next (re)launch will carry.
+    pub next_incarnation: u32,
+    /// Consecutive launch attempts without a `Connected` status.
+    pub attempts: u32,
+    /// The agent said a clean goodbye; never relaunch it.
+    pub goodbye: bool,
+    /// Relaunches issued so far (metrics continuity).
+    pub relaunches: u64,
+    /// Deaths declared so far (metrics continuity).
+    pub deaths: u64,
+    /// Resumed registrations so far (metrics continuity).
+    pub resumes: u64,
+    /// Total registrations so far (metrics continuity).
+    pub registrations: u64,
+    /// Registered milliseconds accumulated so far (metrics continuity).
+    pub uptime_ms: u64,
+}
+
+/// The whole snapshot: one [`SlotCheckpoint`] per agent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ManagerCheckpoint {
+    pub slots: Vec<SlotCheckpoint>,
+}
+
+impl ManagerCheckpoint {
+    /// Serialises the snapshot (little-endian fields, CRC-32 trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.slots.len() * SLOT_BYTES);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        for s in &self.slots {
+            out.extend_from_slice(&s.expected_seq.to_le_bytes());
+            out.extend_from_slice(&s.next_incarnation.to_le_bytes());
+            out.extend_from_slice(&s.attempts.to_le_bytes());
+            out.push(s.goodbye as u8);
+            out.extend_from_slice(&s.relaunches.to_le_bytes());
+            out.extend_from_slice(&s.deaths.to_le_bytes());
+            out.extend_from_slice(&s.resumes.to_le_bytes());
+            out.extend_from_slice(&s.registrations.to_le_bytes());
+            out.extend_from_slice(&s.uptime_ms.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a snapshot; `None` for anything torn, corrupt or from an
+    /// unknown version — recovery then proceeds from the WAL alone.
+    pub fn decode(data: &[u8]) -> Option<ManagerCheckpoint> {
+        if data.len() < 13 || data[..4] != MAGIC || data[4] != VERSION {
+            return None;
+        }
+        let body_len = data.len() - 4;
+        let stored = u32::from_le_bytes(data[body_len..].try_into().ok()?);
+        if crc32(&data[..body_len]) != stored {
+            return None;
+        }
+        let n = u32::from_le_bytes(data[5..9].try_into().ok()?) as usize;
+        let mut pos = 9usize;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            if pos + SLOT_BYTES > body_len {
+                return None;
+            }
+            let u64_at = |p: usize| u64::from_le_bytes(data[p..p + 8].try_into().unwrap());
+            let u32_at = |p: usize| u32::from_le_bytes(data[p..p + 4].try_into().unwrap());
+            slots.push(SlotCheckpoint {
+                expected_seq: u64_at(pos),
+                next_incarnation: u32_at(pos + 8),
+                attempts: u32_at(pos + 12),
+                goodbye: data[pos + 16] != 0,
+                relaunches: u64_at(pos + 17),
+                deaths: u64_at(pos + 25),
+                resumes: u64_at(pos + 33),
+                registrations: u64_at(pos + 41),
+                uptime_ms: u64_at(pos + 49),
+            });
+            pos += SLOT_BYTES;
+        }
+        if pos != body_len {
+            return None;
+        }
+        Some(ManagerCheckpoint { slots })
+    }
+}
+
+/// Writes the snapshot atomically: temp file in the same directory, then
+/// `rename` over [`STATE_FILE`].  A crash at any point leaves either the
+/// old snapshot or the new one, never a mix.
+pub fn save_checkpoint(dir: &Path, ckpt: &ManagerCheckpoint) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let bytes = ckpt.encode();
+    let tmp = dir.join(format!("{STATE_FILE}.tmp-{}", std::process::id()));
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, dir.join(STATE_FILE))
+}
+
+/// Loads the snapshot if present and intact; `None` otherwise (including
+/// a torn write that somehow reached the final name — the CRC catches it).
+pub fn load_checkpoint(dir: &Path) -> Option<ManagerCheckpoint> {
+    let data = fs::read(dir.join(STATE_FILE)).ok()?;
+    ManagerCheckpoint::decode(&data)
+}
+
+/// Test hook: simulate a crash *mid-checkpoint* by leaving a torn temp
+/// file (the first `keep` bytes) next to the real snapshot.  Recovery must
+/// ignore it.  Returns the temp path.
+pub fn write_torn_tmp(dir: &Path, ckpt: &ManagerCheckpoint, keep: usize) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let bytes = ckpt.encode();
+    let cut = keep.min(bytes.len());
+    let tmp = dir.join(format!("{STATE_FILE}.tmp-torn"));
+    fs::write(&tmp, &bytes[..cut])?;
+    Ok(tmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ManagerCheckpoint {
+        ManagerCheckpoint {
+            slots: vec![
+                SlotCheckpoint {
+                    expected_seq: 7,
+                    next_incarnation: 2,
+                    attempts: 1,
+                    goodbye: false,
+                    relaunches: 1,
+                    deaths: 1,
+                    resumes: 3,
+                    registrations: 4,
+                    uptime_ms: 1234,
+                },
+                SlotCheckpoint {
+                    expected_seq: 0,
+                    next_incarnation: 1,
+                    attempts: 0,
+                    goodbye: true,
+                    ..SlotCheckpoint::default()
+                },
+            ],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "edhp-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ckpt = sample();
+        assert_eq!(ManagerCheckpoint::decode(&ckpt.encode()), Some(ckpt));
+        assert_eq!(
+            ManagerCheckpoint::decode(&ManagerCheckpoint::default().encode()),
+            Some(ManagerCheckpoint::default())
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(ManagerCheckpoint::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut doctored = bytes.clone();
+            doctored[i] ^= 0x01;
+            assert_eq!(ManagerCheckpoint::decode(&doctored), None, "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn save_load_and_atomic_replace() {
+        let dir = tmpdir("saveload");
+        assert_eq!(load_checkpoint(&dir), None);
+        let first = sample();
+        save_checkpoint(&dir, &first).unwrap();
+        assert_eq!(load_checkpoint(&dir), Some(first));
+        let mut second = sample();
+        second.slots[0].expected_seq = 99;
+        save_checkpoint(&dir, &second).unwrap();
+        assert_eq!(load_checkpoint(&dir), Some(second));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tmp_never_shadows_the_snapshot() {
+        let dir = tmpdir("torn");
+        let ckpt = sample();
+        save_checkpoint(&dir, &ckpt).unwrap();
+        let mut newer = sample();
+        newer.slots[0].expected_seq = 1000;
+        let tmp = write_torn_tmp(&dir, &newer, 20).unwrap();
+        assert!(tmp.exists());
+        // The interrupted checkpoint is invisible; the old one survives.
+        assert_eq!(load_checkpoint(&dir), Some(ckpt));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -167,16 +167,12 @@ mod tests {
             let deadline = std::time::Instant::now() + Duration::from_secs(2);
             let events = conn.poll_until(deadline).unwrap();
             let ConnEvent::Msg(msg) = &events[0] else { panic!("corrupt?") };
-            assert_eq!(
-                *msg,
-                ControlMessage::Register { agent: 7, incarnation: 0, resume: false }
-            );
+            assert_eq!(*msg, ControlMessage::Register { agent: 7, incarnation: 0, resume: false });
             conn.send(&ControlMessage::RegisterAck { agent: 7, next_seq: 0 }).unwrap();
         });
         let mut conn = ControlConn::connect(addr).unwrap();
         conn.set_read_timeout(Duration::from_millis(20)).unwrap();
-        conn.send(&ControlMessage::Register { agent: 7, incarnation: 0, resume: false })
-            .unwrap();
+        conn.send(&ControlMessage::Register { agent: 7, incarnation: 0, resume: false }).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         let events = conn.poll_until(deadline).unwrap();
         assert!(matches!(

@@ -15,6 +15,16 @@
 //!   `needing_relaunch` + `mark_relaunched` pair;
 //! * **metrics** — heartbeat RTTs, relaunch/death counts, chunk bytes and
 //!   retries, per-agent uptime ([`crate::metrics::PlatformMetrics`]).
+//!
+//! With [`DaemonConfig::checkpoint`] set, the daemon is additionally
+//! **crash-safe**: every merged chunk is appended to a write-ahead spool
+//! *before* its ack is sent (acked ⇒ durable), and the supervision state
+//! is snapshotted atomically on a timer.  A fresh daemon started with the
+//! same checkpoint directory replays the WAL through a new core manager —
+//! reproducing the merged log bit for bit, in the original merge order —
+//! and resumes supervising from the snapshot.  Chunks an agent re-sends
+//! across the crash boundary are deduplicated by the WAL-derived resume
+//! sequences and counted in `duplicate_chunks`, never merged twice.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,15 +33,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use edonkey_proto::control::opcodes;
-use honeypot::{
-    HoneypotId, HoneypotSpec, HoneypotStatus, Manager, MeasurementLog, StatusReport,
-};
-use netsim::{Rng, SimTime};
+use honeypot::{HoneypotId, HoneypotSpec, HoneypotStatus, Manager, MeasurementLog, StatusReport};
+use netsim::SimTime;
 use parking_lot::Mutex;
 
+use crate::checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointOptions, ManagerCheckpoint, SlotCheckpoint,
+};
 use crate::conn::{ConnEvent, ControlConn};
 use crate::messages::{AgentConfig, ControlMessage};
 use crate::metrics::PlatformMetrics;
+use crate::retry::{Backoff, RetryPolicy};
+use crate::spool::{Spool, SpoolRecord};
 
 /// Supervision and transport tuning.
 #[derive(Clone, Debug)]
@@ -50,6 +63,9 @@ pub struct DaemonConfig {
     /// launch attempts (a registration that reaches `Connected` resets
     /// the count).
     pub max_launch_attempts: u32,
+    /// Durability: checkpoint directory and snapshot cadence.  `None`
+    /// keeps the PR 3 in-memory behaviour (a daemon crash loses the run).
+    pub checkpoint: Option<CheckpointOptions>,
 }
 
 impl Default for DaemonConfig {
@@ -61,7 +77,15 @@ impl Default for DaemonConfig {
             backoff_cap_ms: 2_000,
             backoff_seed: 0x1eaf_5eed,
             max_launch_attempts: 10,
+            checkpoint: None,
         }
+    }
+}
+
+impl DaemonConfig {
+    /// The relaunch-supervision schedule implied by this config.
+    fn relaunch_policy(&self) -> RetryPolicy {
+        RetryPolicy::relaunch(self.backoff_base_ms, self.backoff_cap_ms, self.max_launch_attempts)
     }
 }
 
@@ -82,8 +106,9 @@ struct Slot {
     registered_at: Option<Instant>,
     /// Backoff gate: no launch before this instant.
     next_launch_at: Option<Instant>,
-    /// Consecutive launch attempts without a `Connected` status.
-    attempts: u32,
+    /// Launch-attempt schedule: counts consecutive attempts without a
+    /// `Connected` status and paces relaunch gates (unified policy).
+    backoff: Backoff,
     /// Port of the honeypot's peer listener (from `Ready`).
     peer_port: Option<u16>,
     /// Write half of the agent's control connection (frame writes are
@@ -92,7 +117,7 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(config: AgentConfig) -> Self {
+    fn new(config: AgentConfig, policy: RetryPolicy, seed: u64, stream: u64) -> Self {
         Slot {
             config,
             expected_seq: 0,
@@ -102,11 +127,24 @@ impl Slot {
             last_activity: None,
             registered_at: None,
             next_launch_at: None,
-            attempts: 0,
+            backoff: Backoff::new(policy, seed, stream),
             peer_port: None,
             writer: None,
         }
     }
+}
+
+/// The chunk write-ahead log: one global append stream in merge order.
+struct Wal {
+    spool: Spool,
+    next_seq: u64,
+}
+
+/// Durable-mode state (present iff `DaemonConfig::checkpoint` is set).
+struct Durable {
+    opts: CheckpointOptions,
+    wal: Mutex<Wal>,
+    last_snapshot: Mutex<Instant>,
 }
 
 struct Inner {
@@ -120,15 +158,18 @@ struct Inner {
     /// `(agent, seq)` in the exact order chunks were merged.
     chunk_order: Mutex<Vec<(u32, u64)>>,
     launcher: Launcher,
+    durable: Option<Durable>,
     shutdown: AtomicBool,
-    jitter: Mutex<Rng>,
+    /// Simulated crash: every loop abandons its work immediately, nothing
+    /// is flushed or finalized.  Only what [`Durable`] already wrote
+    /// survives, exactly like a killed process.
+    crashed: AtomicBool,
 }
 
 impl Inner {
     fn now_sim(&self) -> SimTime {
         SimTime::from_millis(self.started.elapsed().as_millis() as u64)
     }
-
 }
 
 /// The manager daemon.  Create with [`Daemon::start`]; always call
@@ -145,6 +186,13 @@ impl Daemon {
     /// manager indexes honeypots densely).  The supervision loop performs
     /// the *initial* launches too, through the same backoff-gated path as
     /// relaunches.
+    ///
+    /// With `cfg.checkpoint` set and a non-empty checkpoint directory,
+    /// this *recovers*: the WAL is replayed through the fresh core (same
+    /// merge order, same intern order), per-agent resume sequences are
+    /// derived from it, and the supervision snapshot — if present and
+    /// intact — restores incarnation counters, attempt budgets, goodbye
+    /// flags and metrics continuity.
     pub fn start(
         cfg: DaemonConfig,
         configs: Vec<AgentConfig>,
@@ -157,26 +205,118 @@ impl Daemon {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let n = configs.len();
+
+        let policy = cfg.relaunch_policy();
+        let seed = cfg.backoff_seed;
+        let mut slots: Vec<Slot> = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Slot::new(c, policy, seed, i as u64))
+            .collect();
+        let mut core = Manager::new(specs);
+        let mut metrics = PlatformMetrics::new(n);
+        let mut chunk_order: Vec<(u32, u64)> = Vec::new();
+
+        let durable = match &cfg.checkpoint {
+            Some(opts) => {
+                let spool = Spool::open(opts.wal_dir())?;
+                let next_seq = spool.last_seq().map_or(0, |s| s + 1);
+                Some(Durable {
+                    opts: opts.clone(),
+                    wal: Mutex::new(Wal { spool, next_seq }),
+                    last_snapshot: Mutex::new(Instant::now()),
+                })
+            }
+            None => None,
+        };
+        let snapshot = cfg.checkpoint.as_ref().and_then(|o| load_checkpoint(&o.dir));
+        let mut restored = false;
+        if let Some(d) = &durable {
+            let records: Vec<SpoolRecord> = d.wal.lock().spool.unacked().to_vec();
+            restored = !records.is_empty();
+            for rec in &records {
+                let Ok(ControlMessage::LogUpload { agent, seq, chunk }) =
+                    ControlMessage::decode(opcodes::LOG_CHUNK, &rec.payload)
+                else {
+                    continue;
+                };
+                let i = agent as usize;
+                if i >= slots.len() {
+                    continue;
+                }
+                let bytes = rec.payload.len() as u64;
+                if core.collect_sequenced(seq, chunk) {
+                    chunk_order.push((agent, seq));
+                    metrics.agents[i].note_merged(seq);
+                    metrics.agents[i].chunks_merged += 1;
+                    metrics.agents[i].chunk_bytes += bytes;
+                }
+                if seq >= slots[i].expected_seq {
+                    slots[i].expected_seq = seq + 1;
+                }
+            }
+        }
+        if let Some(snap) = &snapshot {
+            restored = true;
+            for (i, s) in snap.slots.iter().enumerate().take(slots.len()) {
+                let slot = &mut slots[i];
+                // The WAL-derived resume point is authoritative (acks
+                // follow WAL appends, so the snapshot can only lag).
+                slot.expected_seq = slot.expected_seq.max(s.expected_seq);
+                slot.next_incarnation = slot.next_incarnation.max(s.next_incarnation);
+                slot.goodbye = s.goodbye;
+                slot.backoff.restore(s.attempts);
+                let m = &mut metrics.agents[i];
+                m.relaunches = s.relaunches;
+                m.deaths = s.deaths;
+                m.resumes = s.resumes;
+                m.registrations = s.registrations;
+                m.uptime_ms = s.uptime_ms;
+            }
+        }
+        if restored {
+            metrics.manager_restores += 1;
+        }
+
         let inner = Arc::new(Inner {
-            jitter: Mutex::new(Rng::seed_from(cfg.backoff_seed)),
             cfg,
             addr,
             started: Instant::now(),
-            core: Mutex::new(Some(Manager::new(specs))),
-            slots: Mutex::new(configs.into_iter().map(Slot::new).collect()),
-            metrics: Mutex::new(PlatformMetrics::new(n)),
-            chunk_order: Mutex::new(Vec::new()),
+            core: Mutex::new(Some(core)),
+            slots: Mutex::new(slots),
+            metrics: Mutex::new(metrics),
+            chunk_order: Mutex::new(chunk_order),
             launcher,
+            durable,
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
         });
 
         let accept_inner = inner.clone();
         let accept = std::thread::spawn(move || {
+            // Transient accept errors (EMFILE, ECONNABORTED) are retried
+            // with the unified backoff; the listener is never torn down.
+            let accept_policy = RetryPolicy { base_ms: 5, cap_ms: 250, max_attempts: None };
+            let mut accept_backoff =
+                Backoff::new(accept_policy, accept_inner.cfg.backoff_seed, 0xACCE);
             for stream in listener.incoming() {
-                if accept_inner.shutdown.load(Ordering::SeqCst) {
+                if accept_inner.shutdown.load(Ordering::SeqCst)
+                    || accept_inner.crashed.load(Ordering::SeqCst)
+                {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let stream = match stream {
+                    Ok(s) => {
+                        accept_backoff.reset();
+                        s
+                    }
+                    Err(_) => {
+                        if let Some(pause) = accept_backoff.next_delay() {
+                            std::thread::sleep(pause);
+                        }
+                        continue;
+                    }
+                };
                 let conn_inner = accept_inner.clone();
                 std::thread::spawn(move || serve_agent(conn_inner, stream));
             }
@@ -184,8 +324,11 @@ impl Daemon {
 
         let sup_inner = inner.clone();
         let supervise = std::thread::spawn(move || {
-            while !sup_inner.shutdown.load(Ordering::SeqCst) {
+            while !sup_inner.shutdown.load(Ordering::SeqCst)
+                && !sup_inner.crashed.load(Ordering::SeqCst)
+            {
                 supervision_tick(&sup_inner);
+                maybe_checkpoint(&sup_inner);
                 std::thread::sleep(Duration::from_millis(sup_inner.cfg.supervision_tick_ms));
             }
         });
@@ -211,11 +354,7 @@ impl Daemon {
 
     /// Highest merged upload sequence for an agent.
     pub fn collected_seq_high(&self, agent: u32) -> Option<u64> {
-        self.inner
-            .core
-            .lock()
-            .as_ref()
-            .and_then(|m| m.collected_seq_high(HoneypotId(agent)))
+        self.inner.core.lock().as_ref().and_then(|m| m.collected_seq_high(HoneypotId(agent)))
     }
 
     /// The honeypot peer-listener address of a registered, ready agent.
@@ -266,6 +405,15 @@ impl Daemon {
             Some(w) => send_to(&w, &ControlMessage::Relaunch).is_ok(),
             None => false,
         }
+    }
+
+    /// Simulates a manager crash: every loop abandons its work without
+    /// flushing, draining or finalizing.  The in-memory merge state and
+    /// metrics die here; only the checkpoint directory survives.  Start a
+    /// fresh daemon with the same [`DaemonConfig::checkpoint`] to recover.
+    pub fn crash(self) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        // Drop joins the loops; serve threads notice `crashed` and bail.
     }
 
     /// Ends the measurement: stops supervision, asks every live agent to
@@ -330,6 +478,12 @@ impl Daemon {
             }
         }
 
+        // A last snapshot so a *supervisor* restart after a clean finish
+        // still sees the final accounting.
+        if let Some(d) = &self.inner.durable {
+            let _ = save_checkpoint(&d.opts.dir, &build_checkpoint(&self.inner));
+        }
+
         let mgr = self.inner.core.lock().take().expect("finish called once");
         let log = mgr.finalize(duration, shared_files_final, name_threshold);
         let metrics = self.inner.metrics.lock().clone();
@@ -366,7 +520,7 @@ fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
     // First frame must be a Register.
     let deadline = Instant::now() + Duration::from_secs(3);
     let (agent, resume) = loop {
-        if Instant::now() >= deadline {
+        if Instant::now() >= deadline || inner.crashed.load(Ordering::SeqCst) {
             return;
         }
         let events = match conn.poll() {
@@ -375,8 +529,7 @@ fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
         };
         let mut found = None;
         for ev in events {
-            if let ConnEvent::Msg(ControlMessage::Register { agent, incarnation: _, resume }) = ev
-            {
+            if let ConnEvent::Msg(ControlMessage::Register { agent, incarnation: _, resume }) = ev {
                 found = Some((agent, resume));
                 break;
             }
@@ -426,6 +579,10 @@ fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
 
     let mut clean_goodbye = false;
     'conn: loop {
+        if inner.crashed.load(Ordering::SeqCst) {
+            // A crashed manager does no bookkeeping on the way out.
+            return;
+        }
         let events = match conn.poll() {
             Ok(ev) => ev,
             Err(_) => break 'conn,
@@ -442,7 +599,9 @@ fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
                         let _ = send_to(&writer, &ControlMessage::ChunkRetry { seq: want });
                     }
                 }
-                ConnEvent::Msg(ControlMessage::Heartbeat { seq, sent_micros, rtt_micros, .. }) => {
+                ConnEvent::Msg(ControlMessage::Heartbeat {
+                    seq, sent_micros, rtt_micros, ..
+                }) => {
                     {
                         let mut metrics = inner.metrics.lock();
                         metrics.agents[agent_idx].heartbeats += 1;
@@ -450,12 +609,14 @@ fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
                             metrics.agents[agent_idx].rtt.record(rtt_micros);
                         }
                     }
-                    let _ =
-                        send_to(&writer, &ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros });
+                    let _ = send_to(
+                        &writer,
+                        &ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros },
+                    );
                 }
                 ConnEvent::Msg(ControlMessage::Status(report)) => {
                     if matches!(report.status, HoneypotStatus::Connected { .. }) {
-                        inner.slots.lock()[agent_idx].attempts = 0;
+                        inner.slots.lock()[agent_idx].backoff.reset();
                     }
                     if let Some(core) = inner.core.lock().as_mut() {
                         core.on_status(report);
@@ -514,7 +675,9 @@ fn handle_upload(
 ) {
     let expected = inner.slots.lock()[agent_idx].expected_seq;
     if seq < expected {
-        // Duplicate after a lost ack: already merged, just re-ack.
+        // Duplicate after a lost ack or across a manager crash: already
+        // merged (and, in durable mode, already in the WAL) — just re-ack.
+        inner.metrics.lock().agents[agent_idx].duplicate_chunks += 1;
         let _ = send_to(writer, &ControlMessage::ChunkAck { seq });
         return;
     }
@@ -523,13 +686,20 @@ fn handle_upload(
         let _ = send_to(writer, &ControlMessage::ChunkRetry { seq: expected });
         return;
     }
-    let bytes = ControlMessage::LogUpload {
-        agent: agent_idx as u32,
-        seq,
-        chunk: chunk.clone(),
+    let payload = ControlMessage::LogUpload { agent: agent_idx as u32, seq, chunk: chunk.clone() }
+        .encode_payload();
+    let bytes = payload.len() as u64;
+    // Durability contract: the chunk is in the WAL *before* the ack goes
+    // out, in merge order, so an acked chunk is always recoverable and a
+    // replayed WAL reproduces the merge exactly.
+    if let Some(d) = &inner.durable {
+        let mut wal = d.wal.lock();
+        let wseq = wal.next_seq;
+        match wal.spool.append(wseq, &payload) {
+            Ok(()) => wal.next_seq += 1,
+            Err(e) => eprintln!("[daemon] WAL append failed for agent {agent_idx} seq {seq}: {e}"),
+        }
     }
-    .encode_payload()
-    .len() as u64;
     let merged = match inner.core.lock().as_mut() {
         Some(core) => core.collect_sequenced(seq, chunk),
         None => false,
@@ -537,11 +707,59 @@ fn handle_upload(
     if merged {
         inner.chunk_order.lock().push((agent_idx as u32, seq));
         let mut metrics = inner.metrics.lock();
+        // `note_merged` is the exactly-once ledger; `chunks_merged` must
+        // track it one-for-one or `double_merge_violation` fires.
+        metrics.agents[agent_idx].note_merged(seq);
         metrics.agents[agent_idx].chunks_merged += 1;
         metrics.agents[agent_idx].chunk_bytes += bytes;
     }
     inner.slots.lock()[agent_idx].expected_seq = seq + 1;
     let _ = send_to(writer, &ControlMessage::ChunkAck { seq });
+}
+
+/// Builds the supervision snapshot from the live slot and metric state.
+fn build_checkpoint(inner: &Inner) -> ManagerCheckpoint {
+    let slot_view: Vec<(u64, u32, u32, bool)> = {
+        let slots = inner.slots.lock();
+        slots
+            .iter()
+            .map(|s| (s.expected_seq, s.next_incarnation, s.backoff.attempts(), s.goodbye))
+            .collect()
+    };
+    let metrics = inner.metrics.lock();
+    ManagerCheckpoint {
+        slots: slot_view
+            .into_iter()
+            .zip(metrics.agents.iter())
+            .map(|((expected_seq, next_incarnation, attempts, goodbye), m)| SlotCheckpoint {
+                expected_seq,
+                next_incarnation,
+                attempts,
+                goodbye,
+                relaunches: m.relaunches,
+                deaths: m.deaths,
+                resumes: m.resumes,
+                registrations: m.registrations,
+                uptime_ms: m.uptime_ms,
+            })
+            .collect(),
+    }
+}
+
+/// Writes a snapshot if the checkpoint interval has elapsed.
+fn maybe_checkpoint(inner: &Inner) {
+    let Some(d) = &inner.durable else { return };
+    let now = Instant::now();
+    {
+        let mut last = d.last_snapshot.lock();
+        if now.duration_since(*last) < Duration::from_millis(d.opts.interval_ms) {
+            return;
+        }
+        *last = now;
+    }
+    if let Err(e) = save_checkpoint(&d.opts.dir, &build_checkpoint(inner)) {
+        eprintln!("[daemon] checkpoint write failed: {e}");
+    }
 }
 
 /// One pass of the supervision loop: deadline-check registered agents,
@@ -610,20 +828,20 @@ fn supervision_tick(inner: &Arc<Inner>) {
                 None
             } else if slot.next_launch_at.is_some_and(|t| now < t) {
                 None
-            } else if slot.attempts >= inner.cfg.max_launch_attempts {
-                None
             } else {
-                let incarnation = slot.next_incarnation;
-                slot.next_incarnation += 1;
-                slot.attempts += 1;
-                let shift = (slot.attempts - 1).min(16);
-                let backoff = (inner.cfg.backoff_base_ms << shift).min(inner.cfg.backoff_cap_ms);
-                let jitter = inner.jitter.lock().below(inner.cfg.backoff_base_ms.max(1) + 1);
-                // The gate also covers registration latency, so a launch
-                // in flight is never doubled.
-                let gate_ms = (backoff + jitter).max(inner.cfg.heartbeat_timeout_ms);
-                slot.next_launch_at = Some(now + Duration::from_millis(gate_ms));
-                Some(incarnation)
+                // The unified policy paces the schedule and spends the
+                // attempt budget; `None` means this agent has exhausted
+                // its launches.  The gate is floored at the heartbeat
+                // timeout so a launch in flight is never doubled.
+                match slot.backoff.next_deadline(now, inner.cfg.heartbeat_timeout_ms) {
+                    Some(gate) => {
+                        let incarnation = slot.next_incarnation;
+                        slot.next_incarnation += 1;
+                        slot.next_launch_at = Some(gate);
+                        Some(incarnation)
+                    }
+                    None => None,
+                }
             }
         };
         let Some(incarnation) = launch else { continue };

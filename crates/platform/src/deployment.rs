@@ -8,6 +8,7 @@
 //! tests, the `--live-loopback` experiment demo and the CI smoke job.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,6 +53,9 @@ pub struct LoopbackOptions {
     pub seed: u64,
     pub heartbeat_ms: u64,
     pub collect_ms: u64,
+    /// Give every agent a durable spool under `<dir>/agent-<id>` so a
+    /// killed incarnation's unacknowledged chunks survive the restart.
+    pub spool_dir: Option<PathBuf>,
 }
 
 impl Default for LoopbackOptions {
@@ -61,6 +65,7 @@ impl Default for LoopbackOptions {
             seed: 0xED0_2009,
             heartbeat_ms: 50,
             collect_ms: 60,
+            spool_dir: None,
         }
     }
 }
@@ -72,6 +77,10 @@ pub struct LoopbackDeployment {
     journal: ChunkJournal,
     handles: Arc<Mutex<Vec<JoinHandle<AgentExit>>>>,
     hp_specs: Vec<HoneypotSpec>,
+    /// Retained for daemon recovery after a simulated crash.
+    configs: Vec<AgentConfig>,
+    faults: Vec<FaultPlan>,
+    opts: LoopbackOptions,
 }
 
 impl LoopbackDeployment {
@@ -109,28 +118,52 @@ impl LoopbackDeployment {
         let faults: Vec<FaultPlan> = specs.iter().map(|s| s.fault.clone()).collect();
         let handles: Arc<Mutex<Vec<JoinHandle<AgentExit>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let launcher_journal = journal.clone();
-        let launcher_handles = handles.clone();
-        let launcher = Box::new(move |agent: u32, incarnation: u32, addr: SocketAddr| {
-            let fault = faults[agent as usize].clone();
-            let journal = launcher_journal.clone();
-            let handle =
-                std::thread::spawn(move || run_agent(addr, agent, incarnation, fault, journal));
-            launcher_handles.lock().push(handle);
-        });
-
-        let daemon = Daemon::start(opts.daemon, configs, launcher)?;
+        let launcher =
+            make_launcher(journal.clone(), handles.clone(), faults.clone(), opts.spool_dir.clone());
+        let daemon = Daemon::start(opts.daemon.clone(), configs.clone(), launcher)?;
         Ok(LoopbackDeployment {
             server: Some(server),
             daemon: Some(daemon),
             journal,
             handles,
             hp_specs,
+            configs,
+            faults,
+            opts,
         })
     }
 
     pub fn daemon(&self) -> &Daemon {
-        self.daemon.as_ref().expect("deployment finished")
+        self.daemon.as_ref().expect("deployment finished or crashed")
+    }
+
+    /// Simulates a manager crash: the daemon abandons its in-memory merge
+    /// state, metrics and connections without draining or finalizing.
+    /// Agents keep running, fail their uploads, and retry; whether the
+    /// measurement survives depends entirely on the checkpoint/WAL.  Call
+    /// [`LoopbackDeployment::recover_daemon`] to continue the run.
+    pub fn crash_daemon(&mut self) {
+        if let Some(daemon) = self.daemon.take() {
+            daemon.crash();
+        }
+    }
+
+    /// Starts a fresh daemon after [`LoopbackDeployment::crash_daemon`],
+    /// on the same configs and checkpoint directory.  The new daemon
+    /// binds a new port; still-alive agent threads give up on the dead
+    /// address and exit, and the recovered supervision state relaunches
+    /// them against the new one (same spool dirs, so nothing is lost).
+    pub fn recover_daemon(&mut self) -> std::io::Result<()> {
+        assert!(self.daemon.is_none(), "crash_daemon first");
+        let launcher = make_launcher(
+            self.journal.clone(),
+            self.handles.clone(),
+            self.faults.clone(),
+            self.opts.spool_dir.clone(),
+        );
+        self.daemon =
+            Some(Daemon::start(self.opts.daemon.clone(), self.configs.clone(), launcher)?);
+        Ok(())
     }
 
     /// The eDonkey server address peers log into.
@@ -216,6 +249,25 @@ impl LoopbackDeployment {
             exits,
         }
     }
+}
+
+/// Builds the supervised-launch closure shared by a fresh start and a
+/// post-crash recovery: every (re)launch runs one agent thread wired to
+/// the shared journal, its fault plan and (optionally) its spool dir.
+fn make_launcher(
+    journal: ChunkJournal,
+    handles: Arc<Mutex<Vec<JoinHandle<AgentExit>>>>,
+    faults: Vec<FaultPlan>,
+    spool_dir: Option<PathBuf>,
+) -> crate::daemon::Launcher {
+    Box::new(move |agent: u32, incarnation: u32, addr: SocketAddr| {
+        let fault = faults[agent as usize].clone();
+        let journal = journal.clone();
+        let spool = spool_dir.as_ref().map(|d| d.join(format!("agent-{agent}")));
+        let handle =
+            std::thread::spawn(move || run_agent(addr, agent, incarnation, fault, journal, spool));
+        handles.lock().push(handle);
+    })
 }
 
 /// Everything a finished loopback deployment produced.

@@ -30,6 +30,11 @@ pub struct FaultPlan {
     /// is never read, so the daemon has merged a chunk the agent never
     /// learned about.  The relaunched incarnation must resume past it.
     pub kill_after_chunk: Option<u64>,
+    /// Die abruptly right *before* sending the upload frame carrying this
+    /// sequence number, after it was journaled and spooled.  The daemon
+    /// never saw the chunk; with a durable spool the relaunched
+    /// incarnation must replay and deliver it, losing nothing.
+    pub kill_before_chunk: Option<u64>,
 }
 
 /// One-shot fault state carried across an agent's reconnects and

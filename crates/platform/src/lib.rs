@@ -26,8 +26,18 @@
 //! * [`deployment`] — a one-call loopback deployment (manager + eDonkey
 //!   server + N agents on 127.0.0.1) used by tests, the experiment
 //!   runner's `--live-loopback` demo and CI.
+//!
+//! Crash safety (PR 4) spans three modules: [`spool`] is the durable
+//! write-ahead segment log agents (and the daemon's chunk WAL) append to
+//! before anything is acknowledged; [`checkpoint`] is the daemon's
+//! atomically-replaced supervision snapshot plus WAL layout; [`retry`] is
+//! the one seeded backoff policy every retry site (relaunch, reconnect,
+//! resend) now shares.  The contract: an acknowledged chunk is always
+//! recoverable, a crashed side replays exactly what was lost, and no
+//! chunk is ever merged twice.
 
 pub mod agent;
+pub mod checkpoint;
 pub mod conn;
 pub mod daemon;
 pub mod deployment;
@@ -35,8 +45,11 @@ pub mod fault;
 pub mod journal;
 pub mod messages;
 pub mod metrics;
+pub mod retry;
+pub mod spool;
 
 pub use agent::{run_agent, AgentExit};
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointOptions, ManagerCheckpoint};
 pub use conn::{ConnError, ConnEvent, ControlConn};
 pub use daemon::{Daemon, DaemonConfig, Launcher};
 pub use deployment::{LoopbackDeployment, LoopbackOptions, LoopbackOutcome, LoopbackSpec};
@@ -44,3 +57,5 @@ pub use fault::{FaultPlan, FaultState};
 pub use journal::{measurement_diff, ChunkJournal};
 pub use messages::{AgentConfig, ControlMessage};
 pub use metrics::{AgentMetrics, PlatformMetrics, RttStats};
+pub use retry::{Backoff, RetryPolicy};
+pub use spool::{Spool, SpoolConfig, SpoolRecord};

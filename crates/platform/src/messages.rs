@@ -188,9 +188,7 @@ impl ControlMessage {
             opcodes::CHUNK_RETRY => ControlMessage::ChunkRetry { seq: r.u64()? },
             opcodes::RELAUNCH => ControlMessage::Relaunch,
             opcodes::SHUTDOWN => ControlMessage::Shutdown,
-            opcodes::GOODBYE => {
-                ControlMessage::Goodbye { agent: r.u32()?, final_seq: r.u64()? }
-            }
+            opcodes::GOODBYE => ControlMessage::Goodbye { agent: r.u32()?, final_seq: r.u64()? },
             _ => return Err(ProtoError::UnknownOpcode { opcode, context: "control message" }),
         };
         r.finish()?;

@@ -56,6 +56,10 @@ pub struct AgentMetrics {
     pub chunk_bytes: u64,
     /// Corrupt uploads re-requested via `ChunkRetry`.
     pub chunk_retries: u64,
+    /// Uploads re-acked without merging (sequence already collected — a
+    /// lost ack, a replayed spool record, or a resend across a manager
+    /// restart).
+    pub duplicate_chunks: u64,
     /// Registrations with `resume = true` (reconnects and relaunches that
     /// continued an upload stream).
     pub resumes: u64,
@@ -63,6 +67,44 @@ pub struct AgentMetrics {
     pub registrations: u64,
     /// Milliseconds spent registered, accumulated across incarnations.
     pub uptime_ms: u64,
+    /// Inclusive, disjoint, sorted ranges of merged upload sequences.
+    /// This is the exactly-once ledger: [`AgentMetrics::note_merged`]
+    /// refuses a sequence already covered, so `chunks_merged` equal to
+    /// [`AgentMetrics::merged_seq_count`] proves no chunk was merged
+    /// twice — including across a manager checkpoint/restore boundary.
+    pub merged_ranges: Vec<(u64, u64)>,
+}
+
+impl AgentMetrics {
+    /// Records `seq` as merged.  Returns `false` (and changes nothing) if
+    /// the sequence was already covered — a double merge.
+    pub fn note_merged(&mut self, seq: u64) -> bool {
+        let pos = self.merged_ranges.partition_point(|&(lo, _)| lo <= seq);
+        if pos > 0 {
+            if seq <= self.merged_ranges[pos - 1].1 {
+                return false;
+            }
+            if seq == self.merged_ranges[pos - 1].1 + 1 {
+                self.merged_ranges[pos - 1].1 = seq;
+                if pos < self.merged_ranges.len() && self.merged_ranges[pos].0 == seq + 1 {
+                    let (_, hi) = self.merged_ranges.remove(pos);
+                    self.merged_ranges[pos - 1].1 = hi;
+                }
+                return true;
+            }
+        }
+        if pos < self.merged_ranges.len() && self.merged_ranges[pos].0 == seq + 1 {
+            self.merged_ranges[pos].0 = seq;
+            return true;
+        }
+        self.merged_ranges.insert(pos, (seq, seq));
+        true
+    }
+
+    /// Distinct sequences covered by [`AgentMetrics::merged_ranges`].
+    pub fn merged_seq_count(&self) -> u64 {
+        self.merged_ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum()
+    }
 }
 
 /// Whole-platform metrics: one [`AgentMetrics`] per agent plus global
@@ -72,11 +114,17 @@ pub struct PlatformMetrics {
     pub agents: Vec<AgentMetrics>,
     /// Control frames that failed their CRC, over all connections.
     pub corrupt_frames: u64,
+    /// Times a daemon recovered state from a checkpoint directory.
+    pub manager_restores: u64,
 }
 
 impl PlatformMetrics {
     pub fn new(agents: usize) -> Self {
-        PlatformMetrics { agents: vec![AgentMetrics::default(); agents], corrupt_frames: 0 }
+        PlatformMetrics {
+            agents: vec![AgentMetrics::default(); agents],
+            corrupt_frames: 0,
+            manager_restores: 0,
+        }
     }
 
     pub fn total_relaunches(&self) -> u64 {
@@ -101,6 +149,28 @@ impl PlatformMetrics {
 
     pub fn total_resumes(&self) -> u64 {
         self.agents.iter().map(|a| a.resumes).sum()
+    }
+
+    pub fn total_duplicate_chunks(&self) -> u64 {
+        self.agents.iter().map(|a| a.duplicate_chunks).sum()
+    }
+
+    /// Exactly-once check over every agent: each merged-sequence ledger
+    /// must cover exactly `chunks_merged` distinct sequences.  Returns the
+    /// first violation found (an agent whose counts disagree), `None` when
+    /// the whole platform merged every chunk at most once.
+    pub fn double_merge_violation(&self) -> Option<String> {
+        for (i, a) in self.agents.iter().enumerate() {
+            if a.merged_seq_count() != a.chunks_merged {
+                return Some(format!(
+                    "agent {i}: {} chunks merged but {} distinct sequences covered ({:?})",
+                    a.chunks_merged,
+                    a.merged_seq_count(),
+                    a.merged_ranges
+                ));
+            }
+        }
+        None
     }
 
     /// RTT statistics pooled over all agents.
@@ -132,7 +202,9 @@ impl PlatformMetrics {
         out.push_str(&format!("  \"chunk_bytes\": {},\n", self.total_chunk_bytes()));
         out.push_str(&format!("  \"heartbeats\": {},\n", self.total_heartbeats()));
         out.push_str(&format!("  \"resumes\": {},\n", self.total_resumes()));
+        out.push_str(&format!("  \"duplicate_chunks\": {},\n", self.total_duplicate_chunks()));
         out.push_str(&format!("  \"corrupt_frames\": {},\n", self.corrupt_frames));
+        out.push_str(&format!("  \"manager_restores\": {},\n", self.manager_restores));
         let rtt = self.pooled_rtt();
         out.push_str(&format!(
             "  \"heartbeat_rtt_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
@@ -143,11 +215,13 @@ impl PlatformMetrics {
         ));
         out.push_str("  \"per_agent\": [\n");
         for (i, a) in self.agents.iter().enumerate() {
+            let ranges: Vec<String> =
+                a.merged_ranges.iter().map(|&(lo, hi)| format!("[{lo}, {hi}]")).collect();
             out.push_str(&format!(
                 "    {{\"agent\": {}, \"heartbeats\": {}, \"relaunches\": {}, \"deaths\": {}, \
                  \"chunks_merged\": {}, \"chunk_bytes\": {}, \"chunk_retries\": {}, \
-                 \"resumes\": {}, \"registrations\": {}, \"uptime_ms\": {}, \
-                 \"rtt_mean_micros\": {}}}{}\n",
+                 \"duplicate_chunks\": {}, \"resumes\": {}, \"registrations\": {}, \
+                 \"uptime_ms\": {}, \"rtt_mean_micros\": {}, \"merged_ranges\": [{}]}}{}\n",
                 i,
                 a.heartbeats,
                 a.relaunches,
@@ -155,10 +229,12 @@ impl PlatformMetrics {
                 a.chunks_merged,
                 a.chunk_bytes,
                 a.chunk_retries,
+                a.duplicate_chunks,
                 a.resumes,
                 a.registrations,
                 a.uptime_ms,
                 a.rtt.mean_micros(),
+                ranges.join(", "),
                 if i + 1 < self.agents.len() { "," } else { "" }
             ));
         }
@@ -199,6 +275,35 @@ mod tests {
         assert_eq!(pooled.count, 2);
         assert_eq!(pooled.min_micros, 50);
         assert_eq!(pooled.max_micros, 150);
+    }
+
+    #[test]
+    fn merged_ranges_form_an_exactly_once_ledger() {
+        let mut a = AgentMetrics::default();
+        for seq in [0u64, 1, 2, 5, 6, 4] {
+            assert!(a.note_merged(seq), "seq {seq} is new");
+        }
+        assert_eq!(a.merged_ranges, vec![(0, 2), (4, 6)]);
+        assert_eq!(a.merged_seq_count(), 6);
+        // Every covered sequence is refused the second time.
+        for seq in [0u64, 2, 4, 6] {
+            assert!(!a.note_merged(seq), "seq {seq} is a double merge");
+        }
+        assert_eq!(a.merged_seq_count(), 6);
+        // Bridging the gap coalesces the ranges.
+        assert!(a.note_merged(3));
+        assert_eq!(a.merged_ranges, vec![(0, 6)]);
+        assert_eq!(a.merged_seq_count(), 7);
+    }
+
+    #[test]
+    fn double_merge_violation_reports_disagreement() {
+        let mut m = PlatformMetrics::new(2);
+        m.agents[1].note_merged(0);
+        m.agents[1].chunks_merged = 1;
+        assert_eq!(m.double_merge_violation(), None);
+        m.agents[1].chunks_merged = 2; // merged twice, ledger saw one seq
+        assert!(m.double_merge_violation().unwrap().contains("agent 1"));
     }
 
     #[test]

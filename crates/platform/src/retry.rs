@@ -1,0 +1,186 @@
+//! Unified retry policy: seeded, jittered exponential backoff with deadlines.
+//!
+//! PR 3 grew three independent backoff implementations — the daemon's relaunch
+//! gate, the agent's reconnect loop, and the ack-resend timer — each with its
+//! own constants and its own (or no) jitter.  This module replaces them with
+//! one policy object so every retry path in the control plane backs off the
+//! same way and every delay is a deterministic function of a seed.
+//!
+//! A [`RetryPolicy`] describes the shape (base delay, cap, multiplier-by-shift,
+//! attempt limit); [`Backoff`] is a per-site instance carrying the attempt
+//! counter and a dedicated RNG stream for jitter.  Callers ask
+//! [`Backoff::next_delay`] for the next wait, or [`Backoff::next_deadline`] to
+//! convert it into an absolute `Instant` gate (the daemon's supervision loop
+//! works in deadlines, the agent's reconnect loop in sleeps).
+
+use std::time::{Duration, Instant};
+
+use netsim::rng::stream_seed;
+use netsim::Rng;
+
+/// Shape of an exponential-backoff schedule.  All delays are milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First delay, and the upper bound of the additive jitter.
+    pub base_ms: u64,
+    /// Ceiling applied after the exponential shift, before jitter.
+    pub cap_ms: u64,
+    /// Give up after this many attempts (`None` = retry forever).
+    pub max_attempts: Option<u32>,
+}
+
+impl RetryPolicy {
+    /// The daemon's relaunch-supervision schedule (PR 3 constants).
+    pub fn relaunch(base_ms: u64, cap_ms: u64, max_attempts: u32) -> Self {
+        RetryPolicy { base_ms, cap_ms, max_attempts: Some(max_attempts) }
+    }
+
+    /// Agent reconnect schedule: fast first retry, capped well under the
+    /// heartbeat timeout so a live daemon is rediscovered promptly.
+    pub fn reconnect(max_attempts: u32) -> Self {
+        RetryPolicy { base_ms: 25, cap_ms: 200, max_attempts: Some(max_attempts) }
+    }
+
+    /// Chunk re-request / ack-resend schedule: a gentle doubling from the
+    /// PR 3 `ACK_RESEND_AFTER` constant, never waiting longer than a second.
+    pub fn resend() -> Self {
+        RetryPolicy { base_ms: 400, cap_ms: 1000, max_attempts: None }
+    }
+
+    /// Raw backoff for attempt `n` (1-based), before jitter: `base << (n-1)`,
+    /// shift saturated at 16, capped at `cap_ms`.  Mirrors the PR 3 daemon
+    /// formula exactly so relaunch pacing is unchanged.
+    pub fn raw_delay_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.base_ms.checked_shl(shift).unwrap_or(u64::MAX).min(self.cap_ms)
+    }
+}
+
+/// One retry site's live state: attempt counter + jitter stream.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempts: u32,
+    rng: Rng,
+}
+
+impl Backoff {
+    /// Create a backoff instance.  `seed` is the policy-level master seed and
+    /// `stream` distinguishes sites (e.g. one stream per supervised agent) so
+    /// two sites sharing a seed still jitter independently.
+    pub fn new(policy: RetryPolicy, seed: u64, stream: u64) -> Self {
+        Backoff { policy, attempts: 0, rng: Rng::seed_from(stream_seed(seed, stream)) }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// True once the attempt budget is spent.
+    pub fn exhausted(&self) -> bool {
+        match self.policy.max_attempts {
+            Some(max) => self.attempts >= max,
+            None => false,
+        }
+    }
+
+    /// Consume one attempt and return the jittered delay to wait before it,
+    /// or `None` if the budget is exhausted.  Jitter is additive in
+    /// `[0, base_ms]`, drawn from this site's private stream.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.exhausted() {
+            return None;
+        }
+        self.attempts += 1;
+        let raw = self.policy.raw_delay_ms(self.attempts);
+        let jitter = self.rng.below(self.policy.base_ms.max(1) + 1);
+        Some(Duration::from_millis(raw.saturating_add(jitter)))
+    }
+
+    /// Like [`next_delay`](Self::next_delay) but returns an absolute gate:
+    /// `now + delay`, with the delay floored at `min_ms` (the daemon floors
+    /// relaunch gates at the heartbeat timeout so a relaunched agent is not
+    /// declared dead before it can register).
+    pub fn next_deadline(&mut self, now: Instant, min_ms: u64) -> Option<Instant> {
+        let delay = self.next_delay()?;
+        let floored = delay.max(Duration::from_millis(min_ms));
+        Some(now + floored)
+    }
+
+    /// Reset after a success so the next failure starts the schedule over.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// Restore the attempt counter from a checkpoint (manager recovery):
+    /// a relaunched daemon must not grant a flapping agent a fresh budget.
+    pub fn restore(&mut self, attempts: u32) {
+        self.attempts = attempts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_delay_doubles_then_caps() {
+        let p = RetryPolicy { base_ms: 50, cap_ms: 2000, max_attempts: None };
+        assert_eq!(p.raw_delay_ms(1), 50);
+        assert_eq!(p.raw_delay_ms(2), 100);
+        assert_eq!(p.raw_delay_ms(3), 200);
+        assert_eq!(p.raw_delay_ms(6), 1600);
+        assert_eq!(p.raw_delay_ms(7), 2000); // capped
+        assert_eq!(p.raw_delay_ms(60), 2000); // shift saturates, still capped
+    }
+
+    #[test]
+    fn deterministic_for_seed_and_stream() {
+        let p = RetryPolicy::relaunch(50, 2000, 10);
+        let mut a = Backoff::new(p, 0xFEED, 3);
+        let mut b = Backoff::new(p, 0xFEED, 3);
+        for _ in 0..10 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        // A different stream must diverge somewhere in the first few draws.
+        let mut c = Backoff::new(p, 0xFEED, 4);
+        let mut d = Backoff::new(p, 0xFEED, 3);
+        let diverged = (0..8).any(|_| c.next_delay() != d.next_delay());
+        assert!(diverged, "distinct streams produced identical jitter");
+    }
+
+    #[test]
+    fn jitter_bounded_by_base() {
+        let p = RetryPolicy { base_ms: 50, cap_ms: 2000, max_attempts: None };
+        let mut b = Backoff::new(p, 1, 1);
+        for attempt in 1..20u32 {
+            let d = b.next_delay().unwrap().as_millis() as u64;
+            let raw = p.raw_delay_ms(attempt);
+            assert!(d >= raw && d <= raw + p.base_ms, "attempt {attempt}: {d} vs raw {raw}");
+        }
+    }
+
+    #[test]
+    fn budget_exhausts() {
+        let p = RetryPolicy::relaunch(10, 100, 3);
+        let mut b = Backoff::new(p, 7, 0);
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.exhausted());
+        assert_eq!(b.next_delay(), None);
+        b.reset();
+        assert!(!b.exhausted());
+        assert!(b.next_delay().is_some());
+    }
+
+    #[test]
+    fn deadline_floors_at_min() {
+        let p = RetryPolicy { base_ms: 1, cap_ms: 4, max_attempts: None };
+        let mut b = Backoff::new(p, 9, 9);
+        let now = Instant::now();
+        let gate = b.next_deadline(now, 400).unwrap();
+        assert!(gate.duration_since(now) >= Duration::from_millis(400));
+    }
+}
