@@ -34,12 +34,12 @@ pub mod timeseries;
 pub mod toppeer;
 
 pub use cointerest::{co_interest, peer_degree_histogram, CoInterestStats, FilePairEdge};
-pub use population::{
-    client_software, gini, honeypot_load_gini, id_status_breakdown,
-    queries_per_peer_histogram, IdStatusBreakdown,
-};
 pub use distinct::{file_growth, peer_growth, peer_growth_filtered, PeerGrowth};
 pub use index::LogIndex;
+pub use population::{
+    client_software, gini, honeypot_load_gini, id_status_breakdown, queries_per_peer_histogram,
+    IdStatusBreakdown,
+};
 pub use strategy::{distinct_peers_by_strategy, messages_by_strategy, StrategyComparison};
 pub use subset::{
     file_peer_counts, peer_sets_by_file, peer_sets_by_honeypot, popular_files, random_files,

@@ -113,8 +113,7 @@ pub fn gini(values: &[u64]) -> f64 {
     let n = sorted.len() as f64;
     // G = (2·Σ i·xᵢ)/(n·Σ xᵢ) − (n+1)/n with 1-based ranks over the sorted
     // sample.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
     (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
 }
 
@@ -152,10 +151,7 @@ mod tests {
 
     #[test]
     fn client_software_aggregates() {
-        let log = synthetic_log(&[
-            (0, QueryKind::Hello, 0, t(1)),
-            (1, QueryKind::Hello, 0, t(1)),
-        ]);
+        let log = synthetic_log(&[(0, QueryKind::Hello, 0, t(1)), (1, QueryKind::Hello, 0, t(1))]);
         let soft = client_software(&log);
         assert_eq!(soft, vec![("eMule".to_string(), 2)]);
     }

@@ -58,10 +58,7 @@ pub fn series_table(x_label: &str, xs: &[u64], series: &[(&str, &[u64])]) -> Str
 /// series: `*`, `o`, `+`, `x`).
 pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     const MARKS: [char; 4] = ['*', 'o', '+', 'x'];
-    let max = series
-        .iter()
-        .flat_map(|(_, s)| s.iter())
-        .fold(0.0f64, |m, &v| m.max(v));
+    let max = series.iter().flat_map(|(_, s)| s.iter()).fold(0.0f64, |m, &v| m.max(v));
     let longest = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
     if max <= 0.0 || longest == 0 {
         return String::from("(no data)\n");
@@ -130,10 +127,7 @@ mod tests {
     fn table_is_aligned() {
         let t = ascii_table(
             &["metric", "value"],
-            &[
-                vec!["peers".into(), "110049".into()],
-                vec!["files".into(), "28007".into()],
-            ],
+            &[vec!["peers".into(), "110049".into()], vec!["files".into(), "28007".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert!(lines.iter().all(|l| l.len() == lines[0].len()), "ragged output:\n{t}");

@@ -76,10 +76,7 @@ pub fn messages_by_strategy(log: &MeasurementLog, kind: QueryKind) -> StrategyCo
         }
     }
     let days = days_of(log);
-    StrategyComparison {
-        random_content: rc.cumulative(days),
-        no_content: nc.cumulative(days),
-    }
+    StrategyComparison { random_content: rc.cumulative(days), no_content: nc.cumulative(days) }
 }
 
 /// Index-backed equivalents of this module's scans; asserted equal to the

@@ -34,9 +34,7 @@ impl PeerSet {
 
     pub fn contains(&self, peer: u32) -> bool {
         let idx = peer as usize;
-        self.words
-            .get(idx / 64)
-            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+        self.words.get(idx / 64).is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
     }
 
     /// Number of peers in the set.
@@ -139,8 +137,7 @@ pub fn subset_curve_sequential(sets: &[PeerSet], samples: usize, seed: u64) -> V
 /// Per-honeypot distinct-peer sets (any query kind), for Fig. 10.
 pub fn peer_sets_by_honeypot(log: &MeasurementLog) -> Vec<PeerSet> {
     let universe = log.distinct_peers as usize;
-    let mut sets: Vec<PeerSet> =
-        (0..log.honeypots.len()).map(|_| PeerSet::new(universe)).collect();
+    let mut sets: Vec<PeerSet> = (0..log.honeypots.len()).map(|_| PeerSet::new(universe)).collect();
     for r in &log.records {
         sets[r.honeypot.0 as usize].insert(r.peer.0);
     }
@@ -288,7 +285,7 @@ mod tests {
         let log = synthetic_log(&[
             (0, QueryKind::StartUpload, 0, SimTime::from_hours(1)), // file 0
             (1, QueryKind::StartUpload, 0, SimTime::from_hours(1)),
-            (2, QueryKind::Hello, 0, SimTime::from_hours(1)),       // no file
+            (2, QueryKind::Hello, 0, SimTime::from_hours(1)), // no file
             (2, QueryKind::RequestPart, 0, SimTime::from_hours(1)), // file 0, but not SU
         ]);
         let sets = peer_sets_by_file(&log);
@@ -306,11 +303,7 @@ mod tests {
             }
             s
         };
-        let sets = vec![
-            (0u32, mk(&[1])),
-            (1u32, mk(&[1, 2, 3])),
-            (2u32, mk(&[4, 5])),
-        ];
+        let sets = vec![(0u32, mk(&[1])), (1u32, mk(&[1, 2, 3])), (2u32, mk(&[4, 5]))];
         let top = popular_files(&sets, 2);
         assert_eq!(top[0].count(), 3);
         assert_eq!(top[1].count(), 2);

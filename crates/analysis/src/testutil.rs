@@ -27,9 +27,7 @@ pub fn synthetic_log(entries: &[(u32, QueryKind, u32, SimTime)]) -> MeasurementL
 
 /// Like [`synthetic_log`], with an explicit file index per record
 /// (`FILE_NONE` for none).
-pub fn synthetic_log_with_files(
-    entries: &[(u32, QueryKind, u32, SimTime, u32)],
-) -> MeasurementLog {
+pub fn synthetic_log_with_files(entries: &[(u32, QueryKind, u32, SimTime, u32)]) -> MeasurementLog {
     let server = ServerInfo::new("srv", Ipv4::new(195, 0, 0, 1), 4661);
     let mut files = FileTable::new();
     files.intern(FileId::from_seed(b"file-0"), "file zero.avi", 700 << 20);

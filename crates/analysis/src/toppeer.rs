@@ -31,11 +31,7 @@ pub fn top_peer(log: &MeasurementLog, kind: QueryKind) -> Option<AnonPeerId> {
 
 /// Cumulative per-day messages of `kind` received *from one peer* by each
 /// strategy group.
-pub fn peer_series(
-    log: &MeasurementLog,
-    peer: AnonPeerId,
-    kind: QueryKind,
-) -> StrategyComparison {
+pub fn peer_series(log: &MeasurementLog, peer: AnonPeerId, kind: QueryKind) -> StrategyComparison {
     let mut rc = BucketSeries::daily();
     let mut nc = BucketSeries::daily();
     for r in log.records_of(kind).filter(|r| r.peer == peer) {
@@ -45,10 +41,7 @@ pub fn peer_series(
         }
     }
     let days = log.duration.as_millis().div_ceil(MS_PER_DAY).max(1) as usize;
-    StrategyComparison {
-        random_content: rc.cumulative(days),
-        no_content: nc.cumulative(days),
-    }
+    StrategyComparison { random_content: rc.cumulative(days), no_content: nc.cumulative(days) }
 }
 
 /// Detects plateaus — runs of ≥ `min_days` consecutive days with no growth

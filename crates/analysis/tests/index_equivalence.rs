@@ -6,9 +6,7 @@
 //! same figures whatever the path that computes them.
 
 use edonkey_analysis::testutil::synthetic_log_with_files;
-use edonkey_analysis::{
-    distinct, strategy, subset, table, timeseries, toppeer, LogIndex,
-};
+use edonkey_analysis::{distinct, strategy, subset, table, timeseries, toppeer, LogIndex};
 use honeypot::log::FILE_NONE;
 use honeypot::{AnonPeerId, AnonSharedList, HoneypotId, MeasurementLog, QueryKind};
 use netsim::{Rng, SimTime};
@@ -116,10 +114,7 @@ fn index_is_thread_count_independent() {
     let log = busy_log(11);
     let reference = LogIndex::build_sequential(&log);
     for threads in [1usize, 2, 8] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
         // Force the chunked path: build() would auto-select sequential for
         // a log this small, and the property under test is that the
         // *parallel* build is schedule-independent.

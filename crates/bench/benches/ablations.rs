@@ -22,10 +22,7 @@ fn bench_diurnal(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(8));
-    for (name, curve) in [
-        ("european", DiurnalCurve::european()),
-        ("flat", DiurnalCurve::flat()),
-    ] {
+    for (name, curve) in [("european", DiurnalCurve::european()), ("flat", DiurnalCurve::flat())] {
         group.bench_function(format!("distributed/{name}"), |b| {
             b.iter(|| {
                 let mut config = scenarios::distributed(21, SCALE);

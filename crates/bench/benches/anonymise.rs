@@ -51,9 +51,8 @@ fn bench_ip_hashing(c: &mut Criterion) {
 
 fn bench_name_anonymiser(c: &mut Criterion) {
     // A corpus with both common and rare words.
-    let names: Vec<String> = (0..5_000)
-        .map(|i| format!("ubuntu linux {:04}.release.user{}.iso", i % 50, i))
-        .collect();
+    let names: Vec<String> =
+        (0..5_000).map(|i| format!("ubuntu linux {:04}.release.user{}.iso", i % 50, i)).collect();
     let mut group = c.benchmark_group("anonymise_names");
     group.throughput(Throughput::Elements(names.len() as u64));
     group.bench_function("count_freeze_5k_names", |b| {

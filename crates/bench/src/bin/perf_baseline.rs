@@ -6,11 +6,13 @@
 //! the live control plane (chunk upload throughput and heartbeat
 //! round-trips against a real manager daemon, swept over agent counts).
 //! Writes the numbers to `BENCH_pr2.json` (simulation/pipeline),
-//! `BENCH_pr3.json` (control plane) and `BENCH_pr4.json` (durability:
+//! `BENCH_pr3.json` (control plane), `BENCH_pr4.json` (durability:
 //! spooled vs in-memory upload throughput, spool append/recovery-scan and
-//! checkpoint save/load micro-costs) at the repository root so scale
-//! sweeps and future optimisation PRs have a committed reference point
-//! (`BENCH_baseline.json` holds the pre-sharding numbers).
+//! checkpoint save/load micro-costs) and `BENCH_pr6.json` (windowed
+//! pipelined upload: agents × window-size sweep against the reactor
+//! daemon, plus a 1,000-agent exactly-once/replay gate) at the repository
+//! root so scale sweeps and future optimisation PRs have a committed
+//! reference point (`BENCH_baseline.json` holds the pre-sharding numbers).
 //!
 //! Usage: `cargo run --release -p edonkey-bench --bin perf_baseline -- [--scale F]`
 
@@ -193,8 +195,10 @@ fn control_plane_point(agents: usize, durable: Option<&std::path::Path>) -> Cont
                     let mut got = false;
                     while !got {
                         for ev in conn.poll().expect("chunk ack") {
-                            if let ConnEvent::Msg(ControlMessage::ChunkAck { seq: s }) = ev {
-                                if s == seq {
+                            // Cumulative frontier: `next_seq > seq` means
+                            // this sequence is acknowledged.
+                            if let ConnEvent::Msg(ControlMessage::ChunkAck { next_seq }) = ev {
+                                if next_seq > seq {
                                     got = true;
                                 }
                             }
@@ -237,6 +241,193 @@ fn control_plane_point(agents: usize, durable: Option<&std::path::Path>) -> Cont
         chunks: total_chunks,
         heartbeats_per_sec: total_heartbeats as f64 / hb_max.max(1e-9),
         heartbeats: total_heartbeats,
+    }
+}
+
+/// One synthetic log chunk with `records` hello records — the upload
+/// payload unit of the windowed sweep.
+fn synthetic_chunk(records: usize) -> honeypot::LogChunk {
+    use edonkey_proto::{FileId, Ipv4, UserId};
+    use honeypot::log::{HoneypotLog, QueryRecord, FILE_NONE};
+    use honeypot::{HoneypotId, IdStatus, IpHasher, QueryKind, ServerInfo};
+
+    let server = ServerInfo::new("bench", Ipv4::new(127, 0, 0, 1), 4661);
+    let hasher = IpHasher::from_seed(1);
+    let mut log = HoneypotLog::new(HoneypotId(0), server);
+    let name = log.intern_name("bench-peer");
+    let file = log.files.intern(FileId::from_seed(b"bench"), "bench.avi", 1_000_000);
+    for i in 0..records {
+        log.push(QueryRecord {
+            at: netsim::SimTime::from_millis(i as u64),
+            kind: QueryKind::Hello,
+            peer: hasher.hash(Ipv4::new(10, (i / 65_536) as u8, (i / 256) as u8, (i % 256) as u8)),
+            port: 4662,
+            id_status: IdStatus::High,
+            user_id: UserId::from_seed(b"bench-user"),
+            name,
+            version: 0x49,
+            file: if i % 2 == 0 { file } else { FILE_NONE },
+        });
+    }
+    log.take_chunk()
+}
+
+/// One point of the windowed-upload sweep (PR 6).
+struct WindowedPoint {
+    agents: usize,
+    window: u32,
+    upload_mb_per_sec: f64,
+    chunk_bytes: u64,
+    chunks: u64,
+    records_per_chunk: usize,
+    window_peak: u64,
+    merge_queue_peak: u64,
+}
+
+/// Measures the reactor daemon under windowed, pipelined uploaders:
+/// every client keeps up to `window` sequenced chunks in flight,
+/// advances on cumulative acks and rewinds on go-back-N retries —
+/// window 1 degenerates to stop-and-wait on the same transport, so the
+/// sweep isolates what pipelining itself buys.  With `validate`, every
+/// upload is journaled pre-transport and the merged measurement must
+/// replay bit-identical with zero double merges (the 1,000-agent
+/// acceptance gate runs through this path).
+fn windowed_control_point(
+    agents: usize,
+    window: u32,
+    records_per_chunk: usize,
+    chunks_per_agent: u64,
+    validate: bool,
+) -> WindowedPoint {
+    use edonkey_platform::daemon::{Daemon, DaemonConfig};
+    use edonkey_platform::messages::{AgentConfig, ControlMessage};
+    use edonkey_platform::{measurement_diff, ChunkJournal, ConnEvent, ControlConn};
+    use edonkey_proto::Ipv4;
+    use honeypot::{ContentStrategy, FileStrategy, HoneypotId, HoneypotSpec, ServerInfo};
+
+    let server = ServerInfo::new("bench", Ipv4::new(127, 0, 0, 1), 4661);
+    let configs: Vec<AgentConfig> = (0..agents)
+        .map(|i| AgentConfig {
+            id: HoneypotId(i as u32),
+            content: ContentStrategy::NoContent,
+            files: FileStrategy::Fixed(Vec::new()),
+            server: server.clone(),
+            ip_salt: 1,
+            rng_seed: 1,
+            heartbeat_ms: 1_000,
+            collect_ms: 1_000,
+            client_name: format!("bench-{i}"),
+        })
+        .collect();
+    let hp_specs: Vec<HoneypotSpec> = configs
+        .iter()
+        .map(|c| HoneypotSpec { id: c.id, content: c.content, server: c.server.clone() })
+        .collect();
+    let cfg = DaemonConfig {
+        heartbeat_timeout_ms: 60_000,
+        upload_window: window,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(cfg, configs, Box::new(|_, _, _| {})).expect("start daemon");
+    let addr = daemon.addr();
+
+    let chunk = synthetic_chunk(records_per_chunk);
+    let frame_len =
+        ControlMessage::LogUpload { agent: 0, seq: 0, chunk: chunk.clone() }.encode_frame().len();
+    let journal = validate.then(ChunkJournal::new);
+
+    let workers: Vec<std::thread::JoinHandle<f64>> = (0..agents as u32)
+        .map(|agent| {
+            let mut chunk = chunk.clone();
+            chunk.honeypot = HoneypotId(agent);
+            let journal = journal.clone();
+            std::thread::spawn(move || {
+                let mut conn = ControlConn::connect(addr).expect("connect");
+                conn.set_read_timeout(std::time::Duration::from_millis(1)).expect("timeout");
+                conn.send(&ControlMessage::Register { agent, incarnation: 0, resume: false })
+                    .expect("register");
+                let mut granted = 0u64;
+                while granted == 0 {
+                    for ev in conn.poll().expect("handshake") {
+                        if let ConnEvent::Msg(ControlMessage::RegisterAck { window, .. }) = ev {
+                            granted = u64::from(window.max(1));
+                        }
+                    }
+                }
+
+                if let Some(journal) = &journal {
+                    for seq in 0..chunks_per_agent {
+                        journal.record(agent, seq, chunk.clone());
+                    }
+                }
+
+                // The windowed upload loop: fill the window, then drain
+                // acks; `ChunkRetry` rewinds the send cursor (go-back-N).
+                let t = Instant::now();
+                let mut next_send = 0u64;
+                let mut next_ack = 0u64;
+                while next_ack < chunks_per_agent {
+                    while next_send < chunks_per_agent && next_send - next_ack < granted {
+                        conn.send(&ControlMessage::LogUpload {
+                            agent,
+                            seq: next_send,
+                            chunk: chunk.clone(),
+                        })
+                        .expect("upload");
+                        next_send += 1;
+                    }
+                    for ev in conn.poll().expect("ack poll") {
+                        match ev {
+                            ConnEvent::Msg(ControlMessage::ChunkAck { next_seq }) => {
+                                next_ack = next_ack.max(next_seq);
+                            }
+                            ConnEvent::Msg(ControlMessage::ChunkRetry { seq }) => {
+                                next_send = next_send.min(seq);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let secs = t.elapsed().as_secs_f64();
+                conn.send(&ControlMessage::Goodbye { agent, final_seq: chunks_per_agent })
+                    .expect("goodbye");
+                secs
+            })
+        })
+        .collect();
+
+    let mut up_max = 0f64;
+    for w in workers {
+        up_max = up_max.max(w.join().expect("bench worker"));
+    }
+    let (log, metrics, order) =
+        daemon.finish(netsim::SimTime::from_secs(60), 0, 1, std::time::Duration::from_secs(2));
+    assert_eq!(
+        log.records.len(),
+        agents * chunks_per_agent as usize * records_per_chunk,
+        "every uploaded record must be merged exactly once"
+    );
+    assert_eq!(metrics.double_merge_violation(), None, "no sequence may merge twice");
+    if let Some(journal) = &journal {
+        let replayed = journal.replay(&order, hp_specs, netsim::SimTime::from_secs(60), 0, 1);
+        assert_eq!(
+            measurement_diff(&log, &replayed),
+            None,
+            "windowed transport must replay bit-identical"
+        );
+    }
+
+    let total_chunks = agents as u64 * chunks_per_agent;
+    let total_bytes = total_chunks * frame_len as u64;
+    WindowedPoint {
+        agents,
+        window,
+        upload_mb_per_sec: total_bytes as f64 / (1024.0 * 1024.0) / up_max.max(1e-9),
+        chunk_bytes: total_bytes,
+        chunks: total_chunks,
+        records_per_chunk,
+        window_peak: metrics.max_window_peak(),
+        merge_queue_peak: metrics.merge_queue_peak,
     }
 }
 
@@ -508,6 +699,35 @@ fn main() {
         micro.ckpt_slots,
     );
 
+    // 9. PR 6: windowed, pipelined upload against the reactor daemon —
+    //    agent count × window size.  Window 1 is the stop-and-wait
+    //    reference on the same event-loop transport, so each row
+    //    isolates what pipelining buys at that agent count.  Chunk
+    //    payloads shrink as agent counts grow to keep the sweep's
+    //    wall-clock sane; MB/s normalises across rows.
+    let mut windowed: Vec<WindowedPoint> = Vec::new();
+    for &n in &[1usize, 4, 16, 64, 256] {
+        let (records, chunks) = if n <= 64 { (2_000, 24) } else { (500, 12) };
+        for &w in &[1u32, 8, 32] {
+            let p = windowed_control_point(n, w, records, chunks, false);
+            eprintln!(
+                "[bench] windowed control plane @ {n} agent(s), window {w}: \
+                 {:.1} MB/s chunk upload (daemon window peak {})",
+                p.upload_mb_per_sec, p.window_peak
+            );
+            windowed.push(p);
+        }
+    }
+
+    // 10. The scale gate: 1,000 windowed agents against one daemon, every
+    //     upload journaled pre-transport; the merged measurement must
+    //     replay bit-identical with zero double merges.
+    let gate = windowed_control_point(1_000, 32, 200, 8, true);
+    eprintln!(
+        "[bench] 1000-agent gate: {:.1} MB/s, {} chunks merged exactly once, replay identical",
+        gate.upload_mb_per_sec, gate.chunks
+    );
+
     // Hand-rolled JSON (no serde needed for a few dozen scalars).
     let mut sweep_json = String::new();
     for (i, &(threads, secs, records)) in sweep.iter().enumerate() {
@@ -673,4 +893,61 @@ fn main() {
         }
     }
     print!("{pr4}");
+
+    // Windowed-upload numbers (PR 6): the agents × window sweep plus the
+    // 1,000-agent exactly-once/replay gate.
+    let mut windowed_json = String::new();
+    for (i, p) in windowed.iter().enumerate() {
+        if i > 0 {
+            windowed_json.push_str(",\n");
+        }
+        windowed_json.push_str(&format!(
+            "    {{ \"agents\": {}, \"window\": {}, \"chunk_upload_mb_per_sec\": {:.2}, \
+             \"chunk_bytes\": {}, \"chunks\": {}, \"records_per_chunk\": {}, \
+             \"daemon_window_peak\": {}, \"merge_queue_peak\": {} }}",
+            p.agents,
+            p.window,
+            p.upload_mb_per_sec,
+            p.chunk_bytes,
+            p.chunks,
+            p.records_per_chunk,
+            p.window_peak,
+            p.merge_queue_peak,
+        ));
+    }
+    let pr6 = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
+         \"note\": \"windowed pipelined uploads against the reactor daemon over loopback TCP; window 1 is stop-and-wait on the same transport, per-point wall-clock is the slowest agent; the gate journals every upload pre-transport and asserts bit-identical replay with zero double merges\",\n  \
+         \"windowed_sweep\": [\n{windowed_json}\n  ],\n  \
+         \"thousand_agent_gate\": {{\n    \
+           \"agents\": {gagents},\n    \
+           \"window\": {gwindow},\n    \
+           \"chunk_upload_mb_per_sec\": {gmb:.2},\n    \
+           \"chunks\": {gchunks},\n    \
+           \"records_per_chunk\": {grecords},\n    \
+           \"daemon_window_peak\": {gpeak},\n    \
+           \"double_merge_violations\": 0,\n    \
+           \"replay_identical\": true\n  \
+         }}\n}}\n",
+        gagents = gate.agents,
+        gwindow = gate.window,
+        gmb = gate.upload_mb_per_sec,
+        gchunks = gate.chunks,
+        grecords = gate.records_per_chunk,
+        gpeak = gate.window_peak,
+    );
+    let path6 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_pr6.json");
+    match std::fs::write(&path6, &pr6) {
+        Ok(()) => eprintln!("[bench] wrote {}", path6.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path6.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{pr6}");
 }

@@ -64,9 +64,7 @@ impl IpHasher {
 
 /// The anonymised peer identifier produced by step 2 (dense, 0-based, in
 /// order of first appearance across the merged logs).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct AnonPeerId(pub u32);
 
 /// Step-2 mapping: hash → dense integer, coherent across honeypot logs.
@@ -162,8 +160,7 @@ impl NameAnonymizer {
             }
         }
         rare.sort_unstable();
-        let tokens =
-            rare.into_iter().enumerate().map(|(i, w)| (w, i as u32)).collect();
+        let tokens = rare.into_iter().enumerate().map(|(i, w)| (w, i as u32)).collect();
         FrozenNameAnonymizer { threshold, counts, tokens }
     }
 }
@@ -336,8 +333,7 @@ mod tests {
     fn anon_map_hashes_follow_assignment_order() {
         let hasher = IpHasher::from_seed(3);
         let mut map = AnonMap::new();
-        let hs: Vec<IpHash> =
-            (0..5).map(|i| hasher.hash(Ipv4::new(10, 0, 0, i))).collect();
+        let hs: Vec<IpHash> = (0..5).map(|i| hasher.hash(Ipv4::new(10, 0, 0, i))).collect();
         for h in &hs {
             map.intern(*h);
         }

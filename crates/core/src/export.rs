@@ -28,11 +28,8 @@ pub fn write_query_trace(log: &MeasurementLog, mut w: impl Write) -> io::Result<
         "#timestamp_ms\thoneypot\tkind\tpeer\tport\tid_status\tuser_hash\tclient_name\tversion\tfile_hash"
     )?;
     for r in &log.records {
-        let file = if r.file == FILE_NONE {
-            "-".to_string()
-        } else {
-            log.files.id(r.file).to_hex()
-        };
+        let file =
+            if r.file == FILE_NONE { "-".to_string() } else { log.files.id(r.file).to_hex() };
         writeln!(
             w,
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
@@ -59,8 +56,7 @@ pub fn write_query_trace(log: &MeasurementLog, mut w: impl Write) -> io::Result<
 pub fn write_shared_list_trace(log: &MeasurementLog, mut w: impl Write) -> io::Result<()> {
     writeln!(w, "#timestamp_ms\thoneypot\tpeer\tn_files\tfile_hashes")?;
     for l in &log.shared_lists {
-        let hashes: Vec<String> =
-            l.files.iter().map(|&f| log.files.id(f).to_hex()).collect();
+        let hashes: Vec<String> = l.files.iter().map(|&f| log.files.id(f).to_hex()).collect();
         writeln!(
             w,
             "{}\t{}\t{}\t{}\t{}",

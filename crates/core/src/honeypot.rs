@@ -405,17 +405,18 @@ impl Honeypot {
                     let size = f.size().unwrap_or(0);
                     idxs.push(self.log.files.intern(f.file_id, name, size));
                     if adopting {
-                        let fresh = self.add_shared(AdvertisedFile::new(
-                            f.file_id,
-                            name.to_string(),
-                            size,
-                        ));
+                        let fresh =
+                            self.add_shared(AdvertisedFile::new(f.file_id, name.to_string(), size));
                         if fresh {
                             adopted.push(self.shared.last().expect("just pushed").clone());
                         }
                     }
                 }
-                self.log.shared_lists.push(SharedListRecord { at: now, peer: ip_hash, files: idxs });
+                self.log.shared_lists.push(SharedListRecord {
+                    at: now,
+                    peer: ip_hash,
+                    files: idxs,
+                });
                 if adopted.is_empty() {
                     Vec::new()
                 } else {
@@ -425,10 +426,8 @@ impl Honeypot {
                 }
             }
             PeerMessage::FileRequest { file_id } => {
-                let name = self
-                    .shared_ids
-                    .get(file_id)
-                    .map(|&i| self.shared[i as usize].name.clone());
+                let name =
+                    self.shared_ids.get(file_id).map(|&i| self.shared[i as usize].name.clone());
                 match name {
                     Some(name) => vec![Action::Reply(PeerMessage::FileRequestAnswer {
                         file_id: *file_id,
@@ -511,10 +510,7 @@ mod tests {
             user_id: UserId::from_seed(user),
             client_id: ClientId(0x5101_0101),
             port: 4662,
-            tags: vec![
-                Tag::string(special::NAME, "eMule user"),
-                Tag::u32(special::VERSION, 0x49),
-            ],
+            tags: vec![Tag::string(special::NAME, "eMule user"), Tag::u32(special::VERSION, 0x49)],
         }
     }
 
@@ -522,8 +518,7 @@ mod tests {
     fn hello_is_logged_and_answered() {
         let mut hp = connected(ContentStrategy::NoContent);
         let t = SimTime::from_secs(10);
-        let actions =
-            hp.on_peer_message(t, ConnId(1), Ipv4::new(81, 1, 1, 1), &hello(b"peer-1"));
+        let actions = hp.on_peer_message(t, ConnId(1), Ipv4::new(81, 1, 1, 1), &hello(b"peer-1"));
         assert!(matches!(actions[0], Action::Reply(PeerMessage::HelloAnswer { .. })));
         assert!(matches!(actions[1], Action::Reply(PeerMessage::AskSharedFiles)));
         assert_eq!(hp.log().count_kind(QueryKind::Hello), 1);
@@ -591,8 +586,12 @@ mod tests {
         let mut hp = connected(ContentStrategy::NoContent);
         let ip = Ipv4::new(81, 1, 1, 1);
         hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
-        let actions =
-            hp.on_peer_message(SimTime::from_secs(3), ConnId(1), ip, &request(FileId::from_seed(b"movie")));
+        let actions = hp.on_peer_message(
+            SimTime::from_secs(3),
+            ConnId(1),
+            ip,
+            &request(FileId::from_seed(b"movie")),
+        );
         assert!(actions.is_empty(), "no-content honeypots do not reply to part requests");
         assert_eq!(hp.log().count_kind(QueryKind::RequestPart), 1, "…but they log them");
     }
@@ -602,8 +601,12 @@ mod tests {
         let mut hp = connected(ContentStrategy::RandomContent);
         let ip = Ipv4::new(81, 1, 1, 1);
         hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
-        let actions =
-            hp.on_peer_message(SimTime::from_secs(3), ConnId(1), ip, &request(FileId::from_seed(b"movie")));
+        let actions = hp.on_peer_message(
+            SimTime::from_secs(3),
+            ConnId(1),
+            ip,
+            &request(FileId::from_seed(b"movie")),
+        );
         assert_eq!(actions.len(), 2, "one SENDING-PART per non-empty range");
         for a in &actions {
             assert!(matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
@@ -617,9 +620,10 @@ mod tests {
         config.materialize_content = true;
         let mut hp = Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(7));
         hp.connect(SimTime::ZERO);
-        hp.on_server_message(SimTime::ZERO, &ClientServerMessage::IdChange {
-            client_id: ClientId(0x5000_0000),
-        });
+        hp.on_server_message(
+            SimTime::ZERO,
+            &ClientServerMessage::IdChange { client_id: ClientId(0x5000_0000) },
+        );
         let ip = Ipv4::new(81, 1, 1, 1);
         hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
         let actions =
@@ -649,9 +653,10 @@ mod tests {
         };
         let mut hp = Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(2));
         hp.connect(SimTime::ZERO);
-        hp.on_server_message(SimTime::ZERO, &ClientServerMessage::IdChange {
-            client_id: ClientId(0x5000_0000),
-        });
+        hp.on_server_message(
+            SimTime::ZERO,
+            &ClientServerMessage::IdChange { client_id: ClientId(0x5000_0000) },
+        );
         let ip = Ipv4::new(81, 1, 1, 1);
         hp.on_peer_message(SimTime::from_hours(1), ConnId(1), ip, &hello(b"p"));
         let answer = PeerMessage::AskSharedFilesAnswer {
@@ -686,11 +691,7 @@ mod tests {
         let config = HoneypotConfig {
             id: HoneypotId(0),
             content: ContentStrategy::NoContent,
-            files: FileStrategy::Greedy {
-                seeds,
-                adopt_until: SimTime::from_days(1),
-                max_files: 2,
-            },
+            files: FileStrategy::Greedy { seeds, adopt_until: SimTime::from_days(1), max_files: 2 },
             ask_shared_files: true,
             materialize_content: false,
             port: 4662,
@@ -698,9 +699,10 @@ mod tests {
         };
         let mut hp = Honeypot::new(config, server(), IpHasher::from_seed(1), Rng::seed_from(2));
         hp.connect(SimTime::ZERO);
-        hp.on_server_message(SimTime::ZERO, &ClientServerMessage::IdChange {
-            client_id: ClientId(0x5000_0000),
-        });
+        hp.on_server_message(
+            SimTime::ZERO,
+            &ClientServerMessage::IdChange { client_id: ClientId(0x5000_0000) },
+        );
         let ip = Ipv4::new(81, 1, 1, 1);
         hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
         let answer = PeerMessage::AskSharedFilesAnswer {
@@ -722,8 +724,12 @@ mod tests {
     fn dead_honeypot_ignores_peers() {
         let mut hp = connected(ContentStrategy::NoContent);
         hp.kill(SimTime::from_secs(5));
-        let actions =
-            hp.on_peer_message(SimTime::from_secs(6), ConnId(1), Ipv4::new(1, 1, 1, 1), &hello(b"p"));
+        let actions = hp.on_peer_message(
+            SimTime::from_secs(6),
+            ConnId(1),
+            Ipv4::new(1, 1, 1, 1),
+            &hello(b"p"),
+        );
         assert!(actions.is_empty());
         assert_eq!(hp.log().records.len(), 0);
         assert!(hp.status().needs_relaunch());
@@ -735,9 +741,10 @@ mod tests {
         hp.kill(SimTime::from_secs(5));
         let actions = hp.connect(SimTime::from_secs(60));
         assert!(matches!(actions[0], Action::SendServer(ClientServerMessage::LoginRequest { .. })));
-        hp.on_server_message(SimTime::from_secs(61), &ClientServerMessage::IdChange {
-            client_id: ClientId(0x5000_0000),
-        });
+        hp.on_server_message(
+            SimTime::from_secs(61),
+            &ClientServerMessage::IdChange { client_id: ClientId(0x5000_0000) },
+        );
         assert!(matches!(hp.status(), HoneypotStatus::Connected { .. }));
     }
 
@@ -756,15 +763,23 @@ mod tests {
         let ip = Ipv4::new(81, 1, 1, 1);
         hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &hello(b"p"));
         let known = FileId::from_seed(b"movie");
-        let actions =
-            hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &PeerMessage::FileRequest { file_id: known });
+        let actions = hp.on_peer_message(
+            SimTime::ZERO,
+            ConnId(1),
+            ip,
+            &PeerMessage::FileRequest { file_id: known },
+        );
         assert!(matches!(
             &actions[0],
             Action::Reply(PeerMessage::FileRequestAnswer { name, .. }) if name == "movie.avi"
         ));
         let unknown = FileId::from_seed(b"nope");
-        let actions =
-            hp.on_peer_message(SimTime::ZERO, ConnId(1), ip, &PeerMessage::FileRequest { file_id: unknown });
+        let actions = hp.on_peer_message(
+            SimTime::ZERO,
+            ConnId(1),
+            ip,
+            &PeerMessage::FileRequest { file_id: unknown },
+        );
         assert!(actions.is_empty());
     }
 

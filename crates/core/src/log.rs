@@ -174,8 +174,7 @@ impl FileTable {
 
     /// Rebuilds the lookup index (needed after deserialisation).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.ids.iter().enumerate().map(|(i, id)| (*id, i as FileIdx)).collect();
+        self.index = self.ids.iter().enumerate().map(|(i, id)| (*id, i as FileIdx)).collect();
     }
 }
 

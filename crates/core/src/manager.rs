@@ -154,11 +154,7 @@ impl Manager {
         let file_map: Vec<u32> = (0..chunk.files.len())
             .map(|i| {
                 let idx = i as u32;
-                self.files.intern(
-                    chunk.files.id(idx),
-                    chunk.files.name(idx),
-                    chunk.files.size(idx),
-                )
+                self.files.intern(chunk.files.id(idx), chunk.files.name(idx), chunk.files.size(idx))
             })
             .collect();
         for r in chunk.records {
@@ -230,11 +226,7 @@ impl Manager {
             honeypots: self
                 .specs
                 .iter()
-                .map(|s| HoneypotMeta {
-                    id: s.id,
-                    content: s.content,
-                    server: s.server.clone(),
-                })
+                .map(|s| HoneypotMeta { id: s.id, content: s.content, server: s.server.clone() })
                 .collect(),
             records: self.records,
             shared_lists: self.shared_lists,
@@ -269,11 +261,7 @@ impl Manager {
             honeypots: self
                 .specs
                 .iter()
-                .map(|s| HoneypotMeta {
-                    id: s.id,
-                    content: s.content,
-                    server: s.server.clone(),
-                })
+                .map(|s| HoneypotMeta { id: s.id, content: s.content, server: s.server.clone() })
                 .collect(),
             records: self.records,
             shared_lists: self.shared_lists,

@@ -12,7 +12,7 @@ use netsim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::anonymize::AnonPeerId;
-use crate::log::{FileIdx, FileTable, QueryKind, NameIdx};
+use crate::log::{FileIdx, FileTable, NameIdx, QueryKind};
 use crate::strategy::ContentStrategy;
 use crate::types::{HoneypotId, IdStatus, ServerInfo};
 

@@ -148,8 +148,9 @@ pub fn merge_lanes(
     // peers.
     let mut list_keys: Vec<(SimTime, u32, u32)> = Vec::new();
     for (l, lane) in lanes.iter().enumerate() {
-        list_keys
-            .extend(lane.shared_lists.iter().enumerate().map(|(seq, s)| (s.at, l as u32, seq as u32)));
+        list_keys.extend(
+            lane.shared_lists.iter().enumerate().map(|(seq, s)| (s.at, l as u32, seq as u32)),
+        );
     }
     list_keys.sort_unstable();
     let mut shared_lists = Vec::with_capacity(list_keys.len());

@@ -5,9 +5,7 @@ use netsim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one honeypot within a measurement (0-based index).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct HoneypotId(pub u32);
 
 impl std::fmt::Display for HoneypotId {
@@ -64,7 +62,10 @@ pub enum HoneypotStatus {
 impl HoneypotStatus {
     /// Whether the manager's periodic status check should (re)launch it.
     pub fn needs_relaunch(&self) -> bool {
-        matches!(self, HoneypotStatus::Pending | HoneypotStatus::Dead | HoneypotStatus::Disconnected)
+        matches!(
+            self,
+            HoneypotStatus::Pending | HoneypotStatus::Dead | HoneypotStatus::Disconnected
+        )
     }
 }
 

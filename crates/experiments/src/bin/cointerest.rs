@@ -42,8 +42,7 @@ fn main() {
 
     println!("peer co-interest degree distribution (upper-bound degrees):");
     let hist = peer_degree_histogram(&log);
-    let rows: Vec<Vec<String>> =
-        hist.into_iter().map(|(b, c)| vec![b, format_count(c)]).collect();
+    let rows: Vec<Vec<String>> = hist.into_iter().map(|(b, c)| vec![b, format_count(c)]).collect();
     println!("{}", ascii_table(&["co-peers", "peers"], &rows));
 
     if opts.json {

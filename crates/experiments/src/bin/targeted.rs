@@ -42,7 +42,14 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["coordination", "distinct peers", "files covered", "best file", "worst file", "records"],
+            &[
+                "coordination",
+                "distinct peers",
+                "files covered",
+                "best file",
+                "worst file",
+                "records"
+            ],
             &rows
         )
     );

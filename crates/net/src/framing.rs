@@ -3,7 +3,9 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
-use edonkey_proto::codec::{encode_client_server_message, encode_peer_message, FrameDecoder, RawFrame};
+use edonkey_proto::codec::{
+    encode_client_server_message, encode_peer_message, FrameDecoder, RawFrame,
+};
 use edonkey_proto::{ClientServerMessage, PeerMessage, ProtoError};
 
 /// A framed connection over a blocking TCP stream.
@@ -82,7 +84,10 @@ impl FramedStream {
     }
 
     /// Reads and decodes the next client↔server message.
-    pub fn read_server_message(&mut self, from_server: bool) -> Result<ClientServerMessage, NetError> {
+    pub fn read_server_message(
+        &mut self,
+        from_server: bool,
+    ) -> Result<ClientServerMessage, NetError> {
         let frame = self.read_frame()?;
         Ok(ClientServerMessage::decode_payload(frame.opcode, &frame.payload, from_server)?)
     }

@@ -200,10 +200,7 @@ impl HoneypotHost {
     pub fn wait_connected(&self, timeout: std::time::Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
-            if matches!(
-                self.honeypot.lock().status(),
-                honeypot::HoneypotStatus::Connected { .. }
-            ) {
+            if matches!(self.honeypot.lock().status(), honeypot::HoneypotStatus::Connected { .. }) {
                 return true;
             }
             std::thread::sleep(std::time::Duration::from_millis(5));

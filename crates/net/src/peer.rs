@@ -57,9 +57,9 @@ impl ScriptedPeer {
                 ClientServerMessage::IdChange { client_id: id } => client_id = id,
                 ClientServerMessage::ServerMessage { .. } => {}
                 other => {
-                    return Err(NetError::Proto(edonkey_proto::ProtoError::Invalid(
-                        Box::leak(format!("unexpected login reply {other:?}").into_boxed_str()),
-                    )))
+                    return Err(NetError::Proto(edonkey_proto::ProtoError::Invalid(Box::leak(
+                        format!("unexpected login reply {other:?}").into_boxed_str(),
+                    ))))
                 }
             }
         }
@@ -75,9 +75,9 @@ impl ScriptedPeer {
                 ClientServerMessage::ServerMessage { .. }
                 | ClientServerMessage::ServerStatus { .. } => continue,
                 other => {
-                    return Err(NetError::Proto(edonkey_proto::ProtoError::Invalid(
-                        Box::leak(format!("unexpected answer {other:?}").into_boxed_str()),
-                    )))
+                    return Err(NetError::Proto(edonkey_proto::ProtoError::Invalid(Box::leak(
+                        format!("unexpected answer {other:?}").into_boxed_str(),
+                    ))))
                 }
             }
         }
@@ -92,9 +92,9 @@ impl ScriptedPeer {
                 ClientServerMessage::ServerMessage { .. }
                 | ClientServerMessage::ServerStatus { .. } => continue,
                 other => {
-                    return Err(NetError::Proto(edonkey_proto::ProtoError::Invalid(
-                        Box::leak(format!("unexpected answer {other:?}").into_boxed_str()),
-                    )))
+                    return Err(NetError::Proto(edonkey_proto::ProtoError::Invalid(Box::leak(
+                        format!("unexpected answer {other:?}").into_boxed_str(),
+                    ))))
                 }
             }
         }
@@ -216,10 +216,7 @@ impl ScriptedPeer {
         shared_files: &[(FileId, &str, u64)],
     ) -> Result<(), NetError> {
         conn.write_peer_message(&PeerMessage::AskSharedFilesAnswer {
-            files: shared_files
-                .iter()
-                .map(|(id, n, s)| PublishedFile::new(*id, n, *s))
-                .collect(),
+            files: shared_files.iter().map(|(id, n, s)| PublishedFile::new(*id, n, *s)).collect(),
         })
     }
 }

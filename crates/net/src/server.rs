@@ -95,17 +95,11 @@ impl NetServer {
                     }
                     edonkey_proto::UdpMessage::GlobGetSources { files } => {
                         for file in files {
-                            let sources = udp_index
-                                .lock()
-                                .providers
-                                .get(&file)
-                                .cloned()
-                                .unwrap_or_default();
+                            let sources =
+                                udp_index.lock().providers.get(&file).cloned().unwrap_or_default();
                             if !sources.is_empty() {
-                                let res = edonkey_proto::UdpMessage::GlobFoundSources {
-                                    file,
-                                    sources,
-                                };
+                                let res =
+                                    edonkey_proto::UdpMessage::GlobFoundSources { file, sources };
                                 let _ = udp.send_to(&res.encode(), from);
                             }
                         }
@@ -231,16 +225,16 @@ fn serve_connection(
                     if !offered.contains(&f.file_id) {
                         offered.push(f.file_id);
                     }
-                    let meta =
-                        (f.name().unwrap_or("").to_string(), f.size().unwrap_or(0));
+                    let meta = (f.name().unwrap_or("").to_string(), f.size().unwrap_or(0));
                     idx.metadata.entry(f.file_id).or_insert(meta);
                 }
             }
             ClientServerMessage::GetSources { file_id } => {
-                let sources =
-                    index.lock().providers.get(&file_id).cloned().unwrap_or_default();
-                framed
-                    .write_server_message(&ClientServerMessage::FoundSources { file_id, sources })?;
+                let sources = index.lock().providers.get(&file_id).cloned().unwrap_or_default();
+                framed.write_server_message(&ClientServerMessage::FoundSources {
+                    file_id,
+                    sources,
+                })?;
             }
             ClientServerMessage::SearchRequest { expr } => {
                 let files = {
@@ -304,8 +298,7 @@ mod tests {
                 tags: vec![],
             })
             .unwrap();
-        let ClientServerMessage::IdChange { client_id } =
-            framed.read_server_message(true).unwrap()
+        let ClientServerMessage::IdChange { client_id } = framed.read_server_message(true).unwrap()
         else {
             panic!("expected ID-CHANGE")
         };
@@ -405,11 +398,8 @@ mod tests {
         assert_eq!(files, 1);
 
         // Global source query.
-        sock.send_to(
-            &UdpMessage::GlobGetSources { files: vec![file] }.encode(),
-            server.udp_addr(),
-        )
-        .unwrap();
+        sock.send_to(&UdpMessage::GlobGetSources { files: vec![file] }.encode(), server.udp_addr())
+            .unwrap();
         let (n, _) = sock.recv_from(&mut buf).unwrap();
         let UdpMessage::GlobFoundSources { file: f, sources } =
             UdpMessage::decode(&buf[..n]).unwrap()

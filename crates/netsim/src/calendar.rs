@@ -171,11 +171,7 @@ impl<E> CalendarQueue<E> {
                 return Some(e.time);
             }
         }
-        self.buckets
-            .iter()
-            .flat_map(|b| b.iter())
-            .min_by_key(|e| e.key())
-            .map(|e| e.time)
+        self.buckets.iter().flat_map(|b| b.iter()).min_by_key(|e| e.key()).map(|e| e.time)
     }
 }
 

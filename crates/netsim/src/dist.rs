@@ -232,10 +232,7 @@ mod tests {
         for k in [0usize, 1, 5, 20] {
             let got = counts[k] as f64 / n as f64;
             let want = z.probability(k);
-            assert!(
-                (got - want).abs() < 0.01 + want * 0.1,
-                "rank {k}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 0.01 + want * 0.1, "rank {k}: got {got}, want {want}");
         }
         assert!(counts[0] > counts[10], "head must dominate tail");
     }

@@ -87,12 +87,7 @@ impl<W: World> Engine<W> {
 impl<W: World, Q: PendingQueue<W::Event>> Engine<W, Q> {
     /// Creates an engine driven by the given queue.
     pub fn with_queue(queue: Q) -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            queue,
-            events_handled: 0,
-            _world: std::marker::PhantomData,
-        }
+        Engine { now: SimTime::ZERO, queue, events_handled: 0, _world: std::marker::PhantomData }
     }
 
     /// Current simulation time (the timestamp of the last handled event).

@@ -42,8 +42,7 @@ impl LatencyModel {
     /// Samples the one-way delay for a message of `payload_bytes`.
     pub fn sample_ms(&self, rng: &mut Rng, payload_bytes: usize) -> u64 {
         let jitter = if self.jitter_ms == 0 { 0 } else { rng.below(self.jitter_ms + 1) };
-        let transfer =
-            (payload_bytes as u64 * 1_000).checked_div(self.bytes_per_sec).unwrap_or(0);
+        let transfer = (payload_bytes as u64 * 1_000).checked_div(self.bytes_per_sec).unwrap_or(0);
         self.base_ms + jitter + transfer
     }
 }
@@ -81,10 +80,8 @@ mod tests {
     #[test]
     fn presets_are_ordered_sensibly() {
         let mut rng = Rng::seed_from(4);
-        let adsl: u64 =
-            (0..100).map(|_| LatencyModel::adsl().sample_ms(&mut rng, 184_320)).sum();
-        let bb: u64 =
-            (0..100).map(|_| LatencyModel::backbone().sample_ms(&mut rng, 184_320)).sum();
+        let adsl: u64 = (0..100).map(|_| LatencyModel::adsl().sample_ms(&mut rng, 184_320)).sum();
+        let bb: u64 = (0..100).map(|_| LatencyModel::backbone().sample_ms(&mut rng, 184_320)).sum();
         assert!(adsl > bb, "ADSL must be slower than backbone for data blocks");
     }
 }

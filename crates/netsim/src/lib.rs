@@ -34,8 +34,8 @@ pub use calendar::CalendarQueue;
 pub use dist::{DiurnalCurve, Zipf};
 pub use engine::{Engine, RunOutcome, Scheduler, World};
 pub use event::EventQueue;
-pub use queue::PendingQueue;
 pub use latency::LatencyModel;
 pub use metrics::{BucketSeries, FirstSeen};
+pub use queue::PendingQueue;
 pub use rng::Rng;
 pub use time::SimTime;

@@ -53,12 +53,8 @@ impl Rng {
     /// Seeds the generator from a 64-bit seed via SplitMix64.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         let mut rng = Rng { s };
         // Avoid the degenerate all-zero state (astronomically unlikely, but
         // cheap to rule out).

@@ -16,9 +16,7 @@ pub const MS_PER_HOUR: u64 = 60 * MS_PER_MIN;
 pub const MS_PER_DAY: u64 = 24 * MS_PER_HOUR;
 
 /// An instant on the simulation clock (ms since measurement start).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

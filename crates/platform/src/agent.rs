@@ -7,13 +7,17 @@
 //! speaks the framed protocol of [`crate::messages`] to the manager
 //! daemon:
 //!
-//! * register (with incarnation and resume flag), receive the next upload
-//!   sequence number and the full honeypot configuration;
+//! * register (with incarnation and resume flag), receive the resume
+//!   sequence, the granted upload window and the full honeypot
+//!   configuration;
 //! * heartbeat on a fixed period, measuring RTT from the acks;
-//! * collect the honeypot log on a fixed period and upload it as a
-//!   sequenced chunk, stop-and-wait: at most one chunk is in flight, and
-//!   it is retained and re-sent until the daemon acknowledges it —
-//!   across corrupt-frame retries, connection loss and reconnects;
+//! * collect the honeypot log on a fixed period and upload it as
+//!   sequenced chunks, **windowed and pipelined**: up to the granted
+//!   window of chunks is kept in flight past the cumulative-ack frontier,
+//!   every in-flight frame is retained and re-sent (go-back-N on
+//!   `ChunkRetry`, whole-window on the resend timer) until a cumulative
+//!   `ChunkAck { next_seq }` covers it — across corrupt-frame retries,
+//!   connection loss and reconnects;
 //! * obey `Relaunch` (restart the honeypot in place) and `Shutdown`
 //!   (flush, say goodbye, exit).
 //!
@@ -24,9 +28,10 @@
 //!
 //! With a spool directory the agent is additionally **crash-safe**: every
 //! chunk is appended to a durable [`Spool`] before its first send and
-//! trimmed only on ack, so a killed incarnation's unacknowledged uploads
-//! are replayed by the next one — ahead of any fresh collection, in
-//! sequence order — instead of being lost with the process.
+//! trimmed only up to the cumulative ack frontier, so a killed
+//! incarnation's unacknowledged uploads are replayed by the next one —
+//! ahead of any fresh collection, in sequence order — instead of being
+//! lost with the process.
 
 use std::collections::VecDeque;
 use std::net::SocketAddr;
@@ -66,6 +71,10 @@ const RECONNECT_PAUSE: Duration = Duration::from_millis(25);
 const MAX_CONNECT_ATTEMPTS: u32 = 20;
 /// Master seed of the agent-side retry jitter streams.
 const RETRY_SEED: u64 = 0xA6E2_7E72;
+/// A `ChunkRetry` naming the same resume point within this span is a
+/// duplicate of one already answered (the daemon coalesces per merge
+/// burst, but bursts repeat while resent frames are in flight).
+const GOBACK_SUPPRESS: Duration = Duration::from_millis(100);
 
 /// Everything that must survive reconnects and in-place relaunches.
 struct AgentState {
@@ -75,12 +84,13 @@ struct AgentState {
     fstate: FaultState,
     journal: ChunkJournal,
     host: Option<HoneypotHost>,
-    /// The in-flight upload: kept until acked, re-sent on retry/reconnect.
-    pending: Option<Pending>,
+    /// In-flight uploads past the cumulative-ack frontier, in sequence
+    /// order; every frame is kept until a cumulative ack covers it.
+    window: VecDeque<InFlight>,
     /// Durable write-ahead spool (None = PR 3 in-memory behaviour).
     spool: Option<Spool>,
     /// Spooled records awaiting re-delivery, rebuilt from the spool at
-    /// every session start; drained stop-and-wait before fresh collects.
+    /// every session start; drained into the window before fresh collects.
     backlog: VecDeque<SpoolRecord>,
     hb_seq: u64,
     last_rtt_micros: u64,
@@ -89,28 +99,11 @@ struct AgentState {
     forwarded_status: usize,
 }
 
-struct Pending {
+/// One unacknowledged upload.
+struct InFlight {
     seq: u64,
     /// The clean encoded frame (faults doctor a copy, never this).
     frame: Vec<u8>,
-    /// Re-send the frame at this instant if still unacked.
-    resend_at: Instant,
-    /// Backoff schedule driving `resend_at`.
-    backoff: Backoff,
-}
-
-impl Pending {
-    fn new(agent: u32, seq: u64, frame: Vec<u8>, now: Instant) -> Self {
-        let mut backoff = Backoff::new(RetryPolicy::resend(), RETRY_SEED ^ u64::from(agent), seq);
-        let delay = backoff.next_delay().expect("resend schedule is unbounded");
-        Pending { seq, frame, resend_at: now + delay, backoff }
-    }
-
-    /// Re-arms the resend timer after a (re)send.
-    fn rearm(&mut self, now: Instant) {
-        let delay = self.backoff.next_delay().expect("resend schedule is unbounded");
-        self.resend_at = now + delay;
-    }
 }
 
 enum SessionEnd {
@@ -123,6 +116,12 @@ enum SessionEnd {
 impl AgentState {
     fn micros_now(&self) -> u64 {
         self.started.elapsed().as_micros() as u64
+    }
+
+    /// The sequence the next fresh collection will carry: one past the
+    /// window tail, or the frontier when nothing is in flight.
+    fn next_send(&self, frontier: u64) -> u64 {
+        self.window.back().map_or(frontier, |f| f.seq + 1).max(frontier)
     }
 
     fn teardown_host(&mut self) {
@@ -165,7 +164,7 @@ pub fn run_agent(
         fstate: FaultState::default(),
         journal,
         host: None,
-        pending: None,
+        window: VecDeque::new(),
         spool,
         backlog: VecDeque::new(),
         hb_seq: 0,
@@ -206,12 +205,12 @@ pub fn run_agent(
                 // Restart the honeypot in place: new incarnation, fresh
                 // state machine, but the same control identity.
                 st.teardown_host();
-                st.pending = None;
+                st.window.clear();
                 st.incarnation += 1;
                 continue;
             }
             Ok(SessionEnd::ConnLost) | Err(_) => {
-                // Keep host and pending chunk; reconnect and resume.
+                // Keep host and in-flight window; reconnect and resume.
                 std::thread::sleep(RECONNECT_PAUSE);
                 continue;
             }
@@ -221,30 +220,30 @@ pub fn run_agent(
 
 fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, ConnError> {
     conn.set_read_timeout(Duration::from_millis(5)).ok();
-    let resume = st.host.is_some() || st.pending.is_some() || st.incarnation > 0;
+    let resume = st.host.is_some() || !st.window.is_empty() || st.incarnation > 0;
     conn.send(&ControlMessage::Register { agent: st.agent, incarnation: st.incarnation, resume })
         .map_err(ConnError::Io)?;
 
-    // Handshake: RegisterAck (our resume point) then ConfigPush.
+    // Handshake: RegisterAck (resume point + granted window), ConfigPush.
     let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
-    let mut next_seq: Option<u64> = None;
+    let mut ack: Option<(u64, u32)> = None;
     let mut config: Option<AgentConfig> = None;
-    while next_seq.is_none() || config.is_none() {
+    while ack.is_none() || config.is_none() {
         if Instant::now() >= deadline {
             return Ok(SessionEnd::ConnLost);
         }
         for ev in conn.poll()? {
             match ev {
-                ConnEvent::Msg(ControlMessage::RegisterAck { agent, next_seq: ns })
+                ConnEvent::Msg(ControlMessage::RegisterAck { agent, next_seq, window })
                     if agent == st.agent =>
                 {
-                    next_seq = Some(ns)
+                    ack = Some((next_seq, window))
                 }
                 ConnEvent::Msg(ControlMessage::ConfigPush(cfg)) => config = Some(cfg),
                 ConnEvent::Msg(ControlMessage::Shutdown) => {
                     let _ = conn.send(&ControlMessage::Goodbye {
                         agent: st.agent,
-                        final_seq: next_seq.unwrap_or(0),
+                        final_seq: ack.map_or(0, |(s, _)| s),
                     });
                     return Ok(SessionEnd::Shutdown);
                 }
@@ -252,7 +251,8 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
             }
         }
     }
-    let (mut seq, cfg) = (next_seq.unwrap(), config.unwrap());
+    let ((mut frontier, granted), cfg) = (ack.unwrap(), config.unwrap());
+    let granted = granted.max(1) as usize;
 
     if st.host.is_none() {
         match start_host(&cfg, st.incarnation) {
@@ -276,11 +276,11 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
         // backlog, re-sent in order ahead of fresh collections.  The
         // journal gets the replayed copies too, so a true process restart
         // still satisfies the replay proof.
-        if seq > 0 {
-            let _ = spool.trim_acked(seq - 1);
+        if frontier > 0 {
+            let _ = spool.trim_acked(frontier - 1);
         }
-        st.pending = None;
-        st.backlog = spool.unacked().iter().filter(|r| r.seq >= seq).cloned().collect();
+        st.window.clear();
+        st.backlog = spool.unacked().iter().filter(|r| r.seq >= frontier).cloned().collect();
         for rec in &st.backlog {
             if let Ok(ControlMessage::LogUpload { agent, seq, chunk }) =
                 ControlMessage::decode(opcodes::LOG_CHUNK, &rec.payload)
@@ -288,17 +288,27 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
                 st.journal.record(agent, seq, chunk);
             }
         }
-    } else if let Some(p) = &st.pending {
-        if p.seq < seq {
-            // Merged before the connection died; the ack was lost.
-            st.pending = None;
+    } else {
+        // In-memory path: drop what the frontier covers, keep the rest.
+        while st.window.front().is_some_and(|f| f.seq < frontier) {
+            st.window.pop_front();
+        }
+        // Survivors may never have arrived; re-send them in order.
+        for f in &st.window {
+            conn.send_raw(&f.frame).map_err(ConnError::Io)?;
         }
     }
-    if let Some(p) = &mut st.pending {
-        conn.send_raw(&p.frame).map_err(ConnError::Io)?;
-        p.rearm(Instant::now());
-    }
-    send_next_backlog(&mut conn, st)?;
+    fill_window_from_backlog(&mut conn, st, granted)?;
+
+    // One resend schedule guards the whole window: cumulative progress
+    // resets it, silence escalates it (and re-sends everything in flight).
+    let mut resend = Backoff::new(
+        RetryPolicy::resend(),
+        RETRY_SEED ^ u64::from(st.agent),
+        u64::from(st.incarnation),
+    );
+    let mut resend_at: Option<Instant> = None;
+    let mut last_goback: Option<(u64, Instant)> = None;
 
     let mut hb_due = Instant::now();
     let mut collect_due = Instant::now() + Duration::from_millis(cfg.collect_ms);
@@ -315,25 +325,43 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
                 ConnEvent::Msg(ControlMessage::HeartbeatAck { echo_micros, .. }) => {
                     st.last_rtt_micros = st.micros_now().saturating_sub(echo_micros).max(1);
                 }
-                ConnEvent::Msg(ControlMessage::ChunkAck { seq: acked }) => {
-                    if st.pending.as_ref().map(|p| p.seq) == Some(acked) {
-                        st.pending = None;
+                ConnEvent::Msg(ControlMessage::ChunkAck { next_seq: acked }) => {
+                    // Cumulative: everything below `acked` is merged and
+                    // durable on the manager side; only now may the local
+                    // copies go.
+                    let mut progressed = false;
+                    while st.window.front().is_some_and(|f| f.seq < acked) {
+                        st.window.pop_front();
+                        progressed = true;
                     }
-                    if acked >= seq {
-                        seq = acked + 1;
+                    if acked > frontier {
+                        frontier = acked;
+                        progressed = true;
                     }
-                    if let Some(spool) = &mut st.spool {
-                        // Acked means durable on the manager side; only
-                        // now may the local copy go.
-                        let _ = spool.trim_acked(acked);
+                    if progressed {
+                        if let Some(spool) = &mut st.spool {
+                            if acked > 0 {
+                                let _ = spool.trim_acked(acked - 1);
+                            }
+                        }
+                        resend.reset();
+                        resend_at = None;
                     }
                 }
                 ConnEvent::Msg(ControlMessage::ChunkRetry { seq: want }) => {
-                    if let Some(p) = &mut st.pending {
-                        if p.seq == want {
-                            conn.send_raw(&p.frame).map_err(ConnError::Io)?;
-                            p.rearm(Instant::now());
+                    // Go-back-N: re-send every in-flight frame from the
+                    // daemon's resume point.  Bursts can repeat the same
+                    // request while the resend is in flight; answer it once.
+                    let now = Instant::now();
+                    let dup = last_goback.is_some_and(|(w, at)| {
+                        w == want && now.duration_since(at) < GOBACK_SUPPRESS
+                    });
+                    if !dup {
+                        last_goback = Some((want, now));
+                        for f in st.window.iter().filter(|f| f.seq >= want) {
+                            conn.send_raw(&f.frame).map_err(ConnError::Io)?;
                         }
+                        resend_at = None;
                     }
                 }
                 ConnEvent::Msg(ControlMessage::Relaunch) => return Ok(SessionEnd::Relaunch),
@@ -346,26 +374,40 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
 
         let now = Instant::now();
 
-        if let Some(p) = &mut st.pending {
-            if now >= p.resend_at {
-                conn.send_raw(&p.frame).map_err(ConnError::Io)?;
-                p.rearm(now);
+        // Resend timer: arm while anything is in flight, fire by
+        // re-sending the whole window (the cumulative ack makes spurious
+        // re-sends harmless duplicates).
+        if st.window.is_empty() {
+            resend_at = None;
+        } else if resend_at.is_none() {
+            let delay = resend.next_delay().expect("resend schedule is unbounded");
+            resend_at = Some(now + delay);
+        }
+        if resend_at.is_some_and(|t| now >= t) {
+            for f in &st.window {
+                conn.send_raw(&f.frame).map_err(ConnError::Io)?;
             }
+            let delay = resend.next_delay().expect("resend schedule is unbounded");
+            resend_at = Some(now + delay);
         }
 
         // Replayed spool records go out before anything fresh is cut.
-        send_next_backlog(&mut conn, st)?;
+        fill_window_from_backlog(&mut conn, st, granted)?;
 
-        if st.pending.is_none() && st.backlog.is_empty() && (shutting_down || now >= collect_due) {
+        if st.backlog.is_empty()
+            && st.window.len() < granted
+            && (shutting_down || now >= collect_due)
+        {
             collect_due = now + Duration::from_millis(cfg.collect_ms.max(1));
             let chunk = st.host.as_ref().unwrap().collect_log();
             if !chunk.records.is_empty() || !chunk.shared_lists.is_empty() {
-                match upload_chunk(&mut conn, st, seq, chunk, now)? {
+                let seq = st.next_send(frontier);
+                match upload_chunk(&mut conn, st, seq, chunk)? {
                     Some(end) => return Ok(end),
                     None => {}
                 }
-            } else if shutting_down {
-                conn.send(&ControlMessage::Goodbye { agent: st.agent, final_seq: seq })
+            } else if shutting_down && st.window.is_empty() {
+                conn.send(&ControlMessage::Goodbye { agent: st.agent, final_seq: frontier })
                     .map_err(ConnError::Io)?;
                 return Ok(SessionEnd::Shutdown);
             }
@@ -390,14 +432,14 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
     }
 }
 
-/// Journals and sends one chunk, applying scripted upload faults.  Returns
-/// a session end when a fault terminates the session.
+/// Journals and sends one fresh chunk into the window, applying scripted
+/// upload faults.  Returns a session end when a fault terminates the
+/// session.
 fn upload_chunk(
     conn: &mut ControlConn,
     st: &mut AgentState,
     seq: u64,
     chunk: honeypot::LogChunk,
-    now: Instant,
 ) -> Result<Option<SessionEnd>, ConnError> {
     // The journal copy is taken before any fault can touch the bytes: it
     // is the ground truth of what this agent tried to report.
@@ -405,7 +447,7 @@ fn upload_chunk(
     let msg = ControlMessage::LogUpload { agent: st.agent, seq, chunk };
     if let Some(spool) = &mut st.spool {
         // Durable before the first send: ack-or-replay from here on.
-        if let Err(e) = spool.append(seq, msg.encode_payload()) {
+        if let Err(e) = spool.append(seq, &msg.encode_payload()) {
             eprintln!("[agent {}] spool append failed for seq {seq}: {e}", st.agent);
         }
     }
@@ -421,7 +463,7 @@ fn upload_chunk(
         // Half a frame, then the connection dies: the daemon's decoder
         // never completes the frame and the next session must resume.
         let _ = conn.send_raw(&frame[..frame.len() / 2]);
-        st.pending = Some(Pending::new(st.agent, seq, frame, now));
+        st.window.push_back(InFlight { seq, frame });
         return Ok(Some(SessionEnd::ConnLost));
     }
     if st.fault.should_corrupt(seq, &mut st.fstate) {
@@ -429,12 +471,12 @@ fn upload_chunk(
         let last = doctored.len() - 1;
         doctored[last] ^= 0xA5; // break the CRC trailer
         conn.send_raw(&doctored).map_err(ConnError::Io)?;
-        st.pending = Some(Pending::new(st.agent, seq, frame, now));
+        st.window.push_back(InFlight { seq, frame });
         return Ok(None); // wait for the daemon's ChunkRetry
     }
 
     conn.send_raw(&frame).map_err(ConnError::Io)?;
-    st.pending = Some(Pending::new(st.agent, seq, frame, now));
+    st.window.push_back(InFlight { seq, frame });
     if kill_now {
         // Crash right after the send: the daemon merges the chunk, but the
         // ack is never read.  The next incarnation must resume past it.
@@ -443,17 +485,20 @@ fn upload_chunk(
     Ok(None)
 }
 
-/// Promotes the next spooled backlog record to the in-flight slot, if the
-/// slot is free.  Backlog chunks were journaled and spooled by an earlier
-/// incarnation; they go back out verbatim, stop-and-wait, in seq order.
-fn send_next_backlog(conn: &mut ControlConn, st: &mut AgentState) -> Result<(), ConnError> {
-    if st.pending.is_some() {
-        return Ok(());
+/// Promotes spooled backlog records into the window until it is full.
+/// Backlog chunks were journaled and spooled by an earlier incarnation;
+/// they go back out verbatim, pipelined, in seq order.
+fn fill_window_from_backlog(
+    conn: &mut ControlConn,
+    st: &mut AgentState,
+    granted: usize,
+) -> Result<(), ConnError> {
+    while st.window.len() < granted {
+        let Some(rec) = st.backlog.pop_front() else { return Ok(()) };
+        let frame = encode_control_frame(opcodes::LOG_CHUNK, &rec.payload);
+        conn.send_raw(&frame).map_err(ConnError::Io)?;
+        st.window.push_back(InFlight { seq: rec.seq, frame });
     }
-    let Some(rec) = st.backlog.pop_front() else { return Ok(()) };
-    let frame = encode_control_frame(opcodes::LOG_CHUNK, &rec.payload);
-    conn.send_raw(&frame).map_err(ConnError::Io)?;
-    st.pending = Some(Pending::new(st.agent, rec.seq, frame, Instant::now()));
     Ok(())
 }
 

@@ -168,7 +168,7 @@ mod tests {
             let events = conn.poll_until(deadline).unwrap();
             let ConnEvent::Msg(msg) = &events[0] else { panic!("corrupt?") };
             assert_eq!(*msg, ControlMessage::Register { agent: 7, incarnation: 0, resume: false });
-            conn.send(&ControlMessage::RegisterAck { agent: 7, next_seq: 0 }).unwrap();
+            conn.send(&ControlMessage::RegisterAck { agent: 7, next_seq: 0, window: 32 }).unwrap();
         });
         let mut conn = ControlConn::connect(addr).unwrap();
         conn.set_read_timeout(Duration::from_millis(20)).unwrap();
@@ -177,7 +177,7 @@ mod tests {
         let events = conn.poll_until(deadline).unwrap();
         assert!(matches!(
             &events[0],
-            ConnEvent::Msg(ControlMessage::RegisterAck { agent: 7, next_seq: 0 })
+            ConnEvent::Msg(ControlMessage::RegisterAck { agent: 7, next_seq: 0, window: 32 })
         ));
         t.join().unwrap();
     }
@@ -196,14 +196,14 @@ mod tests {
                 got.extend(conn.poll_until(deadline).unwrap());
             }
             assert!(matches!(got[0], ConnEvent::Corrupt { .. }));
-            assert!(matches!(got[1], ConnEvent::Msg(ControlMessage::ChunkAck { seq: 5 })));
+            assert!(matches!(got[1], ConnEvent::Msg(ControlMessage::ChunkAck { next_seq: 5 })));
         });
         let mut conn = ControlConn::connect(addr).unwrap();
-        let mut bad = ControlMessage::ChunkAck { seq: 5 }.encode_frame();
+        let mut bad = ControlMessage::ChunkAck { next_seq: 5 }.encode_frame();
         let last = bad.len() - 1;
         bad[last] ^= 0xFF;
         conn.send_raw(&bad).unwrap();
-        conn.send(&ControlMessage::ChunkAck { seq: 5 }).unwrap();
+        conn.send(&ControlMessage::ChunkAck { next_seq: 5 }).unwrap();
         t.join().unwrap();
     }
 }

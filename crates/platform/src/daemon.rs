@@ -1,38 +1,52 @@
 //! The manager daemon (paper §III-A, as a live network service).
 //!
-//! One TCP listener; agents connect and register.  Three concerns run in
+//! One TCP listener; agents connect and register.  Four concerns run in
 //! the daemon:
 //!
-//! * **collection** — per-connection reader threads decode control frames,
-//!   answer heartbeats, and stream sequenced [`LogChunk`]s into the
-//!   in-process [`honeypot::Manager`] merge/anonymise pipeline via
-//!   `collect_sequenced` (exactly-once; duplicates re-acked, corrupt
-//!   frames re-requested with `ChunkRetry`, never merged);
+//! * **transport** — a pool of reactor shards ([`crate::reactor`]) drives
+//!   every connection non-blockingly from a handful of threads: the accept
+//!   loop (bounded by [`DaemonConfig::max_connections`], resilient to FD
+//!   exhaustion) deals fresh sockets round-robin to the shards, and each
+//!   shard reads, decodes and flushes its connections in one event loop —
+//!   registration, heartbeats and chunk ingest multiplexed across
+//!   thousands of agents;
+//! * **collection** — decoded [`LogChunk`](honeypot::LogChunk) uploads are
+//!   queued to a single merge thread that feeds the in-process
+//!   [`honeypot::Manager`] merge/anonymise pipeline via `collect_sequenced`
+//!   (exactly-once; duplicates re-acked, corrupt frames re-requested with
+//!   `ChunkRetry`, never merged).  Uploads are windowed and pipelined:
+//!   agents keep up to [`DaemonConfig::upload_window`] chunks in flight
+//!   and the merge thread answers with *cumulative* acks — one
+//!   `ChunkAck { next_seq }` per burst carries the whole merge frontier,
+//!   and the agent trims its spool up to it;
 //! * **supervision** — a tick thread watches heartbeat deadlines, marks
 //!   silent agents dead in the core manager, and issues (re)launches
 //!   through a caller-provided launcher, gated by exponential backoff
 //!   with jitter and accounted through the core's pure
 //!   `needing_relaunch` + `mark_relaunched` pair;
 //! * **metrics** — heartbeat RTTs, relaunch/death counts, chunk bytes and
-//!   retries, per-agent uptime ([`crate::metrics::PlatformMetrics`]).
+//!   retries, window occupancy, reactor loop latency and merge-queue
+//!   depth ([`crate::metrics::PlatformMetrics`]).
 //!
 //! With [`DaemonConfig::checkpoint`] set, the daemon is additionally
 //! **crash-safe**: every merged chunk is appended to a write-ahead spool
-//! *before* its ack is sent (acked ⇒ durable), and the supervision state
-//! is snapshotted atomically on a timer.  A fresh daemon started with the
-//! same checkpoint directory replays the WAL through a new core manager —
-//! reproducing the merged log bit for bit, in the original merge order —
-//! and resumes supervising from the snapshot.  Chunks an agent re-sends
-//! across the crash boundary are deduplicated by the WAL-derived resume
-//! sequences and counted in `duplicate_chunks`, never merged twice.
+//! *before* the cumulative ack covering it is sent (acked ⇒ durable), and
+//! the supervision state is snapshotted atomically on a timer.  A fresh
+//! daemon started with the same checkpoint directory replays the WAL
+//! through a new core manager — reproducing the merged log bit for bit,
+//! in the original merge order — and resumes supervising from the
+//! snapshot.  Chunks an agent re-sends across the crash boundary are
+//! deduplicated by the WAL-derived resume sequences and counted in
+//! `duplicate_chunks`, never merged twice.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use edonkey_proto::control::opcodes;
+use edonkey_proto::control::{opcodes, ControlEvent};
 use honeypot::{HoneypotId, HoneypotSpec, HoneypotStatus, Manager, MeasurementLog, StatusReport};
 use netsim::SimTime;
 use parking_lot::Mutex;
@@ -40,11 +54,21 @@ use parking_lot::Mutex;
 use crate::checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointOptions, ManagerCheckpoint, SlotCheckpoint,
 };
-use crate::conn::{ConnEvent, ControlConn};
 use crate::messages::{AgentConfig, ControlMessage};
-use crate::metrics::PlatformMetrics;
+use crate::metrics::{PlatformMetrics, RttStats};
+use crate::reactor::{CloseReason, Outbox, ReactorConn};
 use crate::retry::{Backoff, RetryPolicy};
 use crate::spool::{Spool, SpoolRecord};
+
+/// Registration must complete this long after the TCP accept.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(3);
+/// Shard sleep when a whole pass moved no bytes.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+/// Reactor latency samples are batched locally and folded into the shared
+/// metrics every this many active iterations (keeps the lock cold).
+const LATENCY_FLUSH_EVERY: u64 = 128;
+/// Merge bursts are capped so ack latency stays bounded under firehose.
+const MERGE_BURST: usize = 1024;
 
 /// Supervision and transport tuning.
 #[derive(Clone, Debug)]
@@ -66,6 +90,16 @@ pub struct DaemonConfig {
     /// Durability: checkpoint directory and snapshot cadence.  `None`
     /// keeps the PR 3 in-memory behaviour (a daemon crash loses the run).
     pub checkpoint: Option<CheckpointOptions>,
+    /// Upload window granted to every agent at registration: how many
+    /// chunks it may keep in flight beyond the cumulative-ack frontier.
+    pub upload_window: u32,
+    /// Hard cap on concurrent control connections; everything past it is
+    /// dropped at accept (counted in `connections_rejected`) so FD
+    /// exhaustion degrades into rejections instead of a hot error loop.
+    pub max_connections: usize,
+    /// Reactor shard threads.  0 = derive from the machine (capped small;
+    /// the shards are I/O loops, not compute).
+    pub reactor_shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -78,6 +112,9 @@ impl Default for DaemonConfig {
             backoff_seed: 0x1eaf_5eed,
             max_launch_attempts: 10,
             checkpoint: None,
+            upload_window: 32,
+            max_connections: 4096,
+            reactor_shards: 0,
         }
     }
 }
@@ -87,6 +124,13 @@ impl DaemonConfig {
     fn relaunch_policy(&self) -> RetryPolicy {
         RetryPolicy::relaunch(self.backoff_base_ms, self.backoff_cap_ms, self.max_launch_attempts)
     }
+
+    fn resolved_shards(&self) -> usize {
+        if self.reactor_shards > 0 {
+            return self.reactor_shards;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, 4)
+    }
 }
 
 /// Spawns (or re-spawns) an agent: `(agent_id, incarnation, daemon_addr)`.
@@ -94,8 +138,11 @@ pub type Launcher = Box<dyn Fn(u32, u32, SocketAddr) + Send + Sync + 'static>;
 
 struct Slot {
     config: AgentConfig,
-    /// Next upload sequence number this agent must send.
+    /// Next upload sequence number this agent must send — the cumulative
+    /// ack frontier (everything below it is merged).
     expected_seq: u64,
+    /// Highest upload sequence handed to the merge queue (window gauge).
+    highest_enqueued: Option<u64>,
     /// Incarnation the next launch will carry.
     next_incarnation: u32,
     /// A connection for this agent is currently registered.
@@ -111,9 +158,9 @@ struct Slot {
     backoff: Backoff,
     /// Port of the honeypot's peer listener (from `Ready`).
     peer_port: Option<u16>,
-    /// Write half of the agent's control connection (frame writes are
-    /// serialised through the lock).
-    writer: Option<Arc<Mutex<TcpStream>>>,
+    /// Outbound queue of the agent's registered connection; the owning
+    /// reactor shard flushes it.
+    outbox: Option<Arc<Outbox>>,
 }
 
 impl Slot {
@@ -121,6 +168,7 @@ impl Slot {
         Slot {
             config,
             expected_seq: 0,
+            highest_enqueued: None,
             next_incarnation: 0,
             registered: false,
             goodbye: false,
@@ -129,7 +177,7 @@ impl Slot {
             next_launch_at: None,
             backoff: Backoff::new(policy, seed, stream),
             peer_port: None,
-            writer: None,
+            outbox: None,
         }
     }
 }
@@ -147,6 +195,23 @@ struct Durable {
     last_snapshot: Mutex<Instant>,
 }
 
+/// One upload-path work item, queued from a reactor shard to the merge
+/// thread.  The queue preserves per-connection arrival order, which is
+/// what makes hole detection and the corrupt-frame resume point exact.
+enum MergeMsg {
+    Chunk {
+        agent: usize,
+        seq: u64,
+        chunk: honeypot::LogChunk,
+        /// The received payload bytes, written to the WAL verbatim.
+        payload: Vec<u8>,
+        outbox: Arc<Outbox>,
+    },
+    /// A LOG_CHUNK frame that failed its CRC; the retry must carry the
+    /// merge frontier *after* everything queued ahead of it.
+    CorruptChunk { agent: usize, outbox: Arc<Outbox> },
+}
+
 struct Inner {
     cfg: DaemonConfig,
     addr: SocketAddr,
@@ -159,7 +224,13 @@ struct Inner {
     chunk_order: Mutex<Vec<(u32, u64)>>,
     launcher: Launcher,
     durable: Option<Durable>,
+    /// Live control connections (accept-side admission gauge).
+    active_conns: AtomicUsize,
+    /// Chunks queued to the merge thread and not yet processed.
+    merge_depth: AtomicUsize,
     shutdown: AtomicBool,
+    /// Set by `finish` once the drain is over; shards flush and exit.
+    stop_reactors: AtomicBool,
     /// Simulated crash: every loop abandons its work immediately, nothing
     /// is flushed or finalized.  Only what [`Durable`] already wrote
     /// survives, exactly like a killed process.
@@ -178,14 +249,16 @@ pub struct Daemon {
     inner: Arc<Inner>,
     accept: Option<JoinHandle<()>>,
     supervise: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    merge: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Binds a loopback control endpoint and starts the accept and
-    /// supervision loops.  `configs[i].id` must equal `i` (the core
-    /// manager indexes honeypots densely).  The supervision loop performs
-    /// the *initial* launches too, through the same backoff-gated path as
-    /// relaunches.
+    /// Binds a loopback control endpoint and starts the accept loop, the
+    /// reactor shards, the merge thread and the supervision loop.
+    /// `configs[i].id` must equal `i` (the core manager indexes honeypots
+    /// densely).  The supervision loop performs the *initial* launches
+    /// too, through the same backoff-gated path as relaunches.
     ///
     /// With `cfg.checkpoint` set and a non-empty checkpoint directory,
     /// this *recovers*: the WAL is replayed through the fresh core (same
@@ -279,7 +352,6 @@ impl Daemon {
         }
 
         let inner = Arc::new(Inner {
-            cfg,
             addr,
             started: Instant::now(),
             core: Mutex::new(Some(core)),
@@ -288,9 +360,33 @@ impl Daemon {
             chunk_order: Mutex::new(chunk_order),
             launcher,
             durable,
+            active_conns: AtomicUsize::new(0),
+            merge_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            stop_reactors: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
+            cfg,
         });
+
+        let (merge_tx, merge_rx) = channel::<MergeMsg>();
+        let merge_inner = inner.clone();
+        let merge = std::thread::spawn(move || merge_loop(merge_inner, merge_rx));
+
+        let shard_count = inner.cfg.resolved_shards();
+        let injectors: Vec<Arc<Mutex<Vec<TcpStream>>>> =
+            (0..shard_count).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let mut reactors = Vec::with_capacity(shard_count);
+        for injector in &injectors {
+            let shard_inner = inner.clone();
+            let shard_injector = injector.clone();
+            let shard_tx = merge_tx.clone();
+            reactors.push(std::thread::spawn(move || {
+                reactor_loop(shard_inner, shard_injector, shard_tx)
+            }));
+        }
+        // The merge channel must disconnect when the shards exit, so no
+        // sender may outlive them.
+        drop(merge_tx);
 
         let accept_inner = inner.clone();
         let accept = std::thread::spawn(move || {
@@ -299,6 +395,7 @@ impl Daemon {
             let accept_policy = RetryPolicy { base_ms: 5, cap_ms: 250, max_attempts: None };
             let mut accept_backoff =
                 Backoff::new(accept_policy, accept_inner.cfg.backoff_seed, 0xACCE);
+            let mut next_shard = 0usize;
             for stream in listener.incoming() {
                 if accept_inner.shutdown.load(Ordering::SeqCst)
                     || accept_inner.crashed.load(Ordering::SeqCst)
@@ -317,8 +414,25 @@ impl Daemon {
                         continue;
                     }
                 };
-                let conn_inner = accept_inner.clone();
-                std::thread::spawn(move || serve_agent(conn_inner, stream));
+                // Bounded admission: at the cap the socket is dropped and
+                // counted, a rejection the agent's reconnect backoff
+                // absorbs — never a hot error loop.
+                let active = accept_inner.active_conns.load(Ordering::SeqCst);
+                if active >= accept_inner.cfg.max_connections {
+                    let mut metrics = accept_inner.metrics.lock();
+                    metrics.connections_rejected += 1;
+                    drop(metrics);
+                    drop(stream);
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                let now_active = accept_inner.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+                {
+                    let mut metrics = accept_inner.metrics.lock();
+                    metrics.connections_peak = metrics.connections_peak.max(now_active as u64);
+                }
+                injectors[next_shard].lock().push(stream);
+                next_shard = (next_shard + 1) % injectors.len();
             }
         });
 
@@ -333,7 +447,13 @@ impl Daemon {
             }
         });
 
-        Ok(Daemon { inner, accept: Some(accept), supervise: Some(supervise) })
+        Ok(Daemon {
+            inner,
+            accept: Some(accept),
+            supervise: Some(supervise),
+            reactors,
+            merge: Some(merge),
+        })
     }
 
     /// The control endpoint agents connect to.
@@ -397,12 +517,15 @@ impl Daemon {
 
     /// Asks a live agent to tear down and restart its honeypot in place.
     pub fn relaunch_agent(&self, agent: u32) -> bool {
-        let writer = {
+        let outbox = {
             let slots = self.inner.slots.lock();
-            slots.get(agent as usize).and_then(|s| s.writer.clone())
+            slots.get(agent as usize).and_then(|s| s.outbox.clone())
         };
-        match writer {
-            Some(w) => send_to(&w, &ControlMessage::Relaunch).is_ok(),
+        match outbox {
+            Some(o) => {
+                o.push_msg(&ControlMessage::Relaunch);
+                true
+            }
             None => false,
         }
     }
@@ -413,7 +536,8 @@ impl Daemon {
     /// fresh daemon with the same [`DaemonConfig::checkpoint`] to recover.
     pub fn crash(self) {
         self.inner.crashed.store(true, Ordering::SeqCst);
-        // Drop joins the loops; serve threads notice `crashed` and bail.
+        // Drop joins the loops; shards and the merge thread notice
+        // `crashed` and bail without bookkeeping.
     }
 
     /// Ends the measurement: stops supervision, asks every live agent to
@@ -433,12 +557,12 @@ impl Daemon {
             let _ = t.join();
         }
 
-        let writers: Vec<Arc<Mutex<TcpStream>>> = {
+        let outboxes: Vec<Arc<Outbox>> = {
             let slots = self.inner.slots.lock();
-            slots.iter().filter_map(|s| s.writer.clone()).collect()
+            slots.iter().filter_map(|s| s.outbox.clone()).collect()
         };
-        for w in &writers {
-            let _ = send_to(w, &ControlMessage::Shutdown);
+        for o in &outboxes {
+            o.push_msg(&ControlMessage::Shutdown);
         }
 
         let deadline = Instant::now() + drain;
@@ -455,9 +579,19 @@ impl Daemon {
             std::thread::sleep(Duration::from_millis(10));
         }
 
-        // Unblock the accept loop and join it.
+        // Unblock the accept loop and join it, then stop the shards; the
+        // merge channel disconnects when the last shard drops its sender,
+        // and the merge thread drains what is queued before exiting — so
+        // after these joins every received chunk has been merged.
         let _ = TcpStream::connect(self.inner.addr);
         if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.inner.stop_reactors.store(true, Ordering::SeqCst);
+        for t in self.reactors.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.merge.take() {
             let _ = t.join();
         }
 
@@ -469,7 +603,7 @@ impl Daemon {
                 if slots[i].registered {
                     let slot = &mut slots[i];
                     slot.registered = false;
-                    slot.writer = None;
+                    slot.outbox = None;
                     if let Some(since) = slot.registered_at.take() {
                         let ms = now.duration_since(since).as_millis() as u64;
                         self.inner.metrics.lock().agents[i].uptime_ms += ms;
@@ -495,6 +629,7 @@ impl Daemon {
 impl Drop for Daemon {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.stop_reactors.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.inner.addr);
         if let Some(t) = self.supervise.take() {
             let _ = t.join();
@@ -502,163 +637,305 @@ impl Drop for Daemon {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
+        for t in self.reactors.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.merge.take() {
+            let _ = t.join();
+        }
     }
 }
 
-/// Serialised frame write to an agent's connection.
-fn send_to(writer: &Arc<Mutex<TcpStream>>, msg: &ControlMessage) -> std::io::Result<()> {
-    use std::io::Write;
-    let bytes = msg.encode_frame();
-    writer.lock().write_all(&bytes)
-}
+// ---------------------------------------------------------------------------
+// Reactor shards.
 
-/// One connection's reader loop.
-fn serve_agent(inner: Arc<Inner>, stream: TcpStream) {
-    let mut conn = ControlConn::from_stream(stream);
-    conn.set_read_timeout(Duration::from_millis(5)).ok();
-
-    // First frame must be a Register.
-    let deadline = Instant::now() + Duration::from_secs(3);
-    let (agent, resume) = loop {
-        if Instant::now() >= deadline || inner.crashed.load(Ordering::SeqCst) {
-            return;
-        }
-        let events = match conn.poll() {
-            Ok(ev) => ev,
-            Err(_) => return,
-        };
-        let mut found = None;
-        for ev in events {
-            if let ConnEvent::Msg(ControlMessage::Register { agent, incarnation: _, resume }) = ev {
-                found = Some((agent, resume));
-                break;
-            }
-        }
-        if let Some(f) = found {
-            break f;
-        }
-    };
-
-    let Ok(raw_writer) = conn.try_clone_stream() else { return };
-    let writer = Arc::new(Mutex::new(raw_writer));
-    let agent_idx = agent as usize;
-
-    let (next_seq, config) = {
-        let mut slots = inner.slots.lock();
-        let Some(slot) = slots.get_mut(agent_idx) else { return };
-        let now = Instant::now();
-        // Latest connection wins; credit the previous registration.
-        if slot.registered {
-            if let Some(since) = slot.registered_at.take() {
-                let ms = now.duration_since(since).as_millis() as u64;
-                drop(slots);
-                inner.metrics.lock().agents[agent_idx].uptime_ms += ms;
-                slots = inner.slots.lock();
-            }
-        }
-        let slot = &mut slots[agent_idx];
-        slot.registered = true;
-        slot.last_activity = Some(now);
-        slot.registered_at = Some(now);
-        slot.writer = Some(writer.clone());
-        (slot.expected_seq, slot.config.clone())
-    };
-    {
-        let mut metrics = inner.metrics.lock();
-        metrics.agents[agent_idx].registrations += 1;
-        if resume {
-            metrics.agents[agent_idx].resumes += 1;
-        }
-    }
-    if send_to(&writer, &ControlMessage::RegisterAck { agent, next_seq }).is_err() {
-        return;
-    }
-    if send_to(&writer, &ControlMessage::ConfigPush(config)).is_err() {
-        return;
-    }
-
-    let mut clean_goodbye = false;
-    'conn: loop {
+/// One shard's event loop: adopt freshly accepted sockets, read and
+/// decode every connection, handle control traffic inline (registration,
+/// heartbeats, status) or queue it to the merge thread (uploads), flush
+/// outboxes, reap dead connections.
+fn reactor_loop(
+    inner: Arc<Inner>,
+    injector: Arc<Mutex<Vec<TcpStream>>>,
+    merge_tx: Sender<MergeMsg>,
+) {
+    let mut conns: Vec<ReactorConn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut events: Vec<ControlEvent> = Vec::new();
+    let mut latency = RttStats::default();
+    loop {
         if inner.crashed.load(Ordering::SeqCst) {
             // A crashed manager does no bookkeeping on the way out.
             return;
         }
-        let events = match conn.poll() {
-            Ok(ev) => ev,
-            Err(_) => break 'conn,
-        };
-        for ev in events {
-            touch(&inner, agent_idx);
-            match ev {
-                ConnEvent::Corrupt { opcode } => {
-                    inner.metrics.lock().corrupt_frames += 1;
-                    if opcode == opcodes::LOG_CHUNK {
-                        // A damaged upload is re-requested, never merged.
-                        let want = inner.slots.lock()[agent_idx].expected_seq;
-                        inner.metrics.lock().agents[agent_idx].chunk_retries += 1;
-                        let _ = send_to(&writer, &ControlMessage::ChunkRetry { seq: want });
+        if inner.stop_reactors.load(Ordering::SeqCst) {
+            // Last chance for queued shutdowns and acks to leave.
+            for conn in &mut conns {
+                conn.flush();
+            }
+            for conn in conns.drain(..) {
+                close_conn(&inner, conn);
+            }
+            flush_latency(&inner, &mut latency);
+            return;
+        }
+        let t0 = Instant::now();
+        let mut activity = false;
+
+        for stream in injector.lock().drain(..) {
+            match ReactorConn::adopt(stream) {
+                Ok(conn) => {
+                    conns.push(conn);
+                    activity = true;
+                }
+                Err(_) => {
+                    inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+
+        for conn in conns.iter_mut() {
+            if conn.close.is_some() {
+                continue;
+            }
+            if conn.read_events(&mut scratch, &mut events) {
+                activity = true;
+            }
+            if !events.is_empty() {
+                process_events(&inner, conn, &mut events, &merge_tx);
+            }
+            if conn.agent.is_none()
+                && conn.close.is_none()
+                && conn.opened.elapsed() > HANDSHAKE_DEADLINE
+            {
+                conn.close = Some(CloseReason::HandshakeTimeout);
+            }
+            conn.flush();
+        }
+
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].close.is_some() {
+                let conn = conns.swap_remove(i);
+                close_conn(&inner, conn);
+                activity = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if activity {
+            latency.record((t0.elapsed().as_micros() as u64).max(1));
+            if latency.count >= LATENCY_FLUSH_EVERY {
+                flush_latency(&inner, &mut latency);
+            }
+        } else {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+fn flush_latency(inner: &Inner, latency: &mut RttStats) {
+    if latency.count == 0 {
+        return;
+    }
+    inner.metrics.lock().reactor_loop_micros.merge(latency);
+    *latency = RttStats::default();
+}
+
+/// Handles one connection's decoded events.  Uploads (and corrupt upload
+/// frames) go to the merge queue in arrival order; everything else is
+/// answered inline through the outbox.
+fn process_events(
+    inner: &Inner,
+    conn: &mut ReactorConn,
+    events: &mut Vec<ControlEvent>,
+    merge_tx: &Sender<MergeMsg>,
+) {
+    for ev in events.drain(..) {
+        if conn.close.is_some() {
+            continue;
+        }
+        if let Some(i) = conn.agent {
+            touch(inner, i);
+        }
+        match ev {
+            ControlEvent::Corrupt { opcode } => {
+                if opcode == opcodes::LOG_CHUNK {
+                    if let Some(i) = conn.agent {
+                        inner.merge_depth.fetch_add(1, Ordering::SeqCst);
+                        let _ = merge_tx
+                            .send(MergeMsg::CorruptChunk { agent: i, outbox: conn.outbox.clone() });
+                        continue;
                     }
                 }
-                ConnEvent::Msg(ControlMessage::Heartbeat {
-                    seq, sent_micros, rtt_micros, ..
-                }) => {
-                    {
-                        let mut metrics = inner.metrics.lock();
-                        metrics.agents[agent_idx].heartbeats += 1;
-                        if rtt_micros > 0 {
-                            metrics.agents[agent_idx].rtt.record(rtt_micros);
-                        }
-                    }
-                    let _ = send_to(
-                        &writer,
-                        &ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros },
-                    );
+                inner.metrics.lock().corrupt_frames += 1;
+            }
+            ControlEvent::Frame(frame) => {
+                if frame.opcode == opcodes::LOG_CHUNK {
+                    handle_chunk_frame(inner, conn, frame.payload, merge_tx);
+                    continue;
                 }
-                ConnEvent::Msg(ControlMessage::Status(report)) => {
-                    if matches!(report.status, HoneypotStatus::Connected { .. }) {
-                        inner.slots.lock()[agent_idx].backoff.reset();
-                    }
-                    if let Some(core) = inner.core.lock().as_mut() {
-                        core.on_status(report);
-                    }
+                match ControlMessage::decode(frame.opcode, &frame.payload) {
+                    Ok(msg) => handle_msg(inner, conn, msg),
+                    Err(_) => conn.close = Some(CloseReason::Gone),
                 }
-                ConnEvent::Msg(ControlMessage::Ready { peer_port, .. }) => {
-                    inner.slots.lock()[agent_idx].peer_port = Some(peer_port);
-                }
-                ConnEvent::Msg(ControlMessage::LogUpload { agent: a, seq, chunk }) => {
-                    if a == agent {
-                        handle_upload(&inner, agent_idx, seq, chunk, &writer);
-                    }
-                }
-                ConnEvent::Msg(ControlMessage::Goodbye { .. }) => {
-                    clean_goodbye = true;
-                    break 'conn;
-                }
-                _ => {}
             }
         }
     }
+}
 
-    // Connection over: close out this registration if it is still ours.
+/// Decodes an upload frame once and queues it (with its raw payload, for
+/// the WAL) to the merge thread.
+fn handle_chunk_frame(
+    inner: &Inner,
+    conn: &mut ReactorConn,
+    payload: Vec<u8>,
+    merge_tx: &Sender<MergeMsg>,
+) {
+    let Ok(ControlMessage::LogUpload { agent, seq, chunk }) =
+        ControlMessage::decode(opcodes::LOG_CHUNK, &payload)
+    else {
+        conn.close = Some(CloseReason::Gone);
+        return;
+    };
+    let i = agent as usize;
+    if conn.agent != Some(i) {
+        return;
+    }
+    // Occupancy gauges, read against the merge frontier at arrival.
+    let in_flight = {
+        let mut slots = inner.slots.lock();
+        let slot = &mut slots[i];
+        slot.highest_enqueued = Some(slot.highest_enqueued.map_or(seq, |h| h.max(seq)));
+        (seq >= slot.expected_seq).then(|| seq + 1 - slot.expected_seq)
+    };
+    if let Some(in_flight) = in_flight {
+        let mut metrics = inner.metrics.lock();
+        let m = &mut metrics.agents[i];
+        m.window_peak = m.window_peak.max(in_flight);
+    }
+    let depth = inner.merge_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    {
+        let mut metrics = inner.metrics.lock();
+        metrics.merge_queue_peak = metrics.merge_queue_peak.max(depth as u64);
+    }
+    let _ = merge_tx.send(MergeMsg::Chunk {
+        agent: i,
+        seq,
+        chunk,
+        payload,
+        outbox: conn.outbox.clone(),
+    });
+}
+
+/// Inline handling of everything that is not an upload.
+fn handle_msg(inner: &Inner, conn: &mut ReactorConn, msg: ControlMessage) {
+    match msg {
+        ControlMessage::Register { agent, incarnation: _, resume } => {
+            register_conn(inner, conn, agent, resume);
+        }
+        ControlMessage::Heartbeat { seq, sent_micros, rtt_micros, .. } => {
+            let Some(i) = conn.agent else { return };
+            {
+                let mut metrics = inner.metrics.lock();
+                metrics.agents[i].heartbeats += 1;
+                if rtt_micros > 0 {
+                    metrics.agents[i].rtt.record(rtt_micros);
+                }
+            }
+            conn.outbox.push_msg(&ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros });
+        }
+        ControlMessage::Status(report) => {
+            let Some(i) = conn.agent else { return };
+            if matches!(report.status, HoneypotStatus::Connected { .. }) {
+                inner.slots.lock()[i].backoff.reset();
+            }
+            if let Some(core) = inner.core.lock().as_mut() {
+                core.on_status(report);
+            }
+        }
+        ControlMessage::Ready { peer_port, .. } => {
+            let Some(i) = conn.agent else { return };
+            inner.slots.lock()[i].peer_port = Some(peer_port);
+        }
+        ControlMessage::Goodbye { .. } => {
+            if conn.agent.is_some() {
+                conn.close = Some(CloseReason::Goodbye);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Registration: adopt the connection for its agent (latest connection
+/// wins), answer with the resume point and the granted upload window,
+/// then push the full configuration.
+fn register_conn(inner: &Inner, conn: &mut ReactorConn, agent: u32, resume: bool) {
+    let i = agent as usize;
+    let now = Instant::now();
+    let mut credit_ms = None;
+    let (next_seq, config) = {
+        let mut slots = inner.slots.lock();
+        let Some(slot) = slots.get_mut(i) else {
+            conn.close = Some(CloseReason::Gone);
+            return;
+        };
+        // Latest connection wins; credit the previous registration.
+        if slot.registered {
+            if let Some(since) = slot.registered_at.take() {
+                credit_ms = Some(now.duration_since(since).as_millis() as u64);
+            }
+        }
+        slot.registered = true;
+        slot.last_activity = Some(now);
+        slot.registered_at = Some(now);
+        slot.outbox = Some(conn.outbox.clone());
+        (slot.expected_seq, slot.config.clone())
+    };
+    {
+        let mut metrics = inner.metrics.lock();
+        if let Some(ms) = credit_ms {
+            metrics.agents[i].uptime_ms += ms;
+        }
+        metrics.agents[i].registrations += 1;
+        if resume {
+            metrics.agents[i].resumes += 1;
+        }
+    }
+    conn.agent = Some(i);
+    conn.outbox.push_msg(&ControlMessage::RegisterAck {
+        agent,
+        next_seq,
+        window: inner.cfg.upload_window.max(1),
+    });
+    conn.outbox.push_msg(&ControlMessage::ConfigPush(config));
+}
+
+/// Connection teardown bookkeeping: close out the registration if the
+/// connection still owns it, credit uptime, latch a clean goodbye.
+fn close_conn(inner: &Inner, conn: ReactorConn) {
+    inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+    let Some(i) = conn.agent else { return };
+    let clean_goodbye = conn.close == Some(CloseReason::Goodbye);
     let now = Instant::now();
     let mut credit_ms = None;
     {
         let mut slots = inner.slots.lock();
-        let slot = &mut slots[agent_idx];
-        let ours = slot.writer.as_ref().is_some_and(|w| Arc::ptr_eq(w, &writer));
+        let slot = &mut slots[i];
+        let ours = slot.outbox.as_ref().is_some_and(|o| Arc::ptr_eq(o, &conn.outbox));
         if ours {
             if clean_goodbye {
                 slot.goodbye = true;
             }
             slot.registered = false;
-            slot.writer = None;
+            slot.outbox = None;
             if let Some(since) = slot.registered_at.take() {
                 credit_ms = Some(now.duration_since(since).as_millis() as u64);
             }
         }
     }
     if let Some(ms) = credit_ms {
-        inner.metrics.lock().agents[agent_idx].uptime_ms += ms;
+        inner.metrics.lock().agents[i].uptime_ms += ms;
     }
 }
 
@@ -666,56 +943,154 @@ fn touch(inner: &Inner, agent_idx: usize) {
     inner.slots.lock()[agent_idx].last_activity = Some(Instant::now());
 }
 
-fn handle_upload(
-    inner: &Inner,
-    agent_idx: usize,
-    seq: u64,
-    chunk: honeypot::LogChunk,
-    writer: &Arc<Mutex<TcpStream>>,
-) {
-    let expected = inner.slots.lock()[agent_idx].expected_seq;
-    if seq < expected {
-        // Duplicate after a lost ack or across a manager crash: already
-        // merged (and, in durable mode, already in the WAL) — just re-ack.
-        inner.metrics.lock().agents[agent_idx].duplicate_chunks += 1;
-        let _ = send_to(writer, &ControlMessage::ChunkAck { seq });
-        return;
+// ---------------------------------------------------------------------------
+// Merge thread.
+
+/// The single merge loop: drains upload work in bursts, preserves the
+/// WAL-append-before-ack contract per chunk, and answers each connection
+/// with one *cumulative* `ChunkAck` per burst (the merge frontier), plus
+/// at most one `ChunkRetry` when the stream is damaged or has a hole.
+fn merge_loop(inner: Arc<Inner>, rx: Receiver<MergeMsg>) {
+    let mut batch: Vec<MergeMsg> = Vec::new();
+    loop {
+        if inner.crashed.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(msg) => batch.push(msg),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        while batch.len() < MERGE_BURST {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        merge_burst(&inner, &mut batch);
     }
-    if seq > expected {
-        // A hole would mean lost data; ask for the resume point.
-        let _ = send_to(writer, &ControlMessage::ChunkRetry { seq: expected });
-        return;
-    }
-    let payload = ControlMessage::LogUpload { agent: agent_idx as u32, seq, chunk: chunk.clone() }
-        .encode_payload();
-    let bytes = payload.len() as u64;
-    // Durability contract: the chunk is in the WAL *before* the ack goes
-    // out, in merge order, so an acked chunk is always recoverable and a
-    // replayed WAL reproduces the merge exactly.
-    if let Some(d) = &inner.durable {
-        let mut wal = d.wal.lock();
-        let wseq = wal.next_seq;
-        match wal.spool.append(wseq, &payload) {
-            Ok(()) => wal.next_seq += 1,
-            Err(e) => eprintln!("[daemon] WAL append failed for agent {agent_idx} seq {seq}: {e}"),
+}
+
+/// Per-burst ack/retry coalescing state, keyed by outbox identity.
+struct BurstReplies {
+    /// Connections owed a cumulative ack, with their agent index.
+    acks: Vec<(Arc<Outbox>, usize)>,
+    /// Connections owed a go-back-N retry, with the smallest resume point.
+    retries: Vec<(Arc<Outbox>, u64)>,
+}
+
+impl BurstReplies {
+    fn note_ack(&mut self, outbox: &Arc<Outbox>, agent: usize) {
+        if !self.acks.iter().any(|(o, _)| Arc::ptr_eq(o, outbox)) {
+            self.acks.push((outbox.clone(), agent));
         }
     }
-    let merged = match inner.core.lock().as_mut() {
-        Some(core) => core.collect_sequenced(seq, chunk),
-        None => false,
-    };
-    if merged {
-        inner.chunk_order.lock().push((agent_idx as u32, seq));
-        let mut metrics = inner.metrics.lock();
-        // `note_merged` is the exactly-once ledger; `chunks_merged` must
-        // track it one-for-one or `double_merge_violation` fires.
-        metrics.agents[agent_idx].note_merged(seq);
-        metrics.agents[agent_idx].chunks_merged += 1;
-        metrics.agents[agent_idx].chunk_bytes += bytes;
+
+    fn note_retry(&mut self, outbox: &Arc<Outbox>, want: u64) {
+        for (o, w) in &mut self.retries {
+            if Arc::ptr_eq(o, outbox) {
+                *w = (*w).min(want);
+                return;
+            }
+        }
+        self.retries.push((outbox.clone(), want));
     }
-    inner.slots.lock()[agent_idx].expected_seq = seq + 1;
-    let _ = send_to(writer, &ControlMessage::ChunkAck { seq });
 }
+
+fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
+    let mut replies = BurstReplies { acks: Vec::new(), retries: Vec::new() };
+    for msg in batch.drain(..) {
+        if inner.crashed.load(Ordering::SeqCst) {
+            return;
+        }
+        match msg {
+            MergeMsg::Chunk { agent, seq, chunk, payload, outbox } => {
+                inner.merge_depth.fetch_sub(1, Ordering::SeqCst);
+                let expected = inner.slots.lock()[agent].expected_seq;
+                if seq < expected {
+                    // Duplicate after a lost ack, a go-back-N resend or a
+                    // manager crash: already merged (and, in durable mode,
+                    // already in the WAL) — the cumulative ack re-covers it.
+                    inner.metrics.lock().agents[agent].duplicate_chunks += 1;
+                    replies.note_ack(&outbox, agent);
+                    continue;
+                }
+                if seq > expected {
+                    // A hole would mean lost data; ask for the resume point.
+                    replies.note_retry(&outbox, expected);
+                    continue;
+                }
+                let bytes = payload.len() as u64;
+                // Durability contract: the chunk is in the WAL *before* the
+                // cumulative ack covering it goes out, in merge order, so an
+                // acked chunk is always recoverable and a replayed WAL
+                // reproduces the merge exactly.
+                if let Some(d) = &inner.durable {
+                    let mut wal = d.wal.lock();
+                    let wseq = wal.next_seq;
+                    match wal.spool.append(wseq, &payload) {
+                        Ok(()) => wal.next_seq += 1,
+                        Err(e) => {
+                            eprintln!("[daemon] WAL append failed for agent {agent} seq {seq}: {e}")
+                        }
+                    }
+                }
+                let merged = match inner.core.lock().as_mut() {
+                    Some(core) => core.collect_sequenced(seq, chunk),
+                    None => false,
+                };
+                if merged {
+                    inner.chunk_order.lock().push((agent as u32, seq));
+                    let mut metrics = inner.metrics.lock();
+                    // `note_merged` is the exactly-once ledger; `chunks_merged`
+                    // must track it one-for-one or `double_merge_violation`
+                    // fires.
+                    metrics.agents[agent].note_merged(seq);
+                    metrics.agents[agent].chunks_merged += 1;
+                    metrics.agents[agent].chunk_bytes += bytes;
+                }
+                inner.slots.lock()[agent].expected_seq = seq + 1;
+                replies.note_ack(&outbox, agent);
+            }
+            MergeMsg::CorruptChunk { agent, outbox } => {
+                inner.merge_depth.fetch_sub(1, Ordering::SeqCst);
+                // A damaged upload is re-requested, never merged.  The
+                // resume point is exact because this entry was queued
+                // behind every chunk received ahead of the bad frame.
+                let want = inner.slots.lock()[agent].expected_seq;
+                {
+                    let mut metrics = inner.metrics.lock();
+                    metrics.corrupt_frames += 1;
+                    metrics.agents[agent].chunk_retries += 1;
+                }
+                replies.note_retry(&outbox, want);
+            }
+        }
+    }
+    // One cumulative ack per connection per burst: the frontier at the
+    // end of the burst covers every chunk merged (or deduplicated) in it.
+    for (outbox, agent) in replies.acks {
+        let (frontier, lag) = {
+            let slots = inner.slots.lock();
+            let slot = &slots[agent];
+            let lag =
+                slot.highest_enqueued.map_or(0, |h| (h + 1).saturating_sub(slot.expected_seq));
+            (slot.expected_seq, lag)
+        };
+        {
+            let mut metrics = inner.metrics.lock();
+            let m = &mut metrics.agents[agent];
+            m.frontier_lag_peak = m.frontier_lag_peak.max(lag);
+        }
+        outbox.push_msg(&ControlMessage::ChunkAck { next_seq: frontier });
+    }
+    for (outbox, want) in replies.retries {
+        outbox.push_msg(&ControlMessage::ChunkRetry { seq: want });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision and checkpointing.
 
 /// Builds the supervision snapshot from the live slot and metric state.
 fn build_checkpoint(inner: &Inner) -> ManagerCheckpoint {
@@ -777,11 +1152,10 @@ fn supervision_tick(inner: &Arc<Inner>) {
     {
         let mut slots = inner.slots.lock();
         for (i, slot) in slots.iter_mut().enumerate() {
-            if !slot.goodbye
-                && slot.last_activity.map_or(false, |t| now.duration_since(t) > timeout)
+            if !slot.goodbye && slot.last_activity.is_some_and(|t| now.duration_since(t) > timeout)
             {
                 slot.registered = false;
-                slot.writer = None;
+                slot.outbox = None;
                 slot.last_activity = None;
                 died.push(i);
             }

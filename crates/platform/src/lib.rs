@@ -6,16 +6,19 @@
 //! collects their logs.  This crate is that platform as a live network
 //! service over TCP:
 //!
-//! * [`daemon::Daemon`] — the manager: accepts agent connections, pushes
-//!   [`messages::AgentConfig`]s, answers heartbeats, declares silent
-//!   agents dead and relaunches them with exponential backoff, and
-//!   streams sequenced log chunks into the same
-//!   [`honeypot::Manager`] merge/anonymise pipeline the in-process path
-//!   uses;
+//! * [`daemon::Daemon`] — the manager: a pool of non-blocking reactor
+//!   shards ([`reactor`], PR 6) multiplexes every agent connection —
+//!   registration, [`messages::AgentConfig`] pushes, heartbeats, chunk
+//!   ingest — from a handful of threads, a single merge thread streams
+//!   sequenced log chunks into the same [`honeypot::Manager`]
+//!   merge/anonymise pipeline the in-process path uses, and a supervision
+//!   loop declares silent agents dead and relaunches them with
+//!   exponential backoff;
 //! * [`agent::run_agent`] — a supervised honeypot: wraps
 //!   [`edonkey_net::HoneypotHost`], registers with the daemon, heartbeats,
-//!   and ships its log as stop-and-wait sequenced chunks that survive
-//!   corruption, truncation, crashes and reconnects;
+//!   and ships its log as windowed, pipelined sequenced chunks (up to the
+//!   granted window in flight, cumulative acks trimming the spool) that
+//!   survive corruption, truncation, crashes and reconnects;
 //! * [`messages`] — the typed control protocol over the versioned,
 //!   CRC-protected framing of [`edonkey_proto::control`];
 //! * [`fault`] — scripted agent misbehaviour for recovery testing;
@@ -45,6 +48,7 @@ pub mod fault;
 pub mod journal;
 pub mod messages;
 pub mod metrics;
+pub(crate) mod reactor;
 pub mod retry;
 pub mod spool;
 

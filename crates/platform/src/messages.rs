@@ -55,8 +55,9 @@ pub enum ControlMessage {
         resume: bool,
     },
     /// Manager → agent: registration accepted; uploads must continue at
-    /// `next_seq` (exactly-once resume after reconnects and crashes).
-    RegisterAck { agent: u32, next_seq: u64 },
+    /// `next_seq` (exactly-once resume after reconnects and crashes) and
+    /// the agent may keep up to `window` chunks in flight.
+    RegisterAck { agent: u32, next_seq: u64, window: u32 },
     /// Manager → agent: full honeypot configuration.
     ConfigPush(AgentConfig),
     /// Agent → manager: liveness beacon.  `rtt_micros` piggybacks the RTT
@@ -70,10 +71,12 @@ pub enum ControlMessage {
     Ready { agent: u32, peer_port: u16 },
     /// Agent → manager: one sequenced log chunk.
     LogUpload { agent: u32, seq: u64, chunk: LogChunk },
-    /// Manager → agent: chunk `seq` merged.
-    ChunkAck { seq: u64 },
-    /// Manager → agent: re-send starting at `seq` (corrupt or out-of-order
-    /// upload).
+    /// Manager → agent: cumulative acknowledgement — every chunk with
+    /// sequence `< next_seq` is merged and durable; the agent trims its
+    /// window and spool up to that frontier.
+    ChunkAck { next_seq: u64 },
+    /// Manager → agent: re-send everything starting at `seq` (corrupt
+    /// frame or a hole in the pipelined window; go-back-N).
     ChunkRetry { seq: u64 },
     /// Manager → agent: tear the honeypot down and start over.
     Relaunch,
@@ -113,9 +116,10 @@ impl ControlMessage {
                 w.u32(*incarnation);
                 w.u8(*resume as u8);
             }
-            ControlMessage::RegisterAck { agent, next_seq } => {
+            ControlMessage::RegisterAck { agent, next_seq, window } => {
                 w.u32(*agent);
                 w.u64(*next_seq);
+                w.u32(*window);
             }
             ControlMessage::ConfigPush(cfg) => put_config(&mut w, cfg),
             ControlMessage::Heartbeat { agent, seq, sent_micros, rtt_micros } => {
@@ -138,7 +142,7 @@ impl ControlMessage {
                 w.u64(*seq);
                 put_chunk(&mut w, chunk);
             }
-            ControlMessage::ChunkAck { seq } => w.u64(*seq),
+            ControlMessage::ChunkAck { next_seq } => w.u64(*next_seq),
             ControlMessage::ChunkRetry { seq } => w.u64(*seq),
             ControlMessage::Relaunch | ControlMessage::Shutdown => {}
             ControlMessage::Goodbye { agent, final_seq } => {
@@ -163,9 +167,11 @@ impl ControlMessage {
                 incarnation: r.u32()?,
                 resume: r.u8()? != 0,
             },
-            opcodes::REGISTER_ACK => {
-                ControlMessage::RegisterAck { agent: r.u32()?, next_seq: r.u64()? }
-            }
+            opcodes::REGISTER_ACK => ControlMessage::RegisterAck {
+                agent: r.u32()?,
+                next_seq: r.u64()?,
+                window: r.u32()?,
+            },
             opcodes::CONFIG_PUSH => ControlMessage::ConfigPush(get_config(&mut r)?),
             opcodes::HEARTBEAT => ControlMessage::Heartbeat {
                 agent: r.u32()?,
@@ -184,7 +190,7 @@ impl ControlMessage {
                 let chunk = get_chunk(&mut r)?;
                 ControlMessage::LogUpload { agent, seq, chunk }
             }
-            opcodes::CHUNK_ACK => ControlMessage::ChunkAck { seq: r.u64()? },
+            opcodes::CHUNK_ACK => ControlMessage::ChunkAck { next_seq: r.u64()? },
             opcodes::CHUNK_RETRY => ControlMessage::ChunkRetry { seq: r.u64()? },
             opcodes::RELAUNCH => ControlMessage::Relaunch,
             opcodes::SHUTDOWN => ControlMessage::Shutdown,
@@ -570,11 +576,11 @@ mod tests {
     fn simple_messages_roundtrip() {
         for msg in [
             ControlMessage::Register { agent: 3, incarnation: 2, resume: true },
-            ControlMessage::RegisterAck { agent: 3, next_seq: 17 },
+            ControlMessage::RegisterAck { agent: 3, next_seq: 17, window: 32 },
             ControlMessage::Heartbeat { agent: 1, seq: 9, sent_micros: 55, rtt_micros: 120 },
             ControlMessage::HeartbeatAck { seq: 9, echo_micros: 55 },
             ControlMessage::Ready { agent: 0, peer_port: 40123 },
-            ControlMessage::ChunkAck { seq: 4 },
+            ControlMessage::ChunkAck { next_seq: 4 },
             ControlMessage::ChunkRetry { seq: 4 },
             ControlMessage::Relaunch,
             ControlMessage::Shutdown,
@@ -650,7 +656,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut payload = ControlMessage::ChunkAck { seq: 1 }.encode_payload();
+        let mut payload = ControlMessage::ChunkAck { next_seq: 1 }.encode_payload();
         payload.push(0);
         assert!(matches!(
             ControlMessage::decode(opcodes::CHUNK_ACK, &payload),
@@ -660,7 +666,8 @@ mod tests {
 
     #[test]
     fn truncated_payload_rejected() {
-        let payload = ControlMessage::RegisterAck { agent: 1, next_seq: 2 }.encode_payload();
+        let payload =
+            ControlMessage::RegisterAck { agent: 1, next_seq: 2, window: 8 }.encode_payload();
         assert!(matches!(
             ControlMessage::decode(opcodes::REGISTER_ACK, &payload[..payload.len() - 1]),
             Err(ProtoError::Truncated(_))

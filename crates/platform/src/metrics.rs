@@ -37,6 +37,22 @@ impl RttStats {
             self.sum_micros / self.count
         }
     }
+
+    /// Folds another sample set into this one (used to pool per-shard
+    /// reactor latency batches without holding the metrics lock hot).
+    pub fn merge(&mut self, other: &RttStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min_micros < self.min_micros {
+            self.min_micros = other.min_micros;
+        }
+        if other.max_micros > self.max_micros {
+            self.max_micros = other.max_micros;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+    }
 }
 
 /// Per-agent control-plane counters.
@@ -67,6 +83,12 @@ pub struct AgentMetrics {
     pub registrations: u64,
     /// Milliseconds spent registered, accumulated across incarnations.
     pub uptime_ms: u64,
+    /// Peak upload-window occupancy: most chunks observed in flight past
+    /// the cumulative-ack frontier at once.
+    pub window_peak: u64,
+    /// Peak cumulative-ack frontier lag: highest enqueued sequence + 1
+    /// minus the merge frontier, sampled when acks are issued.
+    pub frontier_lag_peak: u64,
     /// Inclusive, disjoint, sorted ranges of merged upload sequences.
     /// This is the exactly-once ledger: [`AgentMetrics::note_merged`]
     /// refuses a sequence already covered, so `chunks_merged` equal to
@@ -116,15 +138,19 @@ pub struct PlatformMetrics {
     pub corrupt_frames: u64,
     /// Times a daemon recovered state from a checkpoint directory.
     pub manager_restores: u64,
+    /// Reactor-shard loop iteration latency (active passes only).
+    pub reactor_loop_micros: RttStats,
+    /// Peak pending-merge queue depth (chunks queued, not yet merged).
+    pub merge_queue_peak: u64,
+    /// Connections dropped at accept because the cap was reached.
+    pub connections_rejected: u64,
+    /// Peak concurrent control connections.
+    pub connections_peak: u64,
 }
 
 impl PlatformMetrics {
     pub fn new(agents: usize) -> Self {
-        PlatformMetrics {
-            agents: vec![AgentMetrics::default(); agents],
-            corrupt_frames: 0,
-            manager_restores: 0,
-        }
+        PlatformMetrics { agents: vec![AgentMetrics::default(); agents], ..Default::default() }
     }
 
     pub fn total_relaunches(&self) -> u64 {
@@ -153,6 +179,16 @@ impl PlatformMetrics {
 
     pub fn total_duplicate_chunks(&self) -> u64 {
         self.agents.iter().map(|a| a.duplicate_chunks).sum()
+    }
+
+    /// Largest upload window any agent filled.
+    pub fn max_window_peak(&self) -> u64 {
+        self.agents.iter().map(|a| a.window_peak).max().unwrap_or(0)
+    }
+
+    /// Largest cumulative-ack frontier lag observed on any agent.
+    pub fn max_frontier_lag(&self) -> u64 {
+        self.agents.iter().map(|a| a.frontier_lag_peak).max().unwrap_or(0)
     }
 
     /// Exactly-once check over every agent: each merged-sequence ledger
@@ -205,6 +241,18 @@ impl PlatformMetrics {
         out.push_str(&format!("  \"duplicate_chunks\": {},\n", self.total_duplicate_chunks()));
         out.push_str(&format!("  \"corrupt_frames\": {},\n", self.corrupt_frames));
         out.push_str(&format!("  \"manager_restores\": {},\n", self.manager_restores));
+        out.push_str(&format!("  \"window_peak\": {},\n", self.max_window_peak()));
+        out.push_str(&format!("  \"frontier_lag_peak\": {},\n", self.max_frontier_lag()));
+        out.push_str(&format!("  \"merge_queue_peak\": {},\n", self.merge_queue_peak));
+        out.push_str(&format!("  \"connections_rejected\": {},\n", self.connections_rejected));
+        out.push_str(&format!("  \"connections_peak\": {},\n", self.connections_peak));
+        out.push_str(&format!(
+            "  \"reactor_loop_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
+            self.reactor_loop_micros.count,
+            self.reactor_loop_micros.min_micros,
+            self.reactor_loop_micros.mean_micros(),
+            self.reactor_loop_micros.max_micros
+        ));
         let rtt = self.pooled_rtt();
         out.push_str(&format!(
             "  \"heartbeat_rtt_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
@@ -221,7 +269,8 @@ impl PlatformMetrics {
                 "    {{\"agent\": {}, \"heartbeats\": {}, \"relaunches\": {}, \"deaths\": {}, \
                  \"chunks_merged\": {}, \"chunk_bytes\": {}, \"chunk_retries\": {}, \
                  \"duplicate_chunks\": {}, \"resumes\": {}, \"registrations\": {}, \
-                 \"uptime_ms\": {}, \"rtt_mean_micros\": {}, \"merged_ranges\": [{}]}}{}\n",
+                 \"uptime_ms\": {}, \"rtt_mean_micros\": {}, \"window_peak\": {}, \
+                 \"frontier_lag_peak\": {}, \"merged_ranges\": [{}]}}{}\n",
                 i,
                 a.heartbeats,
                 a.relaunches,
@@ -234,6 +283,8 @@ impl PlatformMetrics {
                 a.registrations,
                 a.uptime_ms,
                 a.rtt.mean_micros(),
+                a.window_peak,
+                a.frontier_lag_peak,
                 ranges.join(", "),
                 if i + 1 < self.agents.len() { "," } else { "" }
             ));

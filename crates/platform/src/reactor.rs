@@ -1,0 +1,274 @@
+//! Non-blocking connection plumbing for the daemon's sharded reactor.
+//!
+//! PR 3/4 served every agent with a dedicated blocking thread; at a
+//! thousand agents that is a thousand stacks and a thousand schedulable
+//! readers for a workload that is almost entirely idle.  The daemon now
+//! runs a small pool of reactor shards instead: each shard owns a set of
+//! non-blocking connections and drives them from one loop — read what is
+//! readable, decode complete frames, flush what is writable — so one
+//! thread multiplexes registration, heartbeats and chunk ingest across
+//! hundreds of sockets.
+//!
+//! Two pieces live here:
+//!
+//! * [`Outbox`] — a per-connection outbound byte queue.  Everything the
+//!   daemon says to an agent (acks, config pushes, relaunch/shutdown
+//!   orders) is *enqueued*; only the owning shard writes to the socket,
+//!   non-blockingly, so a slow agent can never stall the supervision or
+//!   merge paths behind a blocking `write_all`.
+//! * [`ReactorConn`] — one non-blocking connection: the stream, its
+//!   incremental frame decoder and its outbox, plus the registration
+//!   state the shard needs (which agent the connection authenticated as,
+//!   and when it must have registered by).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use edonkey_proto::control::{ControlDecoder, ControlEvent};
+use parking_lot::Mutex;
+
+use crate::messages::ControlMessage;
+
+/// Upper bound on bytes read per connection per loop pass, so one
+/// firehosing agent cannot monopolise its shard.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Outbound byte queue of one connection.  Producers (merge thread,
+/// supervision, `finish`) enqueue frames from any thread; the owning
+/// reactor shard drains it to the socket without blocking.
+#[derive(Default)]
+pub(crate) struct Outbox {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl Outbox {
+    pub(crate) fn new() -> Arc<Outbox> {
+        Arc::new(Outbox::default())
+    }
+
+    /// Enqueues one typed message as a complete frame.
+    pub(crate) fn push_msg(&self, msg: &ControlMessage) {
+        self.buf.lock().extend_from_slice(&msg.encode_frame());
+    }
+
+    /// Bytes waiting to be written.
+    pub(crate) fn pending(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Writes as much of the queue as the socket will take right now.
+    /// `Ok(true)` means the queue is empty; `Ok(false)` means the socket
+    /// would block with bytes still queued.  `Err` is fatal to the
+    /// connection.
+    pub(crate) fn flush(&self, stream: &mut TcpStream) -> std::io::Result<bool> {
+        let mut buf = self.buf.lock();
+        let mut written = 0usize;
+        while written < buf.len() {
+            match stream.write(&buf[written..]) {
+                Ok(0) => {
+                    buf.drain(..written);
+                    return Err(std::io::ErrorKind::WriteZero.into());
+                }
+                Ok(n) => written += n,
+                Err(e) if would_block(&e) => {
+                    buf.drain(..written);
+                    return Ok(false);
+                }
+                Err(e) => {
+                    buf.drain(..written);
+                    return Err(e);
+                }
+            }
+        }
+        buf.clear();
+        Ok(true)
+    }
+}
+
+/// Why a connection left its shard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CloseReason {
+    /// The peer closed or the socket died.
+    Gone,
+    /// The agent completed a clean `Goodbye`.
+    Goodbye,
+    /// No `Register` arrived within the handshake deadline.
+    HandshakeTimeout,
+}
+
+/// One non-blocking connection owned by a reactor shard.
+pub(crate) struct ReactorConn {
+    pub(crate) stream: TcpStream,
+    pub(crate) decoder: ControlDecoder,
+    pub(crate) outbox: Arc<Outbox>,
+    /// Set once the connection registers; index into the daemon's slots.
+    pub(crate) agent: Option<usize>,
+    /// Registration deadline for connections that have not authenticated.
+    pub(crate) opened: Instant,
+    /// Close decision taken during event processing; the shard reaps the
+    /// connection (with bookkeeping) at the end of the pass.
+    pub(crate) close: Option<CloseReason>,
+}
+
+impl ReactorConn {
+    /// Adopts an accepted stream: non-blocking, Nagle off.
+    pub(crate) fn adopt(stream: TcpStream) -> std::io::Result<ReactorConn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        Ok(ReactorConn {
+            stream,
+            decoder: ControlDecoder::new(),
+            outbox: Outbox::new(),
+            agent: None,
+            opened: Instant::now(),
+            close: None,
+        })
+    }
+
+    /// Reads whatever the socket has (up to the per-pass budget), feeds
+    /// the decoder, and appends every completed [`ControlEvent`] to
+    /// `events`.  Returns whether any bytes arrived.  Framing violations
+    /// and dead sockets mark the connection for close.
+    pub(crate) fn read_events(
+        &mut self,
+        scratch: &mut [u8],
+        events: &mut Vec<ControlEvent>,
+    ) -> bool {
+        let mut total = 0usize;
+        let mut activity = false;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.close = Some(CloseReason::Gone);
+                    break;
+                }
+                Ok(n) => {
+                    self.decoder.feed(&scratch[..n]);
+                    activity = true;
+                    total += n;
+                    if total >= READ_BUDGET {
+                        break;
+                    }
+                }
+                Err(e) if would_block(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close = Some(CloseReason::Gone);
+                    break;
+                }
+            }
+        }
+        loop {
+            match self.decoder.next_event() {
+                Ok(Some(ev)) => events.push(ev),
+                Ok(None) => break,
+                Err(_) => {
+                    // Bad magic/version or an oversized frame: the stream
+                    // can never resynchronise — drop the connection.
+                    self.close = Some(CloseReason::Gone);
+                    break;
+                }
+            }
+        }
+        activity
+    }
+
+    /// Flushes the outbox; a dead socket marks the connection for close.
+    pub(crate) fn flush(&mut self) {
+        if self.close.is_some() || self.outbox.pending() == 0 {
+            return;
+        }
+        if self.outbox.flush(&mut self.stream).is_err() {
+            self.close = Some(CloseReason::Gone);
+        }
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn outbox_flushes_incrementally_under_backpressure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        // Enqueue far more than the socket buffers hold.
+        let outbox = Outbox::new();
+        let frame = ControlMessage::ChunkAck { next_seq: 7 }.encode_frame();
+        let rounds = (8 << 20) / frame.len();
+        for _ in 0..rounds {
+            outbox.push_msg(&ControlMessage::ChunkAck { next_seq: 7 });
+        }
+        let total = outbox.pending();
+
+        // The first flush must stop at WouldBlock without losing bytes.
+        let done = outbox.flush(&mut tx).unwrap();
+        assert!(!done, "8 MiB cannot fit in the socket buffer");
+        assert!(outbox.pending() < total);
+
+        // Drain the receive side while re-flushing until empty.
+        let mut rx = rx;
+        rx.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        let mut received = 0usize;
+        let mut buf = vec![0u8; 64 * 1024];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => received += n,
+                Err(_) => {}
+            }
+            if outbox.flush(&mut tx).unwrap() && outbox.pending() == 0 && received >= total {
+                break;
+            }
+            assert!(Instant::now() < deadline, "flush never completed");
+        }
+        assert_eq!(received, total);
+    }
+
+    #[test]
+    fn reactor_conn_reads_frames_nonblockingly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        let mut conn = ReactorConn::adopt(rx).unwrap();
+
+        let mut events = Vec::new();
+        let mut scratch = vec![0u8; 4096];
+        // Nothing sent yet: no events, no close, no blocking.
+        assert!(!conn.read_events(&mut scratch, &mut events));
+        assert!(events.is_empty());
+        assert!(conn.close.is_none());
+
+        tx.write_all(&ControlMessage::Relaunch.encode_frame()).unwrap();
+        tx.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while events.is_empty() && Instant::now() < deadline {
+            conn.read_events(&mut scratch, &mut events);
+        }
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(&events[0], ControlEvent::Frame(f) if f.opcode == edonkey_proto::control::opcodes::RELAUNCH)
+        );
+
+        drop(tx);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conn.close.is_none() && Instant::now() < deadline {
+            conn.read_events(&mut scratch, &mut events);
+        }
+        assert_eq!(conn.close, Some(CloseReason::Gone));
+    }
+}

@@ -34,7 +34,14 @@ use crate::error::ProtoError;
 pub const CONTROL_MAGIC: u8 = 0xEC;
 
 /// Control-protocol version; bumped on any incompatible change.
-pub const CONTROL_VERSION: u8 = 1;
+///
+/// * v1 — stop-and-wait chunk upload: one `LOG_CHUNK` in flight, every
+///   chunk individually acknowledged.
+/// * v2 — windowed, pipelined upload: `REGISTER_ACK` grants an upload
+///   window, `CHUNK_ACK` carries the *cumulative* frontier (`next_seq`:
+///   everything below it is merged and durable; the agent trims its spool
+///   up to `next_seq - 1`).
+pub const CONTROL_VERSION: u8 = 2;
 
 /// Hard cap on a control payload (a log chunk of a month-scale collection
 /// interval stays far below this).
@@ -45,7 +52,8 @@ pub mod opcodes {
     /// Agent → manager: first frame after connect; carries the agent id.
     pub const REGISTER: u8 = 0x01;
     /// Manager → agent: registration accepted; carries the next expected
-    /// upload sequence number (resume-after-reconnect).
+    /// upload sequence number (resume-after-reconnect) and the granted
+    /// upload window (max chunks in flight).
     pub const REGISTER_ACK: u8 = 0x02;
     /// Manager → agent: full honeypot configuration (advertise list +
     /// content strategy + server assignment + intervals).
@@ -62,10 +70,13 @@ pub mod opcodes {
     pub const READY: u8 = 0x13;
     /// Agent → manager: one sequenced log chunk.
     pub const LOG_CHUNK: u8 = 0x20;
-    /// Manager → agent: chunk merged; the agent may discard its copy.
+    /// Manager → agent: cumulative acknowledgement — every chunk below the
+    /// carried `next_seq` is merged and durable; the agent may discard its
+    /// copies up to that frontier.
     pub const CHUNK_ACK: u8 = 0x21;
-    /// Manager → agent: chunk arrived corrupted (checksum/decode failure);
-    /// re-send the given sequence number.
+    /// Manager → agent: the upload stream is damaged at the given sequence
+    /// number (corrupt frame or a hole in the window); re-send everything
+    /// from it (go-back-N).
     pub const CHUNK_RETRY: u8 = 0x22;
     /// Manager → agent: tear down and restart the honeypot.
     pub const RELAUNCH: u8 = 0x30;
@@ -145,19 +156,12 @@ pub fn decode_control_frame(data: &[u8]) -> Result<(ControlEvent, usize), ProtoE
         return Err(ProtoError::Truncated("control frame body"));
     }
     let payload = &data[7..7 + len as usize];
-    let declared_crc = u32::from_le_bytes([
-        data[total - 4],
-        data[total - 3],
-        data[total - 2],
-        data[total - 1],
-    ]);
+    let declared_crc =
+        u32::from_le_bytes([data[total - 4], data[total - 3], data[total - 2], data[total - 1]]);
     if crc32(payload) != declared_crc {
         return Ok((ControlEvent::Corrupt { opcode }, total));
     }
-    Ok((
-        ControlEvent::Frame(ControlFrame { version, opcode, payload: payload.to_vec() }),
-        total,
-    ))
+    Ok((ControlEvent::Frame(ControlFrame { version, opcode, payload: payload.to_vec() }), total))
 }
 
 /// Incremental control-frame decoder for byte streams.
@@ -245,12 +249,16 @@ mod tests {
         dec.feed(&good);
         dec.feed(&bad);
         dec.feed(&tail);
-        assert!(matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(f)) if f.payload == b"hb-1"));
+        assert!(
+            matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(f)) if f.payload == b"hb-1")
+        );
         assert_eq!(
             dec.next_event().unwrap(),
             Some(ControlEvent::Corrupt { opcode: opcodes::LOG_CHUNK })
         );
-        assert!(matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(f)) if f.payload == b"hb-2"));
+        assert!(
+            matches!(dec.next_event().unwrap(), Some(ControlEvent::Frame(f)) if f.payload == b"hb-2")
+        );
         assert_eq!(dec.next_event().unwrap(), None);
         assert_eq!(dec.buffered(), 0);
     }
@@ -295,10 +303,7 @@ mod tests {
     fn oversized_payload_rejected() {
         let mut bytes = encode_control_frame(opcodes::LOG_CHUNK, b"x");
         bytes[3..7].copy_from_slice(&(MAX_CONTROL_PAYLOAD + 1).to_le_bytes());
-        assert!(matches!(
-            decode_control_frame(&bytes),
-            Err(ProtoError::OversizedFrame { .. })
-        ));
+        assert!(matches!(decode_control_frame(&bytes), Err(ProtoError::OversizedFrame { .. })));
     }
 
     #[test]

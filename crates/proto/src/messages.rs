@@ -429,10 +429,9 @@ impl PeerMessage {
                 PeerMessage::AskSharedFilesAnswer { files }
             }
             peer::FILE_REQUEST => PeerMessage::FileRequest { file_id: FileId(r.hash()?) },
-            peer::FILE_REQUEST_ANSWER => PeerMessage::FileRequestAnswer {
-                file_id: FileId(r.hash()?),
-                name: r.str16()?,
-            },
+            peer::FILE_REQUEST_ANSWER => {
+                PeerMessage::FileRequestAnswer { file_id: FileId(r.hash()?), name: r.str16()? }
+            }
             other => {
                 return Err(ProtoError::UnknownOpcode { opcode: other, context: "peer↔peer" })
             }

@@ -212,9 +212,7 @@ impl SearchExpr {
             }
             SearchExpr::Keyword(kw) => {
                 let kw = kw.to_ascii_lowercase();
-                name.to_ascii_lowercase()
-                    .split(|c: char| !c.is_alphanumeric())
-                    .any(|w| w == kw)
+                name.to_ascii_lowercase().split(|c: char| !c.is_alphanumeric()).any(|w| w == kw)
             }
             SearchExpr::StringTag { name: tag, value } => {
                 tag == "type" && file_type.eq_ignore_ascii_case(value)

@@ -168,9 +168,7 @@ impl Tag {
 
 /// Looks up the first tag with the given special ID in a tag list.
 pub fn find_special(tags: &[Tag], id: u8) -> Option<&TagValue> {
-    tags.iter()
-        .find(|t| matches!(t.name, TagName::Special(x) if x == id))
-        .map(|t| &t.value)
+    tags.iter().find(|t| matches!(t.name, TagName::Special(x) if x == id)).map(|t| &t.value)
 }
 
 /// Extracts a string tag value by special ID.
@@ -259,10 +257,7 @@ mod tests {
 
     #[test]
     fn lookup_helpers() {
-        let tags = vec![
-            Tag::string(special::NAME, "song.mp3"),
-            Tag::u32(special::SIZE, 5_000_000),
-        ];
+        let tags = vec![Tag::string(special::NAME, "song.mp3"), Tag::u32(special::SIZE, 5_000_000)];
         assert_eq!(get_string(&tags, special::NAME), Some("song.mp3"));
         assert_eq!(get_u32(&tags, special::SIZE), Some(5_000_000));
         assert_eq!(get_u32(&tags, special::NAME), None, "type mismatch yields None");

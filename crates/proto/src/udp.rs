@@ -93,11 +93,9 @@ impl UdpMessage {
         let opcode = r.u8()?;
         let msg = match opcode {
             opcodes::GLOB_STAT_REQ => UdpMessage::GlobStatReq { challenge: r.u32()? },
-            opcodes::GLOB_STAT_RES => UdpMessage::GlobStatRes {
-                challenge: r.u32()?,
-                users: r.u32()?,
-                files: r.u32()?,
-            },
+            opcodes::GLOB_STAT_RES => {
+                UdpMessage::GlobStatRes { challenge: r.u32()?, users: r.u32()?, files: r.u32()? }
+            }
             opcodes::GLOB_GET_SOURCES => {
                 if r.remaining() % 16 != 0 || r.remaining() == 0 {
                     return Err(ProtoError::Invalid(
@@ -142,11 +140,8 @@ mod tests {
     fn stat_round_trip() {
         let m = UdpMessage::GlobStatReq { challenge: 0xDEAD_BEEF };
         assert_eq!(round_trip(&m), m);
-        let m = UdpMessage::GlobStatRes {
-            challenge: 0xDEAD_BEEF,
-            users: 1_234_567,
-            files: 89_000_000,
-        };
+        let m =
+            UdpMessage::GlobStatRes { challenge: 0xDEAD_BEEF, users: 1_234_567, files: 89_000_000 };
         assert_eq!(round_trip(&m), m);
     }
 

@@ -58,11 +58,7 @@ fn arb_peer_message() -> impl Strategy<Value = PeerMessage> {
         );
     let start = arb_hash().prop_map(|h| PeerMessage::StartUpload { file_id: FileId(h) });
     let ranges = (any::<[u32; 3]>(), any::<[u32; 3]>()).prop_map(|(s, e)| {
-        [
-            PartRange::new(s[0], e[0]),
-            PartRange::new(s[1], e[1]),
-            PartRange::new(s[2], e[2]),
-        ]
+        [PartRange::new(s[0], e[0]), PartRange::new(s[1], e[1]), PartRange::new(s[2], e[2])]
     });
     let request = (arb_hash(), ranges)
         .prop_map(|(h, ranges)| PeerMessage::RequestParts { file_id: FileId(h), ranges });

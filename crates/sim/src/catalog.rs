@@ -98,20 +98,53 @@ pub struct Catalog {
 }
 
 const ADJECTIVES: &[&str] = &[
-    "final", "new", "complete", "ultimate", "best", "full", "original", "extended", "special",
-    "classic", "live", "limited", "deluxe", "rare", "official", "uncut", "remastered", "bonus",
-    "golden", "platinum",
+    "final",
+    "new",
+    "complete",
+    "ultimate",
+    "best",
+    "full",
+    "original",
+    "extended",
+    "special",
+    "classic",
+    "live",
+    "limited",
+    "deluxe",
+    "rare",
+    "official",
+    "uncut",
+    "remastered",
+    "bonus",
+    "golden",
+    "platinum",
 ];
 
 const NOUNS: &[&str] = &[
-    "concert", "album", "movie", "episode", "season", "mix", "collection", "soundtrack",
-    "documentary", "show", "session", "track", "record", "film", "series", "compilation",
-    "anthology", "release", "edition", "set",
+    "concert",
+    "album",
+    "movie",
+    "episode",
+    "season",
+    "mix",
+    "collection",
+    "soundtrack",
+    "documentary",
+    "show",
+    "session",
+    "track",
+    "record",
+    "film",
+    "series",
+    "compilation",
+    "anthology",
+    "release",
+    "edition",
+    "set",
 ];
 
-const SOURCES: &[&str] = &[
-    "dvdrip", "webrip", "cdrip", "vinyl", "radio", "tv", "studio", "bootleg", "promo", "retail",
-];
+const SOURCES: &[&str] =
+    &["dvdrip", "webrip", "cdrip", "vinyl", "radio", "tv", "studio", "bootleg", "promo", "retail"];
 
 impl Catalog {
     /// Generates the catalog deterministically from `rng`.
@@ -314,10 +347,7 @@ mod tests {
         // median file.
         let best = (0..1_000)
             .max_by(|&a, &b| {
-                c.file(a as u32)
-                    .popularity
-                    .partial_cmp(&c.file(b as u32).popularity)
-                    .unwrap()
+                c.file(a as u32).popularity.partial_cmp(&c.file(b as u32).popularity).unwrap()
             })
             .unwrap();
         let mut sorted: Vec<u32> = counts.clone();

@@ -191,11 +191,7 @@ pub struct BlacklistConfig {
 
 impl Default for BlacklistConfig {
     fn default() -> Self {
-        BlacklistConfig {
-            skip_cap: 0.5,
-            halfway_detections: 40_000.0,
-            source_quality_bonus: 0.35,
-        }
+        BlacklistConfig { skip_cap: 0.5, halfway_detections: 40_000.0, source_quality_bonus: 0.35 }
     }
 }
 
@@ -323,10 +319,7 @@ impl ScenarioConfig {
             duration: SimTime::from_days(2),
             catalog: CatalogConfig { n_files: 200, ..Default::default() },
             honeypots: vec![HoneypotSetup::fixed(ContentStrategy::NoContent, vec![0], 1.0)],
-            population: PopulationConfig {
-                rate_per_popularity: 2_000.0,
-                ..Default::default()
-            },
+            population: PopulationConfig { rate_per_popularity: 2_000.0, ..Default::default() },
             behavior: BehaviorConfig::default(),
             blacklist: BlacklistConfig::default(),
             robots: RobotConfig { count: 1, ..Default::default() },

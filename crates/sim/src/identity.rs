@@ -12,8 +12,16 @@ use netsim::Rng;
 /// Client software names observed in the wild circa 2008, used as the peer
 /// name pool.
 pub const CLIENT_NAMES: &[&str] = &[
-    "eMule", "aMule", "eMule Plus", "MLDonkey", "Shareaza", "lphant", "eDonkey2000", "Hydranode",
-    "Jubster", "eMule Xtreme",
+    "eMule",
+    "aMule",
+    "eMule Plus",
+    "MLDonkey",
+    "Shareaza",
+    "lphant",
+    "eDonkey2000",
+    "Hydranode",
+    "Jubster",
+    "eMule Xtreme",
 ];
 
 /// Client version tags matching the name pool's era.
@@ -81,7 +89,8 @@ impl IdentityFactory {
             10 | 127 | 192 => a + 1,
             x => x,
         };
-        let ip = Ipv4::new(a as u8, (scrambled >> 16) as u8, (scrambled >> 8) as u8, scrambled as u8);
+        let ip =
+            Ipv4::new(a as u8, (scrambled >> 16) as u8, (scrambled >> 8) as u8, scrambled as u8);
         let low = self.rng.chance(self.low_id_fraction);
         // Note the protocol quirk: an address ending in .0 encodes (LE) to
         // a value below 2^24, so a directly-reachable peer at x.y.z.0 is

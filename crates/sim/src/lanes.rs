@@ -199,8 +199,7 @@ mod tests {
         }
         // The least attractive honeypot is genuinely thinned.
         assert!(
-            lane_config(&c, 2).population.rate_per_popularity
-                < c.population.rate_per_popularity
+            lane_config(&c, 2).population.rate_per_popularity < c.population.rate_per_popularity
         );
     }
 

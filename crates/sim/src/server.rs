@@ -8,9 +8,9 @@
 
 use std::collections::HashMap;
 
-use edonkey_proto::{ClientId, ClientServerMessage, FileId, PeerAddr, PublishedFile, SearchExpr};
 #[cfg(test)]
 use edonkey_proto::Ipv4;
+use edonkey_proto::{ClientId, ClientServerMessage, FileId, PeerAddr, PublishedFile, SearchExpr};
 
 use honeypot::types::ServerInfo;
 
@@ -87,9 +87,9 @@ impl SimServer {
                 if !providers.contains(&session) {
                     providers.push(session);
                 }
-                self.metadata.entry(f.file_id).or_insert_with(|| {
-                    (f.name().unwrap_or("").to_string(), f.size().unwrap_or(0))
-                });
+                self.metadata
+                    .entry(f.file_id)
+                    .or_insert_with(|| (f.name().unwrap_or("").to_string(), f.size().unwrap_or(0)));
             }
         }
     }
@@ -101,11 +101,7 @@ impl SimServer {
             .index
             .get(&file_id)
             .map(|sessions| {
-                sessions
-                    .iter()
-                    .filter_map(|s| self.clients.get(s))
-                    .map(|r| r.addr)
-                    .collect()
+                sessions.iter().filter_map(|s| self.clients.get(s)).map(|r| r.addr).collect()
             })
             .unwrap_or_default();
         ClientServerMessage::FoundSources { file_id, sources }
@@ -241,9 +237,7 @@ mod tests {
         s.login(2, addr(2), true);
         s.offer_files(1, &offer(&[f]));
         s.offer_files(2, &offer(&[f]));
-        let ClientServerMessage::FoundSources { sources, .. } = s.get_sources(f) else {
-            panic!()
-        };
+        let ClientServerMessage::FoundSources { sources, .. } = s.get_sources(f) else { panic!() };
         assert_eq!(sources.len(), 2);
         assert!(sources.contains(&addr(1)) && sources.contains(&addr(2)));
         assert_eq!(s.provider_sessions(&f), &[1, 2]);
@@ -298,12 +292,15 @@ mod tests {
     fn search_finds_matching_indexed_files() {
         let mut s = server();
         s.login(1, addr(1), true);
-        s.offer_files(1, &ClientServerMessage::OfferFiles {
-            files: vec![
-                PublishedFile::new(FileId::from_seed(b"u"), "ubuntu.8.10.iso", 700 << 20),
-                PublishedFile::new(FileId::from_seed(b"m"), "some.song.mp3", 5 << 20),
-            ],
-        });
+        s.offer_files(
+            1,
+            &ClientServerMessage::OfferFiles {
+                files: vec![
+                    PublishedFile::new(FileId::from_seed(b"u"), "ubuntu.8.10.iso", 700 << 20),
+                    PublishedFile::new(FileId::from_seed(b"m"), "some.song.mp3", 5 << 20),
+                ],
+            },
+        );
         let expr = SearchExpr::keyword("ubuntu");
         let ClientServerMessage::SearchResult { files } = s.search(&expr, 100) else { panic!() };
         assert_eq!(files.len(), 1);

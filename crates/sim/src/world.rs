@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use crate::catalog::Catalog;
 use crate::config::{QueueKind, ScenarioConfig};
 use crate::identity::IdentityFactory;
-use crate::peer::{SessionOutcome, SessionState, Session, SimPeer, MAX_HONEYPOTS};
+use crate::peer::{Session, SessionOutcome, SessionState, SimPeer, MAX_HONEYPOTS};
 use crate::server::SimServer;
 
 /// Events of the eDonkey world.
@@ -143,11 +143,8 @@ impl EdonkeyWorld {
         let id_index: HashMap<FileId, u32> =
             (0..catalog.len() as u32).map(|i| (catalog.file(i).id, i)).collect();
 
-        let server_info = ServerInfo::new(
-            "Big Server One",
-            edonkey_proto::Ipv4::new(195, 200, 1, 1),
-            4661,
-        );
+        let server_info =
+            ServerInfo::new("Big Server One", edonkey_proto::Ipv4::new(195, 200, 1, 1), 4661);
         let server = SimServer::new(server_info.clone());
         let ip_hasher = IpHasher::from_seed(root.substream("salt").next_u64());
 
@@ -257,7 +254,9 @@ impl EdonkeyWorld {
             if off > 0 {
                 for (i, start_day_x10) in [70u64, 200].iter().enumerate() {
                     engine.schedule(
-                        SimTime::from_hours((start_day_x10 * 24) / 10 + 13 * u64::from(robot) + i as u64),
+                        SimTime::from_hours(
+                            (start_day_x10 * 24) / 10 + 13 * u64::from(robot) + i as u64,
+                        ),
                         Event::RobotOff { peer: robot, duration_ms: off },
                     );
                 }
@@ -446,8 +445,7 @@ impl EdonkeyWorld {
                 }
             }
         }
-        let skips: Vec<f64> =
-            candidates.iter().map(|&hp| self.skip_prob(hp as usize)).collect();
+        let skips: Vec<f64> = candidates.iter().map(|&hp| self.skip_prob(hp as usize)).collect();
         let rng = &mut self.rng_behavior;
         let mut i = 0;
         candidates.retain(|_| {
@@ -572,8 +570,7 @@ impl EdonkeyWorld {
         peer.rounds = peer.rounds.saturating_add(1);
         if !peer.done(now, behavior.abandon_failures) {
             let delay =
-                exponential(&mut self.rng_behavior, 1.0 / behavior.retry_interval_ms as f64)
-                    as u64;
+                exponential(&mut self.rng_behavior, 1.0 / behavior.retry_interval_ms as f64) as u64;
             sched.in_ms(delay.max(60_000), Event::RoundStart { peer: peer_idx });
         }
     }
@@ -602,9 +599,8 @@ impl EdonkeyWorld {
             // genuinely wants the file); later rounds are mostly re-polls.
             let do_request =
                 peer.rounds == 0 || self.rng_behavior.chance(behavior.retry_request_prob);
-            let budget =
-                (1 + geometric(&mut self.rng_behavior, behavior.rc_budget_mean - 1.0)).min(60)
-                    as u8;
+            let budget = (1 + geometric(&mut self.rng_behavior, behavior.rc_budget_mean - 1.0))
+                .min(60) as u8;
             let conn = self.next_conn;
             self.next_conn += 1;
             let peer = &mut self.peers[peer_idx as usize];
@@ -641,10 +637,10 @@ impl EdonkeyWorld {
                 self.stats.hello_sent += 1;
                 let src_ip = peer.identity.ip;
                 let conn = ConnId(session.conn);
-                let replies =
-                    self.honeypots[hp_idx].on_peer_message(now, conn, src_ip, &msg);
-                let answered =
-                    replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::HelloAnswer { .. })));
+                let replies = self.honeypots[hp_idx].on_peer_message(now, conn, src_ip, &msg);
+                let answered = replies
+                    .iter()
+                    .any(|a| matches!(a, Action::Reply(PeerMessage::HelloAnswer { .. })));
                 let asked_shared =
                     replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::AskSharedFiles)));
                 self.route_non_replies(now, hp_idx, replies);
@@ -698,8 +694,7 @@ impl EdonkeyWorld {
                     if !self.honeypots[hp_idx].advertises(&self.catalog.file(ci).id) {
                         continue;
                     }
-                    let msg =
-                        PeerMessage::StartUpload { file_id: self.catalog.file(ci).id };
+                    let msg = PeerMessage::StartUpload { file_id: self.catalog.file(ci).id };
                     self.stats.start_upload_sent += 1;
                     let replies = self.honeypots[hp_idx].on_peer_message(
                         now,
@@ -735,14 +730,11 @@ impl EdonkeyWorld {
                 };
                 self.stats.request_parts_sent += 1;
                 let src_ip = peer.identity.ip;
-                let replies = self.honeypots[hp_idx].on_peer_message(
-                    now,
-                    ConnId(session.conn),
-                    src_ip,
-                    &msg,
-                );
-                let got_data =
-                    replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
+                let replies =
+                    self.honeypots[hp_idx].on_peer_message(now, ConnId(session.conn), src_ip, &msg);
+                let got_data = replies
+                    .iter()
+                    .any(|a| matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
                 self.route_non_replies(now, hp_idx, replies);
                 if session.block_cursor == 0 {
                     // First part request of this session.
@@ -768,10 +760,9 @@ impl EdonkeyWorld {
                         self.finish_session(now, peer_idx, outcome, sched);
                         return;
                     }
-                    let delay = exponential(
-                        &mut self.rng_behavior,
-                        1.0 / behavior.rc_transfer_ms as f64,
-                    ) as u64;
+                    let delay =
+                        exponential(&mut self.rng_behavior, 1.0 / behavior.rc_transfer_ms as f64)
+                            as u64;
                     sched.in_ms(delay.max(500), Event::SessionStep { peer: peer_idx });
                 } else {
                     s.timeouts += 1;
@@ -788,9 +779,10 @@ impl EdonkeyWorld {
                     // Silence paces at the timeout, near-constant (Fig. 9's
                     // smooth no-content curve).
                     let jitter = self.rng_behavior.below(2_000);
-                    sched.in_ms(behavior.nc_timeout_ms + jitter, Event::SessionStep {
-                        peer: peer_idx,
-                    });
+                    sched.in_ms(
+                        behavior.nc_timeout_ms + jitter,
+                        Event::SessionStep { peer: peer_idx },
+                    );
                 }
             }
         }
@@ -818,13 +810,10 @@ impl EdonkeyWorld {
         if phase == RobotPhase::Greet {
             let off_until = self.robot_off_until[peer_idx as usize];
             if now < off_until {
-                sched.at(off_until.plus_millis(u64::from(hp) * 30_000), Event::RobotStep {
-                    peer: peer_idx,
-                    hp,
-                    phase,
-                    remaining,
-                    conn,
-                });
+                sched.at(
+                    off_until.plus_millis(u64::from(hp) * 30_000),
+                    Event::RobotStep { peer: peer_idx, hp, phase, remaining, conn },
+                );
                 return;
             }
         }
@@ -872,9 +861,8 @@ impl EdonkeyWorld {
                 let src_ip = peer.identity.ip;
                 let replies =
                     self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
-                let accepted = replies
-                    .iter()
-                    .any(|a| matches!(a, Action::Reply(PeerMessage::AcceptUpload)));
+                let accepted =
+                    replies.iter().any(|a| matches!(a, Action::Reply(PeerMessage::AcceptUpload)));
                 self.route_non_replies(now, hp_idx, replies);
                 if accepted {
                     let budget = robots.budget.clamp(1, 250) as u8;
@@ -945,11 +933,7 @@ impl EdonkeyWorld {
         }
         let shared_final = self.honeypots.iter().map(|h| h.shared_files().len()).max().unwrap_or(0);
         let relaunches = self.manager.relaunch_count();
-        let log = self.manager.finalize(
-            duration,
-            shared_final as u32,
-            self.config.name_threshold,
-        );
+        let log = self.manager.finalize(duration, shared_final as u32, self.config.name_threshold);
         SimOutput { log, stats: self.stats, relaunches }
     }
 
@@ -1024,8 +1008,8 @@ impl World for EdonkeyWorld {
                 // low-activity hours — this, not just arrivals, carries the
                 // day/night oscillation of Fig. 4 into the query volume.
                 let p = &self.config.population;
-                let gate = p.diurnal.multiplier(now, p.local_offset_hours)
-                    / (1.0 + p.diurnal.amplitude);
+                let gate =
+                    p.diurnal.multiplier(now, p.local_offset_hours) / (1.0 + p.diurnal.amplitude);
                 if !self.rng_behavior.chance(gate) {
                     let delay = 45 * 60_000 + self.rng_behavior.below(45 * 60_000);
                     sched.in_ms(delay, Event::RoundStart { peer });
@@ -1264,9 +1248,8 @@ mod tests {
     #[test]
     fn crashes_trigger_relaunches() {
         let mut config = ScenarioConfig::tiny(11);
-        config.crashes = Some(crate::config::CrashConfig {
-            mtbf_ms: 6 * netsim::time::MS_PER_HOUR,
-        });
+        config.crashes =
+            Some(crate::config::CrashConfig { mtbf_ms: 6 * netsim::time::MS_PER_HOUR });
         let out = run_scenario(config);
         assert!(out.stats.crashes > 0, "failure injection must fire");
         assert!(out.relaunches > 0, "manager must relaunch dead honeypots");

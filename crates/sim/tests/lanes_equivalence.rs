@@ -33,10 +33,7 @@ fn sharded_log_is_identical_for_every_pool_size() {
     assert!(!reference.log.records.is_empty());
 
     for threads in [1usize, 2, 8] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
         let out = pool.install(|| run_sharded(config.clone()));
         assert_eq!(
             format!("{:?}", out.log),

@@ -2,12 +2,12 @@
 
 use proptest::prelude::*;
 
+use edonkey_proto::{ClientServerMessage, FileId, Ipv4, PeerAddr, PublishedFile};
 use edonkey_sim::catalog::{Catalog, CatalogConfig};
 use edonkey_sim::identity::IdentityFactory;
 use edonkey_sim::server::SimServer;
 use edonkey_sim::ScenarioConfig;
 use honeypot::ServerInfo;
-use edonkey_proto::{ClientServerMessage, FileId, Ipv4, PeerAddr, PublishedFile};
 use netsim::Rng;
 
 proptest! {

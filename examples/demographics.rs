@@ -8,7 +8,7 @@
 
 use edonkey_honeypots::analysis::report::{ascii_table, format_count};
 use edonkey_honeypots::analysis::{
-    co_interest, client_software, honeypot_load_gini, id_status_breakdown,
+    client_software, co_interest, honeypot_load_gini, id_status_breakdown,
     queries_per_peer_histogram,
 };
 use edonkey_honeypots::experiments::{Measurement, Options};

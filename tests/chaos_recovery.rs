@@ -272,11 +272,12 @@ fn duplicate_uploads_are_reacked_never_remerged() {
     };
     let upload = ControlMessage::LogUpload { agent: 0, seq: 0, chunk };
     conn.send(&upload).expect("first upload");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { seq: 0 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1 }));
     // The retry case: the ack was lost on the agent's side, so the exact
-    // same frame arrives again.
+    // same frame arrives again.  The cumulative frontier is unchanged —
+    // the daemon re-acknowledges `next_seq: 1` without re-merging.
     conn.send(&upload).expect("second upload");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { seq: 0 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1 }));
 
     let metrics = daemon.metrics();
     assert_eq!(metrics.agents[0].duplicate_chunks, 1, "the re-send must be counted");
@@ -288,6 +289,78 @@ fn duplicate_uploads_are_reacked_never_remerged() {
         daemon.finish(SimTime::from_secs(60), 4, 1, Duration::from_millis(500));
     assert_eq!(order, vec![(0, 0)], "merge order records seq 0 exactly once");
     assert_eq!(metrics.agents[0].chunks_merged, 1);
+}
+
+/// The windowed-upload chaos case (PR 6): an agent with a durable spool
+/// dies mid-window — some chunks acknowledged (and trimmed from its
+/// spool), the last one sent but never acknowledged.  The relaunched
+/// incarnation registers with `resume`, learns the cumulative ack
+/// frontier from its `RegisterAck`, trims everything the daemon already
+/// merged, and continues from there.  The recovered measurement must be
+/// bit-identical and no sequence may merge twice.
+#[test]
+fn partially_acked_window_survives_agent_crash() {
+    let root = scratch_dir("window");
+
+    // Die right after *sending* seq 2: by then seqs 0 and 1 have been
+    // acknowledged cumulatively and trimmed, seq 2 is in flight — a
+    // partially-acked window at the moment of death.
+    let specs = vec![fixed_spec(
+        b"window",
+        FaultPlan { kill_after_chunk: Some(2), ..FaultPlan::default() },
+    )];
+    let opts =
+        LoopbackOptions { spool_dir: Some(root.join("spool")), ..LoopbackOptions::default() };
+    let deployment = LoopbackDeployment::start(specs, opts).expect("start deployment");
+    assert!(deployment.wait_ready(Duration::from_secs(10)), "agent never became ready");
+
+    // Drive traffic until three chunks have merged.  Individual download
+    // attempts may land in the agent's death window and fail — that is
+    // the point of the schedule — so only the merge counter gates.
+    let file = FileId::from_seed(b"window");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut round = 0u32;
+    while deployment.daemon().chunks_collected() < 3 {
+        assert!(std::time::Instant::now() < deadline, "three chunks never merged");
+        let _ = deployment.drive_download(&format!("win-peer-{round}"), 0, file, 1, &[]);
+        round += 1;
+        std::thread::sleep(Duration::from_millis(80));
+    }
+
+    // Supervision must declare the death and relaunch; the relaunched
+    // incarnation resumes from the frontier in its `RegisterAck`.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while deployment.daemon().relaunch_count() < 1 {
+        assert!(std::time::Instant::now() < deadline, "killed agent was never relaunched");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(deployment.wait_ready(Duration::from_secs(10)), "relaunch never came back");
+
+    // The resumed incarnation keeps measuring past the crash.
+    let merged = deployment.daemon().chunks_collected();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while deployment.daemon().chunks_collected() <= merged {
+        assert!(std::time::Instant::now() < deadline, "no chunk merged after the relaunch");
+        let _ = deployment.drive_download(&format!("win-post-{round}"), 0, file, 1, &[]);
+        round += 1;
+        std::thread::sleep(Duration::from_millis(80));
+    }
+
+    let outcome = deployment.finish(SimTime::from_secs(60), 4, 1, Duration::from_secs(5));
+
+    // Bit-identical recovery and exactly-once merging across the
+    // partially-acked window.
+    assert_eq!(outcome.replay_divergence(), None, "recovered log must replay bit-identical");
+    assert_eq!(outcome.metrics.double_merge_violation(), None);
+    assert!(outcome.metrics.agents[0].deaths >= 1, "the scripted kill must be observed");
+
+    // The merged-sequence ledger must be one contiguous range from 0:
+    // nothing lost at the crash boundary, nothing merged twice.
+    let ranges = &outcome.metrics.agents[0].merged_ranges;
+    assert_eq!(ranges.len(), 1, "merges must form one contiguous range, got {ranges:?}");
+    assert_eq!(ranges[0].0, 0, "merges must start at seq 0, got {ranges:?}");
+
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 /// Polls `conn` until a message matching `pred` arrives (5 s budget).

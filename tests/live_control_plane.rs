@@ -152,8 +152,10 @@ fn truncated_upload_resumes_without_loss() {
 /// faults).
 #[test]
 fn clean_deployment_is_faultless_and_lossless() {
-    let specs =
-        vec![fixed_spec(b"clean-a", FaultPlan::default()), fixed_spec(b"clean-b", FaultPlan::default())];
+    let specs = vec![
+        fixed_spec(b"clean-a", FaultPlan::default()),
+        fixed_spec(b"clean-b", FaultPlan::default()),
+    ];
     let deployment =
         LoopbackDeployment::start(specs, LoopbackOptions::default()).expect("start deployment");
     assert!(deployment.wait_ready(Duration::from_secs(10)));

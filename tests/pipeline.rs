@@ -78,19 +78,12 @@ fn greedy_pipeline_adopts_and_freezes() {
     let log = Options { scale: 0.05, ..small_opts(14) }.run(Measurement::Greedy);
     assert!(log.validate().is_empty());
     let stats = basic_stats(&log);
-    assert!(
-        stats.shared_files > 10,
-        "greedy must adopt files on day 1: {}",
-        stats.shared_files
-    );
+    assert!(stats.shared_files > 10, "greedy must adopt files on day 1: {}", stats.shared_files);
     // Day-1 initialisation: far fewer peers on day 0 than later (Fig. 3).
     let growth = peer_growth(&log);
     let day0 = growth.new_per_day[0] as f64;
     let later: f64 = growth.new_per_day[2..8].iter().sum::<u64>() as f64 / 6.0;
-    assert!(
-        day0 < later * 0.6,
-        "day-1 dip expected: day0 {day0}, later average {later}"
-    );
+    assert!(day0 < later * 0.6, "day-1 dip expected: day0 {day0}, later average {later}");
 }
 
 #[test]

@@ -3,18 +3,20 @@
 //! reproduce?" tests — magnitudes shrink with `--scale`, shapes must not.
 
 use edonkey_honeypots::analysis::{
-    file_peer_counts, first_event_ms, hourly_counts, peer_growth, peer_series,
-    peer_sets_by_file, popular_files, random_files, subset_curve, top_peer,
+    file_peer_counts, first_event_ms, hourly_counts, peer_growth, peer_series, peer_sets_by_file,
+    popular_files, random_files, subset_curve, top_peer,
 };
 use edonkey_honeypots::experiments::{Measurement, Options};
 use edonkey_honeypots::platform::{MeasurementLog, QueryKind};
 
 fn distributed() -> MeasurementLog {
-    Options { scale: 0.02, seed: 40, samples: 20, json: false, ..Default::default() }.run(Measurement::Distributed)
+    Options { scale: 0.02, seed: 40, samples: 20, json: false, ..Default::default() }
+        .run(Measurement::Distributed)
 }
 
 fn greedy() -> MeasurementLog {
-    Options { scale: 0.03, seed: 41, samples: 20, json: false, ..Default::default() }.run(Measurement::Greedy)
+    Options { scale: 0.03, seed: 41, samples: 20, json: false, ..Default::default() }
+        .run(Measurement::Greedy)
 }
 
 #[test]
@@ -26,10 +28,7 @@ fn fig02_shape_linear_growth_without_saturation() {
     assert!(g.tail_rate(5) > 0.01 * total, "discovery stalled: {:?}", g.new_per_day);
     // Roughly linear: the second half contributes a substantial share.
     let half = g.cumulative[15] as f64;
-    assert!(
-        half < 0.75 * total,
-        "growth saturated early: half {half}, total {total}"
-    );
+    assert!(half < 0.75 * total, "growth saturated early: half {half}, total {total}");
 }
 
 #[test]
@@ -63,10 +62,7 @@ fn fig08_09_shape_top_peer_dominates_and_prefers_random_content() {
     );
     let parts = peer_series(&log, top, QueryKind::RequestPart);
     let (rc_p, nc_p) = parts.finals();
-    assert!(
-        rc_p > nc_p,
-        "REQUEST-PART pacing must favour random content: {rc_p} vs {nc_p}"
-    );
+    assert!(rc_p > nc_p, "REQUEST-PART pacing must favour random content: {rc_p} vs {nc_p}");
 }
 
 #[test]
@@ -89,10 +85,7 @@ fn fig11_12_shape_popular_files_dominate_random_files() {
     let counts = file_peer_counts(&sets);
     let best = counts[0];
     let worst = *counts.last().unwrap();
-    assert!(
-        best >= 20 * worst.max(1),
-        "per-file spread too flat: best {best}, worst {worst}"
-    );
+    assert!(best >= 20 * worst.max(1), "per-file spread too flat: best {best}, worst {worst}");
     // Growth in the number of advertised files keeps paying off: the
     // random-files curve must not plateau.
     let mid = rnd_curve[k / 2].avg;

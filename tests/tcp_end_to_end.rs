@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use edonkey_honeypots::net::{HoneypotHost, NetServer, ScriptedPeer};
 use edonkey_honeypots::platform::{
-    AdvertisedFile, ContentStrategy, FileStrategy, Honeypot, HoneypotConfig, HoneypotId,
-    IpHasher, QueryKind, ServerInfo,
+    AdvertisedFile, ContentStrategy, FileStrategy, Honeypot, HoneypotConfig, HoneypotId, IpHasher,
+    QueryKind, ServerInfo,
 };
 use edonkey_honeypots::proto::{FileId, Ipv4};
 use netsim::{Rng, SimTime};
@@ -88,13 +88,11 @@ fn honeypot_logs_carry_peer_metadata_and_hashed_ips() {
     let file = FileId::from_seed(b"test-file");
 
     let mut peer = ScriptedPeer::login(server.addr(), "metadata-peer").unwrap();
-    let _ = peer
-        .attempt_download(host.peer_addr(), file, 1, Duration::from_millis(200), &[])
-        .unwrap();
+    let _ =
+        peer.attempt_download(host.peer_addr(), file, 1, Duration::from_millis(200), &[]).unwrap();
 
     let chunk = host.stop();
-    let hello: Vec<_> =
-        chunk.records.iter().filter(|r| r.kind == QueryKind::Hello).collect();
+    let hello: Vec<_> = chunk.records.iter().filter(|r| r.kind == QueryKind::Hello).collect();
     assert_eq!(hello.len(), 1);
     let rec = hello[0];
     assert_eq!(chunk.peer_names[rec.name as usize], "metadata-peer");
@@ -183,12 +181,7 @@ fn greedy_loopback_run_flows_through_merge_pipeline() {
         port: 4662,
         client_name: "greedy-pipeline-hp".into(),
     };
-    let hp = Honeypot::new(
-        config,
-        server_info.clone(),
-        IpHasher::from_seed(1),
-        Rng::seed_from(4),
-    );
+    let hp = Honeypot::new(config, server_info.clone(), IpHasher::from_seed(1), Rng::seed_from(4));
     let host = HoneypotHost::start(hp, server.addr()).expect("start host");
     assert!(host.wait_connected(Duration::from_secs(5)));
 
@@ -231,9 +224,7 @@ fn keyword_search_over_tcp_finds_honeypot_files() {
     let hits = peer.search(edonkey_honeypots::proto::SearchExpr::keyword("test")).unwrap();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].name(), Some("test file.avi"));
-    let none = peer
-        .search(edonkey_honeypots::proto::SearchExpr::keyword("nonexistent"))
-        .unwrap();
+    let none = peer.search(edonkey_honeypots::proto::SearchExpr::keyword("nonexistent")).unwrap();
     assert!(none.is_empty());
     // Boolean query: keyword AND size constraint.
     let expr = edonkey_honeypots::proto::SearchExpr::keyword("file").and(
@@ -260,21 +251,13 @@ fn two_peers_are_distinct_in_the_log_by_user_hash() {
             .unwrap();
     }
     let chunk = host.stop();
-    let users: std::collections::HashSet<_> = chunk
-        .records
-        .iter()
-        .filter(|r| r.kind == QueryKind::Hello)
-        .map(|r| r.user_id)
-        .collect();
+    let users: std::collections::HashSet<_> =
+        chunk.records.iter().filter(|r| r.kind == QueryKind::Hello).map(|r| r.user_id).collect();
     assert_eq!(users.len(), 2, "both peers logged with distinct user hashes");
     // Same source IP (loopback) ⇒ same hashed peer identity: the paper
     // counts peers by address, and both connections came from 127.0.0.1.
-    let ips: std::collections::HashSet<_> = chunk
-        .records
-        .iter()
-        .filter(|r| r.kind == QueryKind::Hello)
-        .map(|r| r.peer)
-        .collect();
+    let ips: std::collections::HashSet<_> =
+        chunk.records.iter().filter(|r| r.kind == QueryKind::Hello).map(|r| r.peer).collect();
     assert_eq!(ips.len(), 1);
     server.stop();
 }
