@@ -20,19 +20,31 @@
 //! the `impl LogIndex` block for its own figures, so the module stays the
 //! home of that figure family's logic.
 //!
+//! # Streaming
+//! The scan itself lives in [`IndexBuilder`], which consumes records
+//! chunk-at-a-time (or one at a time): a caller replaying a spooled
+//! measurement can feed records as they decode and never hold the full
+//! record vector alongside the index.  [`LogIndex::build`] and both forced
+//! variants are thin drivers over the builder — the sequential path feeds
+//! one builder, the parallel path feeds one builder per fixed chunk and
+//! [`IndexBuilder::absorb`]s them in chunk order.
+//!
 //! # Determinism
 //! The parallel build splits the record vector into a *fixed* number of
 //! chunks (independent of worker-thread count) and merges partial
 //! accumulators in chunk order with order-insensitive operations (min,
 //! add, bitwise or).  The result is therefore a pure function of the log,
 //! whatever rayon pool it runs on — asserted by
-//! `tests/index_equivalence.rs::index_is_thread_count_independent`.
+//! `tests/index_equivalence.rs::index_is_thread_count_independent`.  The
+//! same argument makes the streaming builder chunking-insensitive: any
+//! partition of the records into pushes yields the same index.
 
 use std::collections::HashMap;
 
 use honeypot::log::FILE_NONE;
-use honeypot::{ContentStrategy, MeasurementLog, QueryKind};
+use honeypot::{AnonRecord, ContentStrategy, MeasurementLog, QueryKind};
 use netsim::time::{MS_PER_DAY, MS_PER_HOUR};
+use netsim::SimTime;
 use rayon::prelude::*;
 
 use crate::subset::PeerSet;
@@ -205,6 +217,127 @@ fn bump_ragged(v: &mut Vec<u64>, idx: usize) {
     v[idx] += 1;
 }
 
+/// Incremental construction of a [`LogIndex`].
+///
+/// The builder is seeded from the measurement *header* — distinct-peer
+/// count, honeypot strategies, duration — and then fed records in any
+/// chunking: whole log, storage-decode batches, or one at a time.  Every
+/// accumulation is order- and chunking-insensitive (min / add / bitwise
+/// or), so any partition of the same records yields the same index.  Two
+/// builders over disjoint record subsets can also be combined with
+/// [`IndexBuilder::absorb`], which is how the parallel build merges its
+/// per-chunk workers.
+pub struct IndexBuilder {
+    universe: usize,
+    days: usize,
+    hours: usize,
+    /// Honeypot id → strategy index, from the header.
+    strategy_of: Vec<usize>,
+    acc: Partial,
+}
+
+impl IndexBuilder {
+    /// A builder dimensioned by the log's header (its records are *not*
+    /// read here — feed them via [`IndexBuilder::push_records`]).
+    pub fn for_log(log: &MeasurementLog) -> IndexBuilder {
+        let strategies: Vec<ContentStrategy> = log.honeypots.iter().map(|h| h.content).collect();
+        Self::new(log.distinct_peers, &strategies, log.duration)
+    }
+
+    /// A builder from bare header values, for callers streaming a log that
+    /// is never materialised in memory.
+    pub fn new(distinct_peers: u32, strategies: &[ContentStrategy], duration: SimTime) -> Self {
+        let universe = distinct_peers as usize;
+        IndexBuilder {
+            universe,
+            days: duration.as_millis().div_ceil(MS_PER_DAY).max(1) as usize,
+            hours: duration.as_millis().div_ceil(MS_PER_HOUR).max(1) as usize,
+            strategy_of: strategies.iter().map(|&s| strategy_idx(s)).collect(),
+            acc: Partial::new(universe, strategies.len()),
+        }
+    }
+
+    /// Accumulates one record.
+    pub fn push_record(&mut self, r: &AnonRecord) {
+        let p = &mut self.acc;
+        let at = r.at.as_millis();
+        let k = kind_idx(r.kind);
+        let s = self.strategy_of[r.honeypot.0 as usize];
+        let peer = r.peer.0 as usize;
+        let fs = &mut p.first_seen[s][k][peer];
+        *fs = (*fs).min(at);
+        p.counts[k][peer] += 1;
+        bump_ragged(&mut p.hourly[k], (at / MS_PER_HOUR) as usize);
+        bump_ragged(&mut p.daily[s][k], (at / MS_PER_DAY) as usize);
+        p.kind_first_ms[k] = p.kind_first_ms[k].min(at);
+        p.honeypot_peers[r.honeypot.0 as usize].insert(r.peer.0);
+        if r.file != FILE_NONE {
+            observe_ragged(&mut p.file_first, r.file as usize, at);
+            if r.kind == QueryKind::StartUpload {
+                p.file_peers
+                    .entry(r.file)
+                    .or_insert_with(|| PeerSet::new(self.universe))
+                    .insert(r.peer.0);
+            }
+        }
+    }
+
+    /// Accumulates a chunk of records.
+    pub fn push_records(&mut self, records: &[AnonRecord]) {
+        for r in records {
+            self.push_record(r);
+        }
+    }
+
+    /// Accumulates one shared-list observation: lists establish file
+    /// first-seen times (Table I's distinct-file growth) but carry no
+    /// query-kind data.
+    pub fn push_shared_list(&mut self, at: SimTime, files: &[u32]) {
+        let at = at.as_millis();
+        for &f in files {
+            observe_ragged(&mut self.acc.file_first, f as usize, at);
+        }
+    }
+
+    /// Folds another builder's accumulation into this one.  The two must
+    /// share dimensions (built from the same header); the merge is
+    /// order-insensitive.
+    pub fn absorb(&mut self, other: IndexBuilder) {
+        debug_assert_eq!(self.universe, other.universe, "builders from different headers");
+        let acc = std::mem::replace(&mut self.acc, Partial::new(0, 0));
+        self.acc = acc.merge(other.acc);
+    }
+
+    /// Finalises into the immutable index.
+    pub fn finish(self) -> LogIndex {
+        let Partial {
+            first_seen,
+            counts,
+            hourly,
+            daily,
+            kind_first_ms,
+            honeypot_peers,
+            file_peers,
+            file_first,
+        } = self.acc;
+        let mut file_peers: Vec<(u32, PeerSet)> = file_peers.into_iter().collect();
+        file_peers.sort_by_key(|(f, _)| *f);
+        LogIndex {
+            universe: self.universe,
+            days: self.days,
+            hours: self.hours,
+            first_seen,
+            counts,
+            hourly,
+            daily,
+            kind_first_ms,
+            honeypot_peers,
+            file_peers,
+            file_first,
+        }
+    }
+}
+
 impl LogIndex {
     /// Builds the index in one pass over the log, auto-selecting the
     /// execution: sequential below [`PAR_BUILD_MIN_RECORDS`] or on a
@@ -233,85 +366,32 @@ impl LogIndex {
     }
 
     fn build_chunked(log: &MeasurementLog, chunk_size: usize) -> LogIndex {
-        let universe = log.distinct_peers as usize;
-        let n_honeypots = log.honeypots.len();
-        let strategy_of: Vec<usize> =
-            log.honeypots.iter().map(|h| strategy_idx(h.content)).collect();
-
-        let partials: Vec<Partial> = log
+        let builders: Vec<IndexBuilder> = log
             .records
             .par_chunks(chunk_size)
             .map(|records| {
-                let mut p = Partial::new(universe, n_honeypots);
-                for r in records {
-                    let at = r.at.as_millis();
-                    let k = kind_idx(r.kind);
-                    let s = strategy_of[r.honeypot.0 as usize];
-                    let peer = r.peer.0 as usize;
-                    let fs = &mut p.first_seen[s][k][peer];
-                    *fs = (*fs).min(at);
-                    p.counts[k][peer] += 1;
-                    bump_ragged(&mut p.hourly[k], (at / MS_PER_HOUR) as usize);
-                    bump_ragged(&mut p.daily[s][k], (at / MS_PER_DAY) as usize);
-                    p.kind_first_ms[k] = p.kind_first_ms[k].min(at);
-                    p.honeypot_peers[r.honeypot.0 as usize].insert(r.peer.0);
-                    if r.file != FILE_NONE {
-                        observe_ragged(&mut p.file_first, r.file as usize, at);
-                        if r.kind == QueryKind::StartUpload {
-                            p.file_peers
-                                .entry(r.file)
-                                .or_insert_with(|| PeerSet::new(universe))
-                                .insert(r.peer.0);
-                        }
-                    }
-                }
-                p
+                let mut b = IndexBuilder::for_log(log);
+                b.push_records(records);
+                b
             })
             .collect();
         // Merge sequentially in chunk order: with order-insensitive fold
         // operations this is equivalent to any parallel reduction tree,
         // and it keeps the merge cost off the worker threads.
-        let merged = partials
+        let mut merged = builders
             .into_iter()
-            .reduce(Partial::merge)
-            .unwrap_or_else(|| Partial::new(universe, n_honeypots));
-
-        let Partial {
-            first_seen,
-            counts,
-            hourly,
-            daily,
-            kind_first_ms,
-            honeypot_peers,
-            file_peers,
-            mut file_first,
-        } = merged;
+            .reduce(|mut a, b| {
+                a.absorb(b);
+                a
+            })
+            .unwrap_or_else(|| IndexBuilder::for_log(log));
 
         // Shared-list observations also establish file first-seen times
         // (they are few compared to records; a sequential pass suffices).
         for list in &log.shared_lists {
-            let at = list.at.as_millis();
-            for &f in &list.files {
-                observe_ragged(&mut file_first, f as usize, at);
-            }
+            merged.push_shared_list(list.at, &list.files);
         }
-
-        let mut file_peers: Vec<(u32, PeerSet)> = file_peers.into_iter().collect();
-        file_peers.sort_by_key(|(f, _)| *f);
-
-        LogIndex {
-            universe,
-            days: log.duration.as_millis().div_ceil(MS_PER_DAY).max(1) as usize,
-            hours: log.duration.as_millis().div_ceil(MS_PER_HOUR).max(1) as usize,
-            first_seen,
-            counts,
-            hourly,
-            daily,
-            kind_first_ms,
-            honeypot_peers,
-            file_peers,
-            file_first,
-        }
+        merged.finish()
     }
 
     /// Number of distinct peers (the per-peer array dimension).

@@ -35,7 +35,7 @@ pub mod toppeer;
 
 pub use cointerest::{co_interest, peer_degree_histogram, CoInterestStats, FilePairEdge};
 pub use distinct::{file_growth, peer_growth, peer_growth_filtered, PeerGrowth};
-pub use index::LogIndex;
+pub use index::{IndexBuilder, LogIndex};
 pub use population::{
     client_software, gini, honeypot_load_gini, id_status_breakdown, queries_per_peer_histogram,
     IdStatusBreakdown,

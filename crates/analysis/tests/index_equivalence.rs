@@ -6,7 +6,9 @@
 //! same figures whatever the path that computes them.
 
 use edonkey_analysis::testutil::synthetic_log_with_files;
-use edonkey_analysis::{distinct, strategy, subset, table, timeseries, toppeer, LogIndex};
+use edonkey_analysis::{
+    distinct, strategy, subset, table, timeseries, toppeer, IndexBuilder, LogIndex,
+};
 use honeypot::log::FILE_NONE;
 use honeypot::{AnonPeerId, AnonSharedList, HoneypotId, MeasurementLog, QueryKind};
 use netsim::{Rng, SimTime};
@@ -107,6 +109,67 @@ fn indexed_figures_equal_direct_scans() {
         // The runner's self-check.
         assert_eq!(ix.recount_distinct_peers(), table::recount_distinct_peers(&log));
     }
+}
+
+#[test]
+fn streaming_builder_matches_one_shot_build_for_any_chunking() {
+    let log = busy_log(29);
+    let reference = LogIndex::build(&log);
+    // Feed the same records in several different partitions — including
+    // one record at a time and ragged prime-sized chunks — interleaving
+    // shared lists mid-stream.  Chunking must be invisible.
+    for chunk in [1usize, 7, 113, log.records.len()] {
+        let mut b = IndexBuilder::for_log(&log);
+        let mut lists = log.shared_lists.iter();
+        for records in log.records.chunks(chunk) {
+            b.push_records(records);
+            if let Some(l) = lists.next() {
+                b.push_shared_list(l.at, &l.files);
+            }
+        }
+        for l in lists {
+            b.push_shared_list(l.at, &l.files);
+        }
+        let ix = b.finish();
+        assert_growth_eq(&ix.peer_growth(), &reference.peer_growth(), "peer_growth");
+        assert_growth_eq(&ix.file_growth(), &reference.file_growth(), "file_growth");
+        for kind in KINDS {
+            assert_eq!(ix.hourly_counts(kind).counts, reference.hourly_counts(kind).counts);
+            assert_eq!(ix.top_peer(kind), reference.top_peer(kind));
+            assert_eq!(ix.first_event_ms(kind), reference.first_event_ms(kind));
+        }
+        assert_eq!(
+            format!("{:?}", ix.honeypot_peer_sets()),
+            format!("{:?}", reference.honeypot_peer_sets()),
+            "bitsets must be identical under chunk size {chunk}"
+        );
+        assert_eq!(
+            format!("{:?}", ix.file_peer_sets()),
+            format!("{:?}", reference.file_peer_sets()),
+        );
+    }
+}
+
+#[test]
+fn absorbing_split_builders_matches_one_builder() {
+    let log = busy_log(31);
+    let reference = LogIndex::build_sequential(&log);
+    let mid = log.records.len() / 2;
+    let mut a = IndexBuilder::for_log(&log);
+    a.push_records(&log.records[..mid]);
+    let mut b = IndexBuilder::for_log(&log);
+    b.push_records(&log.records[mid..]);
+    for l in &log.shared_lists {
+        b.push_shared_list(l.at, &l.files);
+    }
+    a.absorb(b);
+    let ix = a.finish();
+    assert_growth_eq(&ix.peer_growth(), &reference.peer_growth(), "peer_growth");
+    assert_growth_eq(&ix.file_growth(), &reference.file_growth(), "file_growth");
+    assert_eq!(
+        format!("{:?}", ix.honeypot_peer_sets()),
+        format!("{:?}", reference.honeypot_peer_sets()),
+    );
 }
 
 #[test]

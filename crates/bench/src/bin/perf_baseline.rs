@@ -15,6 +15,20 @@
 //! reference point (`BENCH_baseline.json` holds the pre-sharding numbers).
 //!
 //! Usage: `cargo run --release -p edonkey-bench --bin perf_baseline -- [--scale F]`
+//!
+//! Extra modes:
+//!
+//! * `--pr7` — the scale sweep of PR 7: scales 0.05 → 1.0 × the three
+//!   pending-event queues (heap, calendar, timing wheel), each point a
+//!   fresh child process so peak RSS (`VmHWM`) is per-point; writes
+//!   `BENCH_pr7.json`.
+//! * `--pr6` — regenerates only `BENCH_pr6.json` (the windowed-upload
+//!   sweep plus the 1,000-agent gate), skipping everything else.
+//! * `--scale-smoke [F]` — CI gate: one coupled run at scale `F`
+//!   (default 0.25) on the timing wheel, index built through the
+//!   *streaming* builder and cross-checked against the one-shot build,
+//!   with generous events/sec and peak-RSS thresholds.
+//! * `--pr7-point F Q` — internal: one child point of the `--pr7` sweep.
 
 use std::time::Instant;
 
@@ -508,9 +522,221 @@ fn durability_micro(root: &std::path::Path) -> DurabilityMicro {
     }
 }
 
+/// Resolves `name` at the workspace root (two levels above the bench
+/// crate's manifest).
+fn workspace_file(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join(name)
+}
+
+/// High-water-mark resident set of this process in kB (`VmHWM` from
+/// `/proc/self/status`); 0 on platforms without procfs.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+fn queue_kind(name: &str) -> Option<QueueKind> {
+    match name {
+        "heap" => Some(QueueKind::Heap),
+        "calendar" => Some(QueueKind::Calendar),
+        "wheel" => Some(QueueKind::Wheel),
+        _ => None,
+    }
+}
+
+/// One point of the PR 7 scale sweep, as reported by a child process.
+struct Pr7Point {
+    scale: f64,
+    queue: String,
+    events: u64,
+    records: usize,
+    secs: f64,
+    peak_rss_kb: u64,
+}
+
+/// Child mode: run one coupled distributed scenario at `scale` on `queue`
+/// and print a single machine-readable line.  Runs in its own process so
+/// the parent gets an uncontaminated per-point `VmHWM`.
+fn pr7_point_main(scale: f64, queue: &str) -> ! {
+    let kind = queue_kind(queue).unwrap_or_else(|| {
+        eprintln!("unknown queue {queue}; expected heap|calendar|wheel");
+        std::process::exit(2)
+    });
+    let mut cfg = scenarios::distributed(scenarios::DEFAULT_SEED, scale);
+    cfg.queue = kind;
+    let t = Instant::now();
+    let out = run_scenario(cfg);
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "pr7-point scale={scale} queue={queue} events={} records={} secs={secs:.3} peak_rss_kb={}",
+        out.events_handled,
+        out.log.records.len(),
+        peak_rss_kb(),
+    );
+    std::process::exit(0)
+}
+
+/// Parent mode: spawn one `--pr7-point` child per (scale, queue) pair and
+/// collect the points.
+fn pr7_sweep(scales: &[f64]) -> Vec<Pr7Point> {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut points = Vec::new();
+    for &scale in scales {
+        for queue in ["heap", "calendar", "wheel"] {
+            let out = std::process::Command::new(&exe)
+                .args(["--pr7-point", &scale.to_string(), queue])
+                .output()
+                .expect("spawn pr7 child");
+            if !out.status.success() {
+                eprintln!(
+                    "[bench] pr7 child failed at scale {scale} queue {queue}:\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                std::process::exit(1);
+            }
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let line = stdout
+                .lines()
+                .find(|l| l.starts_with("pr7-point "))
+                .expect("child must print a pr7-point line");
+            let field = |key: &str| -> &str {
+                line.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+                    .unwrap_or_else(|| panic!("missing {key} in: {line}"))
+            };
+            let p = Pr7Point {
+                scale,
+                queue: queue.to_string(),
+                events: field("events").parse().expect("events"),
+                records: field("records").parse().expect("records"),
+                secs: field("secs").parse().expect("secs"),
+                peak_rss_kb: field("peak_rss_kb").parse().expect("peak_rss_kb"),
+            };
+            eprintln!(
+                "[bench] pr7 @ scale {scale}, {queue}: {:.0} events/s, {:.1} MB peak RSS ({} records)",
+                p.events as f64 / p.secs.max(1e-9),
+                p.peak_rss_kb as f64 / 1024.0,
+                p.records,
+            );
+            points.push(p);
+        }
+    }
+    points
+}
+
+/// Writes `BENCH_pr7.json` from the sweep points.
+fn write_pr7(points: &[Pr7Point]) {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"scale\": {}, \"queue\": \"{}\", \"events_handled\": {}, \
+             \"records\": {}, \"secs\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"peak_rss_kb\": {} }}",
+            p.scale,
+            p.queue,
+            p.events,
+            p.records,
+            p.secs,
+            p.events as f64 / p.secs.max(1e-9),
+            p.peak_rss_kb,
+        ));
+    }
+    let json = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --pr7\",\n  \
+         \"note\": \"coupled distributed scenario, one fresh child process per point so peak RSS (VmHWM) is per-point; all three queues produce byte-identical logs (sim/tests/determinism.rs), so the deltas are pure scheduler cost; recorded on a single-core container whose rayon substitute runs sequentially — lane-sharding speedups are not represented here\",\n  \
+         \"threads_available\": {},\n  \
+         \"scale_sweep\": [\n{rows}\n  ]\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let path = workspace_file("BENCH_pr7.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}
+
+/// CI gate: one coupled run on the timing wheel at `scale`, the index
+/// built through the *streaming* builder and cross-checked against the
+/// one-shot build, under deliberately generous throughput and memory
+/// thresholds (a single-core CI container cannot validate sharding
+/// speedups — this gate only catches order-of-magnitude regressions).
+fn scale_smoke(scale: f64) -> ! {
+    const MIN_EVENTS_PER_SEC: f64 = 10_000.0;
+    const MAX_PEAK_RSS_KB: u64 = 4 * 1024 * 1024; // 4 GiB
+
+    let mut cfg = scenarios::distributed(scenarios::DEFAULT_SEED, scale);
+    cfg.queue = QueueKind::Wheel;
+    let t = Instant::now();
+    let out = run_scenario(cfg);
+    let secs = t.elapsed().as_secs_f64();
+    let eps = out.events_handled as f64 / secs.max(1e-9);
+
+    // Streaming index over ragged chunks, checked against the one-shot
+    // build: the smoke exercises the incremental contract end to end.
+    let mut b = edonkey_analysis::IndexBuilder::for_log(&out.log);
+    for records in out.log.records.chunks(10_000) {
+        b.push_records(records);
+    }
+    for l in &out.log.shared_lists {
+        b.push_shared_list(l.at, &l.files);
+    }
+    let streamed = b.finish();
+    let reference = LogIndex::build(&out.log);
+    assert_eq!(
+        streamed.peer_growth().cumulative,
+        reference.peer_growth().cumulative,
+        "streaming index must match the one-shot build"
+    );
+    assert_eq!(
+        streamed.recount_distinct_peers(),
+        reference.recount_distinct_peers(),
+        "streaming index must match the one-shot build"
+    );
+
+    let rss = peak_rss_kb();
+    eprintln!(
+        "[smoke] scale {scale} on wheel: {eps:.0} events/s ({} events, {:.1}s), \
+         peak RSS {:.1} MB, streaming index verified ({} records)",
+        out.events_handled,
+        secs,
+        rss as f64 / 1024.0,
+        out.log.records.len(),
+    );
+    if eps < MIN_EVENTS_PER_SEC {
+        eprintln!("[smoke] FAIL: {eps:.0} events/s below the {MIN_EVENTS_PER_SEC} floor");
+        std::process::exit(1);
+    }
+    if rss > MAX_PEAK_RSS_KB {
+        eprintln!("[smoke] FAIL: peak RSS {rss} kB above the {MAX_PEAK_RSS_KB} kB ceiling");
+        std::process::exit(1);
+    }
+    eprintln!("[smoke] PASS");
+    std::process::exit(0)
+}
+
 fn main() {
     let mut scale = DEFAULT_SCALE;
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pr6_only = false;
+    let mut pr7 = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -524,12 +750,36 @@ fn main() {
                         },
                     );
             }
+            "--pr6" => pr6_only = true,
+            "--pr7" => pr7 = true,
+            "--pr7-point" => {
+                let s: f64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: perf_baseline --pr7-point F heap|calendar|wheel");
+                    std::process::exit(2)
+                });
+                let q = args.get(i + 2).cloned().unwrap_or_default();
+                pr7_point_main(s, &q);
+            }
+            "--scale-smoke" => {
+                let s: f64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(0.25);
+                scale_smoke(s);
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F]");
+                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F] [--pr6] [--pr7] [--scale-smoke F]");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if pr7 {
+        let points = pr7_sweep(&[0.05, 0.1, 0.25, 0.5, 1.0]);
+        write_pr7(&points);
+        return;
+    }
+    if pr6_only {
+        run_pr6(scale);
+        return;
     }
 
     // 1. Raw engine throughput, heap vs calendar, chained-timer pattern.
@@ -699,34 +949,9 @@ fn main() {
         micro.ckpt_slots,
     );
 
-    // 9. PR 6: windowed, pipelined upload against the reactor daemon —
-    //    agent count × window size.  Window 1 is the stop-and-wait
-    //    reference on the same event-loop transport, so each row
-    //    isolates what pipelining buys at that agent count.  Chunk
-    //    payloads shrink as agent counts grow to keep the sweep's
-    //    wall-clock sane; MB/s normalises across rows.
-    let mut windowed: Vec<WindowedPoint> = Vec::new();
-    for &n in &[1usize, 4, 16, 64, 256] {
-        let (records, chunks) = if n <= 64 { (2_000, 24) } else { (500, 12) };
-        for &w in &[1u32, 8, 32] {
-            let p = windowed_control_point(n, w, records, chunks, false);
-            eprintln!(
-                "[bench] windowed control plane @ {n} agent(s), window {w}: \
-                 {:.1} MB/s chunk upload (daemon window peak {})",
-                p.upload_mb_per_sec, p.window_peak
-            );
-            windowed.push(p);
-        }
-    }
-
-    // 10. The scale gate: 1,000 windowed agents against one daemon, every
-    //     upload journaled pre-transport; the merged measurement must
-    //     replay bit-identical with zero double merges.
-    let gate = windowed_control_point(1_000, 32, 200, 8, true);
-    eprintln!(
-        "[bench] 1000-agent gate: {:.1} MB/s, {} chunks merged exactly once, replay identical",
-        gate.upload_mb_per_sec, gate.chunks
-    );
+    // 9-10. PR 6: the windowed-upload sweep and the 1,000-agent gate
+    //        (also reachable standalone via `--pr6`).
+    run_pr6(scale);
 
     // Hand-rolled JSON (no serde needed for a few dozen scalars).
     let mut sweep_json = String::new();
@@ -893,9 +1118,39 @@ fn main() {
         }
     }
     print!("{pr4}");
+}
 
-    // Windowed-upload numbers (PR 6): the agents × window sweep plus the
-    // 1,000-agent exactly-once/replay gate.
+/// The PR 6 benchmark: the agents × window windowed-upload sweep, the
+/// 1,000-agent exactly-once/replay gate, and the `BENCH_pr6.json` write.
+fn run_pr6(scale: f64) {
+    // Windowed, pipelined upload against the reactor daemon — agent count
+    // × window size.  Window 1 is the stop-and-wait reference on the same
+    // event-loop transport, so each row isolates what pipelining buys at
+    // that agent count.  Chunk payloads shrink as agent counts grow to
+    // keep the sweep's wall-clock sane; MB/s normalises across rows.
+    let mut windowed: Vec<WindowedPoint> = Vec::new();
+    for &n in &[1usize, 4, 16, 64, 256] {
+        let (records, chunks) = if n <= 64 { (2_000, 24) } else { (500, 12) };
+        for &w in &[1u32, 8, 32] {
+            let p = windowed_control_point(n, w, records, chunks, false);
+            eprintln!(
+                "[bench] windowed control plane @ {n} agent(s), window {w}: \
+                 {:.1} MB/s chunk upload (daemon window peak {})",
+                p.upload_mb_per_sec, p.window_peak
+            );
+            windowed.push(p);
+        }
+    }
+
+    // The scale gate: 1,000 windowed agents against one daemon, every
+    // upload journaled pre-transport; the merged measurement must replay
+    // bit-identical with zero double merges.
+    let gate = windowed_control_point(1_000, 32, 200, 8, true);
+    eprintln!(
+        "[bench] 1000-agent gate: {:.1} MB/s, {} chunks merged exactly once, replay identical",
+        gate.upload_mb_per_sec, gate.chunks
+    );
+
     let mut windowed_json = String::new();
     for (i, p) in windowed.iter().enumerate() {
         if i > 0 {

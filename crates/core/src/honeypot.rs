@@ -16,7 +16,7 @@ use edonkey_proto::{ClientId, ClientServerMessage, FileId, Ipv4, PeerMessage, Us
 use netsim::{Rng, SimTime};
 
 use crate::anonymize::IpHasher;
-use crate::log::{HoneypotLog, QueryKind, QueryRecord, SharedListRecord, FILE_NONE};
+use crate::log::{HoneypotLog, QueryKind, QueryRecord, FILE_NONE};
 use crate::strategy::{AdvertisedFile, ContentStrategy, FileStrategy};
 use crate::types::{HoneypotId, HoneypotStatus, IdStatus, ServerInfo, StatusReport};
 
@@ -397,13 +397,16 @@ impl Honeypot {
                     return Vec::new();
                 };
                 let ip_hash = session.ip_hash;
-                let mut idxs = Vec::with_capacity(files.len());
                 let mut adopted = Vec::new();
                 let adopting = self.config.files.adopting(now);
+                // The list goes straight into the shared-arena columns: no
+                // per-record `Vec` on this hot path.
+                self.log.shared_lists.begin(now, ip_hash);
                 for f in files {
                     let name = f.name().unwrap_or("");
                     let size = f.size().unwrap_or(0);
-                    idxs.push(self.log.files.intern(f.file_id, name, size));
+                    let idx = self.log.files.intern(f.file_id, name, size);
+                    self.log.shared_lists.append_file(idx);
                     if adopting {
                         let fresh =
                             self.add_shared(AdvertisedFile::new(f.file_id, name.to_string(), size));
@@ -412,11 +415,6 @@ impl Honeypot {
                         }
                     }
                 }
-                self.log.shared_lists.push(SharedListRecord {
-                    at: now,
-                    peer: ip_hash,
-                    files: idxs,
-                });
                 if adopted.is_empty() {
                     Vec::new()
                 } else {

@@ -32,7 +32,9 @@ pub mod types;
 
 pub use anonymize::{AnonMap, AnonPeerId, IpHash, IpHasher};
 pub use honeypot::{Action, ConnId, Honeypot, HoneypotConfig};
-pub use log::{HoneypotLog, LogChunk, QueryKind, QueryRecord};
+pub use log::{
+    HoneypotLog, LogChunk, PackedQueryRecord, QueryKind, QueryRecord, SharedListView, SharedLists,
+};
 pub use manager::{HoneypotSpec, Manager};
 pub use measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
 pub use merge::{merge_lanes, LaneHarvest};

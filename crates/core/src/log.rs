@@ -73,13 +73,224 @@ pub struct QueryRecord {
     pub file: FileIdx,
 }
 
-/// One shared-file list retrieved from a peer.
+/// Byte size of [`PackedQueryRecord`] — and of [`QueryRecord`] itself:
+/// the layout audit below pins both, so a record costs 56 bytes in the
+/// hot log vector and exactly 56 bytes in storage, no padding either way.
+pub const PACKED_RECORD_BYTES: usize = 56;
+
+/// The `#[repr(C)]`-stable compact storage form of a [`QueryRecord`].
+///
+/// `QueryRecord` lets rustc order fields freely (it packs to 56 bytes
+/// today, but the layout is not a contract).  This form *is* a contract:
+/// fields are declared largest-first so `repr(C)` yields zero padding,
+/// enums are collapsed to their wire tags, and the struct converts to and
+/// from the on-disk/wire byte order via [`Self::to_wire_bytes`] — which is
+/// byte-identical to the field-by-field encoding the platform codec has
+/// always produced (pinned by `platform::messages` tests).
+#[repr(C)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PackedQueryRecord {
+    /// Reception timestamp in milliseconds.
+    pub at_ms: u64,
+    /// Step-1 anonymised peer IP digest.
+    pub peer: [u8; 16],
+    /// Peer user hash.
+    pub user_id: [u8; 16],
+    /// Interned peer client name index.
+    pub name: u32,
+    /// Client version tag value.
+    pub version: u32,
+    /// File index ([`FILE_NONE`] for HELLO).
+    pub file: u32,
+    /// Peer TCP port.
+    pub port: u16,
+    /// Wire tag: 0 = HELLO, 1 = START-UPLOAD, 2 = REQUEST-PART.
+    pub kind: u8,
+    /// Wire tag: 0 = high ID, 1 = low ID.
+    pub id_status: u8,
+}
+
+// The layout audit, enforced at compile time: the packed form has no
+// padding, and the logical record is already as small as the packed one —
+// shrinking further would mean dropping data the figures need.
+const _: () = assert!(std::mem::size_of::<PackedQueryRecord>() == PACKED_RECORD_BYTES);
+const _: () = assert!(std::mem::size_of::<QueryRecord>() == PACKED_RECORD_BYTES);
+const _: () = assert!(std::mem::align_of::<PackedQueryRecord>() == 8);
+
+impl PackedQueryRecord {
+    /// Collapses a logical record into the storage form.
+    pub fn pack(r: &QueryRecord) -> Self {
+        PackedQueryRecord {
+            at_ms: r.at.as_millis(),
+            peer: r.peer.0,
+            user_id: r.user_id.0,
+            name: r.name,
+            version: r.version,
+            file: r.file,
+            port: r.port,
+            kind: match r.kind {
+                QueryKind::Hello => 0,
+                QueryKind::StartUpload => 1,
+                QueryKind::RequestPart => 2,
+            },
+            id_status: match r.id_status {
+                IdStatus::High => 0,
+                IdStatus::Low => 1,
+            },
+        }
+    }
+
+    /// Expands back to the logical record; `None` on an invalid enum tag
+    /// (corrupt storage).
+    pub fn unpack(&self) -> Option<QueryRecord> {
+        Some(QueryRecord {
+            at: SimTime::from_millis(self.at_ms),
+            kind: match self.kind {
+                0 => QueryKind::Hello,
+                1 => QueryKind::StartUpload,
+                2 => QueryKind::RequestPart,
+                _ => return None,
+            },
+            peer: IpHash(self.peer),
+            port: self.port,
+            id_status: match self.id_status {
+                0 => IdStatus::High,
+                1 => IdStatus::Low,
+                _ => return None,
+            },
+            user_id: UserId(self.user_id),
+            name: self.name,
+            version: self.version,
+            file: self.file,
+        })
+    }
+
+    /// Serialises in the historical wire field order (at, kind, peer,
+    /// port, id_status, user_id, name, version, file; little-endian
+    /// integers) — the exact bytes the platform codec has emitted since
+    /// the format's introduction.
+    pub fn to_wire_bytes(&self) -> [u8; PACKED_RECORD_BYTES] {
+        let mut b = [0u8; PACKED_RECORD_BYTES];
+        b[0..8].copy_from_slice(&self.at_ms.to_le_bytes());
+        b[8] = self.kind;
+        b[9..25].copy_from_slice(&self.peer);
+        b[25..27].copy_from_slice(&self.port.to_le_bytes());
+        b[27] = self.id_status;
+        b[28..44].copy_from_slice(&self.user_id);
+        b[44..48].copy_from_slice(&self.name.to_le_bytes());
+        b[48..52].copy_from_slice(&self.version.to_le_bytes());
+        b[52..56].copy_from_slice(&self.file.to_le_bytes());
+        b
+    }
+
+    /// Inverse of [`Self::to_wire_bytes`].
+    pub fn from_wire_bytes(b: &[u8; PACKED_RECORD_BYTES]) -> Self {
+        let arr = |lo: usize| -> [u8; 16] { b[lo..lo + 16].try_into().expect("fixed range") };
+        PackedQueryRecord {
+            at_ms: u64::from_le_bytes(b[0..8].try_into().expect("fixed range")),
+            kind: b[8],
+            peer: arr(9),
+            port: u16::from_le_bytes(b[25..27].try_into().expect("fixed range")),
+            id_status: b[27],
+            user_id: arr(28),
+            name: u32::from_le_bytes(b[44..48].try_into().expect("fixed range")),
+            version: u32::from_le_bytes(b[48..52].try_into().expect("fixed range")),
+            file: u32::from_le_bytes(b[52..56].try_into().expect("fixed range")),
+        }
+    }
+}
+
+/// Shared-file lists in struct-of-arrays form.
+///
+/// A month-scale measurement retrieves millions of shared lists; storing
+/// each as its own record with an owned `Vec<FileIdx>` costs a heap
+/// allocation (and an eventual cache miss) per list.  This container keeps
+/// one backing arena of file indices shared by *all* lists, with parallel
+/// `at`/`peer` columns and an offsets column: list `i` owns
+/// `files[bounds[i]..bounds[i+1]]`.  Appending a list is a few `Vec`
+/// pushes into already-warm tails, and iterating lists in log order walks
+/// the arena sequentially.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub struct SharedListRecord {
+pub struct SharedLists {
+    at: Vec<SimTime>,
+    peer: Vec<IpHash>,
+    /// `bounds[i]..bounds[i+1]` delimits list `i`'s slice of `files`;
+    /// always `len() + 1` entries, starting at 0.
+    bounds: Vec<u32>,
+    /// The shared arena of [`FileTable`] indices.
+    files: Vec<FileIdx>,
+}
+
+impl Default for SharedLists {
+    fn default() -> Self {
+        SharedLists { at: Vec::new(), peer: Vec::new(), bounds: vec![0], files: Vec::new() }
+    }
+}
+
+/// Borrowed view of one shared-file list inside a [`SharedLists`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SharedListView<'a> {
     pub at: SimTime,
     pub peer: IpHash,
     /// Indices into the log's [`FileTable`].
-    pub files: Vec<FileIdx>,
+    pub files: &'a [FileIdx],
+}
+
+impl SharedLists {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lists recorded.
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Total number of file entries across all lists.
+    pub fn total_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Appends a complete list.
+    pub fn push(&mut self, at: SimTime, peer: IpHash, files: impl IntoIterator<Item = FileIdx>) {
+        self.begin(at, peer);
+        for f in files {
+            self.append_file(f);
+        }
+    }
+
+    /// Opens a new (initially empty) list; the honeypot's hot path interns
+    /// file metadata and [`Self::append_file`]s each index without ever
+    /// materialising a temporary `Vec`.
+    pub fn begin(&mut self, at: SimTime, peer: IpHash) {
+        self.at.push(at);
+        self.peer.push(peer);
+        self.bounds.push(self.files.len() as u32);
+    }
+
+    /// Appends one file index to the list opened by the last
+    /// [`Self::begin`].
+    pub fn append_file(&mut self, file: FileIdx) {
+        debug_assert!(self.bounds.len() > 1, "append_file before begin");
+        self.files.push(file);
+        *self.bounds.last_mut().expect("bounds never empty") += 1;
+    }
+
+    /// The `i`-th list, in log order.
+    pub fn get(&self, i: usize) -> SharedListView<'_> {
+        let lo = self.bounds[i] as usize;
+        let hi = self.bounds[i + 1] as usize;
+        SharedListView { at: self.at[i], peer: self.peer[i], files: &self.files[lo..hi] }
+    }
+
+    /// Iterates lists in log order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = SharedListView<'_>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
 }
 
 /// Deduplicated file metadata observed during a measurement.
@@ -185,7 +396,7 @@ pub struct HoneypotLog {
     /// Server the honeypot was connected to while recording.
     pub server: ServerInfo,
     pub records: Vec<QueryRecord>,
-    pub shared_lists: Vec<SharedListRecord>,
+    pub shared_lists: SharedLists,
     /// Interned peer client names.
     pub peer_names: Vec<String>,
     #[serde(skip)]
@@ -200,7 +411,7 @@ impl HoneypotLog {
             honeypot,
             server,
             records: Vec::new(),
-            shared_lists: Vec::new(),
+            shared_lists: SharedLists::new(),
             peer_names: Vec::new(),
             name_index: HashMap::new(),
             files: FileTable::new(),
@@ -253,7 +464,7 @@ pub struct LogChunk {
     pub honeypot: HoneypotId,
     pub server: ServerInfo,
     pub records: Vec<QueryRecord>,
-    pub shared_lists: Vec<SharedListRecord>,
+    pub shared_lists: SharedLists,
     pub peer_names: Vec<String>,
     pub files: FileTable,
 }
@@ -336,6 +547,94 @@ mod tests {
         log.push(r2);
         let chunk2 = log.take_chunk();
         assert_eq!(chunk2.peer_names, vec!["eMule v0.49a".to_string()]);
+    }
+
+    #[test]
+    fn packed_record_round_trips() {
+        let mut log = HoneypotLog::new(HoneypotId(0), server());
+        for kind in [QueryKind::Hello, QueryKind::StartUpload, QueryKind::RequestPart] {
+            for id_status in [IdStatus::High, IdStatus::Low] {
+                let mut r = sample_record(&mut log, kind);
+                r.id_status = id_status;
+                r.file = if kind == QueryKind::Hello { FILE_NONE } else { 7 };
+                let p = PackedQueryRecord::pack(&r);
+                assert_eq!(p.unpack(), Some(r), "pack/unpack must be lossless");
+                let bytes = p.to_wire_bytes();
+                assert_eq!(PackedQueryRecord::from_wire_bytes(&bytes), p, "byte round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_record_rejects_corrupt_tags() {
+        let mut log = HoneypotLog::new(HoneypotId(0), server());
+        let mut p = PackedQueryRecord::pack(&sample_record(&mut log, QueryKind::Hello));
+        p.kind = 9;
+        assert_eq!(p.unpack(), None);
+        p.kind = 0;
+        p.id_status = 9;
+        assert_eq!(p.unpack(), None);
+    }
+
+    #[test]
+    fn packed_record_wire_layout_is_pinned() {
+        // The byte offsets are the storage contract; a change here is a
+        // format break and must bump the platform codec version instead.
+        let r = QueryRecord {
+            at: SimTime::from_millis(0x0102_0304_0506_0708),
+            kind: QueryKind::StartUpload,
+            peer: IpHash([0xAA; 16]),
+            port: 0xBEEF,
+            id_status: IdStatus::Low,
+            user_id: UserId([0xBB; 16]),
+            name: 0x11121314,
+            version: 0x21222324,
+            file: 0x31323334,
+        };
+        let b = PackedQueryRecord::pack(&r).to_wire_bytes();
+        assert_eq!(&b[0..8], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(b[8], 1, "START-UPLOAD tag");
+        assert_eq!(&b[9..25], &[0xAA; 16]);
+        assert_eq!(&b[25..27], &0xBEEFu16.to_le_bytes());
+        assert_eq!(b[27], 1, "low-ID tag");
+        assert_eq!(&b[28..44], &[0xBB; 16]);
+        assert_eq!(&b[44..48], &0x11121314u32.to_le_bytes());
+        assert_eq!(&b[48..52], &0x21222324u32.to_le_bytes());
+        assert_eq!(&b[52..56], &0x31323334u32.to_le_bytes());
+    }
+
+    #[test]
+    fn shared_lists_arena_round_trips() {
+        let mut lists = SharedLists::new();
+        lists.push(SimTime::from_secs(1), IpHash([1; 16]), [3, 4, 5]);
+        lists.begin(SimTime::from_secs(2), IpHash([2; 16]));
+        lists.push(SimTime::from_secs(3), IpHash([3; 16]), [9]);
+        assert_eq!(lists.len(), 3);
+        assert_eq!(lists.total_files(), 4);
+        assert_eq!(lists.get(0).files, &[3, 4, 5]);
+        assert_eq!(lists.get(1).files, &[] as &[FileIdx], "begin with no files is an empty list");
+        assert_eq!(lists.get(2).at, SimTime::from_secs(3));
+        assert_eq!(lists.get(2).peer, IpHash([3; 16]));
+        let collected: Vec<&[FileIdx]> = lists.iter().map(|v| v.files).collect();
+        let expected: Vec<&[FileIdx]> = vec![&[3, 4, 5], &[], &[9]];
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn shared_lists_append_extends_open_list() {
+        let mut lists = SharedLists::new();
+        lists.begin(SimTime::ZERO, IpHash([0; 16]));
+        lists.append_file(7);
+        lists.append_file(8);
+        lists.push(SimTime::from_secs(1), IpHash([1; 16]), []);
+        assert_eq!(lists.get(0).files, &[7, 8]);
+        assert_eq!(lists.get(1).files, &[] as &[FileIdx]);
+        // Draining via take leaves a valid empty arena behind.
+        let taken = std::mem::take(&mut lists);
+        assert_eq!(taken.len(), 2);
+        assert!(lists.is_empty());
+        lists.push(SimTime::from_secs(2), IpHash([2; 16]), [1]);
+        assert_eq!(lists.get(0).files, &[1]);
     }
 
     #[test]

@@ -171,7 +171,7 @@ impl Manager {
                 file: if r.file == FILE_NONE { FILE_NONE } else { file_map[r.file as usize] },
             });
         }
-        for l in chunk.shared_lists {
+        for l in chunk.shared_lists.iter() {
             self.shared_lists.push(AnonSharedList {
                 at: l.at,
                 honeypot: chunk.honeypot,
@@ -289,7 +289,7 @@ impl std::fmt::Debug for Manager {
 mod tests {
     use super::*;
     use crate::anonymize::{AnonPeerId, IpHasher};
-    use crate::log::{HoneypotLog, QueryKind, QueryRecord, SharedListRecord};
+    use crate::log::{HoneypotLog, QueryKind, QueryRecord};
     use crate::types::IdStatus;
     use edonkey_proto::{ClientId, FileId, Ipv4, UserId};
 
@@ -340,11 +340,7 @@ mod tests {
                 file,
             });
         }
-        log.shared_lists.push(SharedListRecord {
-            at: SimTime::from_secs(99),
-            peer: hasher.hash(ips[0]),
-            files: vec![file],
-        });
+        log.shared_lists.push(SimTime::from_secs(99), hasher.hash(ips[0]), [file]);
         log.take_chunk()
     }
 

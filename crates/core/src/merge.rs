@@ -189,7 +189,7 @@ pub fn merge_lanes(
 mod tests {
     use super::*;
     use crate::anonymize::{AnonPeerId, IpHasher};
-    use crate::log::{HoneypotLog, QueryKind, QueryRecord, SharedListRecord, FILE_NONE};
+    use crate::log::{HoneypotLog, QueryKind, QueryRecord, FILE_NONE};
     use crate::manager::{HoneypotSpec, Manager};
     use crate::strategy::ContentStrategy;
     use crate::types::{IdStatus, ServerInfo};
@@ -220,11 +220,7 @@ mod tests {
             });
         }
         if let Some(ip) = list_ip {
-            log.shared_lists.push(SharedListRecord {
-                at: SimTime::from_secs(999),
-                peer: hasher.hash(ip),
-                files: vec![file],
-            });
+            log.shared_lists.push(SimTime::from_secs(999), hasher.hash(ip), [file]);
         }
         let mut mgr = Manager::new(vec![HoneypotSpec {
             id: HoneypotId(0),

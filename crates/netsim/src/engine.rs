@@ -265,8 +265,9 @@ mod tests {
     }
 
     #[test]
-    fn heap_and_calendar_engines_fire_identically() {
+    fn heap_calendar_and_wheel_engines_fire_identically() {
         use crate::calendar::CalendarQueue;
+        use crate::wheel::TimingWheel;
 
         let mut on_heap = Recorder { fired: vec![], chain_until: 40 };
         let mut heap_engine = Engine::new();
@@ -280,11 +281,22 @@ mod tests {
         cal_engine.schedule(SimTime(3), 7);
         let cal_out = cal_engine.run_until(&mut on_cal, SimTime(250));
 
+        let mut on_wheel = Recorder { fired: vec![], chain_until: 40 };
+        let mut wheel_engine = Engine::with_queue(TimingWheel::new());
+        wheel_engine.schedule(SimTime(3), 0);
+        wheel_engine.schedule(SimTime(3), 7);
+        let wheel_out = wheel_engine.run_until(&mut on_wheel, SimTime(250));
+
         assert_eq!(heap_out, cal_out);
+        assert_eq!(heap_out, wheel_out);
         assert_eq!(on_heap.fired, on_cal.fired);
+        assert_eq!(on_heap.fired, on_wheel.fired);
         assert_eq!(heap_engine.now(), cal_engine.now());
+        assert_eq!(heap_engine.now(), wheel_engine.now());
         assert_eq!(heap_engine.pending(), cal_engine.pending());
+        assert_eq!(heap_engine.pending(), wheel_engine.pending());
         assert_eq!(heap_engine.events_handled(), cal_engine.events_handled());
+        assert_eq!(heap_engine.events_handled(), wheel_engine.events_handled());
     }
 
     #[test]

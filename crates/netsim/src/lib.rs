@@ -7,6 +7,8 @@
 //! * [`queue`] — the [`queue::PendingQueue`] abstraction the engine runs on;
 //! * [`event`] — a stable (insertion-order tie-breaking) binary-heap queue;
 //! * [`calendar`] — a bucketed calendar queue with identical semantics;
+//! * [`wheel`] — a hierarchical timing wheel (amortised O(1) push/pop)
+//!   with identical semantics, for million-peer populations;
 //! * [`engine`] — the event loop: a [`engine::World`] state machine driven
 //!   by an [`engine::Engine`] generic over its queue, with causality
 //!   enforced by the [`engine::Scheduler`] handle;
@@ -29,6 +31,7 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use calendar::CalendarQueue;
 pub use dist::{DiurnalCurve, Zipf};
@@ -39,3 +42,4 @@ pub use metrics::{BucketSeries, FirstSeen};
 pub use queue::PendingQueue;
 pub use rng::Rng;
 pub use time::SimTime;
+pub use wheel::TimingWheel;

@@ -1,0 +1,477 @@
+//! A *hierarchical timing wheel* (Varghese & Lauck, SOSP 1987) — the third
+//! [`crate::queue::PendingQueue`] implementation, built for simulations
+//! whose pending-event count reaches millions.
+//!
+//! Five levels of 64 slots each cover deltas up to 2³⁰ ms (~12 days): an
+//! event `delta` ms ahead lands at the lowest level whose span contains
+//! it, in the slot addressed by its *absolute* timestamp.  Level 0 slots
+//! are 1 ms wide, so every entry in a slot shares one timestamp and pops
+//! are O(1); higher levels hold events too far out to matter yet.  When
+//! the cursor enters a new window, that window's slot at each coarser
+//! level is *cascaded* — drained and re-inserted, where its entries fall
+//! into finer levels — so sorting work is deferred until an event is
+//! nearly due and is O(1) amortised per event.  Events beyond the whole
+//! span wait in an overflow list that is re-leveled once per wheel lap.
+//!
+//! Versus the heap's O(log n) sift per operation and the calendar's
+//! single-width buckets (whose cursor walks empty buckets at fixed 1-lap
+//! granularity), the wheel keeps both push and pop amortised O(1) with a
+//! scheduling horizon that adapts per event — the profile that wins when
+//! a million peers each keep a handful of timers.
+//!
+//! Semantics match [`crate::event::EventQueue`] and
+//! [`crate::calendar::CalendarQueue`] exactly: pops are monotone in time,
+//! FIFO among equal timestamps, and [`TimingWheel::unpop`] re-fronts a
+//! just-popped event.  `seq` is signed like the calendar's: pushes count
+//! up from zero, unpops count down from −1.  Property tests in
+//! `tests/proptests.rs` assert three-way agreement on arbitrary
+//! schedules.
+
+use crate::queue::PendingQueue;
+use crate::time::SimTime;
+
+/// log2 of the slot count per level.
+const SHIFT: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SHIFT;
+const MASK: u64 = SLOTS as u64 - 1;
+/// Number of wheel levels.
+const LEVELS: usize = 5;
+/// Width in ms of one slot at level `k`.
+const fn width(k: usize) -> u64 {
+    1 << (SHIFT * k as u32)
+}
+/// Horizon in ms covered by all levels; deltas at or past this overflow.
+const SPAN: u64 = 1 << (SHIFT * LEVELS as u32);
+
+/// One stored event; same signed-`seq` idiom as the calendar queue.
+struct Entry<E> {
+    time: SimTime,
+    seq: i64,
+    payload: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (SimTime, i64) {
+        (self.time, self.seq)
+    }
+}
+
+/// A five-level, 64-slot-per-level hierarchical timing wheel.
+pub struct TimingWheel<E> {
+    /// `levels[k][s]` holds entries whose delta was in
+    /// `[width(k), width(k+1))` at insertion, at slot
+    /// `s = (time / width(k)) % 64`.  Only the level-0 slot under the
+    /// cursor is kept sorted (descending by `(time, seq)`, minimum at the
+    /// back); everything else is unsorted append.
+    levels: Vec<Vec<Vec<Entry<E>>>>,
+    /// Entries per level, so `pop` can skip empty levels wholesale.
+    counts: [usize; LEVELS],
+    /// Events scheduled at or past `now + SPAN`; re-leveled on each wheel
+    /// lap (or directly, when the wheels drain first).
+    overflow: Vec<Entry<E>>,
+    /// The wheel's current time: the timestamp of the last popped event.
+    /// Pushes earlier than this violate causality and panic.
+    now: u64,
+    /// Whether the level-0 slot under the cursor has been sorted since
+    /// `now` last changed.
+    cursor_sorted: bool,
+    len: usize,
+    next_seq: i64,
+    front_seq: i64,
+}
+
+/// The lowest level whose span contains `delta` (which must be `< SPAN`).
+fn level_for(delta: u64) -> usize {
+    if delta == 0 {
+        0
+    } else {
+        ((63 - delta.leading_zeros()) / SHIFT) as usize
+    }
+}
+
+impl<E> TimingWheel<E> {
+    pub fn new() -> Self {
+        TimingWheel {
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            counts: [0; LEVELS],
+            overflow: Vec::new(),
+            now: 0,
+            cursor_sorted: false,
+            len: 0,
+            next_seq: 0,
+            front_seq: 0,
+        }
+    }
+
+    /// The wheel needs no workload-specific sizing (its horizon adapts per
+    /// event), but the constructor mirrors
+    /// [`crate::calendar::CalendarQueue::for_simulation`] so scenario
+    /// dispatch reads uniformly.
+    pub fn for_simulation() -> Self {
+        TimingWheel::new()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever pushed (diagnostics).
+    pub fn pushed_total(&self) -> u64 {
+        self.next_seq as u64
+    }
+
+    /// Schedules `payload` at `time`.
+    ///
+    /// # Panics
+    /// If `time` precedes the last popped timestamp (causality).
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert(Entry { time, seq, payload });
+    }
+
+    /// Reinserts a just-popped minimum at the front of its FIFO class
+    /// (see [`crate::queue::PendingQueue::unpop`]).
+    pub fn unpop(&mut self, time: SimTime, payload: E) {
+        self.front_seq -= 1;
+        let seq = self.front_seq;
+        self.insert(Entry { time, seq, payload });
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        assert!(
+            entry.time.as_millis() >= self.now,
+            "event scheduled before the wheel's current time"
+        );
+        let t = entry.time.as_millis();
+        let delta = t - self.now;
+        if delta >= SPAN {
+            self.overflow.push(entry);
+        } else {
+            let k = level_for(delta);
+            let slot = ((t >> (SHIFT * k as u32)) & MASK) as usize;
+            let bucket = &mut self.levels[k][slot];
+            if t == self.now && self.cursor_sorted {
+                // The cursor slot (all entries share timestamp `now`) is
+                // sorted descending; binary-insert to keep the minimum at
+                // the back, exactly like the calendar's cursor bucket.
+                let key = entry.key();
+                let pos = bucket.partition_point(|e| e.key() > key);
+                bucket.insert(pos, entry);
+            } else {
+                bucket.push(entry);
+            }
+            self.counts[k] += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Moves the cursor to `w`, cascading every coarser level whose window
+    /// changed: the slot now under each cursor is drained and its entries
+    /// re-inserted, where they fall into strictly finer levels (their
+    /// delta is below the drained level's slot width).  Crossing a whole
+    /// wheel lap re-levels the overflow list the same way.
+    fn advance_to(&mut self, w: u64) {
+        debug_assert!(w >= self.now, "wheel cursor moved backwards");
+        let old = self.now;
+        self.now = w;
+        self.cursor_sorted = false;
+        if (old >> (SHIFT * LEVELS as u32)) != (w >> (SHIFT * LEVELS as u32)) {
+            let overflow = std::mem::take(&mut self.overflow);
+            self.len -= overflow.len();
+            for e in overflow {
+                self.insert(e);
+            }
+        }
+        for j in (1..LEVELS).rev() {
+            if (old >> (SHIFT * j as u32)) == (w >> (SHIFT * j as u32)) {
+                // Same level-j window as before: this and every finer
+                // level is already cascaded.
+                continue;
+            }
+            let cj = ((w >> (SHIFT * j as u32)) & MASK) as usize;
+            if self.levels[j][cj].is_empty() {
+                continue;
+            }
+            let entries = std::mem::take(&mut self.levels[j][cj]);
+            self.counts[j] -= entries.len();
+            self.len -= entries.len();
+            for e in entries {
+                self.insert(e);
+            }
+        }
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let c0 = (self.now & MASK) as usize;
+            if !self.levels[0][c0].is_empty() {
+                // Every entry here is due exactly at `now` (level-0 slots
+                // are 1 ms wide and never hold future laps).
+                if !self.cursor_sorted {
+                    self.levels[0][c0].sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                    self.cursor_sorted = true;
+                }
+                let e = self.levels[0][c0].pop().expect("non-empty slot");
+                self.counts[0] -= 1;
+                self.len -= 1;
+                return Some((e.time, e.payload));
+            }
+            if self.counts[0] > 0 {
+                // More level-0 events: either later in this rotation, or
+                // (if only wrapped slots remain) in the next level-1
+                // window.
+                let base = self.now & !MASK;
+                match ((c0 + 1)..SLOTS).find(|&s| !self.levels[0][s].is_empty()) {
+                    Some(s) => self.advance_to(base + s as u64),
+                    None => self.advance_to(base + SLOTS as u64),
+                }
+                continue;
+            }
+            let mut advanced = false;
+            for k in 1..LEVELS {
+                if self.counts[k] == 0 {
+                    continue;
+                }
+                // Finer levels are empty, so the next event sits at level
+                // k: enter the window of its first occupied slot (or the
+                // next coarser window, when only wrapped slots remain) and
+                // let the cascade pull it down.
+                let ck = ((self.now >> (SHIFT * k as u32)) & MASK) as usize;
+                let rotation = self.now & !(width(k + 1) - 1);
+                match ((ck + 1)..SLOTS).find(|&s| !self.levels[k][s].is_empty()) {
+                    Some(s) => self.advance_to(rotation + s as u64 * width(k)),
+                    None => self.advance_to(rotation + width(k + 1)),
+                }
+                advanced = true;
+                break;
+            }
+            if advanced {
+                continue;
+            }
+            // Wheels empty; the next event is in overflow.  Jump straight
+            // to its top-level window instead of lapping the wheel.
+            debug_assert!(!self.overflow.is_empty(), "len > 0 with empty wheel and overflow");
+            let min_t =
+                self.overflow.iter().map(|e| e.time.as_millis()).min().expect("non-empty overflow");
+            let target = (min_t & !(width(LEVELS - 1) - 1)).max(self.now);
+            self.advance_to(target);
+            let overflow = std::mem::take(&mut self.overflow);
+            self.len -= overflow.len();
+            for e in overflow {
+                self.insert(e);
+            }
+        }
+    }
+
+    /// Timestamp of the earliest pending event (O(n) worst case — provided
+    /// for parity with the other queues, not used on hot paths).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Fast path: a sorted cursor slot's back entry is the global
+        // minimum.
+        let c0 = (self.now & MASK) as usize;
+        if self.cursor_sorted {
+            if let Some(e) = self.levels[0][c0].last() {
+                return Some(e.time);
+            }
+        }
+        self.levels
+            .iter()
+            .flat_map(|slots| slots.iter().flatten())
+            .chain(self.overflow.iter())
+            .min_by_key(|e| e.key())
+            .map(|e| e.time)
+    }
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+impl<E> PendingQueue<E> for TimingWheel<E> {
+    fn push(&mut self, time: SimTime, payload: E) {
+        TimingWheel::push(self, time, payload);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        TimingWheel::pop(self)
+    }
+
+    fn unpop(&mut self, time: SimTime, payload: E) {
+        TimingWheel::unpop(self, time, payload);
+    }
+
+    fn len(&self) -> usize {
+        TimingWheel::len(self)
+    }
+
+    fn pushed_total(&self) -> u64 {
+        TimingWheel::pushed_total(self)
+    }
+}
+
+impl<E> std::fmt::Debug for TimingWheel<E> {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("TimingWheel")
+            .field("len", &self.len)
+            .field("now_ms", &self.now)
+            .field("levels", &LEVELS)
+            .field("slots_per_level", &SLOTS)
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut q = TimingWheel::new();
+        q.push(SimTime(1_550), "c");
+        q.push(SimTime(20), "a");
+        q.push(SimTime(170), "b");
+        q.push(SimTime(5_000_000), "d");
+        assert_eq!(q.pop(), Some((SimTime(20), "a")));
+        assert_eq!(q.pop(), Some((SimTime(170), "b")));
+        assert_eq!(q.pop(), Some((SimTime(1_550), "c")));
+        assert_eq!(q.pop(), Some((SimTime(5_000_000), "d")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = TimingWheel::new();
+        for i in 0..10 {
+            q.push(SimTime(25), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((SimTime(25), i)));
+        }
+    }
+
+    #[test]
+    fn overflow_events_are_ordered() {
+        // Far enough out to overflow the wheel span, across several laps.
+        let mut q = TimingWheel::new();
+        q.push(SimTime(5), 0);
+        q.push(SimTime(SPAN + 45), 1);
+        q.push(SimTime(3 * SPAN + 85), 2);
+        assert_eq!(q.pop(), Some((SimTime(5), 0)));
+        assert_eq!(q.pop(), Some((SimTime(SPAN + 45), 1)));
+        assert_eq!(q.pop(), Some((SimTime(3 * SPAN + 85), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = TimingWheel::new();
+        q.push(SimTime(500), 'b');
+        q.push(SimTime(100), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(SimTime(300), 'c');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn unpop_keeps_fifo_front_position() {
+        let mut q = TimingWheel::new();
+        q.push(SimTime(50), "first");
+        q.push(SimTime(50), "second");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        q.unpop(t, e);
+        assert_eq!(q.pop(), Some((SimTime(50), "first")));
+        assert_eq!(q.pop(), Some((SimTime(50), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the wheel")]
+    fn past_events_rejected() {
+        let mut q = TimingWheel::new();
+        q.push(SimTime(100), ());
+        let _ = q.pop();
+        q.push(SimTime(5), ());
+    }
+
+    #[test]
+    fn cascade_preserves_order_near_window_boundaries() {
+        // Events straddling level-1 and level-2 window boundaries, pushed
+        // from a cursor close to the boundary so some wrap.
+        let mut q = TimingWheel::new();
+        q.push(SimTime(60), 0);
+        assert_eq!(q.pop(), Some((SimTime(60), 0)));
+        q.push(SimTime(62), 1); // this rotation
+        q.push(SimTime(70), 2); // wrapped into the next level-1 window
+        q.push(SimTime(64), 3); // next window, boundary slot
+        q.push(SimTime(4_096), 4); // next level-2 window, boundary slot
+        q.push(SimTime(4_100), 5);
+        for want in [(62, 1), (64, 3), (70, 2), (4_096, 4), (4_100, 5)] {
+            assert_eq!(q.pop(), Some((SimTime(want.0), want.1)));
+        }
+    }
+
+    #[test]
+    fn agrees_with_binary_heap_queue_on_random_workload() {
+        let mut rng = Rng::seed_from(5);
+        let mut wheel = TimingWheel::new();
+        let mut heap = crate::event::EventQueue::new();
+        let mut clock = 0u64;
+        for step in 0..5_000 {
+            if rng.chance(0.6) || wheel.is_empty() {
+                // Mixed horizons: mostly near, some far enough to exercise
+                // upper levels and the overflow list.
+                let t =
+                    clock + if rng.chance(0.05) { rng.below(2 * SPAN) } else { rng.below(300_000) };
+                wheel.push(SimTime(t), step);
+                heap.push(SimTime(t), step);
+            } else {
+                let a = wheel.pop().unwrap();
+                let b = heap.pop().unwrap();
+                assert_eq!(a, b, "queues diverged at step {step}");
+                clock = a.0.as_millis();
+            }
+        }
+        while let Some(b) = heap.pop() {
+            assert_eq!(wheel.pop().unwrap(), b);
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_finds_minimum() {
+        let mut q = TimingWheel::new();
+        q.push(SimTime(31_000), 1);
+        q.push(SimTime(7), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+    }
+
+    #[test]
+    fn push_at_cursor_time_keeps_fifo() {
+        let mut q = TimingWheel::new();
+        q.push(SimTime(10), 0);
+        q.push(SimTime(10), 1);
+        assert_eq!(q.pop(), Some((SimTime(10), 0)));
+        // The cursor now sits at t=10 with a sorted slot; pushing the same
+        // timestamp must binary-insert behind the remaining entry.
+        q.push(SimTime(10), 2);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime(10), 2)));
+    }
+}

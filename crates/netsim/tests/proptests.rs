@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use netsim::dist::{poisson, Zipf};
 use netsim::engine::{Engine, Scheduler, World};
 use netsim::metrics::{BucketSeries, FirstSeen};
-use netsim::{CalendarQueue, EventQueue, Rng, SimTime};
+use netsim::{CalendarQueue, EventQueue, Rng, SimTime, TimingWheel};
 
 /// Drives an arbitrary push/pop schedule through both queue
 /// implementations and asserts they yield the same `(time, payload)`
@@ -35,6 +35,82 @@ fn assert_queues_agree(ops: &[(bool, u64)]) {
         if a.is_none() {
             break;
         }
+    }
+}
+
+/// One level-4 rotation of the hierarchical timing wheel: events beyond
+/// `now + WHEEL_SPAN` land in its unsorted overflow pool, so delays past
+/// this bound exercise the overflow → wheel refill path.
+const WHEEL_SPAN: u64 = 1 << 30;
+
+/// Drives an arbitrary schedule through all three queue implementations —
+/// binary heap (the ordering reference), calendar, timing wheel — and
+/// asserts identical `(time, payload)` sequences.  Ops mix near pushes
+/// (with deliberate ties), far-future pushes beyond the wheel's top
+/// rotation (overflow + calendar wraparound), plain pops, and
+/// pop→`unpop`→pop probes which must return the same front event twice.
+/// The calendar span here is 16 × 4096 ≈ 65 s so far-future drains stay
+/// a bounded number of laps.
+fn assert_three_queues_agree(ops: &[(u8, u64)]) {
+    let mut heap = EventQueue::new();
+    let mut cal = CalendarQueue::new(16, 4_096);
+    let mut wheel = TimingWheel::new();
+    let mut clock = 0u64;
+    for (step, &(choice, raw)) in ops.iter().enumerate() {
+        let do_push = matches!(choice % 8, 0..=4) || heap.is_empty();
+        if do_push {
+            let delay = match choice % 8 {
+                4 => WHEEL_SPAN + raw % (3 * WHEEL_SPAN),
+                _ if raw % 5 == 0 => 0,
+                _ => raw % 50_000,
+            };
+            let t = SimTime(clock + delay);
+            heap.push(t, step);
+            cal.push(t, step);
+            wheel.push(t, step);
+        } else if choice % 8 == 7 {
+            // Pop the front, park it back with unpop, and pop again: the
+            // parked event must stay at the front of its timestamp's FIFO
+            // class in every implementation.
+            let a = heap.pop();
+            assert_eq!(a, cal.pop(), "heap vs calendar diverged at op {step}");
+            assert_eq!(a, wheel.pop(), "heap vs wheel diverged at op {step}");
+            let (t, v) = a.expect("queue was non-empty");
+            clock = t.as_millis();
+            heap.unpop(t, v);
+            cal.unpop(t, v);
+            wheel.unpop(t, v);
+            let again = Some((t, v));
+            assert_eq!(heap.pop(), again, "heap unpop lost front position at op {step}");
+            assert_eq!(cal.pop(), again, "calendar unpop lost front position at op {step}");
+            assert_eq!(wheel.pop(), again, "wheel unpop lost front position at op {step}");
+        } else {
+            let a = heap.pop();
+            assert_eq!(a, cal.pop(), "heap vs calendar diverged at op {step}");
+            assert_eq!(a, wheel.pop(), "heap vs wheel diverged at op {step}");
+            clock = a.expect("queue was non-empty").0.as_millis();
+        }
+    }
+    loop {
+        let a = heap.pop();
+        assert_eq!(a, cal.pop(), "heap vs calendar diverged while draining");
+        assert_eq!(a, wheel.pop(), "heap vs wheel diverged while draining");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+/// Deterministic companion to `all_three_queues_agree_on_any_schedule`:
+/// same ground (overflow wraparound, unpop probes, tie classes) on fixed
+/// seeds, exercised even when the proptest harness is unavailable.
+#[test]
+fn all_three_queues_agree_on_seeded_schedule() {
+    let mut rng = Rng::seed_from(0x5EED_0007);
+    for _ in 0..10 {
+        let ops: Vec<(u8, u64)> =
+            (0..600).map(|_| (rng.below(256) as u8, rng.below(u64::MAX / 4))).collect();
+        assert_three_queues_agree(&ops);
     }
 }
 
@@ -75,6 +151,15 @@ proptest! {
         // Delays up to 1 500 ms against a 200 ms calendar span: most pushes
         // wrap at least once, many wrap several laps.
         assert_queues_agree(&ops);
+    }
+
+    #[test]
+    fn all_three_queues_agree_on_any_schedule(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>()), 0..300),
+    ) {
+        // Choice 4 maps to a far-future push past the wheel's top rotation;
+        // the rest mix near pushes (ties included), pops, and unpop probes.
+        assert_three_queues_agree(&ops);
     }
 
     #[test]

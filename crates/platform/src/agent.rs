@@ -403,7 +403,14 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
             if !chunk.records.is_empty() || !chunk.shared_lists.is_empty() {
                 let seq = st.next_send(frontier);
                 match upload_chunk(&mut conn, st, seq, chunk)? {
-                    Some(end) => return Ok(end),
+                    Some(end) => {
+                        if matches!(end, SessionEnd::Killed) {
+                            // The scripted crash still owes the daemon the
+                            // frame written just above; see `crash_close`.
+                            conn.crash_close();
+                        }
+                        return Ok(end);
+                    }
                     None => {}
                 }
             } else if shutting_down && st.window.is_empty() {

@@ -89,6 +89,26 @@ impl ControlConn {
         self.stream.write_all(bytes)
     }
 
+    /// Closes like a crashing process whose last write must still reach
+    /// the peer: half-closes the write side (the FIN queues behind the
+    /// data) and drains already-received input until the peer hangs up.
+    /// Dropping a stream with unread bytes in its receive queue makes the
+    /// kernel close with RST instead of FIN, and an RST discards data the
+    /// peer has not read yet — on a single core the daemon's reactor
+    /// rarely wins that race, so a plain drop loses the final frame.
+    pub fn crash_close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        self.stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        let mut buf = [0u8; 4096];
+        while std::time::Instant::now() < deadline {
+            match self.stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
     /// Performs at most one socket read (bounded by the read timeout) and
     /// returns every control event that completed.  An empty vector means
     /// the timeout passed without a full frame — not an error.

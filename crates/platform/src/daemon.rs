@@ -751,6 +751,12 @@ fn process_events(
     events: &mut Vec<ControlEvent>,
     merge_tx: &Sender<MergeMsg>,
 ) {
+    // A close recorded by this pass's read (EOF behind the final bytes,
+    // or a decoder desync) must not discard frames decoded before it:
+    // TCP orders the hangup after the data, and on a single core an
+    // agent's last upload and its EOF routinely land in the same read
+    // pass.  Only a close taken *while* processing stops the rest.
+    let read_close = conn.close.take();
     for ev in events.drain(..) {
         if conn.close.is_some() {
             continue;
@@ -781,6 +787,9 @@ fn process_events(
                 }
             }
         }
+    }
+    if conn.close.is_none() {
+        conn.close = read_close;
     }
 }
 

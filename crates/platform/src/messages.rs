@@ -10,12 +10,12 @@
 //! workspace.
 
 use edonkey_proto::control::opcodes;
-use edonkey_proto::{ClientId, FileId, Ipv4, ProtoError, UserId};
+use edonkey_proto::{ClientId, FileId, Ipv4, ProtoError};
 use honeypot::anonymize::IpHash;
-use honeypot::log::{LogChunk, QueryRecord, SharedListRecord};
+use honeypot::log::{LogChunk, PackedQueryRecord, SharedLists, PACKED_RECORD_BYTES};
 use honeypot::{
     AdvertisedFile, ContentStrategy, FileStrategy, HoneypotId, HoneypotLog, HoneypotStatus,
-    IdStatus, QueryKind, ServerInfo, StatusReport,
+    ServerInfo, StatusReport,
 };
 use netsim::SimTime;
 
@@ -346,25 +346,17 @@ fn put_chunk(w: &mut Writer, chunk: &LogChunk) {
     put_server(w, &chunk.server);
     w.u32(chunk.records.len() as u32);
     for rec in &chunk.records {
-        w.u64(rec.at.as_millis());
-        w.u8(kind_tag(rec.kind));
-        w.bytes16(&rec.peer.0);
-        w.u16(rec.port);
-        w.u8(match rec.id_status {
-            IdStatus::High => 0,
-            IdStatus::Low => 1,
-        });
-        w.bytes16(&rec.user_id.0);
-        w.u32(rec.name);
-        w.u32(rec.version);
-        w.u32(rec.file);
+        // The packed storage form's wire serialisation is byte-identical
+        // to the historical field-by-field encoding (pinned by the
+        // `record_encoding_matches_packed_wire_layout` test below).
+        w.raw(&PackedQueryRecord::pack(rec).to_wire_bytes());
     }
     w.u32(chunk.shared_lists.len() as u32);
-    for l in &chunk.shared_lists {
+    for l in chunk.shared_lists.iter() {
         w.u64(l.at.as_millis());
         w.bytes16(&l.peer.0);
         w.u32(l.files.len() as u32);
-        for &f in &l.files {
+        for &f in l.files {
             w.u32(f);
         }
     }
@@ -386,33 +378,21 @@ fn get_chunk(r: &mut Reader) -> Result<LogChunk, ProtoError> {
     let n_records = r.u32()? as usize;
     let mut records = Vec::with_capacity(n_records.min(1 << 20));
     for _ in 0..n_records {
-        records.push(QueryRecord {
-            at: SimTime::from_millis(r.u64()?),
-            kind: kind_from(r.u8()?)?,
-            peer: IpHash(r.bytes16()?),
-            port: r.u16()?,
-            id_status: match r.u8()? {
-                0 => IdStatus::High,
-                1 => IdStatus::Low,
-                _ => return Err(ProtoError::Invalid("id status tag")),
-            },
-            user_id: UserId(r.bytes16()?),
-            name: r.u32()?,
-            version: r.u32()?,
-            file: r.u32()?,
-        });
+        let bytes: [u8; PACKED_RECORD_BYTES] =
+            r.take(PACKED_RECORD_BYTES)?.try_into().expect("fixed take");
+        let packed = PackedQueryRecord::from_wire_bytes(&bytes);
+        records.push(packed.unpack().ok_or(ProtoError::Invalid("record enum tag"))?);
     }
     let n_lists = r.u32()? as usize;
-    let mut shared_lists = Vec::with_capacity(n_lists.min(1 << 20));
+    let mut shared_lists = SharedLists::new();
     for _ in 0..n_lists {
         let at = SimTime::from_millis(r.u64()?);
         let peer = IpHash(r.bytes16()?);
         let n_files = r.u32()? as usize;
-        let mut files = Vec::with_capacity(n_files.min(1 << 20));
+        shared_lists.begin(at, peer);
         for _ in 0..n_files {
-            files.push(r.u32()?);
+            shared_lists.append_file(r.u32()?);
         }
-        shared_lists.push(SharedListRecord { at, peer, files });
     }
     let n_names = r.u32()? as usize;
     let mut peer_names = Vec::with_capacity(n_names.min(1 << 20));
@@ -430,23 +410,6 @@ fn get_chunk(r: &mut Reader) -> Result<LogChunk, ProtoError> {
         scratch.files.intern(id, &name, size);
     }
     Ok(LogChunk { honeypot, server, records, shared_lists, peer_names, files: scratch.files })
-}
-
-fn kind_tag(kind: QueryKind) -> u8 {
-    match kind {
-        QueryKind::Hello => 0,
-        QueryKind::StartUpload => 1,
-        QueryKind::RequestPart => 2,
-    }
-}
-
-fn kind_from(tag: u8) -> Result<QueryKind, ProtoError> {
-    match tag {
-        0 => Ok(QueryKind::Hello),
-        1 => Ok(QueryKind::StartUpload),
-        2 => Ok(QueryKind::RequestPart),
-        _ => Err(ProtoError::Invalid("query kind tag")),
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -473,6 +436,9 @@ impl Writer {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
     fn bytes16(&mut self, v: &[u8; 16]) {
+        self.out.extend_from_slice(v);
+    }
+    fn raw(&mut self, v: &[u8]) {
         self.out.extend_from_slice(v);
     }
     fn string(&mut self, s: &str) {
@@ -530,7 +496,9 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use honeypot::log::FILE_NONE;
+    use edonkey_proto::UserId;
+    use honeypot::log::{QueryRecord, FILE_NONE};
+    use honeypot::{IdStatus, QueryKind};
 
     fn sample_chunk() -> LogChunk {
         let server = ServerInfo::new("srv", Ipv4::new(127, 0, 0, 1), 4661);
@@ -559,17 +527,44 @@ mod tests {
             version: 0x50,
             file,
         });
-        log.shared_lists.push(SharedListRecord {
-            at: SimTime::from_millis(999),
-            peer: IpHash([7; 16]),
-            files: vec![file],
-        });
+        log.shared_lists.push(SimTime::from_millis(999), IpHash([7; 16]), [file]);
         log.take_chunk()
     }
 
     fn roundtrip(msg: &ControlMessage) -> ControlMessage {
         let payload = msg.encode_payload();
         ControlMessage::decode(msg.opcode(), &payload).expect("decode")
+    }
+
+    /// The format-stability proof for the packed record: the bytes the
+    /// codec emits are exactly the historical field-by-field encoding,
+    /// reproduced here by hand.  Spooled chunks from older builds decode
+    /// unchanged.
+    #[test]
+    fn record_encoding_matches_packed_wire_layout() {
+        let rec = QueryRecord {
+            at: SimTime::from_millis(0xDEAD_BEEF),
+            kind: QueryKind::RequestPart,
+            peer: IpHash([3; 16]),
+            port: 4662,
+            id_status: IdStatus::Low,
+            user_id: UserId::from_seed(b"pin"),
+            name: 5,
+            version: 0x49,
+            file: 12,
+        };
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&rec.at.as_millis().to_le_bytes());
+        legacy.push(2); // REQUEST-PART tag
+        legacy.extend_from_slice(&rec.peer.0);
+        legacy.extend_from_slice(&rec.port.to_le_bytes());
+        legacy.push(1); // low-ID tag
+        legacy.extend_from_slice(&rec.user_id.0);
+        legacy.extend_from_slice(&rec.name.to_le_bytes());
+        legacy.extend_from_slice(&rec.version.to_le_bytes());
+        legacy.extend_from_slice(&rec.file.to_le_bytes());
+        assert_eq!(legacy.len(), PACKED_RECORD_BYTES);
+        assert_eq!(PackedQueryRecord::pack(&rec).to_wire_bytes().as_slice(), &legacy[..]);
     }
 
     #[test]

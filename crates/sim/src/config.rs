@@ -244,11 +244,12 @@ pub struct CrashConfig {
 
 /// Which pending-event queue drives the engine.
 ///
-/// Both queues are observably identical (`determinism.rs` in this crate's
-/// tests asserts byte-identical measurement logs), so this is purely a
-/// performance knob: the calendar queue wins on the simulator's
-/// tightly-clustered retry/keepalive traffic, the heap is the safe
-/// general-purpose default.
+/// All three queues are observably identical (`determinism.rs` in this
+/// crate's tests asserts byte-identical measurement logs), so this is
+/// purely a performance knob: the calendar queue wins on the simulator's
+/// tightly-clustered retry/keepalive traffic, the timing wheel wins on
+/// million-peer populations where pending-event counts make per-operation
+/// `log n` visible, and the heap is the safe general-purpose default.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueueKind {
     /// Binary heap ([`netsim::EventQueue`]).
@@ -257,6 +258,9 @@ pub enum QueueKind {
     /// Bucketed calendar queue ([`netsim::CalendarQueue`]), sized for one
     /// day of one-minute buckets.
     Calendar,
+    /// Hierarchical timing wheel ([`netsim::TimingWheel`]), amortised
+    /// O(1) push/pop with a per-event scheduling horizon.
+    Wheel,
 }
 
 /// How the scenario is executed.

@@ -28,7 +28,7 @@ pub const CLIENT_NAMES: &[&str] = &[
 pub const CLIENT_VERSIONS: &[u32] = &[0x46, 0x47, 0x48, 0x49, 0x4A, 0x3C, 0x3D, 0x50];
 
 /// One peer's immutable identity.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct PeerIdentity {
     pub ip: Ipv4,
     pub port: u16,

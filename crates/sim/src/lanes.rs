@@ -62,6 +62,7 @@ pub struct LaneOutput {
     pub stats: WorldStats,
     pub relaunches: u64,
     pub shared_files_final: u32,
+    pub events_handled: u64,
 }
 
 /// Whether a scenario can be partitioned into per-honeypot lanes: more
@@ -136,16 +137,18 @@ fn run_lanes(config: ScenarioConfig, parallel: bool) -> SimOutput {
     let mut stats = WorldStats::default();
     let mut relaunches = 0u64;
     let mut shared_final = 0u32;
+    let mut events_handled = 0u64;
     let mut harvests: Vec<LaneHarvest> = Vec::with_capacity(outs.len());
     for o in outs {
         stats.absorb(&o.stats);
         relaunches += o.relaunches;
         shared_final = shared_final.max(o.shared_files_final);
+        events_handled += o.events_handled;
         harvests.push(o.harvest);
     }
     let log: MeasurementLog =
         honeypot::merge::merge_lanes(harvests, duration, shared_final, name_threshold);
-    SimOutput { log, stats, relaunches }
+    SimOutput { log, stats, relaunches, events_handled }
 }
 
 #[cfg(test)]
@@ -226,9 +229,13 @@ mod tests {
         heap.queue = QueueKind::Heap;
         let mut cal = three_hp_config(13);
         cal.queue = QueueKind::Calendar;
+        let mut wheel = three_hp_config(13);
+        wheel.queue = QueueKind::Wheel;
         let a = run_sharded(heap);
         let b = run_sharded(cal);
+        let c = run_sharded(wheel);
         assert_eq!(format!("{:?}", a.log), format!("{:?}", b.log));
+        assert_eq!(format!("{:?}", a.log), format!("{:?}", c.log));
     }
 
     #[test]

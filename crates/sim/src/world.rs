@@ -23,13 +23,13 @@ use honeypot::{
 use netsim::dist::{exponential, poisson};
 use netsim::engine::{Scheduler, World};
 use netsim::time::MS_PER_DAY;
-use netsim::{CalendarQueue, Engine, EventQueue, PendingQueue, Rng, SimTime};
+use netsim::{CalendarQueue, Engine, EventQueue, PendingQueue, Rng, SimTime, TimingWheel};
 use std::collections::HashMap;
 
 use crate::catalog::Catalog;
 use crate::config::{QueueKind, ScenarioConfig};
 use crate::identity::IdentityFactory;
-use crate::peer::{Session, SessionOutcome, SessionState, SimPeer, MAX_HONEYPOTS};
+use crate::peer::{NewPeer, PeerTable, Session, SessionOutcome, SessionState, MAX_HONEYPOTS};
 use crate::server::SimServer;
 
 /// Events of the eDonkey world.
@@ -103,7 +103,12 @@ pub struct EdonkeyWorld {
     hp_attract: Vec<f64>,
     manager: Manager,
     identities: IdentityFactory,
-    peers: Vec<SimPeer>,
+    /// The peer population, struct-of-arrays (see [`crate::peer`]).
+    peers: PeerTable,
+    /// Reusable scratch for per-round contact orders and wanted-file
+    /// snapshots (the hot loop allocates nothing per event).
+    scratch_order: Vec<u8>,
+    scratch_wanted: Vec<u32>,
     /// Community-blacklist exposure per honeypot (detections so far).
     exposure: Vec<u32>,
     /// Per-honeypot sessions that reached part requests / that delivered
@@ -213,7 +218,9 @@ impl EdonkeyWorld {
             hp_attract,
             manager,
             identities: IdentityFactory::with_base(root.substream("identities"), identity_base),
-            peers: Vec::new(),
+            peers: PeerTable::new(),
+            scratch_order: Vec::new(),
+            scratch_wanted: Vec::new(),
             exposure: vec![0; config.honeypots.len()],
             hp_request_sessions: vec![0; config.honeypots.len()],
             hp_delivered_sessions: vec![0; config.honeypots.len()],
@@ -316,24 +323,18 @@ impl EdonkeyWorld {
                     .expect("finite popularity")
             })
             .expect("non-empty");
+        let providers: Vec<u8> = (0..self.honeypots.len() as u8).collect();
         for _ in 0..self.config.robots.count {
             let identity = self.identities.create();
-            self.peers.push(SimPeer {
+            self.peers.push(NewPeer {
                 identity,
                 probe_only: false,
                 shares_list: false,
-                shared_files: Vec::new(),
-                wanted: vec![target],
-                interest_until: SimTime(u64::MAX),
-                providers: (0..self.honeypots.len() as u8).collect(),
-                blacklist: 0,
-                shared_sent: 0,
-                failures: 0,
-                rounds: 0,
                 robot: true,
-                order: Vec::new(),
-                pos: 0,
-                session: None,
+                shared_files: &[],
+                wanted: &[target],
+                providers: &providers,
+                interest_until: SimTime(u64::MAX),
             });
         }
         self.stats.arrivals += self.config.robots.count as u64;
@@ -414,9 +415,10 @@ impl EdonkeyWorld {
         b.skip_cap * d / (d + b.halfway_detections.max(1.0))
     }
 
-    /// Builds a new peer on arrival; returns `None` when the peer would
-    /// never contact a honeypot (invisible to the measurement).
-    fn build_arrival(&mut self, now: SimTime) -> Option<SimPeer> {
+    /// Builds a new peer on arrival and appends it to the population,
+    /// returning its index; `None` when the peer would never contact a
+    /// honeypot (invisible to the measurement).
+    fn build_arrival(&mut self, now: SimTime) -> Option<u32> {
         let behavior = self.config.behavior;
         let population = self.config.population;
         // Wanted files: popularity-weighted over the advertised set.
@@ -491,38 +493,30 @@ impl EdonkeyWorld {
         let life_ms =
             exponential(&mut self.rng_behavior, 1.0 / behavior.interest_mean_ms as f64) as u64;
 
-        Some(SimPeer {
+        Some(self.peers.push(NewPeer {
             identity: self.identities.create(),
             probe_only,
             shares_list,
-            shared_files,
-            wanted,
-            interest_until: now.plus_millis(life_ms.max(60_000)),
-            providers,
-            blacklist: 0,
-            shared_sent: 0,
-            failures: 0,
-            rounds: 0,
             robot: false,
-            order: Vec::new(),
-            pos: 0,
-            session: None,
-        })
+            shared_files: &shared_files,
+            wanted: &wanted,
+            providers: &providers,
+            interest_until: now.plus_millis(life_ms.max(60_000)),
+        }))
     }
 
     /// Starts a retry round: ordered contact list over non-blacklisted
     /// providers.
     fn start_round(&mut self, now: SimTime, peer_idx: u32, sched: &mut Scheduler<'_, Event>) {
-        let peer = &mut self.peers[peer_idx as usize];
-        peer.order =
-            peer.providers.iter().copied().filter(|&hp| !peer.is_blacklisted(hp)).collect();
-        let mut order = std::mem::take(&mut peer.order);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        let mask_filter = |&hp: &u8| !self.peers.is_blacklisted(peer_idx, hp);
+        order.extend(self.peers.providers(peer_idx).iter().copied().filter(mask_filter));
         self.rng_behavior.shuffle(&mut order);
-        let peer = &mut self.peers[peer_idx as usize];
-        peer.order = order;
-        peer.pos = 0;
-        peer.session = None;
-        if peer.order.is_empty() {
+        self.peers.set_order(peer_idx, &order);
+        let empty = order.is_empty();
+        self.scratch_order = order;
+        if empty {
             return;
         }
         let _ = now;
@@ -539,13 +533,12 @@ impl EdonkeyWorld {
         sched: &mut Scheduler<'_, Event>,
     ) {
         let behavior = self.config.behavior;
-        let peer = &mut self.peers[peer_idx as usize];
-        let Some(session) = peer.session.take() else { return };
+        let Some(session) = self.peers.take_session(peer_idx) else { return };
         match outcome {
             SessionOutcome::Detected => {
-                if !peer.robot {
-                    peer.blacklist_hp(session.hp);
-                    peer.failures = peer.failures.saturating_add(1);
+                if !self.peers.robot(peer_idx) {
+                    self.peers.blacklist_hp(peer_idx, session.hp);
+                    self.peers.bump_failures(peer_idx);
                 }
                 let strategy = self.honeypots[session.hp as usize].content_strategy();
                 self.exposure[session.hp as usize] += 1;
@@ -560,15 +553,16 @@ impl EdonkeyWorld {
             SessionOutcome::HelloOnly | SessionOutcome::Inconclusive => {}
         }
 
-        let peer = &mut self.peers[peer_idx as usize];
-        peer.pos = peer.pos.saturating_add(1);
-        if (peer.pos as usize) < peer.order.len() && !peer.done(now, behavior.abandon_failures) {
+        self.peers.bump_pos(peer_idx);
+        if (self.peers.pos(peer_idx) as usize) < self.peers.order(peer_idx).len()
+            && !self.peers.done(peer_idx, now, behavior.abandon_failures)
+        {
             sched.in_ms(behavior.contact_gap_ms, Event::SessionStep { peer: peer_idx });
             return;
         }
         // Round over.
-        peer.rounds = peer.rounds.saturating_add(1);
-        if !peer.done(now, behavior.abandon_failures) {
+        self.peers.bump_rounds(peer_idx);
+        if !self.peers.done(peer_idx, now, behavior.abandon_failures) {
             let delay =
                 exponential(&mut self.rng_behavior, 1.0 / behavior.retry_interval_ms as f64) as u64;
             sched.in_ms(delay.max(60_000), Event::RoundStart { peer: peer_idx });
@@ -579,32 +573,31 @@ impl EdonkeyWorld {
     fn session_step(&mut self, peer_idx: u32, sched: &mut Scheduler<'_, Event>) {
         let now = sched.now();
         let behavior = self.config.behavior;
-        let peer = &mut self.peers[peer_idx as usize];
 
         // Open a session with the provider at `pos` if none is in flight.
-        if peer.session.is_none() {
-            if (peer.pos as usize) >= peer.order.len() {
+        if self.peers.session(peer_idx).is_none() {
+            if (self.peers.pos(peer_idx) as usize) >= self.peers.order(peer_idx).len() {
                 return;
             }
-            let hp = peer.order[peer.pos as usize];
+            let hp = self.peers.order(peer_idx)[self.peers.pos(peer_idx) as usize];
             let file = {
                 // Sessions ask for one wanted file; robots always use their
                 // single target.
-                let i = self.rng_behavior.below(peer.wanted.len() as u64) as usize;
-                peer.wanted[i]
+                let wanted = self.peers.wanted(peer_idx);
+                let i = self.rng_behavior.below(wanted.len() as u64) as usize;
+                wanted[i]
             };
-            debug_assert!(!peer.robot, "robots use their own chain events");
-            let hello_only = peer.probe_only;
+            debug_assert!(!self.peers.robot(peer_idx), "robots use their own chain events");
+            let hello_only = self.peers.probe_only(peer_idx);
             // First-round sessions always attempt the download (the peer
             // genuinely wants the file); later rounds are mostly re-polls.
-            let do_request =
-                peer.rounds == 0 || self.rng_behavior.chance(behavior.retry_request_prob);
+            let do_request = self.peers.rounds(peer_idx) == 0
+                || self.rng_behavior.chance(behavior.retry_request_prob);
             let budget = (1 + geometric(&mut self.rng_behavior, behavior.rc_budget_mean - 1.0))
                 .min(60) as u8;
             let conn = self.next_conn;
             self.next_conn += 1;
-            let peer = &mut self.peers[peer_idx as usize];
-            peer.session = Some(Session {
+            *self.peers.session_mut(peer_idx) = Some(Session {
                 hp,
                 file,
                 state: SessionState::Greet,
@@ -619,25 +612,24 @@ impl EdonkeyWorld {
             self.stats.sessions += 1;
         }
 
-        let peer = &self.peers[peer_idx as usize];
-        let session = peer.session.expect("session just ensured");
+        let identity = *self.peers.identity(peer_idx);
+        let session = self.peers.session(peer_idx).expect("session just ensured");
         let hp_idx = session.hp as usize;
 
         match session.state {
             SessionState::Greet => {
                 let msg = PeerMessage::Hello {
-                    user_id: peer.identity.user_id,
-                    client_id: peer.identity.client_id,
-                    port: peer.identity.port,
+                    user_id: identity.user_id,
+                    client_id: identity.client_id,
+                    port: identity.port,
                     tags: vec![
-                        Tag::string(special::NAME, peer.identity.name()),
-                        Tag::u32(special::VERSION, peer.identity.version),
+                        Tag::string(special::NAME, identity.name()),
+                        Tag::u32(special::VERSION, identity.version),
                     ],
                 };
                 self.stats.hello_sent += 1;
-                let src_ip = peer.identity.ip;
                 let conn = ConnId(session.conn);
-                let replies = self.honeypots[hp_idx].on_peer_message(now, conn, src_ip, &msg);
+                let replies = self.honeypots[hp_idx].on_peer_message(now, conn, identity.ip, &msg);
                 let answered = replies
                     .iter()
                     .any(|a| matches!(a, Action::Reply(PeerMessage::HelloAnswer { .. })));
@@ -649,11 +641,14 @@ impl EdonkeyWorld {
                     return;
                 }
                 // Answer the shared-files request once per honeypot.
-                let peer = &mut self.peers[peer_idx as usize];
-                if asked_shared && peer.shares_list && !peer.shared_sent_to(session.hp) {
-                    peer.mark_shared_sent(session.hp);
-                    let files: Vec<PublishedFile> = peer
-                        .shared_files
+                if asked_shared
+                    && self.peers.shares_list(peer_idx)
+                    && !self.peers.shared_sent_to(peer_idx, session.hp)
+                {
+                    self.peers.mark_shared_sent(peer_idx, session.hp);
+                    let files: Vec<PublishedFile> = self
+                        .peers
+                        .shared_files(peer_idx)
                         .iter()
                         .map(|&ci| {
                             let f = self.catalog.file(ci);
@@ -661,21 +656,19 @@ impl EdonkeyWorld {
                         })
                         .collect();
                     let answer = PeerMessage::AskSharedFilesAnswer { files };
-                    let src_ip = self.peers[peer_idx as usize].identity.ip;
                     let replies = self.honeypots[hp_idx].on_peer_message(
                         now,
                         ConnId(session.conn),
-                        src_ip,
+                        identity.ip,
                         &answer,
                     );
                     self.route_non_replies(now, hp_idx, replies);
                 }
-                let peer = &mut self.peers[peer_idx as usize];
                 if session.hello_only {
                     self.finish_session(now, peer_idx, SessionOutcome::HelloOnly, sched);
                     return;
                 }
-                if let Some(s) = peer.session.as_mut() {
+                if let Some(s) = self.peers.session_mut(peer_idx) {
                     s.state = SessionState::Upload;
                 }
                 sched.in_ms(400, Event::SessionStep { peer: peer_idx });
@@ -686,11 +679,13 @@ impl EdonkeyWorld {
                 // about each download in progress); the part-request loop
                 // then proceeds on the session's primary file.  This is
                 // what populates the per-file peer sets of Figs. 11-12.
-                let src_ip = peer.identity.ip;
-                let wanted = peer.wanted.clone();
+                let src_ip = identity.ip;
+                let mut wanted = std::mem::take(&mut self.scratch_wanted);
+                wanted.clear();
+                wanted.extend_from_slice(self.peers.wanted(peer_idx));
                 let primary = session.file;
                 let mut accepted = false;
-                for ci in wanted.into_iter().filter(|&ci| ci != primary).chain([primary]) {
+                for ci in wanted.iter().copied().filter(|&ci| ci != primary).chain([primary]) {
                     if !self.honeypots[hp_idx].advertises(&self.catalog.file(ci).id) {
                         continue;
                     }
@@ -707,6 +702,7 @@ impl EdonkeyWorld {
                         .any(|a| matches!(a, Action::Reply(PeerMessage::AcceptUpload)));
                     self.route_non_replies(now, hp_idx, replies);
                 }
+                self.scratch_wanted = wanted;
                 if !accepted {
                     self.finish_session(now, peer_idx, SessionOutcome::NoAnswer, sched);
                     return;
@@ -715,8 +711,7 @@ impl EdonkeyWorld {
                     self.finish_session(now, peer_idx, SessionOutcome::Inconclusive, sched);
                     return;
                 }
-                let peer = &mut self.peers[peer_idx as usize];
-                if let Some(s) = peer.session.as_mut() {
+                if let Some(s) = self.peers.session_mut(peer_idx) {
                     s.state = SessionState::Request;
                 }
                 sched.in_ms(400, Event::SessionStep { peer: peer_idx });
@@ -729,9 +724,12 @@ impl EdonkeyWorld {
                     ranges: block_triple(size, session.block_cursor),
                 };
                 self.stats.request_parts_sent += 1;
-                let src_ip = peer.identity.ip;
-                let replies =
-                    self.honeypots[hp_idx].on_peer_message(now, ConnId(session.conn), src_ip, &msg);
+                let replies = self.honeypots[hp_idx].on_peer_message(
+                    now,
+                    ConnId(session.conn),
+                    identity.ip,
+                    &msg,
+                );
                 let got_data = replies
                     .iter()
                     .any(|a| matches!(a, Action::Reply(PeerMessage::SendingPart { .. })));
@@ -743,8 +741,7 @@ impl EdonkeyWorld {
                 if got_data && !session.delivered {
                     self.hp_delivered_sessions[hp_idx] += 1;
                 }
-                let peer = &mut self.peers[peer_idx as usize];
-                let Some(s) = peer.session.as_mut() else { return };
+                let Some(s) = self.peers.session_mut(peer_idx).as_mut() else { return };
                 if got_data {
                     s.delivered = true;
                     s.timeouts = 0;
@@ -828,20 +825,19 @@ impl EdonkeyWorld {
             RobotPhase::Greet => {
                 let conn = self.next_conn;
                 self.next_conn += 1;
-                let peer = &self.peers[peer_idx as usize];
+                let identity = *self.peers.identity(peer_idx);
                 let msg = PeerMessage::Hello {
-                    user_id: peer.identity.user_id,
-                    client_id: peer.identity.client_id,
-                    port: peer.identity.port,
+                    user_id: identity.user_id,
+                    client_id: identity.client_id,
+                    port: identity.port,
                     tags: vec![
-                        Tag::string(special::NAME, peer.identity.name()),
-                        Tag::u32(special::VERSION, peer.identity.version),
+                        Tag::string(special::NAME, identity.name()),
+                        Tag::u32(special::VERSION, identity.version),
                     ],
                 };
                 self.stats.hello_sent += 1;
-                let src_ip = peer.identity.ip;
                 let replies =
-                    self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
+                    self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), identity.ip, &msg);
                 let answered = replies
                     .iter()
                     .any(|a| matches!(a, Action::Reply(PeerMessage::HelloAnswer { .. })));
@@ -854,11 +850,10 @@ impl EdonkeyWorld {
                 }
             }
             RobotPhase::Upload => {
-                let peer = &self.peers[peer_idx as usize];
-                let file = peer.wanted[0];
+                let file = self.peers.wanted(peer_idx)[0];
+                let src_ip = self.peers.identity(peer_idx).ip;
                 let msg = PeerMessage::StartUpload { file_id: self.catalog.file(file).id };
                 self.stats.start_upload_sent += 1;
-                let src_ip = peer.identity.ip;
                 let replies =
                     self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
                 let accepted =
@@ -872,15 +867,14 @@ impl EdonkeyWorld {
                 }
             }
             RobotPhase::Request => {
-                let peer = &self.peers[peer_idx as usize];
-                let file = self.catalog.file(peer.wanted[0]);
+                let file = self.catalog.file(self.peers.wanted(peer_idx)[0]);
                 let size = file.size.min(u64::from(u32::MAX - 1));
                 let msg = PeerMessage::RequestParts {
                     file_id: file.id,
                     ranges: block_triple(size, u32::from(remaining) * 3),
                 };
                 self.stats.request_parts_sent += 1;
-                let src_ip = peer.identity.ip;
+                let src_ip = self.peers.identity(peer_idx).ip;
                 let replies =
                     self.honeypots[hp_idx].on_peer_message(now, ConnId(conn), src_ip, &msg);
                 let got_data = replies
@@ -934,7 +928,7 @@ impl EdonkeyWorld {
         let shared_final = self.honeypots.iter().map(|h| h.shared_files().len()).max().unwrap_or(0);
         let relaunches = self.manager.relaunch_count();
         let log = self.manager.finalize(duration, shared_final as u32, self.config.name_threshold);
-        SimOutput { log, stats: self.stats, relaunches }
+        SimOutput { log, stats: self.stats, relaunches, events_handled: 0 }
     }
 
     /// Finishes one lane of a sharded run: collects outstanding logs but
@@ -953,6 +947,7 @@ impl EdonkeyWorld {
             stats: self.stats,
             relaunches,
             shared_files_final: shared_final as u32,
+            events_handled: 0,
         }
     }
 
@@ -977,6 +972,9 @@ pub struct SimOutput {
     pub log: MeasurementLog,
     pub stats: WorldStats,
     pub relaunches: u64,
+    /// Discrete events the engine dispatched (summed over lanes for a
+    /// sharded run) — the numerator of events-per-second throughput.
+    pub events_handled: u64,
 }
 
 impl World for EdonkeyWorld {
@@ -990,9 +988,7 @@ impl World for EdonkeyWorld {
                 let n = poisson(&mut self.rng_arrival, rate * tick as f64);
                 for _ in 0..n {
                     let offset = self.rng_arrival.below(tick);
-                    if let Some(peer) = self.build_arrival(now) {
-                        let idx = self.peers.len() as u32;
-                        self.peers.push(peer);
+                    if let Some(idx) = self.build_arrival(now) {
                         self.stats.arrivals += 1;
                         sched.in_ms(offset, Event::RoundStart { peer: idx });
                     }
@@ -1000,7 +996,7 @@ impl World for EdonkeyWorld {
                 sched.in_ms(tick, Event::ArrivalTick);
             }
             Event::RoundStart { peer } => {
-                if self.peers[peer as usize].done(now, self.config.behavior.abandon_failures) {
+                if self.peers.done(peer, now, self.config.behavior.abandon_failures) {
                     return;
                 }
                 // Users follow the daily rhythm in their retries too (the
@@ -1112,7 +1108,7 @@ fn block_triple(size: u64, cursor: u32) -> [PartRange; 3] {
 /// Runs a scenario end-to-end and returns its output.
 ///
 /// Dispatches on [`crate::config::ExecMode`] and
-/// [`crate::config::QueueKind`] once, up front; both queues produce
+/// [`crate::config::QueueKind`] once, up front; all three queues produce
 /// byte-identical output (see `tests/determinism.rs`), so the queue choice
 /// only affects wall-clock time.
 pub fn run_scenario(config: ScenarioConfig) -> SimOutput {
@@ -1122,6 +1118,7 @@ pub fn run_scenario(config: ScenarioConfig) -> SimOutput {
     match config.queue {
         QueueKind::Heap => run_scenario_on(config, EventQueue::new()),
         QueueKind::Calendar => run_scenario_on(config, CalendarQueue::for_simulation()),
+        QueueKind::Wheel => run_scenario_on(config, TimingWheel::for_simulation()),
     }
 }
 
@@ -1133,11 +1130,14 @@ pub(crate) fn run_lane(config: ScenarioConfig) -> crate::lanes::LaneOutput {
         let mut engine = Engine::with_queue(queue);
         let mut world = EdonkeyWorld::new(config, &mut engine);
         engine.run_until(&mut world, duration);
-        world.finish_lane(duration)
+        let mut out = world.finish_lane(duration);
+        out.events_handled = engine.events_handled();
+        out
     }
     match config.queue {
         QueueKind::Heap => on(config, EventQueue::new()),
         QueueKind::Calendar => on(config, CalendarQueue::for_simulation()),
+        QueueKind::Wheel => on(config, TimingWheel::for_simulation()),
     }
 }
 
@@ -1147,7 +1147,9 @@ fn run_scenario_on<Q: PendingQueue<Event>>(config: ScenarioConfig, queue: Q) -> 
     let mut engine = Engine::with_queue(queue);
     let mut world = EdonkeyWorld::new(config, &mut engine);
     engine.run_until(&mut world, duration);
-    world.finish(duration)
+    let mut out = world.finish(duration);
+    out.events_handled = engine.events_handled();
+    out
 }
 
 #[cfg(test)]

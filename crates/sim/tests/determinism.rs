@@ -1,8 +1,9 @@
 //! The queue-choice determinism guarantee: a scenario is a pure function
 //! of its configuration and seed, *independent of which pending-event
-//! queue drives the engine*.  Heap and calendar runs must produce
-//! identical measurement logs down to the last record — the property that
-//! makes [`edonkey_sim::config::QueueKind`] a pure performance knob.
+//! queue drives the engine*.  Heap, calendar, and timing-wheel runs must
+//! produce identical measurement logs down to the last record — the
+//! property that makes [`edonkey_sim::config::QueueKind`] a pure
+//! performance knob.
 
 use edonkey_sim::config::{QueueKind, ScenarioConfig};
 use edonkey_sim::world::run_scenario;
@@ -14,29 +15,35 @@ fn scenario(seed: u64, queue: QueueKind) -> ScenarioConfig {
 }
 
 #[test]
-fn heap_and_calendar_produce_identical_logs() {
+fn all_queues_produce_identical_logs() {
     for seed in [1u64, 42, 0xED0_2009] {
         let heap = run_scenario(scenario(seed, QueueKind::Heap));
-        let cal = run_scenario(scenario(seed, QueueKind::Calendar));
+        for (name, other) in [
+            ("calendar", run_scenario(scenario(seed, QueueKind::Calendar))),
+            ("wheel", run_scenario(scenario(seed, QueueKind::Wheel))),
+        ] {
+            // Record-level equality first, for a readable failure…
+            assert_eq!(
+                heap.log.records, other.log.records,
+                "records diverged between heap and {name} (seed {seed})"
+            );
+            assert_eq!(heap.log.shared_lists, other.log.shared_lists, "{name}, seed {seed}");
+            assert_eq!(heap.log.distinct_peers, other.log.distinct_peers, "{name}, seed {seed}");
+            assert_eq!(
+                heap.log.shared_files_final, other.log.shared_files_final,
+                "{name}, seed {seed}"
+            );
 
-        // Record-level equality first, for a readable failure…
-        assert_eq!(
-            heap.log.records, cal.log.records,
-            "records diverged between queues (seed {seed})"
-        );
-        assert_eq!(heap.log.shared_lists, cal.log.shared_lists, "seed {seed}");
-        assert_eq!(heap.log.distinct_peers, cal.log.distinct_peers, "seed {seed}");
-        assert_eq!(heap.log.shared_files_final, cal.log.shared_files_final, "seed {seed}");
-
-        // …then whole-struct equality via the Debug rendering, which
-        // covers every remaining field (honeypot metadata, name/file
-        // tables) without requiring PartialEq on all of them.
-        assert_eq!(
-            format!("{:?}", heap.log),
-            format!("{:?}", cal.log),
-            "logs diverged between queues (seed {seed})"
-        );
-        assert_eq!(heap.relaunches, cal.relaunches, "seed {seed}");
+            // …then whole-struct equality via the Debug rendering, which
+            // covers every remaining field (honeypot metadata, name/file
+            // tables) without requiring PartialEq on all of them.
+            assert_eq!(
+                format!("{:?}", heap.log),
+                format!("{:?}", other.log),
+                "logs diverged between heap and {name} (seed {seed})"
+            );
+            assert_eq!(heap.relaunches, other.relaunches, "{name}, seed {seed}");
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use edonkey_honeypots::control::{
     AgentConfig, CheckpointOptions, ConnEvent, ControlConn, ControlMessage, Daemon, DaemonConfig,
     FaultPlan, LoopbackDeployment, LoopbackOptions, LoopbackSpec, ManagerCheckpoint,
 };
-use edonkey_honeypots::platform::log::FileTable;
+use edonkey_honeypots::platform::log::{FileTable, SharedLists};
 use edonkey_honeypots::platform::{
     AdvertisedFile, ContentStrategy, FileStrategy, HoneypotId, LogChunk, ServerInfo,
 };
@@ -266,7 +266,7 @@ fn duplicate_uploads_are_reacked_never_remerged() {
         honeypot: HoneypotId(0),
         server: config.server.clone(),
         records: Vec::new(),
-        shared_lists: Vec::new(),
+        shared_lists: SharedLists::new(),
         peer_names: Vec::new(),
         files: FileTable::new(),
     };

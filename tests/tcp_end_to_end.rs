@@ -156,7 +156,7 @@ fn greedy_honeypot_adopts_files_over_tcp() {
 
     let chunk = host.stop();
     assert_eq!(chunk.shared_lists.len(), 1);
-    assert_eq!(chunk.shared_lists[0].files.len(), 2);
+    assert_eq!(chunk.shared_lists.get(0).files.len(), 2);
     assert!(chunk.files.len() >= 3, "seed + 2 adopted files in the file table");
     server.stop();
 }

@@ -13,7 +13,7 @@ use std::time::Duration;
 use edonkey_honeypots::control::{
     AgentConfig, ConnEvent, ControlConn, ControlMessage, Daemon, DaemonConfig,
 };
-use edonkey_honeypots::platform::log::FileTable;
+use edonkey_honeypots::platform::log::{FileTable, SharedLists};
 use edonkey_honeypots::platform::{
     ContentStrategy, FileStrategy, HoneypotId, LogChunk, ServerInfo,
 };
@@ -51,7 +51,7 @@ fn empty_chunk(agent: u32) -> LogChunk {
         honeypot: HoneypotId(agent),
         server: test_config(agent).server,
         records: Vec::new(),
-        shared_lists: Vec::new(),
+        shared_lists: SharedLists::new(),
         peer_names: Vec::new(),
         files: FileTable::new(),
     }
