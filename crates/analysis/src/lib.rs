@@ -17,6 +17,8 @@
 //!   paper's §V analysis agenda);
 //! * [`population`] — demographics: high/low IDs, client software,
 //!   per-peer query volumes, honeypot load balance;
+//! * [`server`] — the server-capture index and honeypot/server
+//!   cross-validation (the "ten weeks of an eDonkey server" modality);
 //! * [`report`] — ASCII tables/charts and formatting helpers.
 //!
 //! All functions are pure over [`honeypot::MeasurementLog`].
@@ -26,6 +28,7 @@ pub mod distinct;
 pub mod index;
 pub mod population;
 pub mod report;
+pub mod server;
 pub mod strategy;
 pub mod subset;
 pub mod table;
@@ -40,6 +43,7 @@ pub use population::{
     client_software, gini, honeypot_load_gini, id_status_breakdown, queries_per_peer_histogram,
     IdStatusBreakdown,
 };
+pub use server::{cross_validate, CrossValidation, ServerIndex, ServerIndexBuilder, Tolerance};
 pub use strategy::{distinct_peers_by_strategy, messages_by_strategy, StrategyComparison};
 pub use subset::{
     file_peer_counts, peer_sets_by_file, peer_sets_by_honeypot, popular_files, random_files,

@@ -24,6 +24,10 @@
 //!   `BENCH_pr7.json`.
 //! * `--pr6` — regenerates only `BENCH_pr6.json` (the windowed-upload
 //!   sweep plus the 1,000-agent gate), skipping everything else.
+//! * `--pr8` — the server-capture overhead sweep of PR 8: the ten-week
+//!   `server_ten_weeks` scenario with the capture off vs on at each scale,
+//!   one child process per point; writes `BENCH_pr8.json`.
+//! * `--pr8-point F on|off DAYS` — internal: one child point of `--pr8`.
 //! * `--scale-smoke [F]` — CI gate: one coupled run at scale `F`
 //!   (default 0.25) on the timing wheel, index built through the
 //!   *streaming* builder and cross-checked against the one-shot build,
@@ -532,6 +536,15 @@ fn workspace_file(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
+/// Host annotation shared by every `BENCH_*.json`: available parallelism
+/// plus an explicit single-core flag, because fleet and sharding sweeps
+/// recorded on a one-core container cannot exhibit parallel speedups and
+/// must not be read as if they could.
+fn host_json() -> String {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!("\"threads_available\": {threads},\n  \"single_core_container\": {}", threads == 1)
+}
+
 /// High-water-mark resident set of this process in kB (`VmHWM` from
 /// `/proc/self/status`); 0 on platforms without procfs.
 fn peak_rss_kb() -> u64 {
@@ -657,12 +670,176 @@ fn write_pr7(points: &[Pr7Point]) {
     let json = format!(
         "{{\n  \
          \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --pr7\",\n  \
-         \"note\": \"coupled distributed scenario, one fresh child process per point so peak RSS (VmHWM) is per-point; all three queues produce byte-identical logs (sim/tests/determinism.rs), so the deltas are pure scheduler cost; recorded on a single-core container whose rayon substitute runs sequentially — lane-sharding speedups are not represented here\",\n  \
-         \"threads_available\": {},\n  \
+         \"note\": \"coupled distributed scenario, one fresh child process per point so peak RSS (VmHWM) is per-point; all three queues produce byte-identical logs (sim/tests/determinism.rs), so the deltas are pure scheduler cost; when single_core_container is true the rayon substitute runs sequentially — lane-sharding speedups are not represented here\",\n  \
+         {},\n  \
          \"scale_sweep\": [\n{rows}\n  ]\n}}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        host_json(),
     );
     let path = workspace_file("BENCH_pr7.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}
+
+/// One point of the PR 8 capture-overhead sweep, as reported by a child
+/// process.
+struct Pr8Point {
+    scale: f64,
+    capture: bool,
+    days: u64,
+    events: u64,
+    hp_records: usize,
+    server_records: u64,
+    compressed_bytes: u64,
+    secs: f64,
+    peak_rss_kb: u64,
+}
+
+/// Child mode: one `server_ten_weeks` run at `scale` over `days` simulated
+/// days, with the server capture on or off, printing one machine-readable
+/// line.  Own process so the parent reads an uncontaminated `VmHWM`.
+fn pr8_point_main(scale: f64, capture: bool, days: u64) -> ! {
+    let mut cfg = scenarios::server_ten_weeks(scenarios::DEFAULT_SEED, scale);
+    cfg.duration = SimTime::from_days(days);
+    let (events, hp_records, server_records, compressed_bytes, secs) = if capture {
+        let dir = std::env::temp_dir().join(format!("edhp-pr8-capture-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Instant::now();
+        let out = edonkey_sim::run_scenario_with_capture(cfg, &dir).expect("capture run");
+        let secs = t.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            out.output.events_handled,
+            out.output.log.records.len(),
+            out.capture.records,
+            out.capture.compressed_bytes,
+            secs,
+        )
+    } else {
+        cfg.server_capture = None;
+        let t = Instant::now();
+        let out = run_scenario(cfg);
+        (out.events_handled, out.log.records.len(), 0, 0, t.elapsed().as_secs_f64())
+    };
+    println!(
+        "pr8-point scale={scale} capture={} days={days} events={events} hp_records={hp_records} \
+         server_records={server_records} compressed_bytes={compressed_bytes} secs={secs:.3} \
+         peak_rss_kb={}",
+        if capture { "on" } else { "off" },
+        peak_rss_kb(),
+    );
+    std::process::exit(0)
+}
+
+/// Parent mode: capture on/off × scale, one child per point.
+fn pr8_sweep(scales: &[f64], days: u64) -> Vec<Pr8Point> {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut points = Vec::new();
+    for &scale in scales {
+        for capture in [false, true] {
+            let mode = if capture { "on" } else { "off" };
+            let out = std::process::Command::new(&exe)
+                .args(["--pr8-point", &scale.to_string(), mode, &days.to_string()])
+                .output()
+                .expect("spawn pr8 child");
+            if !out.status.success() {
+                eprintln!(
+                    "[bench] pr8 child failed at scale {scale} capture {mode}:\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                std::process::exit(1);
+            }
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let line = stdout
+                .lines()
+                .find(|l| l.starts_with("pr8-point "))
+                .expect("child must print a pr8-point line");
+            let field = |key: &str| -> &str {
+                line.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+                    .unwrap_or_else(|| panic!("missing {key} in: {line}"))
+            };
+            let p = Pr8Point {
+                scale,
+                capture,
+                days,
+                events: field("events").parse().expect("events"),
+                hp_records: field("hp_records").parse().expect("hp_records"),
+                server_records: field("server_records").parse().expect("server_records"),
+                compressed_bytes: field("compressed_bytes").parse().expect("compressed_bytes"),
+                secs: field("secs").parse().expect("secs"),
+                peak_rss_kb: field("peak_rss_kb").parse().expect("peak_rss_kb"),
+            };
+            eprintln!(
+                "[bench] pr8 @ scale {scale}, capture {mode}: {:.0} events/s, \
+                 {} server records ({:.1} B/record), {:.1} MB peak RSS",
+                p.events as f64 / p.secs.max(1e-9),
+                p.server_records,
+                p.compressed_bytes as f64 / (p.server_records as f64).max(1.0),
+                p.peak_rss_kb as f64 / 1024.0,
+            );
+            points.push(p);
+        }
+    }
+    points
+}
+
+/// Writes `BENCH_pr8.json`: the capture on/off × scale sweep with the
+/// per-scale capture overhead (wall-clock delta) made explicit.
+fn write_pr8(points: &[Pr8Point]) {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"scale\": {}, \"capture\": {}, \"days\": {}, \"queue\": \"calendar\", \
+             \"events_handled\": {}, \"events_per_sec\": {:.0}, \"hp_records\": {}, \
+             \"server_records\": {}, \"compressed_bytes\": {}, \
+             \"compressed_bytes_per_record\": {:.2}, \"secs\": {:.3}, \"peak_rss_kb\": {} }}",
+            p.scale,
+            p.capture,
+            p.days,
+            p.events,
+            p.events as f64 / p.secs.max(1e-9),
+            p.hp_records,
+            p.server_records,
+            p.compressed_bytes,
+            p.compressed_bytes as f64 / (p.server_records as f64).max(1.0),
+            p.secs,
+            p.peak_rss_kb,
+        ));
+    }
+    let mut overhead = String::new();
+    for pair in points.chunks(2) {
+        if let [off, on] = pair {
+            if !overhead.is_empty() {
+                overhead.push_str(",\n");
+            }
+            overhead.push_str(&format!(
+                "    {{ \"scale\": {}, \"capture_overhead_pct\": {:.1}, \
+                 \"rss_overhead_kb\": {} }}",
+                off.scale,
+                (on.secs / off.secs.max(1e-9) - 1.0) * 100.0,
+                on.peak_rss_kb.saturating_sub(off.peak_rss_kb),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --pr8\",\n  \
+         \"note\": \"server_ten_weeks scenario, capture off vs on at each scale, one fresh child process per point so peak RSS (VmHWM) is per-point; capture streams CRC-framed compressed segments to a temp dir and never holds the capture in memory, so rss_overhead_kb stays flat as records grow\",\n  \
+         {host},\n  \
+         \"capture_sweep\": [\n{rows}\n  ],\n  \
+         \"capture_overhead\": [\n{overhead}\n  ]\n}}\n",
+        host = host_json(),
+    );
+    let path = workspace_file("BENCH_pr8.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[bench] wrote {}", path.display()),
         Err(e) => {
@@ -737,6 +914,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pr6_only = false;
     let mut pr7 = false;
+    let mut pr8 = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -752,6 +930,23 @@ fn main() {
             }
             "--pr6" => pr6_only = true,
             "--pr7" => pr7 = true,
+            "--pr8" => pr8 = true,
+            "--pr8-point" => {
+                let s: f64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: perf_baseline --pr8-point F on|off DAYS");
+                    std::process::exit(2)
+                });
+                let capture = match args.get(i + 2).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => {
+                        eprintln!("usage: perf_baseline --pr8-point F on|off DAYS");
+                        std::process::exit(2)
+                    }
+                };
+                let days: u64 = args.get(i + 3).and_then(|v| v.parse().ok()).unwrap_or(70);
+                pr8_point_main(s, capture, days);
+            }
             "--pr7-point" => {
                 let s: f64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("usage: perf_baseline --pr7-point F heap|calendar|wheel");
@@ -765,7 +960,7 @@ fn main() {
                 scale_smoke(s);
             }
             other => {
-                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F] [--pr6] [--pr7] [--scale-smoke F]");
+                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F] [--pr6] [--pr7] [--pr8] [--scale-smoke F]");
                 std::process::exit(2);
             }
         }
@@ -775,6 +970,11 @@ fn main() {
     if pr7 {
         let points = pr7_sweep(&[0.05, 0.1, 0.25, 0.5, 1.0]);
         write_pr7(&points);
+        return;
+    }
+    if pr8 {
+        let points = pr8_sweep(&[0.05, 0.2], scenarios::SERVER_CAPTURE_DAYS);
+        write_pr8(&points);
         return;
     }
     if pr6_only {
@@ -971,9 +1171,10 @@ fn main() {
     let json = format!(
         "{{\n  \
          \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
-         \"note\": \"lane-sharding sweep speedups are bounded by threads_available; a single-core host reports ~1.0x regardless of pool size\",\n  \
-         \"threads_available\": {max_threads},\n  \
+         \"note\": \"lane-sharding sweep speedups are bounded by threads_available; when single_core_container is true the sweep reports ~1.0x regardless of pool size\",\n  \
+         {host},\n  \
          \"rayon_default_threads\": {rayon_threads},\n  \
+         \"queues_used\": [\"heap\", \"calendar\"],\n  \
          \"engine\": {{\n    \
            \"pattern\": \"chained timers, {ENGINE_EVENTS} events\",\n    \
            \"heap_events_per_sec\": {heap_eps:.0},\n    \
@@ -1005,6 +1206,7 @@ fn main() {
            \"distributed_sim_calendar_secs\": {dist_cal_secs:.3},\n    \
            \"all_pipeline_secs\": {all_secs:.3}\n  \
          }}\n}}\n",
+        host = host_json(),
         rayon_threads = rayon::current_num_threads(),
         ratio = cal_eps / heap_eps,
         records = dist.records.len(),
@@ -1048,8 +1250,11 @@ fn main() {
     let pr3 = format!(
         "{{\n  \
          \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
-         \"note\": \"raw control-plane clients against a real manager daemon over loopback TCP; stop-and-wait sequenced uploads and heartbeat round-trips, per-point wall-clock is the slowest agent\",\n  \
-         \"control_plane_sweep\": [\n{control_json}\n  ]\n}}\n"
+         \"note\": \"raw control-plane clients against a real manager daemon over loopback TCP; stop-and-wait sequenced uploads and heartbeat round-trips, per-point wall-clock is the slowest agent; when single_core_container is true all agent threads timeshare one core\",\n  \
+         {host},\n  \
+         \"queue\": \"none (loopback control plane, no simulation event queue)\",\n  \
+         \"control_plane_sweep\": [\n{control_json}\n  ]\n}}\n",
+        host = host_json(),
     );
     let path3 = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -1086,7 +1291,9 @@ fn main() {
     let pr4 = format!(
         "{{\n  \
          \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
-         \"note\": \"crash-safe write path vs in-memory: durable points append every chunk to an on-disk spool before sending (trim on ack) while the daemon WAL-appends before every ack and checkpoints supervision state; micro section isolates the primitives\",\n  \
+         \"note\": \"crash-safe write path vs in-memory: durable points append every chunk to an on-disk spool before sending (trim on ack) while the daemon WAL-appends before every ack and checkpoints supervision state; micro section isolates the primitives; when single_core_container is true all agent threads timeshare one core\",\n  \
+         {host},\n  \
+         \"queue\": \"none (loopback control plane, no simulation event queue)\",\n  \
          \"upload_throughput\": [\n{durable_json}\n  ],\n  \
          \"spool\": {{\n    \
            \"append_mb_per_sec\": {append:.2},\n    \
@@ -1098,6 +1305,7 @@ fn main() {
            \"save_micros\": {save:.1},\n    \
            \"load_micros\": {load:.1}\n  \
          }}\n}}\n",
+        host = host_json(),
         append = micro.spool_append_mb_per_sec,
         scan = micro.spool_scan_secs,
         srecords = micro.spool_records,
@@ -1173,7 +1381,9 @@ fn run_pr6(scale: f64) {
     let pr6 = format!(
         "{{\n  \
          \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --scale {scale}\",\n  \
-         \"note\": \"windowed pipelined uploads against the reactor daemon over loopback TCP; window 1 is stop-and-wait on the same transport, per-point wall-clock is the slowest agent; the gate journals every upload pre-transport and asserts bit-identical replay with zero double merges\",\n  \
+         \"note\": \"windowed pipelined uploads against the reactor daemon over loopback TCP; window 1 is stop-and-wait on the same transport, per-point wall-clock is the slowest agent; the gate journals every upload pre-transport and asserts bit-identical replay with zero double merges; when single_core_container is true all agent threads timeshare one core\",\n  \
+         {host},\n  \
+         \"queue\": \"none (loopback control plane, no simulation event queue)\",\n  \
          \"windowed_sweep\": [\n{windowed_json}\n  ],\n  \
          \"thousand_agent_gate\": {{\n    \
            \"agents\": {gagents},\n    \
@@ -1185,6 +1395,7 @@ fn run_pr6(scale: f64) {
            \"double_merge_violations\": 0,\n    \
            \"replay_identical\": true\n  \
          }}\n}}\n",
+        host = host_json(),
         gagents = gate.agents,
         gwindow = gate.window,
         gmb = gate.upload_mb_per_sec,

@@ -26,6 +26,7 @@ pub mod log;
 pub mod manager;
 pub mod measurement;
 pub mod merge;
+pub mod serverlog;
 pub mod storage;
 pub mod strategy;
 pub mod types;
@@ -38,6 +39,10 @@ pub use log::{
 pub use manager::{HoneypotSpec, Manager};
 pub use measurement::{AnonRecord, AnonSharedList, HoneypotMeta, MeasurementLog};
 pub use merge::{merge_lanes, LaneHarvest};
+pub use serverlog::{
+    PackedServerRecord, ServerLogReader, ServerLogStats, ServerLogWriter, ServerQueryKind,
+    ServerRecord, SERVER_PEER_SESSION_BASE,
+};
 pub use storage::{
     load as load_measurement, save as save_measurement, StorageError, VERSION as STORAGE_VERSION,
 };

@@ -31,7 +31,9 @@ use edonkey_sim::ScenarioConfig;
 use honeypot::MeasurementLog;
 
 /// Cache key schema version: bump when the key derivation itself changes.
-const CACHE_SCHEMA: u32 = 1;
+/// 2: `ScenarioConfig` grew `server_capture`, which appears in the hashed
+/// `Debug` rendering — old keys would alias configs that now differ.
+const CACHE_SCHEMA: u32 = 2;
 
 /// The stable cache key of a configuration (32 hex chars).
 pub fn cache_key(config: &ScenarioConfig) -> String {
@@ -200,7 +202,18 @@ mod tests {
         scale.population.rate_per_popularity *= 1.000001;
         let mut exec = base.clone();
         exec.exec = edonkey_sim::ExecMode::Sharded;
-        let keys = [cache_key(&base), cache_key(&seed), cache_key(&scale), cache_key(&exec)];
+        let mut capture = base.clone();
+        capture.server_capture = Some(edonkey_sim::ServerCaptureConfig::default());
+        let mut capture_knob = capture.clone();
+        capture_knob.server_capture.as_mut().unwrap().status_interval_ms += 1;
+        let keys = [
+            cache_key(&base),
+            cache_key(&seed),
+            cache_key(&scale),
+            cache_key(&exec),
+            cache_key(&capture),
+            cache_key(&capture_knob),
+        ];
         for (i, a) in keys.iter().enumerate() {
             for b in keys.iter().skip(i + 1) {
                 assert_ne!(a, b, "distinct configs must have distinct keys");

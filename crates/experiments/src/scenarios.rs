@@ -15,7 +15,7 @@
 use edonkey_sim::catalog::FileClass;
 use edonkey_sim::{
     BehaviorConfig, BlacklistConfig, CatalogConfig, ExecMode, HoneypotSetup, PopulationConfig,
-    QueueKind, RobotConfig, ScenarioConfig,
+    QueueKind, RobotConfig, ScenarioConfig, ServerCaptureConfig,
 };
 use honeypot::ContentStrategy;
 use netsim::time::{MS_PER_HOUR, MS_PER_MIN, MS_PER_SEC};
@@ -31,6 +31,9 @@ pub const DISTRIBUTED_HONEYPOTS: usize = 24;
 pub const DISTRIBUTED_DAYS: u64 = 32;
 /// Duration of the greedy measurement (first two weeks of November 2008).
 pub const GREEDY_DAYS: u64 = 15;
+/// Duration of the server-side capture ("ten weeks in the life of an
+/// eDonkey server" ran 2007-02-09 → 2007-04-20: ten weeks).
+pub const SERVER_CAPTURE_DAYS: u64 = 70;
 
 /// Picks, per file class, the most popular catalog file of that class —
 /// the distributed measurement's "a movie, a song, a linux distribution
@@ -123,6 +126,7 @@ pub fn distributed(seed: u64, scale: f64) -> ScenarioConfig {
             off_duration_ms: 60 * MS_PER_HOUR,
         },
         crashes: None,
+        server_capture: None,
         manager_check_ms: 10 * MS_PER_MIN,
         collect_ms: 12 * MS_PER_HOUR,
         keepalive_ms: 30 * MS_PER_MIN,
@@ -222,6 +226,7 @@ pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
             off_duration_ms: 84 * MS_PER_HOUR,
         },
         crashes: None,
+        server_capture: None,
         manager_check_ms: 10 * MS_PER_MIN,
         collect_ms: 12 * MS_PER_HOUR,
         keepalive_ms: 30 * MS_PER_MIN,
@@ -278,6 +283,22 @@ pub fn greedy(seed: u64, scale: f64) -> ScenarioConfig {
     // lands where it lands — shape matters, not the exact count.
     config.population.rate_per_popularity = 61_000.0 / harvest_mass;
     config.scaled(scale)
+}
+
+/// Builds the long-horizon server-capture scenario at volume `scale`:
+/// the distributed world stretched to ten simulated weeks, with the
+/// index server logging every query it handles (the sibling paper's
+/// modality) *alongside* the usual honeypot measurement — both views of
+/// the same run, so the cross-validation figures compare like with like.
+pub fn server_ten_weeks(seed: u64, scale: f64) -> ScenarioConfig {
+    let mut config = distributed(seed ^ 0x5E17, scale);
+    config.duration = SimTime::from_days(SERVER_CAPTURE_DAYS);
+    // Ten weeks at the distributed decay (0.976/day) would starve weeks
+    // 7–10 (0.976⁷⁰ ≈ 0.18); a server observes its whole community, not
+    // one release's fading interest, so hold the population steadier.
+    config.population.daily_decay = 0.995;
+    config.server_capture = Some(ServerCaptureConfig::default());
+    config
 }
 
 /// Catalog indices sorted by descending popularity.
@@ -339,6 +360,16 @@ mod tests {
         assert_eq!(c.honeypots[0].greedy_seeds.len(), 3);
         assert_eq!(c.duration, SimTime::from_days(15));
         assert_eq!(c.honeypots[0].greedy_adopt_until, SimTime::from_days(1));
+    }
+
+    #[test]
+    fn server_ten_weeks_is_a_capture_scenario() {
+        let c = server_ten_weeks(1, 1.0);
+        assert_eq!(c.duration, SimTime::from_days(70));
+        let cap = c.server_capture.expect("capture enabled");
+        assert!(cap.frame_records > 0 && cap.segment_records > 0 && cap.status_interval_ms > 0);
+        assert_eq!(c.honeypots.len(), DISTRIBUTED_HONEYPOTS, "honeypots measure the same run");
+        assert!(c.population.daily_decay > distributed(1, 1.0).population.daily_decay);
     }
 
     #[test]

@@ -97,4 +97,4 @@ fn golden_key_is_stable_across_processes() {
     assert_eq!(key, GOLDEN_TINY_1, "cache key drifted — see test doc comment");
 }
 
-const GOLDEN_TINY_1: &str = "debd24753928dc9efedfab5ecc989b1f";
+const GOLDEN_TINY_1: &str = "752537b63dcb701ab69db4f9070db70e";

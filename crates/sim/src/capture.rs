@@ -1,0 +1,87 @@
+//! The server-side capture sink: glue between [`crate::server::SimServer`]
+//! and the streaming compressed log in `honeypot::serverlog`.
+//!
+//! A [`ServerCapture`] owns the [`ServerLogWriter`] plus the step-1 IP
+//! hasher the records are anonymised with (the *same* salted hasher the
+//! honeypots use, so peer digests are comparable across the two
+//! modalities).  The sink is pure observation: it draws no randomness and
+//! mutates no simulation state, so a run with capture attached produces a
+//! bit-identical honeypot `MeasurementLog` (asserted in
+//! `tests/capture.rs`).
+//!
+//! I/O errors don't abort a multi-week run: the first error is stored,
+//! capturing stops, and [`ServerCapture::finish`] surfaces it.
+
+use std::io;
+use std::path::Path;
+
+use edonkey_proto::Ipv4;
+use honeypot::anonymize::{IpHash, IpHasher};
+use honeypot::serverlog::{ServerLogStats, ServerLogWriter, ServerRecord};
+
+use crate::config::ServerCaptureConfig;
+
+/// Streaming sink for server-side query records.
+pub struct ServerCapture {
+    writer: ServerLogWriter,
+    hasher: IpHasher,
+    error: Option<io::Error>,
+}
+
+impl ServerCapture {
+    /// Opens a capture under `dir` with the given knobs.  The hasher is a
+    /// placeholder until the world installs its own seeded instance via
+    /// [`Self::set_hasher`].
+    pub fn create(dir: &Path, cfg: &ServerCaptureConfig) -> io::Result<Self> {
+        Ok(ServerCapture {
+            writer: ServerLogWriter::create(dir, cfg.frame_records, cfg.segment_records)?,
+            hasher: IpHasher::from_seed(0),
+            error: None,
+        })
+    }
+
+    /// Installs the run's step-1 anonymisation hasher (the world's, so
+    /// server and honeypot peer digests coincide).
+    pub fn set_hasher(&mut self, hasher: IpHasher) {
+        self.hasher = hasher;
+    }
+
+    /// Step-1 anonymises a client IP.
+    pub fn hash_ip(&self, ip: Ipv4) -> IpHash {
+        self.hasher.hash(ip)
+    }
+
+    /// Appends one record.  After a write error the capture goes quiet
+    /// (the error resurfaces from [`Self::finish`]).
+    pub fn emit(&mut self, record: &ServerRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.push(record) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Records emitted so far.
+    pub fn records(&self) -> u64 {
+        self.writer.records()
+    }
+
+    /// Flushes and closes the capture, returning its statistics (or the
+    /// first error encountered while writing).
+    pub fn finish(self) -> io::Result<ServerLogStats> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.finish()
+    }
+}
+
+impl std::fmt::Debug for ServerCapture {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("ServerCapture")
+            .field("records", &self.records())
+            .field("errored", &self.error.is_some())
+            .finish()
+    }
+}

@@ -234,6 +234,39 @@ impl Default for RobotConfig {
     }
 }
 
+/// Server-side capture: the "ten weeks in the life of an eDonkey server"
+/// modality.  When set, the simulated index server logs every query it
+/// handles (login, offer-files, search, get-sources, disconnect, plus
+/// periodic status snapshots) through the streaming compressed
+/// `honeypot::serverlog` writer.
+///
+/// Only behavioural knobs live here — the capture *directory* is a
+/// property of the machine running the scenario, not of the scenario
+/// itself, so it stays out of the config (and out of the run-cache
+/// content address) and is supplied to `run_scenario_with_capture`
+/// directly.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ServerCaptureConfig {
+    /// Records per compressed frame (the writer's only in-memory buffer;
+    /// bounds capture RSS).
+    pub frame_records: usize,
+    /// Records per segment file before rotation.
+    pub segment_records: u64,
+    /// Period of server STATUS self-snapshots, ms (the users/files curve
+    /// of the server-side paper).
+    pub status_interval_ms: u64,
+}
+
+impl Default for ServerCaptureConfig {
+    fn default() -> Self {
+        ServerCaptureConfig {
+            frame_records: 4_096,
+            segment_records: 1_000_000,
+            status_interval_ms: 30 * MS_PER_MIN,
+        }
+    }
+}
+
 /// Failure injection: honeypot crashes that the manager must notice and
 /// repair (exercises the relaunch path end-to-end).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -294,6 +327,11 @@ pub struct ScenarioConfig {
     pub blacklist: BlacklistConfig,
     pub robots: RobotConfig,
     pub crashes: Option<CrashConfig>,
+    /// Server-side query capture (`None` = the classic honeypot-only
+    /// measurement; `Some` additionally records the server's view through
+    /// `honeypot::serverlog` — observation only, the honeypot log is
+    /// bit-identical either way).
+    pub server_capture: Option<ServerCaptureConfig>,
     /// Manager status-check period.
     pub manager_check_ms: u64,
     /// Log-collection period.
@@ -328,6 +366,7 @@ impl ScenarioConfig {
             blacklist: BlacklistConfig::default(),
             robots: RobotConfig { count: 1, ..Default::default() },
             crashes: None,
+            server_capture: None,
             manager_check_ms: 10 * MS_PER_MIN,
             collect_ms: 6 * MS_PER_HOUR,
             keepalive_ms: 30 * MS_PER_MIN,

@@ -24,6 +24,7 @@
 //! assert!(out.log.distinct_peers > 0);
 //! ```
 
+pub mod capture;
 pub mod catalog;
 pub mod config;
 pub mod identity;
@@ -32,11 +33,15 @@ pub mod peer;
 pub mod server;
 pub mod world;
 
+pub use capture::ServerCapture;
 pub use catalog::{Catalog, CatalogConfig};
 pub use config::{
     BehaviorConfig, BlacklistConfig, CrashConfig, ExecMode, HoneypotSetup, PopulationConfig,
-    QueueKind, RobotConfig, ScenarioConfig,
+    QueueKind, RobotConfig, ScenarioConfig, ServerCaptureConfig,
 };
 pub use lanes::{run_sharded, run_sharded_reference, shardable};
 pub use server::SimServer;
-pub use world::{run_scenario, EdonkeyWorld, Event, SimOutput, WorldStats};
+pub use world::{
+    run_scenario, run_scenario_with_capture, CaptureRunOutput, EdonkeyWorld, Event, SimOutput,
+    WorldStats,
+};

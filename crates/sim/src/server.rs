@@ -5,6 +5,11 @@
 //! index OFFER-FILES advertisements, and answer GET-SOURCES with provider
 //! lists.  This module implements exactly that (plus user/file counters for
 //! SERVER-STATUS), keyed by `FileId`, speaking the typed protocol messages.
+//!
+//! With a [`ServerCapture`] attached (the "ten weeks in the life of an
+//! eDonkey server" modality), every handled query additionally emits one
+//! compact `honeypot::serverlog::ServerRecord` — pure observation, no
+//! effect on any answer the server gives.
 
 use std::collections::HashMap;
 
@@ -12,7 +17,15 @@ use std::collections::HashMap;
 use edonkey_proto::Ipv4;
 use edonkey_proto::{ClientId, ClientServerMessage, FileId, PeerAddr, PublishedFile, SearchExpr};
 
+use honeypot::anonymize::IpHash;
+use honeypot::serverlog::{ServerQueryKind, ServerRecord};
 use honeypot::types::ServerInfo;
+use netsim::SimTime;
+
+use crate::capture::ServerCapture;
+
+/// The all-zero file digest used when a record concerns no file.
+const NO_FILE: FileId = FileId([0; 16]);
 
 /// A connected client's registration.
 #[derive(Clone, Debug)]
@@ -34,6 +47,8 @@ pub struct SimServer {
     /// Connected clients by session token.
     clients: HashMap<u64, Registration>,
     next_low_id: u32,
+    /// Optional server-side query capture (observation only).
+    capture: Option<ServerCapture>,
 }
 
 impl SimServer {
@@ -44,11 +59,48 @@ impl SimServer {
             metadata: HashMap::new(),
             clients: HashMap::new(),
             next_low_id: 1,
+            capture: None,
         }
     }
 
     pub fn info(&self) -> &ServerInfo {
         &self.info
+    }
+
+    /// Attaches a query capture: from now on every handled query emits one
+    /// server-side record.
+    pub fn attach_capture(&mut self, capture: ServerCapture) {
+        self.capture = Some(capture);
+    }
+
+    /// Detaches the capture (to finish it after the run).
+    pub fn take_capture(&mut self) -> Option<ServerCapture> {
+        self.capture.take()
+    }
+
+    /// Whether a capture is attached.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Emits one capture record (no-op without a capture attached).
+    #[allow(clippy::too_many_arguments)]
+    fn capture_emit(
+        &mut self,
+        at: SimTime,
+        kind: ServerQueryKind,
+        session: u64,
+        addr: Option<PeerAddr>,
+        file: FileId,
+        payload: u32,
+        flag: u8,
+    ) {
+        let Some(cap) = self.capture.as_mut() else { return };
+        let (peer, port) = match addr {
+            Some(a) => (cap.hash_ip(a.ip), a.port),
+            None => (IpHash([0; 16]), 0),
+        };
+        cap.emit(&ServerRecord { at, kind, peer, port, flag, file, session, payload });
     }
 
     /// Handles a LOGIN-REQUEST from the client at `addr` (session token
@@ -57,7 +109,20 @@ impl SimServer {
     /// Clients dialling in from a publicly reachable address receive their
     /// IP as a high ID; `reachable = false` models NATed clients and yields
     /// a low ID.
-    pub fn login(&mut self, session: u64, addr: PeerAddr, reachable: bool) -> ClientServerMessage {
+    ///
+    /// A login over a still-live session supersedes the previous
+    /// incarnation: its offers are withdrawn first (otherwise the index
+    /// would keep provider entries the final disconnect can never clean).
+    pub fn login(
+        &mut self,
+        now: SimTime,
+        session: u64,
+        addr: PeerAddr,
+        reachable: bool,
+    ) -> ClientServerMessage {
+        if self.clients.contains_key(&session) {
+            self.disconnect(now, session);
+        }
         let client_id = if reachable {
             ClientId::high_from_ip(addr.ip)
         } else {
@@ -66,20 +131,42 @@ impl SimServer {
             id
         };
         self.clients.insert(session, Registration { addr, client_id, offered: Vec::new() });
+        self.capture_emit(
+            now,
+            ServerQueryKind::Login,
+            session,
+            Some(addr),
+            NO_FILE,
+            0,
+            u8::from(client_id.is_high()),
+        );
         ClientServerMessage::IdChange { client_id }
     }
 
     /// Handles OFFER-FILES: merges the published files into the session's
     /// offer set and the global index (additive, like real servers treat
     /// keep-alive offers).
-    pub fn offer_files(&mut self, session: u64, msg: &ClientServerMessage) {
+    pub fn offer_files(&mut self, now: SimTime, session: u64, msg: &ClientServerMessage) {
         let ClientServerMessage::OfferFiles { files } = msg else {
             debug_assert!(false, "offer_files fed a non-OFFER message");
             return;
         };
+        let first = files.first().map_or(NO_FILE, |f| f.file_id);
         let Some(reg) = self.clients.get_mut(&session) else {
-            return; // not logged in: real servers drop such packets
+            // Not logged in: real servers drop such packets (the capture
+            // still sees them arrive).
+            self.capture_emit(
+                now,
+                ServerQueryKind::OfferFiles,
+                session,
+                None,
+                first,
+                files.len() as u32,
+                0,
+            );
+            return;
         };
+        let addr = reg.addr;
         for f in files {
             if !reg.offered.contains(&f.file_id) {
                 reg.offered.push(f.file_id);
@@ -92,18 +179,58 @@ impl SimServer {
                     .or_insert_with(|| (f.name().unwrap_or("").to_string(), f.size().unwrap_or(0)));
             }
         }
+        self.capture_emit(
+            now,
+            ServerQueryKind::OfferFiles,
+            session,
+            Some(addr),
+            first,
+            files.len() as u32,
+            1,
+        );
+    }
+
+    /// Records an OFFER-FILES the server receives but deliberately does
+    /// *not* index (the simulation keeps genuine peers out of the provider
+    /// index — honeypots are the only sources under measurement — yet a
+    /// real server would handle these queries, so the capture must see
+    /// them).  No-op without a capture attached.
+    pub fn log_offer_only(
+        &mut self,
+        now: SimTime,
+        session: u64,
+        addr: PeerAddr,
+        n_files: u32,
+        first: FileId,
+    ) {
+        self.capture_emit(now, ServerQueryKind::OfferFiles, session, Some(addr), first, n_files, 0);
     }
 
     /// Handles GET-SOURCES: returns FOUND-SOURCES with the providers'
     /// addresses.
-    pub fn get_sources(&self, file_id: FileId) -> ClientServerMessage {
-        let sources = self
+    pub fn get_sources(
+        &mut self,
+        now: SimTime,
+        session: u64,
+        file_id: FileId,
+    ) -> ClientServerMessage {
+        let sources: Vec<PeerAddr> = self
             .index
             .get(&file_id)
             .map(|sessions| {
                 sessions.iter().filter_map(|s| self.clients.get(s)).map(|r| r.addr).collect()
             })
             .unwrap_or_default();
+        let addr = self.clients.get(&session).map(|r| r.addr);
+        self.capture_emit(
+            now,
+            ServerQueryKind::GetSources,
+            session,
+            addr,
+            file_id,
+            sources.len() as u32,
+            0,
+        );
         ClientServerMessage::FoundSources { file_id, sources }
     }
 
@@ -121,7 +248,13 @@ impl SimServer {
     /// Answers a SEARCH-REQUEST: indexed files (with at least one live
     /// provider) matching the expression, capped at `limit` results like
     /// real servers.
-    pub fn search(&self, expr: &SearchExpr, limit: usize) -> ClientServerMessage {
+    pub fn search(
+        &mut self,
+        now: SimTime,
+        session: u64,
+        expr: &SearchExpr,
+        limit: usize,
+    ) -> ClientServerMessage {
         let mut files = Vec::new();
         for (fid, providers) in &self.index {
             if providers.is_empty() {
@@ -141,12 +274,23 @@ impl SimServer {
                 }
             }
         }
+        let addr = self.clients.get(&session).map(|r| r.addr);
+        self.capture_emit(
+            now,
+            ServerQueryKind::Search,
+            session,
+            addr,
+            NO_FILE,
+            files.len() as u32,
+            0,
+        );
         ClientServerMessage::SearchResult { files }
     }
 
     /// Disconnects a session, dropping its offers from the index.
-    pub fn disconnect(&mut self, session: u64) {
+    pub fn disconnect(&mut self, now: SimTime, session: u64) {
         if let Some(reg) = self.clients.remove(&session) {
+            let withdrawn = reg.offered.len() as u32;
             for f in reg.offered {
                 if let Some(list) = self.index.get_mut(&f) {
                     list.retain(|&s| s != session);
@@ -155,15 +299,26 @@ impl SimServer {
                     }
                 }
             }
+            self.capture_emit(
+                now,
+                ServerQueryKind::Disconnect,
+                session,
+                Some(reg.addr),
+                NO_FILE,
+                withdrawn,
+                1,
+            );
         }
     }
 
-    /// SERVER-STATUS snapshot.
-    pub fn status(&self) -> ClientServerMessage {
-        ClientServerMessage::ServerStatus {
-            users: self.clients.len() as u32,
-            files: self.index.len() as u32,
-        }
+    /// SERVER-STATUS snapshot.  With a capture attached, the snapshot is
+    /// itself recorded (users in `payload`, indexed files in `session` —
+    /// the snapshot has no session of its own).
+    pub fn status(&mut self, now: SimTime) -> ClientServerMessage {
+        let users = self.clients.len() as u32;
+        let files = self.index.len() as u32;
+        self.capture_emit(now, ServerQueryKind::Status, u64::from(files), None, NO_FILE, users, 0);
+        ClientServerMessage::ServerStatus { users, files }
     }
 
     /// Number of connected clients.
@@ -191,6 +346,8 @@ mod tests {
     use super::*;
     use edonkey_proto::PublishedFile;
 
+    const T0: SimTime = SimTime::ZERO;
+
     fn server() -> SimServer {
         SimServer::new(ServerInfo::new("srv", Ipv4::new(195, 0, 0, 1), 4661))
     }
@@ -208,7 +365,7 @@ mod tests {
     #[test]
     fn login_grants_high_id_to_reachable_clients() {
         let mut s = server();
-        let msg = s.login(1, addr(5), true);
+        let msg = s.login(T0, 1, addr(5), true);
         let ClientServerMessage::IdChange { client_id } = msg else { panic!() };
         assert!(client_id.is_high());
         assert_eq!(client_id.ip(), Some(addr(5).ip));
@@ -219,10 +376,10 @@ mod tests {
     #[test]
     fn login_grants_distinct_low_ids_to_nated_clients() {
         let mut s = server();
-        let ClientServerMessage::IdChange { client_id: a } = s.login(1, addr(5), false) else {
+        let ClientServerMessage::IdChange { client_id: a } = s.login(T0, 1, addr(5), false) else {
             panic!()
         };
-        let ClientServerMessage::IdChange { client_id: b } = s.login(2, addr(6), false) else {
+        let ClientServerMessage::IdChange { client_id: b } = s.login(T0, 2, addr(6), false) else {
             panic!()
         };
         assert!(a.is_low() && b.is_low());
@@ -233,11 +390,13 @@ mod tests {
     fn offers_build_the_index_and_sources_return_providers() {
         let mut s = server();
         let f = FileId::from_seed(b"f");
-        s.login(1, addr(1), true);
-        s.login(2, addr(2), true);
-        s.offer_files(1, &offer(&[f]));
-        s.offer_files(2, &offer(&[f]));
-        let ClientServerMessage::FoundSources { sources, .. } = s.get_sources(f) else { panic!() };
+        s.login(T0, 1, addr(1), true);
+        s.login(T0, 2, addr(2), true);
+        s.offer_files(T0, 1, &offer(&[f]));
+        s.offer_files(T0, 2, &offer(&[f]));
+        let ClientServerMessage::FoundSources { sources, .. } = s.get_sources(T0, 3, f) else {
+            panic!()
+        };
         assert_eq!(sources.len(), 2);
         assert!(sources.contains(&addr(1)) && sources.contains(&addr(2)));
         assert_eq!(s.provider_sessions(&f), &[1, 2]);
@@ -248,18 +407,18 @@ mod tests {
         let mut s = server();
         let f1 = FileId::from_seed(b"a");
         let f2 = FileId::from_seed(b"b");
-        s.login(1, addr(1), true);
-        s.offer_files(1, &offer(&[f1]));
-        s.offer_files(1, &offer(&[f1, f2])); // keep-alive with one new file
+        s.login(T0, 1, addr(1), true);
+        s.offer_files(T0, 1, &offer(&[f1]));
+        s.offer_files(T0, 1, &offer(&[f1, f2])); // keep-alive with one new file
         assert_eq!(s.provider_sessions(&f1).len(), 1, "no duplicate provider entries");
         assert_eq!(s.indexed_files(), 2);
     }
 
     #[test]
     fn unknown_file_has_no_sources() {
-        let s = server();
+        let mut s = server();
         let ClientServerMessage::FoundSources { sources, .. } =
-            s.get_sources(FileId::from_seed(b"nope"))
+            s.get_sources(T0, 1, FileId::from_seed(b"nope"))
         else {
             panic!()
         };
@@ -269,7 +428,7 @@ mod tests {
     #[test]
     fn offers_from_unlogged_sessions_dropped() {
         let mut s = server();
-        s.offer_files(99, &offer(&[FileId::from_seed(b"f")]));
+        s.offer_files(T0, 99, &offer(&[FileId::from_seed(b"f")]));
         assert_eq!(s.indexed_files(), 0);
     }
 
@@ -277,22 +436,43 @@ mod tests {
     fn disconnect_withdraws_offers() {
         let mut s = server();
         let f = FileId::from_seed(b"f");
-        s.login(1, addr(1), true);
-        s.login(2, addr(2), true);
-        s.offer_files(1, &offer(&[f]));
-        s.offer_files(2, &offer(&[f]));
-        s.disconnect(1);
+        s.login(T0, 1, addr(1), true);
+        s.login(T0, 2, addr(2), true);
+        s.offer_files(T0, 1, &offer(&[f]));
+        s.offer_files(T0, 2, &offer(&[f]));
+        s.disconnect(T0, 1);
         assert_eq!(s.provider_sessions(&f), &[2]);
         assert_eq!(s.clients(), 1);
-        s.disconnect(2);
+        s.disconnect(T0, 2);
         assert_eq!(s.indexed_files(), 0, "empty provider lists pruned");
+    }
+
+    #[test]
+    fn relogin_of_live_session_supersedes_previous_incarnation() {
+        let mut s = server();
+        let f = FileId::from_seed(b"f");
+        s.login(T0, 1, addr(1), true);
+        s.offer_files(T0, 1, &offer(&[f]));
+        assert_eq!(s.provider_sessions(&f), &[1]);
+        // Same session logs in again (crash + relaunch reusing the token):
+        // the old incarnation's offers must be withdrawn, not leaked.
+        s.login(T0, 1, addr(1), true);
+        assert_eq!(s.clients(), 1);
+        assert_eq!(s.indexed_files(), 0, "stale offers withdrawn on re-login");
+        assert!(s.provider_sessions(&f).is_empty());
+        // The fresh incarnation starts clean and can offer again.
+        s.offer_files(T0, 1, &offer(&[f]));
+        assert_eq!(s.provider_sessions(&f), &[1]);
+        s.disconnect(T0, 1);
+        assert_eq!(s.indexed_files(), 0, "no double-entry to clean twice");
     }
 
     #[test]
     fn search_finds_matching_indexed_files() {
         let mut s = server();
-        s.login(1, addr(1), true);
+        s.login(T0, 1, addr(1), true);
         s.offer_files(
+            T0,
             1,
             &ClientServerMessage::OfferFiles {
                 files: vec![
@@ -302,19 +482,23 @@ mod tests {
             },
         );
         let expr = SearchExpr::keyword("ubuntu");
-        let ClientServerMessage::SearchResult { files } = s.search(&expr, 100) else { panic!() };
+        let ClientServerMessage::SearchResult { files } = s.search(T0, 2, &expr, 100) else {
+            panic!()
+        };
         assert_eq!(files.len(), 1);
         assert_eq!(files[0].name(), Some("ubuntu.8.10.iso"));
         // Withdrawn offers disappear from results.
-        s.disconnect(1);
-        let ClientServerMessage::SearchResult { files } = s.search(&expr, 100) else { panic!() };
+        s.disconnect(T0, 1);
+        let ClientServerMessage::SearchResult { files } = s.search(T0, 2, &expr, 100) else {
+            panic!()
+        };
         assert!(files.is_empty());
     }
 
     #[test]
     fn search_respects_result_limit() {
         let mut s = server();
-        s.login(1, addr(1), true);
+        s.login(T0, 1, addr(1), true);
         let files: Vec<PublishedFile> = (0..50)
             .map(|i| {
                 PublishedFile::new(
@@ -324,9 +508,9 @@ mod tests {
                 )
             })
             .collect();
-        s.offer_files(1, &ClientServerMessage::OfferFiles { files });
+        s.offer_files(T0, 1, &ClientServerMessage::OfferFiles { files });
         let ClientServerMessage::SearchResult { files } =
-            s.search(&SearchExpr::keyword("linux"), 10)
+            s.search(T0, 1, &SearchExpr::keyword("linux"), 10)
         else {
             panic!()
         };
@@ -336,9 +520,65 @@ mod tests {
     #[test]
     fn status_reports_counts() {
         let mut s = server();
-        s.login(1, addr(1), true);
-        s.offer_files(1, &offer(&[FileId::from_seed(b"f")]));
-        let ClientServerMessage::ServerStatus { users, files } = s.status() else { panic!() };
+        s.login(T0, 1, addr(1), true);
+        s.offer_files(T0, 1, &offer(&[FileId::from_seed(b"f")]));
+        let ClientServerMessage::ServerStatus { users, files } = s.status(T0) else { panic!() };
         assert_eq!((users, files), (1, 1));
+    }
+
+    #[test]
+    fn capture_records_every_handled_query() {
+        use honeypot::serverlog::ServerLogReader;
+
+        let dir = std::env::temp_dir().join(format!("simsrv-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = crate::config::ServerCaptureConfig::default();
+        let mut s = server();
+        s.attach_capture(ServerCapture::create(&dir, &cfg).unwrap());
+        assert!(s.capture_enabled());
+
+        let f = FileId::from_seed(b"f");
+        let t1 = SimTime::from_secs(1);
+        s.login(T0, 1, addr(1), true);
+        s.offer_files(T0, 1, &offer(&[f]));
+        s.search(t1, 1, &SearchExpr::keyword("f"), 10);
+        s.get_sources(t1, 1, f);
+        s.log_offer_only(t1, 7, addr(9), 3, f);
+        s.status(t1);
+        s.disconnect(t1, 1);
+
+        let stats = s.take_capture().unwrap().finish().unwrap();
+        assert_eq!(stats.records, 7);
+        let mut reader = ServerLogReader::open(&dir).unwrap();
+        let mut kinds = Vec::new();
+        let mut records = Vec::new();
+        while let Some(r) = reader.next() {
+            kinds.push(r.kind);
+            records.push(r);
+        }
+        assert!(!reader.truncated());
+        assert_eq!(
+            kinds,
+            vec![
+                ServerQueryKind::Login,
+                ServerQueryKind::OfferFiles,
+                ServerQueryKind::Search,
+                ServerQueryKind::GetSources,
+                ServerQueryKind::OfferFiles,
+                ServerQueryKind::Status,
+                ServerQueryKind::Disconnect,
+            ]
+        );
+        assert_eq!(records[0].flag, 1, "high-ID login");
+        assert_eq!(records[1].payload, 1, "one file offered");
+        assert_eq!(records[3].file, f);
+        assert_eq!(records[3].payload, 1, "one source");
+        assert_eq!(records[4].flag, 0, "offer-only is not indexed");
+        assert_eq!(records[5].payload, 1, "one user at status time");
+        assert_eq!(records[6].payload, 1, "one offer withdrawn");
+        // Same hasher ⇒ login and offer share the peer digest; status has none.
+        assert_eq!(records[0].peer, records[1].peer);
+        assert_eq!(records[5].peer, IpHash([0; 16]));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

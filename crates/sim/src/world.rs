@@ -15,7 +15,8 @@
 
 use edonkey_proto::parts::BLOCK_SIZE;
 use edonkey_proto::tags::{special, Tag};
-use edonkey_proto::{FileId, PartRange, PeerAddr, PeerMessage, PublishedFile};
+use edonkey_proto::{FileId, PartRange, PeerAddr, PeerMessage, PublishedFile, SearchExpr};
+use honeypot::serverlog::{ServerLogStats, SERVER_PEER_SESSION_BASE};
 use honeypot::{
     Action, AdvertisedFile, ConnId, ContentStrategy, FileStrategy, Honeypot, HoneypotConfig,
     HoneypotId, HoneypotSpec, IpHasher, Manager, MeasurementLog, ServerInfo,
@@ -26,6 +27,7 @@ use netsim::time::MS_PER_DAY;
 use netsim::{CalendarQueue, Engine, EventQueue, PendingQueue, Rng, SimTime, TimingWheel};
 use std::collections::HashMap;
 
+use crate::capture::ServerCapture;
 use crate::catalog::Catalog;
 use crate::config::{QueueKind, ScenarioConfig};
 use crate::identity::IdentityFactory;
@@ -53,6 +55,11 @@ pub enum Event {
     RobotStep { peer: u32, hp: u8, phase: RobotPhase, remaining: u8, conn: u64 },
     /// A robot goes dark for a while (the plateaus of Figs. 8–9).
     RobotOff { peer: u32, duration_ms: u64 },
+    /// Periodic SERVER-STATUS self-snapshot, scheduled only when a server
+    /// capture is attached (the users/files curve of the server-side
+    /// measurement).  Draws no randomness, so attaching a capture leaves
+    /// the honeypot measurement bit-identical.
+    StatusSample,
 }
 
 /// Phase of a robot session (paper Fig. 1 flow, automated client).
@@ -138,6 +145,18 @@ impl EdonkeyWorld {
         config: ScenarioConfig,
         engine: &mut Engine<Self, Q>,
     ) -> Self {
+        Self::new_with_capture(config, engine, None)
+    }
+
+    /// [`Self::new`] with an optional server-side query capture attached.
+    /// The capture is pure observation — it draws no randomness and feeds
+    /// nothing back into the world, so the honeypot measurement is
+    /// bit-identical with or without it (pinned in `tests/capture.rs`).
+    pub fn new_with_capture<Q: PendingQueue<Event>>(
+        config: ScenarioConfig,
+        engine: &mut Engine<Self, Q>,
+        capture: Option<ServerCapture>,
+    ) -> Self {
         assert!(
             config.honeypots.len() <= MAX_HONEYPOTS,
             "at most {MAX_HONEYPOTS} honeypots supported"
@@ -150,8 +169,14 @@ impl EdonkeyWorld {
 
         let server_info =
             ServerInfo::new("Big Server One", edonkey_proto::Ipv4::new(195, 200, 1, 1), 4661);
-        let server = SimServer::new(server_info.clone());
+        let mut server = SimServer::new(server_info.clone());
         let ip_hasher = IpHasher::from_seed(root.substream("salt").next_u64());
+        if let Some(mut cap) = capture {
+            // The capture anonymises with the run's own step-1 salt, so
+            // server-side and honeypot-side peer digests coincide.
+            cap.set_hasher(ip_hasher.clone());
+            server.attach_capture(cap);
+        }
 
         // Lane-sharded runs share the catalog and the step-1 salt with
         // every sibling lane (both derive from the unsalted root above, so
@@ -277,6 +302,9 @@ impl EdonkeyWorld {
         engine.schedule(SimTime::from_millis(world.config.manager_check_ms), Event::ManagerCheck);
         engine.schedule(SimTime::from_millis(world.config.collect_ms), Event::CollectLogs);
         engine.schedule(SimTime::from_millis(world.config.keepalive_ms), Event::Keepalive);
+        if world.server.capture_enabled() {
+            engine.schedule(SimTime::from_millis(world.status_interval_ms()), Event::StatusSample);
+        }
         if let Some(crash) = world.config.crashes {
             for hp in 0..world.honeypots.len() as u8 {
                 let delay = exponential(&mut world.rng_behavior, 1.0 / crash.mtbf_ms as f64);
@@ -300,9 +328,14 @@ impl EdonkeyWorld {
         self.route_actions(now, idx, actions);
         // The server answers the login immediately.
         let addr = PeerAddr::new(edonkey_proto::Ipv4::new(138, 96, 1, (idx + 1) as u8), 4662);
-        let id_change = self.server.login(idx as u64, addr, true);
+        let id_change = self.server.login(now, idx as u64, addr, true);
         let actions = self.honeypots[idx].on_server_message(now, &id_change);
         self.route_actions(now, idx, actions);
+    }
+
+    /// The configured STATUS self-snapshot period.
+    fn status_interval_ms(&self) -> u64 {
+        self.config.server_capture.unwrap_or_default().status_interval_ms.max(1)
     }
 
     fn spawn_robots(&mut self) {
@@ -326,7 +359,7 @@ impl EdonkeyWorld {
         let providers: Vec<u8> = (0..self.honeypots.len() as u8).collect();
         for _ in 0..self.config.robots.count {
             let identity = self.identities.create();
-            self.peers.push(NewPeer {
+            let idx = self.peers.push(NewPeer {
                 identity,
                 probe_only: false,
                 shares_list: false,
@@ -336,6 +369,16 @@ impl EdonkeyWorld {
                 providers: &providers,
                 interest_until: SimTime(u64::MAX),
             });
+            // Robots are online from t=0 and stay for the whole capture.
+            if self.server.capture_enabled() {
+                let addr = PeerAddr::new(identity.ip, identity.port);
+                self.server.login(
+                    SimTime::ZERO,
+                    SERVER_PEER_SESSION_BASE + u64::from(idx),
+                    addr,
+                    identity.client_id.is_high(),
+                );
+            }
         }
         self.stats.arrivals += self.config.robots.count as u64;
     }
@@ -343,7 +386,7 @@ impl EdonkeyWorld {
     /// Applies honeypot actions: server messages are routed to the index
     /// server, status reports to the manager.  Peer replies are handled by
     /// the session logic at the call site.
-    fn route_actions(&mut self, _now: SimTime, hp_idx: usize, actions: Vec<Action>) {
+    fn route_actions(&mut self, now: SimTime, hp_idx: usize, actions: Vec<Action>) {
         for a in actions {
             match a {
                 Action::SendServer(msg) => match &msg {
@@ -356,7 +399,7 @@ impl EdonkeyWorld {
                                 }
                             }
                         }
-                        self.server.offer_files(hp_idx as u64, &msg);
+                        self.server.offer_files(now, hp_idx as u64, &msg);
                     }
                     edonkey_proto::ClientServerMessage::LoginRequest { .. } => {
                         // Login round-trips are handled inline in
@@ -493,7 +536,7 @@ impl EdonkeyWorld {
         let life_ms =
             exponential(&mut self.rng_behavior, 1.0 / behavior.interest_mean_ms as f64) as u64;
 
-        Some(self.peers.push(NewPeer {
+        let idx = self.peers.push(NewPeer {
             identity: self.identities.create(),
             probe_only,
             shares_list,
@@ -502,7 +545,70 @@ impl EdonkeyWorld {
             wanted: &wanted,
             providers: &providers,
             interest_until: now.plus_millis(life_ms.max(60_000)),
-        }))
+        });
+        if self.server.capture_enabled() {
+            self.capture_arrival(now, idx);
+        }
+        Some(idx)
+    }
+
+    /// Server-side view of a peer arrival: before contacting any source, a
+    /// real client logs into its index server, searches for what it wants
+    /// and asks for sources — exactly the query mix the server-side paper
+    /// records.  Pure observation (no randomness, no feedback into the
+    /// honeypot path).
+    fn capture_arrival(&mut self, now: SimTime, peer_idx: u32) {
+        let identity = *self.peers.identity(peer_idx);
+        let session = SERVER_PEER_SESSION_BASE + u64::from(peer_idx);
+        let addr = PeerAddr::new(identity.ip, identity.port);
+        self.server.login(now, session, addr, identity.client_id.is_high());
+        // One SEARCH for the primary wanted file (by its first name word),
+        // then GET-SOURCES for every wanted file.
+        let primary = self.peers.wanted(peer_idx)[0];
+        let word = self
+            .catalog
+            .file(primary)
+            .name
+            .split(|c: char| !c.is_alphanumeric())
+            .find(|w| !w.is_empty())
+            .map(str::to_owned);
+        if let Some(word) = word {
+            let expr = SearchExpr::keyword(&word);
+            self.server.search(now, session, &expr, 50);
+        }
+        for i in 0..self.peers.wanted(peer_idx).len() {
+            let ci = self.peers.wanted(peer_idx)[i];
+            let fid = self.catalog.file(ci).id;
+            self.server.get_sources(now, session, fid);
+        }
+        // Sharing clients publish their list; the simulation keeps genuine
+        // peers out of the provider index (honeypots are the only sources
+        // under measurement), so the offer is recorded without indexing.
+        if self.peers.shares_list(peer_idx) && !self.peers.shared_files(peer_idx).is_empty() {
+            let n = self.peers.shared_files(peer_idx).len() as u32;
+            let first = self.catalog.file(self.peers.shared_files(peer_idx)[0]).id;
+            self.server.log_offer_only(now, session, addr, n, first);
+        }
+    }
+
+    /// Server-side view of a retry round: eDonkey clients re-poll their
+    /// server for fresh sources before re-contacting providers.
+    fn capture_repoll(&mut self, now: SimTime, peer_idx: u32) {
+        let session = SERVER_PEER_SESSION_BASE + u64::from(peer_idx);
+        for i in 0..self.peers.wanted(peer_idx).len() {
+            let ci = self.peers.wanted(peer_idx)[i];
+            let fid = self.catalog.file(ci).id;
+            self.server.get_sources(now, session, fid);
+        }
+    }
+
+    /// Server-side view of a peer leaving the network for good (interest
+    /// expired or file abandoned).  Idempotent: the server only records a
+    /// DISCONNECT while the session is still registered.
+    fn capture_peer_done(&mut self, now: SimTime, peer_idx: u32) {
+        if self.server.capture_enabled() {
+            self.server.disconnect(now, SERVER_PEER_SESSION_BASE + u64::from(peer_idx));
+        }
     }
 
     /// Starts a retry round: ordered contact list over non-blacklisted
@@ -519,7 +625,9 @@ impl EdonkeyWorld {
         if empty {
             return;
         }
-        let _ = now;
+        if self.peers.rounds(peer_idx) > 0 && self.server.capture_enabled() {
+            self.capture_repoll(now, peer_idx);
+        }
         self.session_step(peer_idx, sched);
     }
 
@@ -566,6 +674,8 @@ impl EdonkeyWorld {
             let delay =
                 exponential(&mut self.rng_behavior, 1.0 / behavior.retry_interval_ms as f64) as u64;
             sched.in_ms(delay.max(60_000), Event::RoundStart { peer: peer_idx });
+        } else {
+            self.capture_peer_done(now, peer_idx);
         }
     }
 
@@ -823,6 +933,14 @@ impl EdonkeyWorld {
         };
         match phase {
             RobotPhase::Greet => {
+                // Automated clients re-poll their server before every
+                // session — the server-side measurement's heavy-tail "top
+                // peers" come from exactly this back-to-back query chain.
+                if self.server.capture_enabled() {
+                    let fid = self.catalog.file(self.peers.wanted(peer_idx)[0]).id;
+                    let session = SERVER_PEER_SESSION_BASE + u64::from(peer_idx);
+                    self.server.get_sources(now, session, fid);
+                }
                 let conn = self.next_conn;
                 self.next_conn += 1;
                 let identity = *self.peers.identity(peer_idx);
@@ -965,6 +1083,11 @@ impl EdonkeyWorld {
     pub fn server(&self) -> &SimServer {
         &self.server
     }
+
+    /// Detaches the server capture (to finish it after the run).
+    pub fn take_capture(&mut self) -> Option<ServerCapture> {
+        self.server.take_capture()
+    }
 }
 
 /// Result of a completed scenario run.
@@ -997,6 +1120,7 @@ impl World for EdonkeyWorld {
             }
             Event::RoundStart { peer } => {
                 if self.peers.done(peer, now, self.config.behavior.abandon_failures) {
+                    self.capture_peer_done(now, peer);
                     return;
                 }
                 // Users follow the daily rhythm in their retries too (the
@@ -1040,11 +1164,15 @@ impl World for EdonkeyWorld {
                 let slot = &mut self.robot_off_until[peer as usize];
                 *slot = (*slot).max(until);
             }
+            Event::StatusSample => {
+                let _ = self.server.status(now);
+                sched.in_ms(self.status_interval_ms(), Event::StatusSample);
+            }
             Event::Crash { hp } => {
                 let idx = hp as usize;
                 let actions = self.honeypots[idx].kill(now);
                 self.route_actions(now, idx, actions);
-                self.server.disconnect(idx as u64);
+                self.server.disconnect(now, idx as u64);
                 self.stats.crashes += 1;
                 if let Some(crash) = self.config.crashes {
                     let delay =
@@ -1150,6 +1278,50 @@ fn run_scenario_on<Q: PendingQueue<Event>>(config: ScenarioConfig, queue: Q) -> 
     let mut out = world.finish(duration);
     out.events_handled = engine.events_handled();
     out
+}
+
+/// Result of a capture-enabled run: the usual honeypot measurement plus
+/// the statistics of the server-side log streamed to disk.
+pub struct CaptureRunOutput {
+    pub output: SimOutput,
+    pub capture: ServerLogStats,
+}
+
+/// Runs a scenario with the server-side query capture streaming into
+/// `dir` (see `honeypot::serverlog` for the on-disk format).  The capture
+/// knobs come from `config.server_capture` (defaults when `None`).
+///
+/// Requires the coupled engine: a lane-sharded run splits the server into
+/// per-lane replicas, and a sliced capture would not be one server's view.
+pub fn run_scenario_with_capture(
+    config: ScenarioConfig,
+    dir: &std::path::Path,
+) -> std::io::Result<CaptureRunOutput> {
+    assert!(
+        config.exec == crate::config::ExecMode::Coupled,
+        "server capture requires the coupled engine (one server, one event loop)"
+    );
+    fn on<Q: PendingQueue<Event>>(
+        config: ScenarioConfig,
+        queue: Q,
+        capture: ServerCapture,
+    ) -> std::io::Result<CaptureRunOutput> {
+        let duration = config.duration;
+        let mut engine = Engine::with_queue(queue);
+        let mut world = EdonkeyWorld::new_with_capture(config, &mut engine, Some(capture));
+        engine.run_until(&mut world, duration);
+        let capture = world.take_capture().expect("capture attached").finish()?;
+        let mut output = world.finish(duration);
+        output.events_handled = engine.events_handled();
+        Ok(CaptureRunOutput { output, capture })
+    }
+    let cap_cfg = config.server_capture.unwrap_or_default();
+    let capture = ServerCapture::create(dir, &cap_cfg)?;
+    match config.queue {
+        QueueKind::Heap => on(config, EventQueue::new(), capture),
+        QueueKind::Calendar => on(config, CalendarQueue::for_simulation(), capture),
+        QueueKind::Wheel => on(config, TimingWheel::for_simulation(), capture),
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use edonkey_sim::identity::IdentityFactory;
 use edonkey_sim::server::SimServer;
 use edonkey_sim::ScenarioConfig;
 use honeypot::ServerInfo;
-use netsim::Rng;
+use netsim::{Rng, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -64,16 +64,16 @@ proptest! {
         for (session, file_byte, action) in ops {
             let fid = FileId::from_seed(&[file_byte]);
             if !logged_in.contains(&session) {
-                server.login(session, PeerAddr::new(Ipv4::new(10, 0, 0, session as u8 + 1), 4662), true);
+                server.login(SimTime::ZERO, session, PeerAddr::new(Ipv4::new(10, 0, 0, session as u8 + 1), 4662), true);
                 logged_in.insert(session);
             }
             if action {
-                server.offer_files(session, &ClientServerMessage::OfferFiles {
+                server.offer_files(SimTime::ZERO, session, &ClientServerMessage::OfferFiles {
                     files: vec![PublishedFile::new(fid, "f", 1)],
                 });
                 model.entry(fid).or_default().insert(session);
             } else {
-                server.disconnect(session);
+                server.disconnect(SimTime::ZERO, session);
                 logged_in.remove(&session);
                 for providers in model.values_mut() {
                     providers.remove(&session);
