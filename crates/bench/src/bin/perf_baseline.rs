@@ -28,6 +28,10 @@
 //!   `server_ten_weeks` scenario with the capture off vs on at each scale,
 //!   one child process per point; writes `BENCH_pr8.json`.
 //! * `--pr8-point F on|off DAYS` — internal: one child point of `--pr8`.
+//! * `--pr9` — the adversarial-robustness sweep of PR 9: windowed uploads
+//!   through the deterministic link-impairment shim (clean, 1 % and 5 %
+//!   frame loss, added latency) plus a pressured-merge-queue point that
+//!   exhibits window shrinking and shedding; writes `BENCH_pr9.json`.
 //! * `--scale-smoke [F]` — CI gate: one coupled run at scale `F`
 //!   (default 0.25) on the timing wheel, index built through the
 //!   *streaming* builder and cross-checked against the one-shot build,
@@ -188,6 +192,7 @@ fn control_plane_point(agents: usize, durable: Option<&std::path::Path>) -> Cont
                         seq,
                         sent_micros: 0,
                         rtt_micros: 0,
+                        flags: 0,
                     })
                     .expect("heartbeat");
                     let mut got = false;
@@ -215,7 +220,7 @@ fn control_plane_point(agents: usize, durable: Option<&std::path::Path>) -> Cont
                         for ev in conn.poll().expect("chunk ack") {
                             // Cumulative frontier: `next_seq > seq` means
                             // this sequence is acknowledged.
-                            if let ConnEvent::Msg(ControlMessage::ChunkAck { next_seq }) = ev {
+                            if let ConnEvent::Msg(ControlMessage::ChunkAck { next_seq, .. }) = ev {
                                 if next_seq > seq {
                                     got = true;
                                 }
@@ -396,7 +401,7 @@ fn windowed_control_point(
                     }
                     for ev in conn.poll().expect("ack poll") {
                         match ev {
-                            ConnEvent::Msg(ControlMessage::ChunkAck { next_seq }) => {
+                            ConnEvent::Msg(ControlMessage::ChunkAck { next_seq, .. }) => {
                                 next_ack = next_ack.max(next_seq);
                             }
                             ConnEvent::Msg(ControlMessage::ChunkRetry { seq }) => {
@@ -850,6 +855,336 @@ fn write_pr8(points: &[Pr8Point]) {
     print!("{json}");
 }
 
+/// One point of the PR 9 impairment sweep: windowed uploads across a
+/// deterministically damaged link (or a pressured merge queue), with the
+/// client running the same go-back-N resend discipline as the real agent.
+struct Pr9Point {
+    label: &'static str,
+    drop_permille: u32,
+    delay_ms: u64,
+    merge_queue_limit: usize,
+    upload_mb_per_sec: f64,
+    secs: f64,
+    chunks: u64,
+    chunk_bytes: u64,
+    duplicate_chunks: u64,
+    chunks_shed: u64,
+    window_shrinks: u64,
+}
+
+/// One cell of the PR 9 sweep.  The loss cells want a long transfer and a
+/// deep window (bandwidth-delay-product sizing: enough bytes in flight to
+/// ride out the shim's ~200 ms retransmission stalls, or the ack drought
+/// drains the pipe and loss prices as idle time, not throughput).  The
+/// queue-pressure cell wants the opposite — a shallow window and a small
+/// transfer — so the shed/resend flood stays a bounded episode.
+struct Pr9Cell {
+    label: &'static str,
+    impair: Option<edonkey_platform::ImpairPlan>,
+    window: u32,
+    merge_queue_limit: usize,
+    merge_stall_ms: u64,
+    records_per_chunk: usize,
+    chunks_per_agent: u64,
+}
+
+impl Default for Pr9Cell {
+    fn default() -> Self {
+        Pr9Cell {
+            label: "",
+            impair: None,
+            window: 128,
+            merge_queue_limit: 0,
+            merge_stall_ms: 0,
+            records_per_chunk: 2_000,
+            chunks_per_agent: 96,
+        }
+    }
+}
+
+/// Measures windowed upload throughput through the daemon with an
+/// optional [`ImpairPlan`] on every accepted connection and optional
+/// merge-queue pressure.  Lost frames, lost acks and shed chunks are all
+/// recovered by an RTT-scaled go-back-N resend timer — the discipline the
+/// real agent runs — so every point still merges every sequence exactly
+/// once; the impairment only costs time, never data.
+fn pr9_point(cell: Pr9Cell) -> Pr9Point {
+    use edonkey_platform::daemon::{Daemon, DaemonConfig};
+    use edonkey_platform::messages::{AgentConfig, ControlMessage};
+    use edonkey_platform::{ConnEvent, ControlConn};
+    use edonkey_proto::Ipv4;
+    use honeypot::{ContentStrategy, FileStrategy, HoneypotId, ServerInfo};
+
+    const AGENTS: usize = 4;
+    let Pr9Cell {
+        label,
+        impair,
+        window,
+        merge_queue_limit,
+        merge_stall_ms,
+        records_per_chunk,
+        chunks_per_agent,
+    } = cell;
+
+    let server = ServerInfo::new("bench", Ipv4::new(127, 0, 0, 1), 4661);
+    let configs: Vec<AgentConfig> = (0..AGENTS)
+        .map(|i| AgentConfig {
+            id: HoneypotId(i as u32),
+            content: ContentStrategy::NoContent,
+            files: FileStrategy::Fixed(Vec::new()),
+            server: server.clone(),
+            ip_salt: 1,
+            rng_seed: 1,
+            heartbeat_ms: 1_000,
+            collect_ms: 1_000,
+            client_name: format!("bench-{i}"),
+        })
+        .collect();
+    let (drop_permille, delay_ms) =
+        impair.as_ref().map_or((0, 0), |p| (p.drop_permille, p.delay_ms));
+    // Generous supervision and hostile-peer deadlines: the bench workers
+    // never heartbeat, and a saturating bulk upload parks a partial frame
+    // in the decoder for most of the run — exactly the signatures the
+    // dead-agent and slow-loris reapers hunt.  Those paths have their own
+    // tests (chaos_matrix); here they would only cut the measurement
+    // short.
+    let mut cfg = DaemonConfig {
+        heartbeat_timeout_ms: 600_000,
+        idle_timeout_ms: 600_000,
+        slow_loris_timeout_ms: 600_000,
+        upload_window: window,
+        impair,
+        merge_stall_ms,
+        ..DaemonConfig::default()
+    };
+    if merge_queue_limit > 0 {
+        cfg.merge_queue_limit = merge_queue_limit;
+    }
+    let limit = cfg.merge_queue_limit;
+    let daemon = Daemon::start(cfg, configs, Box::new(|_, _, _| {})).expect("start daemon");
+    let addr = daemon.addr();
+
+    let chunk = synthetic_chunk(records_per_chunk);
+    let frame_len =
+        ControlMessage::LogUpload { agent: 0, seq: 0, chunk: chunk.clone() }.encode_frame().len();
+
+    let workers: Vec<std::thread::JoinHandle<f64>> = (0..AGENTS as u32)
+        .map(|agent| {
+            let mut chunk = chunk.clone();
+            chunk.honeypot = HoneypotId(agent);
+            std::thread::spawn(move || {
+                let mut conn = ControlConn::connect(addr).expect("connect");
+                conn.set_read_timeout(std::time::Duration::from_millis(1)).expect("timeout");
+                // The handshake itself can be impaired away: re-register
+                // on a timer until the ack lands.
+                let mut granted = 0u64;
+                let mut last_try: Option<Instant> = None;
+                while granted == 0 {
+                    if last_try.is_none_or(|t| t.elapsed().as_millis() >= 200) {
+                        conn.send(&ControlMessage::Register {
+                            agent,
+                            incarnation: 0,
+                            resume: false,
+                        })
+                        .expect("register");
+                        last_try = Some(Instant::now());
+                    }
+                    for ev in conn.poll().expect("handshake") {
+                        if let ConnEvent::Msg(ControlMessage::RegisterAck { window, .. }) = ev {
+                            granted = u64::from(window.max(1));
+                        }
+                    }
+                }
+
+                let t = Instant::now();
+                let mut next_send = 0u64;
+                let mut next_ack = 0u64;
+                let mut last_progress = Instant::now();
+                while next_ack < chunks_per_agent {
+                    while next_send < chunks_per_agent && next_send - next_ack < granted {
+                        conn.send(&ControlMessage::LogUpload {
+                            agent,
+                            seq: next_send,
+                            chunk: chunk.clone(),
+                        })
+                        .expect("upload");
+                        next_send += 1;
+                    }
+                    for ev in conn.poll().expect("ack poll") {
+                        match ev {
+                            ConnEvent::Msg(ControlMessage::ChunkAck { next_seq, window }) => {
+                                if next_seq > next_ack {
+                                    next_ack = next_seq;
+                                    last_progress = Instant::now();
+                                }
+                                // Live re-grant: a shrunken window takes
+                                // effect on the next fill.
+                                granted = u64::from(window.max(1));
+                            }
+                            ConnEvent::Msg(ControlMessage::ChunkRetry { seq }) => {
+                                next_send = next_send.min(seq);
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Stall recovery: probe-retransmit the frontier chunk
+                    // only.  An interior loss is already healed by the
+                    // daemon's go-back-N `ChunkRetry`; the probe covers a
+                    // lost tail frame, a lost ack or a shed chunk, and a
+                    // spurious probe costs one duplicate frame instead of
+                    // a full-window resend flooding the link.
+                    let resend_ms = 50 + 4 * delay_ms as u128;
+                    if next_send > next_ack && last_progress.elapsed().as_millis() >= resend_ms {
+                        conn.send(&ControlMessage::LogUpload {
+                            agent,
+                            seq: next_ack,
+                            chunk: chunk.clone(),
+                        })
+                        .expect("probe resend");
+                        last_progress = Instant::now();
+                    }
+                }
+                let secs = t.elapsed().as_secs_f64();
+                conn.send(&ControlMessage::Goodbye { agent, final_seq: chunks_per_agent })
+                    .expect("goodbye");
+                secs
+            })
+        })
+        .collect();
+
+    let mut up_max = 0f64;
+    for w in workers {
+        up_max = up_max.max(w.join().expect("bench worker"));
+    }
+    let (log, metrics, _order) =
+        daemon.finish(netsim::SimTime::from_secs(60), 0, 1, std::time::Duration::from_secs(2));
+    assert_eq!(
+        log.records.len(),
+        AGENTS * chunks_per_agent as usize * records_per_chunk,
+        "impairment may cost time, never data"
+    );
+    assert_eq!(metrics.double_merge_violation(), None, "no sequence may merge twice");
+
+    let total_chunks = AGENTS as u64 * chunks_per_agent;
+    let total_bytes = total_chunks * frame_len as u64;
+    let point = Pr9Point {
+        label,
+        drop_permille,
+        delay_ms,
+        merge_queue_limit: limit,
+        upload_mb_per_sec: total_bytes as f64 / (1024.0 * 1024.0) / up_max.max(1e-9),
+        secs: up_max,
+        chunks: total_chunks,
+        chunk_bytes: total_bytes,
+        duplicate_chunks: metrics.total_duplicate_chunks(),
+        chunks_shed: metrics.chunks_shed,
+        window_shrinks: metrics.window_shrinks,
+    };
+    eprintln!(
+        "[bench] pr9 {label}: {:.1} MB/s ({} dup, {} shed, {} shrinks)",
+        point.upload_mb_per_sec, point.duplicate_chunks, point.chunks_shed, point.window_shrinks
+    );
+    point
+}
+
+/// The PR 9 sweep: clean link, 1 % and 5 % frame loss, added latency, and
+/// a pressured merge queue (shrinking windows + shedding).
+fn pr9_sweep() -> Vec<Pr9Point> {
+    use edonkey_platform::ImpairPlan;
+    let plan = |drop: u32, delay: u64, jitter: u64| ImpairPlan {
+        drop_permille: drop,
+        delay_ms: delay,
+        jitter_ms: jitter,
+        ..ImpairPlan::clean(0x9E9)
+    };
+    // Default cells: 128 chunks in flight ≈ 14 MB, deep enough that the
+    // shim's ~200 ms loss stalls are paid from the pipe, not as idle
+    // window drain.  The queue-pressure cell inverts the sizing (shallow
+    // window, short transfer) so its shed/resend flood stays a bounded
+    // episode instead of a minutes-long probe-paced crawl.
+    vec![
+        pr9_point(Pr9Cell { label: "clean", ..Pr9Cell::default() }),
+        pr9_point(Pr9Cell {
+            label: "loss_1pct",
+            impair: Some(plan(10, 1, 1)),
+            ..Pr9Cell::default()
+        }),
+        pr9_point(Pr9Cell {
+            label: "loss_5pct",
+            impair: Some(plan(50, 1, 1)),
+            ..Pr9Cell::default()
+        }),
+        pr9_point(Pr9Cell {
+            label: "delay_5ms",
+            impair: Some(plan(0, 5, 2)),
+            ..Pr9Cell::default()
+        }),
+        pr9_point(Pr9Cell {
+            label: "queue_pressure",
+            window: 16,
+            merge_queue_limit: 4,
+            merge_stall_ms: 2,
+            records_per_chunk: 500,
+            chunks_per_agent: 32,
+            ..Pr9Cell::default()
+        }),
+    ]
+}
+
+/// Writes `BENCH_pr9.json` from the sweep points, including the headline
+/// acceptance ratio (1 % loss must stay within 2× of clean).
+fn write_pr9(points: &[Pr9Point]) {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"drop_permille\": {}, \"delay_ms\": {}, \
+             \"merge_queue_limit\": {}, \"upload_mb_per_sec\": {:.2}, \"secs\": {:.3}, \
+             \"chunks\": {}, \"chunk_bytes\": {}, \"duplicate_chunks\": {}, \
+             \"chunks_shed\": {}, \"window_shrinks\": {} }}",
+            p.label,
+            p.drop_permille,
+            p.delay_ms,
+            p.merge_queue_limit,
+            p.upload_mb_per_sec,
+            p.secs,
+            p.chunks,
+            p.chunk_bytes,
+            p.duplicate_chunks,
+            p.chunks_shed,
+            p.window_shrinks,
+        ));
+    }
+    let clean = points.iter().find(|p| p.label == "clean").map_or(0.0, |p| p.upload_mb_per_sec);
+    let lossy = points.iter().find(|p| p.label == "loss_1pct").map_or(0.0, |p| p.upload_mb_per_sec);
+    let slowdown = clean / lossy.max(1e-9);
+    if slowdown > 2.0 {
+        eprintln!("[bench] WARNING: 1% loss slowdown {slowdown:.2}x exceeds the 2x budget");
+    }
+    let json = format!(
+        "{{\n  \
+         \"generated_by\": \"cargo run --release -p edonkey-bench --bin perf_baseline -- --pr9\",\n  \
+         \"note\": \"windowed uploads (4 agents, 96x2000-record chunks each, window 128 sized to the stall bandwidth-delay product) through the daemon-side deterministic impairment shim; the client runs the agent's go-back-N resend discipline, so every point merges every sequence exactly once — impairment costs time, never data; queue_pressure uses window 16 with merge_queue_limit 4 and a 2 ms injected merge stall to exhibit window shrinking and shedding\",\n  \
+         {host},\n  \
+         \"clean_over_loss_1pct_slowdown\": {slowdown:.3},\n  \
+         \"loss_1pct_within_2x_clean\": {within},\n  \
+         \"impairment_sweep\": [\n{rows}\n  ]\n}}\n",
+        host = host_json(),
+        within = slowdown <= 2.0,
+    );
+    let path = workspace_file("BENCH_pr9.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[bench] could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}
+
 /// CI gate: one coupled run on the timing wheel at `scale`, the index
 /// built through the *streaming* builder and cross-checked against the
 /// one-shot build, under deliberately generous throughput and memory
@@ -915,6 +1250,7 @@ fn main() {
     let mut pr6_only = false;
     let mut pr7 = false;
     let mut pr8 = false;
+    let mut pr9 = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -931,6 +1267,7 @@ fn main() {
             "--pr6" => pr6_only = true,
             "--pr7" => pr7 = true,
             "--pr8" => pr8 = true,
+            "--pr9" => pr9 = true,
             "--pr8-point" => {
                 let s: f64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("usage: perf_baseline --pr8-point F on|off DAYS");
@@ -960,13 +1297,18 @@ fn main() {
                 scale_smoke(s);
             }
             other => {
-                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F] [--pr6] [--pr7] [--pr8] [--scale-smoke F]");
+                eprintln!("unknown argument {other}; usage: perf_baseline [--scale F] [--pr6] [--pr7] [--pr8] [--pr9] [--scale-smoke F]");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
+    if pr9 {
+        let points = pr9_sweep();
+        write_pr9(&points);
+        return;
+    }
     if pr7 {
         let points = pr7_sweep(&[0.05, 0.1, 0.25, 0.5, 1.0]);
         write_pr7(&points);

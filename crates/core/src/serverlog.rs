@@ -453,6 +453,7 @@ pub struct ServerLogWriter {
     seg_records: u64,
     scratch: Vec<u8>,
     stats: ServerLogStats,
+    fail_next_flush: bool,
 }
 
 impl ServerLogWriter {
@@ -476,7 +477,22 @@ impl ServerLogWriter {
             seg_records: 0,
             scratch: Vec::new(),
             stats: ServerLogStats::default(),
+            fail_next_flush: false,
         })
+    }
+
+    /// Test/chaos hook: the next frame flush fails with an injected I/O
+    /// error before any byte is written.  Self-contained so the fault can
+    /// be exercised without a real full disk.
+    pub fn inject_write_fault(&mut self) {
+        self.fail_next_flush = true;
+    }
+
+    /// Statistics accumulated so far (what [`Self::finish`] would return
+    /// for the already-flushed portion).  Lets a capture that must stop
+    /// early — e.g. on a write failure — still report what made it out.
+    pub fn stats(&self) -> ServerLogStats {
+        self.stats
     }
 
     /// Appends one record (buffered; durable after [`Self::finish`] or
@@ -492,6 +508,10 @@ impl ServerLogWriter {
     fn flush_frame(&mut self) -> io::Result<()> {
         if self.frame.is_empty() {
             return Ok(());
+        }
+        if self.fail_next_flush {
+            self.fail_next_flush = false;
+            return Err(io::Error::other("injected serverlog write fault"));
         }
         if self.out.is_none() {
             let path = self.dir.join(segment_name(self.stats.segments));
@@ -554,6 +574,8 @@ pub struct ServerLogReader {
     frame_pos: usize,
     truncated: bool,
     records_read: u64,
+    skip_corrupt: bool,
+    corrupt_frames: u64,
 }
 
 impl ServerLogReader {
@@ -572,7 +594,25 @@ impl ServerLogReader {
             frame_pos: 0,
             truncated: false,
             records_read: 0,
+            skip_corrupt: false,
+            corrupt_frames: 0,
         })
+    }
+
+    /// Switches to resilient mode: an *interior* frame whose CRC or
+    /// contents fail is skipped (counted in [`Self::corrupt_frames`]) and
+    /// iteration resumes at the next frame boundary, instead of truncating
+    /// the capture there.  A torn tail — a frame whose bytes physically run
+    /// out, or a header too damaged to find the next boundary — still
+    /// truncates, because there is nothing to resync on.
+    pub fn set_skip_corrupt(&mut self, on: bool) {
+        self.skip_corrupt = on;
+    }
+
+    /// Interior frames dropped in resilient mode (see
+    /// [`Self::set_skip_corrupt`]).
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames
     }
 
     /// Whether iteration stopped early on a torn or corrupt tail.
@@ -660,20 +700,41 @@ impl ServerLogReader {
                 return false;
             }
             if crc32(&block) != crc_expected {
-                self.truncated = true; // bit flip
+                // Bit flip inside a fully-present frame: the length header
+                // was sane, so the next boundary is known — resilient mode
+                // can drop just this frame and carry on.
+                if self.skip_corrupt {
+                    self.corrupt_frames += 1;
+                    continue;
+                }
+                self.truncated = true;
                 return false;
             }
             let Some(packed) = decode_frame(&block) else {
+                if self.skip_corrupt {
+                    self.corrupt_frames += 1;
+                    continue;
+                }
                 self.truncated = true;
                 return false;
             };
             self.frame.clear();
+            let mut bad_record = false;
             for p in &packed {
                 let Some(r) = p.unpack() else {
-                    self.truncated = true;
-                    return false;
+                    bad_record = true;
+                    break;
                 };
                 self.frame.push(r);
+            }
+            if bad_record {
+                self.frame.clear();
+                if self.skip_corrupt {
+                    self.corrupt_frames += 1;
+                    continue;
+                }
+                self.truncated = true;
+                return false;
             }
             self.frame_pos = 0;
             if self.frame.is_empty() {
@@ -872,6 +933,73 @@ mod tests {
         for (i, r) in read.iter().enumerate() {
             assert_eq!(*r, sample(i as u64));
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_bit_flip_is_skipped_in_resilient_mode() {
+        let dir = tmp_dir("flip-skip");
+        let mut w = ServerLogWriter::create(&dir, 100, u64::MAX).unwrap();
+        for i in 0..300 {
+            w.push(&sample(i)).unwrap();
+        }
+        w.finish().unwrap();
+        // Flip one byte inside the *second* frame's block — interior
+        // damage with intact frames on both sides.
+        let seg = dir.join(segment_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        // Frame layout after the 12-byte segment header: [len][crc][block].
+        let first_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let second_block_at = 12 + 8 + first_len + 8;
+        bytes[second_block_at + 10] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+
+        // Default mode: the capture truncates at the damaged frame.
+        let (read, truncated) = read_all(&dir);
+        assert!(truncated);
+        assert_eq!(read.len(), 100, "default mode stops before the bad frame");
+
+        // Resilient mode: the frame is detected, counted and skipped; the
+        // third frame is still served.
+        let mut reader = ServerLogReader::open(&dir).unwrap();
+        reader.set_skip_corrupt(true);
+        let mut read = Vec::new();
+        while let Some(r) = reader.next() {
+            read.push(r);
+        }
+        assert!(!reader.truncated(), "interior damage must not truncate");
+        assert_eq!(reader.corrupt_frames(), 1, "the flip is surfaced, not silent");
+        assert_eq!(read.len(), 200, "both intact frames survive");
+        for (i, r) in read.iter().enumerate() {
+            let expect = if i < 100 { i as u64 } else { i as u64 + 100 };
+            assert_eq!(*r, sample(expect));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_fails_one_flush_then_recovers() {
+        let dir = tmp_dir("wfault");
+        let mut w = ServerLogWriter::create(&dir, 10, u64::MAX).unwrap();
+        for i in 0..10 {
+            w.push(&sample(i)).unwrap();
+        }
+        w.inject_write_fault();
+        // Filling the next frame hits the armed fault at its flush
+        // boundary, before a byte is written.
+        for i in 10..19 {
+            w.push(&sample(i)).unwrap();
+        }
+        assert!(w.push(&sample(19)).is_err(), "armed fault must surface");
+        assert_eq!(w.stats().records, 10, "only the first frame landed");
+        // The fault is one-shot: the buffered frame flushes at the next
+        // boundary and nothing on disk was damaged.
+        w.push(&sample(20)).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.records, 21);
+        let (read, truncated) = read_all(&dir);
+        assert!(!truncated);
+        assert_eq!(read.len(), 21);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -77,10 +77,12 @@ pub fn run_live_loopback(
                 content: ContentStrategy::NoContent,
                 files: FileStrategy::Fixed(vec![AdvertisedFile::new(
                     demo_file(i),
-                    &format!("live demo file {i}.avi"),
+                    format!("live demo file {i}.avi"),
                     42_000_000,
                 )]),
                 fault,
+                impair: None,
+                spool_faults: None,
             }
         })
         .collect();

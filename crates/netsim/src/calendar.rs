@@ -156,7 +156,7 @@ impl<E> CalendarQueue<E> {
             self.current_bucket = (self.current_bucket + 1) % self.buckets.len();
             let next = &mut self.buckets[self.current_bucket];
             if next.len() > 1 {
-                next.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                next.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
             }
         }
     }

@@ -219,7 +219,7 @@ impl<E> TimingWheel<E> {
                 // Every entry here is due exactly at `now` (level-0 slots
                 // are 1 ms wide and never hold future laps).
                 if !self.cursor_sorted {
-                    self.levels[0][c0].sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                    self.levels[0][c0].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
                     self.cursor_sorted = true;
                 }
                 let e = self.levels[0][c0].pop().expect("non-empty slot");

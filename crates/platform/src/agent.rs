@@ -45,9 +45,11 @@ use netsim::rng::stream_seed;
 use netsim::Rng;
 
 use crate::conn::{ConnError, ConnEvent, ControlConn};
+use crate::diskfault::DiskFaults;
 use crate::fault::{FaultPlan, FaultState};
+use crate::impair::ImpairPlan;
 use crate::journal::ChunkJournal;
-use crate::messages::{AgentConfig, ControlMessage};
+use crate::messages::{heartbeat_flags, AgentConfig, ControlMessage};
 use crate::retry::{Backoff, RetryPolicy};
 use crate::spool::{Spool, SpoolRecord};
 
@@ -66,6 +68,11 @@ pub enum AgentExit {
 
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(3);
 const RECONNECT_PAUSE: Duration = Duration::from_millis(25);
+/// Half-open detection: with the daemon acking every heartbeat, a live
+/// link carries inbound traffic at heartbeat cadence; this many heartbeat
+/// periods of silence (floored at one second) means the connection is
+/// dead even if the kernel never says so, and the agent reconnects.
+const DEAD_AFTER_HEARTBEATS: u64 = 8;
 /// Failed connect attempts before the agent gives up (the schedule between
 /// them comes from [`RetryPolicy::reconnect`]).
 const MAX_CONNECT_ATTEMPTS: u32 = 20;
@@ -97,6 +104,10 @@ struct AgentState {
     started: Instant,
     /// Host status reports already forwarded to the daemon.
     forwarded_status: usize,
+    /// The spool stopped accepting writes (full/failing disk); uploads
+    /// continue in memory and heartbeats carry the degraded flag until an
+    /// append succeeds again.
+    spool_degraded: bool,
 }
 
 /// One unacknowledged upload.
@@ -135,6 +146,21 @@ impl AgentState {
     }
 }
 
+/// Robustness knobs for [`run_agent_with`]; `Default` reproduces the
+/// plain [`run_agent`] behaviour exactly.
+#[derive(Clone, Debug, Default)]
+pub struct AgentOptions {
+    /// Scripted crash/corruption plan (PR 3 fault model).
+    pub fault: FaultPlan,
+    /// Durable spool directory; must be stable across incarnations.
+    pub spool_dir: Option<PathBuf>,
+    /// Deterministic link impairment applied to this agent's control
+    /// connections (loss, dup, reorder, delay, rate cap, partitions).
+    pub impair: Option<ImpairPlan>,
+    /// Injectable spool write faults (ENOSPC/EIO/short write).
+    pub spool_faults: Option<DiskFaults>,
+}
+
 /// Runs one agent to completion (blocking).  `first_incarnation` is 0 for
 /// an initial launch; the daemon's supervisor passes higher numbers when
 /// respawning a dead agent.  With `spool_dir`, unacknowledged chunks are
@@ -148,8 +174,32 @@ pub fn run_agent(
     journal: ChunkJournal,
     spool_dir: Option<PathBuf>,
 ) -> AgentExit {
+    run_agent_with(
+        daemon_addr,
+        agent,
+        first_incarnation,
+        journal,
+        AgentOptions { fault, spool_dir, ..AgentOptions::default() },
+    )
+}
+
+/// [`run_agent`] plus the adversarial-robustness knobs of
+/// [`AgentOptions`]: impaired links and failing disks.
+pub fn run_agent_with(
+    daemon_addr: SocketAddr,
+    agent: u32,
+    first_incarnation: u32,
+    journal: ChunkJournal,
+    opts: AgentOptions,
+) -> AgentExit {
+    let AgentOptions { fault, spool_dir, impair, spool_faults } = opts;
     let spool = spool_dir.and_then(|dir| match Spool::open(dir) {
-        Ok(s) => Some(s),
+        Ok(mut s) => {
+            if let Some(faults) = &spool_faults {
+                s.set_faults(faults.clone());
+            }
+            Some(s)
+        }
         Err(e) => {
             // Degraded but alive: without the spool the agent still offers
             // PR 3 semantics (resume from the daemon's acked sequence).
@@ -171,6 +221,7 @@ pub fn run_agent(
         last_rtt_micros: 0,
         started: Instant::now(),
         forwarded_status: 0,
+        spool_degraded: false,
     };
     let mut reconnect = Backoff::new(
         RetryPolicy::reconnect(MAX_CONNECT_ATTEMPTS),
@@ -178,7 +229,7 @@ pub fn run_agent(
         u64::from(first_incarnation),
     );
     loop {
-        let conn = match ControlConn::connect(daemon_addr) {
+        let mut conn = match ControlConn::connect(daemon_addr) {
             Ok(c) => c,
             Err(_) => match reconnect.next_delay() {
                 Some(delay) => {
@@ -191,8 +242,13 @@ pub fn run_agent(
                 }
             },
         };
-        reconnect.reset();
-        match session(conn, &mut st) {
+        if let Some(plan) = &impair {
+            conn.impair(plan, u64::from(agent));
+        }
+        // The backoff resets only once a handshake *completes* (inside
+        // `session`): a daemon that accepts the socket but never answers
+        // still exhausts the reconnect budget instead of looping forever.
+        match session(conn, &mut st, &mut reconnect) {
             Ok(SessionEnd::Shutdown) => {
                 st.teardown_host();
                 return AgentExit::Shutdown;
@@ -211,14 +267,27 @@ pub fn run_agent(
             }
             Ok(SessionEnd::ConnLost) | Err(_) => {
                 // Keep host and in-flight window; reconnect and resume.
-                std::thread::sleep(RECONNECT_PAUSE);
+                // The pause comes from the same budgeted backoff as a
+                // refused connect, so a session that dies before its
+                // handshake cannot retry forever.
+                match reconnect.next_delay() {
+                    Some(delay) => std::thread::sleep(delay.max(RECONNECT_PAUSE)),
+                    None => {
+                        st.teardown_host();
+                        return AgentExit::GaveUp;
+                    }
+                }
                 continue;
             }
         }
     }
 }
 
-fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, ConnError> {
+fn session(
+    mut conn: ControlConn,
+    st: &mut AgentState,
+    reconnect: &mut Backoff,
+) -> Result<SessionEnd, ConnError> {
     conn.set_read_timeout(Duration::from_millis(5)).ok();
     let resume = st.host.is_some() || !st.window.is_empty() || st.incarnation > 0;
     conn.send(&ControlMessage::Register { agent: st.agent, incarnation: st.incarnation, resume })
@@ -252,7 +321,13 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
         }
     }
     let ((mut frontier, granted), cfg) = (ack.unwrap(), config.unwrap());
-    let granted = granted.max(1) as usize;
+    // The handshake completed: the daemon is demonstrably alive, so the
+    // reconnect budget starts over.
+    reconnect.reset();
+    // The granted window is a *live* grant: every `ChunkAck` re-states it,
+    // and an overloaded daemon shrinks it to shed load (backpressure
+    // through the existing ack path, no extra message).
+    let mut granted = granted.max(1) as usize;
 
     if st.host.is_none() {
         match start_host(&cfg, st.incarnation) {
@@ -314,18 +389,30 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
     let mut collect_due = Instant::now() + Duration::from_millis(cfg.collect_ms);
     let mut shutting_down = false;
 
+    // Half-open detection: the daemon acks every heartbeat, so a live link
+    // has inbound traffic at heartbeat cadence.  Sustained silence means
+    // the connection is dead (mid-path partition, silently dropped peer)
+    // even though the local socket looks healthy.
+    let dead_after =
+        Duration::from_millis((cfg.heartbeat_ms.saturating_mul(DEAD_AFTER_HEARTBEATS)).max(1000));
+    let mut last_heard = Instant::now();
+
     loop {
         let events = match conn.poll() {
             Ok(ev) => ev,
             Err(ConnError::Closed) | Err(ConnError::Io(_)) => return Ok(SessionEnd::ConnLost),
             Err(e) => return Err(e),
         };
+        if !events.is_empty() {
+            last_heard = Instant::now();
+        }
         for ev in events {
             match ev {
                 ConnEvent::Msg(ControlMessage::HeartbeatAck { echo_micros, .. }) => {
                     st.last_rtt_micros = st.micros_now().saturating_sub(echo_micros).max(1);
                 }
-                ConnEvent::Msg(ControlMessage::ChunkAck { next_seq: acked }) => {
+                ConnEvent::Msg(ControlMessage::ChunkAck { next_seq: acked, window }) => {
+                    granted = window.max(1) as usize;
                     // Cumulative: everything below `acked` is merged and
                     // durable on the manager side; only now may the local
                     // copies go.
@@ -374,6 +461,13 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
 
         let now = Instant::now();
 
+        if !shutting_down && now.duration_since(last_heard) > dead_after {
+            // Half-open: nothing heard for several heartbeat periods while
+            // our own sends kept "succeeding" into the void.  Tear down and
+            // reconnect through the shared budgeted backoff.
+            return Ok(SessionEnd::ConnLost);
+        }
+
         // Resend timer: arm while anything is in flight, fire by
         // re-sending the whole window (the cumulative ack makes spurious
         // re-sends harmless duplicates).
@@ -402,16 +496,13 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
             let chunk = st.host.as_ref().unwrap().collect_log();
             if !chunk.records.is_empty() || !chunk.shared_lists.is_empty() {
                 let seq = st.next_send(frontier);
-                match upload_chunk(&mut conn, st, seq, chunk)? {
-                    Some(end) => {
-                        if matches!(end, SessionEnd::Killed) {
-                            // The scripted crash still owes the daemon the
-                            // frame written just above; see `crash_close`.
-                            conn.crash_close();
-                        }
-                        return Ok(end);
+                if let Some(end) = upload_chunk(&mut conn, st, seq, chunk)? {
+                    if matches!(end, SessionEnd::Killed) {
+                        // The scripted crash still owes the daemon the
+                        // frame written just above; see `crash_close`.
+                        conn.crash_close();
                     }
-                    None => {}
+                    return Ok(end);
                 }
             } else if shutting_down && st.window.is_empty() {
                 conn.send(&ControlMessage::Goodbye { agent: st.agent, final_seq: frontier })
@@ -427,11 +518,13 @@ fn session(mut conn: ControlConn, st: &mut AgentState) -> Result<SessionEnd, Con
                     std::thread::sleep(Duration::from_millis(st.fault.delay_heartbeat_ms));
                 }
                 st.hb_seq += 1;
+                let flags = if st.spool_degraded { heartbeat_flags::SPOOL_DEGRADED } else { 0 };
                 conn.send(&ControlMessage::Heartbeat {
                     agent: st.agent,
                     seq: st.hb_seq,
                     sent_micros: st.micros_now(),
                     rtt_micros: st.last_rtt_micros,
+                    flags,
                 })
                 .map_err(ConnError::Io)?;
             }
@@ -453,9 +546,32 @@ fn upload_chunk(
     st.journal.record(st.agent, seq, chunk.clone());
     let msg = ControlMessage::LogUpload { agent: st.agent, seq, chunk };
     if let Some(spool) = &mut st.spool {
-        // Durable before the first send: ack-or-replay from here on.
-        if let Err(e) = spool.append(seq, &msg.encode_payload()) {
-            eprintln!("[agent {}] spool append failed for seq {seq}: {e}", st.agent);
+        // Durable before the first send: ack-or-replay from here on.  A
+        // failing disk gets a short budgeted retry (transient ENOSPC
+        // clears when logs rotate), then the agent *degrades* instead of
+        // crashing: the chunk stays in the in-memory window, heartbeats
+        // carry the degraded flag, and the next successful append clears
+        // it.  Degraded-mode chunks lose crash durability, nothing else.
+        let payload = msg.encode_payload();
+        let mut disk_retry =
+            Backoff::new(RetryPolicy::disk(), RETRY_SEED ^ u64::from(st.agent) ^ 0xD15C, seq);
+        loop {
+            match spool.append(seq, &payload) {
+                Ok(()) => {
+                    st.spool_degraded = false;
+                    break;
+                }
+                Err(e) => match disk_retry.next_delay() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => {
+                        if !st.spool_degraded {
+                            eprintln!("[agent {}] spool degraded at seq {seq}: {e}", st.agent);
+                        }
+                        st.spool_degraded = true;
+                        break;
+                    }
+                },
+            }
         }
     }
     if st.fault.kill_before_chunk == Some(seq) {

@@ -27,6 +27,8 @@ use std::path::{Path, PathBuf};
 
 use edonkey_proto::control::crc32;
 
+use crate::diskfault::{DiskFaultKind, DiskFaults};
+
 /// Checkpointing knobs for the daemon.
 #[derive(Clone, Debug)]
 pub struct CheckpointOptions {
@@ -156,11 +158,42 @@ impl ManagerCheckpoint {
 /// `rename` over [`STATE_FILE`].  A crash at any point leaves either the
 /// old snapshot or the new one, never a mix.
 pub fn save_checkpoint(dir: &Path, ckpt: &ManagerCheckpoint) -> io::Result<()> {
+    save_checkpoint_with(dir, ckpt, &DiskFaults::none())
+}
+
+/// [`save_checkpoint`] with an injectable fault layer.  A short write
+/// leaves a torn *temp* file and never renames it, mirroring how a real
+/// mid-write crash presents: the previous snapshot stays intact and the
+/// CRC rejects the fragment if anything ever reads it.
+pub fn save_checkpoint_with(
+    dir: &Path,
+    ckpt: &ManagerCheckpoint,
+    faults: &DiskFaults,
+) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     let bytes = ckpt.encode();
     let tmp = dir.join(format!("{STATE_FILE}.tmp-{}", std::process::id()));
+    if let Some(kind) = faults.check() {
+        if kind == DiskFaultKind::ShortWrite {
+            let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        }
+        return Err(kind.to_error());
+    }
     fs::write(&tmp, &bytes)?;
     fs::rename(&tmp, dir.join(STATE_FILE))
+}
+
+/// Moves a (suspected-stale) snapshot aside as `manager.ckpt.quarantined`
+/// so a later recovery cannot resurrect supervision state the daemon knows
+/// it failed to keep fresh.  Missing snapshot is fine; returns whether a
+/// file was actually moved.
+pub fn quarantine_checkpoint(dir: &Path) -> io::Result<bool> {
+    let path = dir.join(STATE_FILE);
+    if !path.exists() {
+        return Ok(false);
+    }
+    fs::rename(&path, dir.join(format!("{STATE_FILE}.quarantined")))?;
+    Ok(true)
 }
 
 /// Loads the snapshot if present and intact; `None` otherwise (including
@@ -260,6 +293,40 @@ mod tests {
         second.slots[0].expected_seq = 99;
         save_checkpoint(&dir, &second).unwrap();
         assert_eq!(load_checkpoint(&dir), Some(second));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_never_damage_the_snapshot() {
+        let dir = tmpdir("faults");
+        let ckpt = sample();
+        save_checkpoint(&dir, &ckpt).unwrap();
+        let faults = DiskFaults::none();
+        let mut newer = sample();
+        newer.slots[0].expected_seq = 77;
+        faults.inject(DiskFaultKind::Eio, Some(1));
+        assert!(save_checkpoint_with(&dir, &newer, &faults).is_err());
+        assert_eq!(load_checkpoint(&dir), Some(ckpt.clone()), "EIO left old snapshot");
+        faults.inject(DiskFaultKind::ShortWrite, Some(1));
+        assert!(save_checkpoint_with(&dir, &newer, &faults).is_err());
+        assert_eq!(load_checkpoint(&dir), Some(ckpt), "torn temp never renamed");
+        // Once the fault clears the same save goes through.
+        save_checkpoint_with(&dir, &newer, &faults).unwrap();
+        assert_eq!(load_checkpoint(&dir), Some(newer));
+        assert_eq!(faults.injected(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_the_snapshot_aside() {
+        let dir = tmpdir("quarantine");
+        assert!(!quarantine_checkpoint(&dir).unwrap(), "nothing to quarantine yet");
+        let ckpt = sample();
+        save_checkpoint(&dir, &ckpt).unwrap();
+        assert!(quarantine_checkpoint(&dir).unwrap());
+        assert_eq!(load_checkpoint(&dir), None, "quarantined snapshot is invisible");
+        assert!(dir.join(format!("{STATE_FILE}.quarantined")).exists());
+        assert!(!quarantine_checkpoint(&dir).unwrap(), "second call is a no-op");
         let _ = fs::remove_dir_all(&dir);
     }
 

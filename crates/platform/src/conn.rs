@@ -5,17 +5,29 @@
 //! fails surfaces as [`ConnEvent::Corrupt`] and the stream keeps going
 //! (framing stays in sync), which is what lets the daemon re-request a
 //! damaged chunk instead of dropping the whole agent.
+//!
+//! An optional [`ImpairPlan`] shim sits between the connection and the
+//! socket (see [`crate::impair`]): outbound frames queue in an
+//! [`ImpairedLink`] and reach the wire only when due; inbound socket
+//! bytes queue the same way before the decoder sees them.  Neither
+//! endpoint's protocol logic knows the shim exists — the byte stream is
+//! intact and in order, only its timing is adversarial.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use edonkey_proto::control::{ControlDecoder, ControlEvent};
 use edonkey_proto::ProtoError;
 
+use crate::impair::{ImpairPlan, ImpairedLink};
 use crate::messages::ControlMessage;
+use crate::transport::would_block;
 
 /// What a poll of the connection can yield.
+// Events are yielded one at a time and consumed by move; boxing the
+// message would add an allocation per frame for no resident savings.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ConnEvent {
     /// A decoded, CRC-clean control message.
@@ -48,10 +60,25 @@ impl std::fmt::Display for ConnError {
 
 impl std::error::Error for ConnError {}
 
+/// The impairment shim of one connection: a link per direction plus the
+/// epoch its virtual clock counts from.
+struct ImpairShim {
+    started: Instant,
+    inbound: ImpairedLink,
+    outbound: ImpairedLink,
+}
+
+impl ImpairShim {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
 /// A framed control connection.
 pub struct ControlConn {
     stream: TcpStream,
     decoder: ControlDecoder,
+    shim: Option<ImpairShim>,
 }
 
 impl ControlConn {
@@ -59,13 +86,28 @@ impl ControlConn {
     pub fn connect(addr: SocketAddr) -> std::io::Result<ControlConn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(ControlConn { stream, decoder: ControlDecoder::new() })
+        Ok(ControlConn { stream, decoder: ControlDecoder::new(), shim: None })
     }
 
     /// Wraps an accepted stream.
     pub fn from_stream(stream: TcpStream) -> ControlConn {
         stream.set_nodelay(true).ok();
-        ControlConn { stream, decoder: ControlDecoder::new() }
+        ControlConn { stream, decoder: ControlDecoder::new(), shim: None }
+    }
+
+    /// Installs a link-impairment shim on both directions.  `stream_id`
+    /// names this connection within the plan's seed space (the two
+    /// directions derive sub-streams from it), so distinct connections
+    /// jitter independently yet reproducibly.
+    pub fn impair(&mut self, plan: &ImpairPlan, stream_id: u64) {
+        if plan.is_transparent() {
+            return;
+        }
+        self.shim = Some(ImpairShim {
+            started: Instant::now(),
+            inbound: ImpairedLink::new(plan, stream_id * 2),
+            outbound: ImpairedLink::new(plan, stream_id * 2 + 1),
+        });
     }
 
     /// Clones the underlying stream (for a writer held elsewhere).
@@ -80,13 +122,55 @@ impl ControlConn {
 
     /// Sends one message as a complete frame.
     pub fn send(&mut self, msg: &ControlMessage) -> std::io::Result<()> {
-        self.stream.write_all(&msg.encode_frame())
+        self.send_raw(&msg.encode_frame())
     }
 
     /// Sends raw pre-encoded bytes (fault injection writes doctored
     /// frames).
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        self.stream.write_all(bytes)
+        match &mut self.shim {
+            None => self.stream.write_all(bytes),
+            Some(shim) => {
+                let now = shim.now_ms();
+                shim.outbound.admit(now, bytes);
+                self.pump_out()
+            }
+        }
+    }
+
+    /// Writes every outbound byte whose impaired delivery time has come.
+    fn pump_out(&mut self) -> std::io::Result<()> {
+        if let Some(shim) = &mut self.shim {
+            let now = shim.now_ms();
+            let mut due = Vec::new();
+            shim.outbound.due(now, &mut due);
+            if !due.is_empty() {
+                self.stream.write_all(&due)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until the outbound shim has drained (bounded by `limit`).
+    /// Used before teardown so an impaired link behaves like a kernel
+    /// send buffer: delayed bytes still reach the wire on close.
+    fn drain_outbound(&mut self, limit: Duration) {
+        let deadline = Instant::now() + limit;
+        loop {
+            let Some(shim) = &self.shim else { return };
+            if shim.outbound.pending_bytes() == 0 {
+                return;
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+            let now = shim.now_ms();
+            let wait = shim.outbound.next_due().unwrap_or(now).saturating_sub(now).min(20);
+            std::thread::sleep(Duration::from_millis(wait.max(1)));
+            if self.pump_out().is_err() {
+                return;
+            }
+        }
     }
 
     /// Closes like a crashing process whose last write must still reach
@@ -97,6 +181,7 @@ impl ControlConn {
     /// peer has not read yet — on a single core the daemon's reactor
     /// rarely wins that race, so a plain drop loses the final frame.
     pub fn crash_close(&mut self) {
+        self.drain_outbound(Duration::from_secs(2));
         let _ = self.stream.shutdown(std::net::Shutdown::Write);
         self.stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
         let deadline = std::time::Instant::now() + Duration::from_secs(1);
@@ -109,13 +194,29 @@ impl ControlConn {
         }
     }
 
+    /// Moves inbound bytes that have become deliverable into the decoder.
+    /// With `flush` (peer hung up: everything it sent is already "on the
+    /// wire"), pending bytes are released regardless of due time.
+    fn pump_in(&mut self, flush: bool) {
+        if let Some(shim) = &mut self.shim {
+            let now = if flush { u64::MAX } else { shim.now_ms() };
+            let mut due = Vec::new();
+            shim.inbound.due(now, &mut due);
+            if !due.is_empty() {
+                self.decoder.feed(&due);
+            }
+        }
+    }
+
     /// Performs at most one socket read (bounded by the read timeout) and
     /// returns every control event that completed.  An empty vector means
     /// the timeout passed without a full frame — not an error.
     pub fn poll(&mut self) -> Result<Vec<ConnEvent>, ConnError> {
+        self.pump_out().map_err(ConnError::Io)?;
         let mut buf = [0u8; 16 * 1024];
         match self.stream.read(&mut buf) {
             Ok(0) => {
+                self.pump_in(true);
                 let events = self.drain()?;
                 if events.is_empty() {
                     return Err(ConnError::Closed);
@@ -123,10 +224,20 @@ impl ControlConn {
                 Ok(events)
             }
             Ok(n) => {
-                self.decoder.feed(&buf[..n]);
+                match &mut self.shim {
+                    None => self.decoder.feed(&buf[..n]),
+                    Some(shim) => {
+                        let now = shim.now_ms();
+                        shim.inbound.admit(now, &buf[..n]);
+                    }
+                }
+                self.pump_in(false);
                 self.drain()
             }
-            Err(e) if is_timeout(&e) => self.drain(),
+            Err(e) if would_block(&e) => {
+                self.pump_in(false);
+                self.drain()
+            }
             Err(e) => Err(ConnError::Io(e)),
         }
     }
@@ -167,13 +278,10 @@ impl ControlConn {
     }
 }
 
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impair::Partition;
     use std::net::TcpListener;
 
     #[test]
@@ -216,14 +324,64 @@ mod tests {
                 got.extend(conn.poll_until(deadline).unwrap());
             }
             assert!(matches!(got[0], ConnEvent::Corrupt { .. }));
-            assert!(matches!(got[1], ConnEvent::Msg(ControlMessage::ChunkAck { next_seq: 5 })));
+            assert!(matches!(
+                got[1],
+                ConnEvent::Msg(ControlMessage::ChunkAck { next_seq: 5, window: 8 })
+            ));
         });
         let mut conn = ControlConn::connect(addr).unwrap();
-        let mut bad = ControlMessage::ChunkAck { next_seq: 5 }.encode_frame();
+        let mut bad = ControlMessage::ChunkAck { next_seq: 5, window: 8 }.encode_frame();
         let last = bad.len() - 1;
         bad[last] ^= 0xFF;
         conn.send_raw(&bad).unwrap();
-        conn.send(&ControlMessage::ChunkAck { next_seq: 5 }).unwrap();
+        conn.send(&ControlMessage::ChunkAck { next_seq: 5, window: 8 }).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn impaired_link_delays_but_never_damages_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let plan = ImpairPlan {
+            drop_permille: 120,
+            dup_permille: 60,
+            reorder_permille: 100,
+            delay_ms: 15,
+            jitter_ms: 10,
+            rate_bytes_per_sec: 256 * 1024,
+            partitions: vec![Partition { start_ms: 40, end_ms: 90 }],
+            ..ImpairPlan::clean(0x1337)
+        };
+        let t = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = ControlConn::from_stream(stream);
+            conn.set_read_timeout(Duration::from_millis(10)).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            let mut got = Vec::new();
+            while got.len() < 40 && std::time::Instant::now() < deadline {
+                got.extend(conn.poll_until(deadline).unwrap());
+            }
+            for (i, ev) in got.iter().enumerate() {
+                let ConnEvent::Msg(ControlMessage::ChunkAck { next_seq, window: 3 }) = ev else {
+                    panic!("event {i} damaged by impairment: {ev:?}");
+                };
+                assert_eq!(*next_seq, i as u64, "impairment reordered frames");
+            }
+            assert_eq!(got.len(), 40);
+        });
+        let mut conn = ControlConn::connect(addr).unwrap();
+        conn.set_read_timeout(Duration::from_millis(5)).unwrap();
+        conn.impair(&plan, 9);
+        let sent_at = std::time::Instant::now();
+        for seq in 0..40u64 {
+            conn.send(&ControlMessage::ChunkAck { next_seq: seq, window: 3 }).unwrap();
+        }
+        // Keep pumping the shim until everything reached the wire.
+        conn.drain_outbound(Duration::from_secs(10));
+        assert!(
+            sent_at.elapsed() >= Duration::from_millis(15),
+            "a 15 ms-delay plan cannot deliver instantly"
+        );
         t.join().unwrap();
     }
 }

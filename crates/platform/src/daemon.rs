@@ -51,17 +51,20 @@ use honeypot::{HoneypotId, HoneypotSpec, HoneypotStatus, Manager, MeasurementLog
 use netsim::SimTime;
 use parking_lot::Mutex;
 
+use edonkey_proto::control::MAX_CONTROL_PAYLOAD;
+
 use crate::checkpoint::{
-    load_checkpoint, save_checkpoint, CheckpointOptions, ManagerCheckpoint, SlotCheckpoint,
+    load_checkpoint, quarantine_checkpoint, save_checkpoint_with, CheckpointOptions,
+    ManagerCheckpoint, SlotCheckpoint,
 };
-use crate::messages::{AgentConfig, ControlMessage};
+use crate::diskfault::DiskFaults;
+use crate::impair::ImpairPlan;
+use crate::messages::{heartbeat_flags, AgentConfig, ControlMessage};
 use crate::metrics::{PlatformMetrics, RttStats};
 use crate::reactor::{CloseReason, Outbox, ReactorConn};
 use crate::retry::{Backoff, RetryPolicy};
 use crate::spool::{Spool, SpoolRecord};
-
-/// Registration must complete this long after the TCP accept.
-const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(3);
+use crate::transport::{classify_accept, AcceptError};
 /// Shard sleep when a whole pass moved no bytes.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
 /// Reactor latency samples are batched locally and folded into the shared
@@ -100,6 +103,40 @@ pub struct DaemonConfig {
     /// Reactor shard threads.  0 = derive from the machine (capped small;
     /// the shards are I/O loops, not compute).
     pub reactor_shards: usize,
+    /// Registration must complete this long after the TCP accept, or the
+    /// connection is dropped (a resource an unauthenticated peer may not
+    /// hold open).
+    pub handshake_timeout_ms: u64,
+    /// A *registered* connection with no inbound bytes for this long is
+    /// reaped.  Heartbeats keep a live agent far inside the limit; a
+    /// half-open socket or a connect-and-stall peer does not get to pin a
+    /// slot's outbox forever.  0 disables.
+    pub idle_timeout_ms: u64,
+    /// A connection holding a partial frame (bytes buffered, no complete
+    /// frame) for this long is a slow-loris and is reaped.  0 disables.
+    pub slow_loris_timeout_ms: u64,
+    /// Hard cap on a single control frame's declared payload, enforced at
+    /// the decoder before any buffering (never looser than the protocol
+    /// limit).  A hostile peer cannot make the daemon allocate more than
+    /// this per connection.
+    pub max_frame_bytes: u32,
+    /// Merge-queue overload protection.  As the queue approaches this
+    /// depth the window granted in every `ChunkAck` shrinks linearly (to 1
+    /// at the limit) and chunks arriving *at* the limit are shed unacked —
+    /// backpressure rides the existing ack path and the agents' resend
+    /// timers, no new message.  0 disables.
+    pub merge_queue_limit: usize,
+    /// Deterministic impairment applied to every accepted control
+    /// connection (the daemon-side twin of the agent knob).
+    pub impair: Option<ImpairPlan>,
+    /// Injectable write faults for the chunk WAL.
+    pub wal_faults: Option<DiskFaults>,
+    /// Injectable write faults for the supervision snapshot.
+    pub checkpoint_faults: Option<DiskFaults>,
+    /// Injectable merge stall, milliseconds per chunk: slows the merge
+    /// thread so overload tests can fill the queue deterministically
+    /// instead of racing the scheduler.  0 (the default) is a no-op.
+    pub merge_stall_ms: u64,
 }
 
 impl Default for DaemonConfig {
@@ -115,6 +152,15 @@ impl Default for DaemonConfig {
             upload_window: 32,
             max_connections: 4096,
             reactor_shards: 0,
+            handshake_timeout_ms: 3_000,
+            idle_timeout_ms: 30_000,
+            slow_loris_timeout_ms: 5_000,
+            max_frame_bytes: MAX_CONTROL_PAYLOAD,
+            merge_queue_limit: 4_096,
+            impair: None,
+            wal_faults: None,
+            checkpoint_faults: None,
+            merge_stall_ms: 0,
         }
     }
 }
@@ -198,6 +244,9 @@ struct Durable {
 /// One upload-path work item, queued from a reactor shard to the merge
 /// thread.  The queue preserves per-connection arrival order, which is
 /// what makes hole detection and the corrupt-frame resume point exact.
+// Chunks dominate the queue by design; boxing them would add an
+// allocation per upload to shrink the rare corrupt-frame variant.
+#[allow(clippy::large_enum_variant)]
 enum MergeMsg {
     Chunk {
         agent: usize,
@@ -226,6 +275,9 @@ struct Inner {
     durable: Option<Durable>,
     /// Live control connections (accept-side admission gauge).
     active_conns: AtomicUsize,
+    /// Monotonic id per adopted connection: the impairment stream, so a
+    /// reconnect draws a fresh deterministic link.
+    conn_counter: AtomicUsize,
     /// Chunks queued to the merge thread and not yet processed.
     merge_depth: AtomicUsize,
     shutdown: AtomicBool,
@@ -292,7 +344,10 @@ impl Daemon {
 
         let durable = match &cfg.checkpoint {
             Some(opts) => {
-                let spool = Spool::open(opts.wal_dir())?;
+                let mut spool = Spool::open(opts.wal_dir())?;
+                if let Some(faults) = &cfg.wal_faults {
+                    spool.set_faults(faults.clone());
+                }
                 let next_seq = spool.last_seq().map_or(0, |s| s + 1);
                 Some(Durable {
                     opts: opts.clone(),
@@ -361,6 +416,7 @@ impl Daemon {
             launcher,
             durable,
             active_conns: AtomicUsize::new(0),
+            conn_counter: AtomicUsize::new(0),
             merge_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             stop_reactors: AtomicBool::new(false),
@@ -407,9 +463,19 @@ impl Daemon {
                         accept_backoff.reset();
                         s
                     }
-                    Err(_) => {
-                        if let Some(pause) = accept_backoff.next_delay() {
-                            std::thread::sleep(pause);
+                    Err(e) => {
+                        // A per-connection hiccup (reset before accept)
+                        // costs nothing; a resource failure (EMFILE) is
+                        // counted and backed off so the loop never runs
+                        // hot against an exhausted process.
+                        match classify_accept(&e) {
+                            AcceptError::Transient => {}
+                            AcceptError::Resource => {
+                                accept_inner.metrics.lock().accept_resource_errors += 1;
+                                if let Some(pause) = accept_backoff.next_delay() {
+                                    std::thread::sleep(pause);
+                                }
+                            }
                         }
                         continue;
                     }
@@ -615,7 +681,8 @@ impl Daemon {
         // A last snapshot so a *supervisor* restart after a clean finish
         // still sees the final accounting.
         if let Some(d) = &self.inner.durable {
-            let _ = save_checkpoint(&d.opts.dir, &build_checkpoint(&self.inner));
+            let faults = self.inner.cfg.checkpoint_faults.clone().unwrap_or_default();
+            let _ = save_checkpoint_with(&d.opts.dir, &build_checkpoint(&self.inner), &faults);
         }
 
         let mgr = self.inner.core.lock().take().expect("finish called once");
@@ -668,9 +735,20 @@ fn reactor_loop(
             return;
         }
         if inner.stop_reactors.load(Ordering::SeqCst) {
-            // Last chance for queued shutdowns and acks to leave.
-            for conn in &mut conns {
-                conn.flush();
+            // Last chance for queued shutdowns and acks to leave — bounded,
+            // because an impaired link may hold bytes that are not due yet
+            // and a closed peer never drains.
+            let drain_deadline = Instant::now() + Duration::from_millis(200);
+            loop {
+                let mut pending = 0;
+                for conn in &mut conns {
+                    conn.flush();
+                    pending += conn.pending_out();
+                }
+                if pending == 0 || Instant::now() >= drain_deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
             }
             for conn in conns.drain(..) {
                 close_conn(&inner, conn);
@@ -683,7 +761,12 @@ fn reactor_loop(
 
         for stream in injector.lock().drain(..) {
             match ReactorConn::adopt(stream) {
-                Ok(conn) => {
+                Ok(mut conn) => {
+                    conn.decoder.set_max_payload(inner.cfg.max_frame_bytes);
+                    if let Some(plan) = &inner.cfg.impair {
+                        let id = inner.conn_counter.fetch_add(1, Ordering::SeqCst);
+                        conn.set_impair(plan, id as u64);
+                    }
                     conns.push(conn);
                     activity = true;
                 }
@@ -703,12 +786,7 @@ fn reactor_loop(
             if !events.is_empty() {
                 process_events(&inner, conn, &mut events, &merge_tx);
             }
-            if conn.agent.is_none()
-                && conn.close.is_none()
-                && conn.opened.elapsed() > HANDSHAKE_DEADLINE
-            {
-                conn.close = Some(CloseReason::HandshakeTimeout);
-            }
+            reap_hostile(&inner, conn);
             conn.flush();
         }
 
@@ -731,6 +809,40 @@ fn reactor_loop(
         } else {
             std::thread::sleep(IDLE_SLEEP);
         }
+    }
+}
+
+/// Hostile-peer deadlines, checked every shard pass:
+///
+/// * unregistered past the handshake deadline — a peer may not hold a
+///   socket it never authenticates;
+/// * registered but silent past the idle limit — half-open or stalled;
+/// * a partial frame older than the slow-loris budget — a peer trickling
+///   one byte at a time never completes a frame, only pins memory.
+fn reap_hostile(inner: &Inner, conn: &mut ReactorConn) {
+    if conn.close.is_some() {
+        return;
+    }
+    let cfg = &inner.cfg;
+    if conn.agent.is_none()
+        && conn.opened.elapsed() > Duration::from_millis(cfg.handshake_timeout_ms)
+    {
+        conn.close = Some(CloseReason::HandshakeTimeout);
+        return;
+    }
+    if cfg.idle_timeout_ms > 0
+        && conn.agent.is_some()
+        && conn.last_read.elapsed() > Duration::from_millis(cfg.idle_timeout_ms)
+    {
+        conn.close = Some(CloseReason::IdleTimeout);
+        return;
+    }
+    if cfg.slow_loris_timeout_ms > 0
+        && conn
+            .partial_since
+            .is_some_and(|t| t.elapsed() > Duration::from_millis(cfg.slow_loris_timeout_ms))
+    {
+        conn.close = Some(CloseReason::SlowLoris);
     }
 }
 
@@ -783,7 +895,7 @@ fn process_events(
                 }
                 match ControlMessage::decode(frame.opcode, &frame.payload) {
                     Ok(msg) => handle_msg(inner, conn, msg),
-                    Err(_) => conn.close = Some(CloseReason::Gone),
+                    Err(_) => conn.close = Some(CloseReason::Protocol),
                 }
             }
         }
@@ -804,11 +916,20 @@ fn handle_chunk_frame(
     let Ok(ControlMessage::LogUpload { agent, seq, chunk }) =
         ControlMessage::decode(opcodes::LOG_CHUNK, &payload)
     else {
-        conn.close = Some(CloseReason::Gone);
+        conn.close = Some(CloseReason::Protocol);
         return;
     };
     let i = agent as usize;
     if conn.agent != Some(i) {
+        return;
+    }
+    // Overload shed: at the merge-queue limit the chunk is dropped
+    // *unqueued* and unacked — the agent's resend timer re-delivers it
+    // once the shrunken window grants (riding every ack) have drained the
+    // queue.  Nothing is lost; latency is traded for survival.
+    let limit = inner.cfg.merge_queue_limit;
+    if limit > 0 && inner.merge_depth.load(Ordering::SeqCst) >= limit {
+        inner.metrics.lock().chunks_shed += 1;
         return;
     }
     // Occupancy gauges, read against the merge frontier at arrival.
@@ -843,13 +964,19 @@ fn handle_msg(inner: &Inner, conn: &mut ReactorConn, msg: ControlMessage) {
         ControlMessage::Register { agent, incarnation: _, resume } => {
             register_conn(inner, conn, agent, resume);
         }
-        ControlMessage::Heartbeat { seq, sent_micros, rtt_micros, .. } => {
+        ControlMessage::Heartbeat { seq, sent_micros, rtt_micros, flags, .. } => {
             let Some(i) = conn.agent else { return };
             {
                 let mut metrics = inner.metrics.lock();
                 metrics.agents[i].heartbeats += 1;
                 if rtt_micros > 0 {
                     metrics.agents[i].rtt.record(rtt_micros);
+                }
+                if flags & heartbeat_flags::SPOOL_DEGRADED != 0 {
+                    // The agent is uploading from memory only; its disk
+                    // stopped taking writes.  Surfaced here so an operator
+                    // sees degradation while the measurement continues.
+                    metrics.agents[i].degraded_heartbeats += 1;
                 }
             }
             conn.outbox.push_msg(&ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros });
@@ -867,10 +994,8 @@ fn handle_msg(inner: &Inner, conn: &mut ReactorConn, msg: ControlMessage) {
             let Some(i) = conn.agent else { return };
             inner.slots.lock()[i].peer_port = Some(peer_port);
         }
-        ControlMessage::Goodbye { .. } => {
-            if conn.agent.is_some() {
-                conn.close = Some(CloseReason::Goodbye);
-            }
+        ControlMessage::Goodbye { .. } if conn.agent.is_some() => {
+            conn.close = Some(CloseReason::Goodbye);
         }
         _ => {}
     }
@@ -915,15 +1040,40 @@ fn register_conn(inner: &Inner, conn: &mut ReactorConn, agent: u32, resume: bool
     conn.outbox.push_msg(&ControlMessage::RegisterAck {
         agent,
         next_seq,
-        window: inner.cfg.upload_window.max(1),
+        window: effective_window(inner),
     });
     conn.outbox.push_msg(&ControlMessage::ConfigPush(config));
+}
+
+/// The upload window to grant right now: the configured window, shrunk
+/// linearly as the merge queue fills (down to 1 at the limit).  Granted at
+/// registration and re-stated in every `ChunkAck`, so overload feedback
+/// reaches agents at ack cadence without any new protocol surface.
+fn effective_window(inner: &Inner) -> u32 {
+    let full = inner.cfg.upload_window.max(1);
+    let limit = inner.cfg.merge_queue_limit;
+    if limit == 0 {
+        return full;
+    }
+    let depth = inner.merge_depth.load(Ordering::SeqCst).min(limit);
+    let scaled = ((u64::from(full) * (limit - depth) as u64) / limit as u64).max(1) as u32;
+    if scaled < full {
+        inner.metrics.lock().window_shrinks += 1;
+    }
+    scaled
 }
 
 /// Connection teardown bookkeeping: close out the registration if the
 /// connection still owns it, credit uptime, latch a clean goodbye.
 fn close_conn(inner: &Inner, conn: ReactorConn) {
     inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+    match conn.close {
+        Some(CloseReason::HandshakeTimeout) => inner.metrics.lock().handshake_timeouts += 1,
+        Some(CloseReason::IdleTimeout) => inner.metrics.lock().idle_reaped += 1,
+        Some(CloseReason::SlowLoris) => inner.metrics.lock().slow_loris_reaped += 1,
+        Some(CloseReason::Protocol) => inner.metrics.lock().protocol_violations += 1,
+        _ => {}
+    }
     let Some(i) = conn.agent else { return };
     let clean_goodbye = conn.close == Some(CloseReason::Goodbye);
     let now = Instant::now();
@@ -1014,6 +1164,9 @@ fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
         }
         match msg {
             MergeMsg::Chunk { agent, seq, chunk, payload, outbox } => {
+                if inner.cfg.merge_stall_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(inner.cfg.merge_stall_ms));
+                }
                 inner.merge_depth.fetch_sub(1, Ordering::SeqCst);
                 let expected = inner.slots.lock()[agent].expected_seq;
                 if seq < expected {
@@ -1040,7 +1193,16 @@ fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
                     match wal.spool.append(wseq, &payload) {
                         Ok(()) => wal.next_seq += 1,
                         Err(e) => {
-                            eprintln!("[daemon] WAL append failed for agent {agent} seq {seq}: {e}")
+                            // Degraded disk: the chunk is neither merged
+                            // nor acked — the frontier stays put and the
+                            // agent re-sends, so `acked ⇒ durable` holds
+                            // even while the WAL is refusing writes.
+                            drop(wal);
+                            inner.metrics.lock().wal_append_failures += 1;
+                            eprintln!(
+                                "[daemon] WAL append failed for agent {agent} seq {seq}: {e}"
+                            );
+                            continue;
                         }
                     }
                 }
@@ -1091,7 +1253,10 @@ fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
             let m = &mut metrics.agents[agent];
             m.frontier_lag_peak = m.frontier_lag_peak.max(lag);
         }
-        outbox.push_msg(&ControlMessage::ChunkAck { next_seq: frontier });
+        outbox.push_msg(&ControlMessage::ChunkAck {
+            next_seq: frontier,
+            window: effective_window(inner),
+        });
     }
     for (outbox, want) in replies.retries {
         outbox.push_msg(&ControlMessage::ChunkRetry { seq: want });
@@ -1141,8 +1306,15 @@ fn maybe_checkpoint(inner: &Inner) {
         }
         *last = now;
     }
-    if let Err(e) = save_checkpoint(&d.opts.dir, &build_checkpoint(inner)) {
-        eprintln!("[daemon] checkpoint write failed: {e}");
+    let faults = inner.cfg.checkpoint_faults.clone().unwrap_or_default();
+    if let Err(e) = save_checkpoint_with(&d.opts.dir, &build_checkpoint(inner), &faults) {
+        // The snapshot on disk is now stale relative to what this daemon
+        // knows.  Quarantine it: recovery then derives everything from the
+        // WAL (which is authoritative for the measurement) instead of
+        // resurrecting supervision state the daemon failed to keep fresh.
+        inner.metrics.lock().checkpoint_failures += 1;
+        let _ = quarantine_checkpoint(&d.opts.dir);
+        eprintln!("[daemon] checkpoint write failed (snapshot quarantined): {e}");
     }
 }
 
@@ -1207,9 +1379,7 @@ fn supervision_tick(inner: &Arc<Inner>) {
         let launch = {
             let mut slots = inner.slots.lock();
             let slot = &mut slots[i];
-            if slot.goodbye || slot.registered {
-                None
-            } else if slot.next_launch_at.is_some_and(|t| now < t) {
+            if slot.goodbye || slot.registered || slot.next_launch_at.is_some_and(|t| now < t) {
                 None
             } else {
                 // The unified policy paces the schedule and spends the

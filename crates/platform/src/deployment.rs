@@ -22,9 +22,11 @@ use netsim::rng::stream_seed;
 use netsim::SimTime;
 use parking_lot::Mutex;
 
-use crate::agent::{run_agent, AgentExit};
+use crate::agent::{run_agent_with, AgentExit, AgentOptions};
 use crate::daemon::{Daemon, DaemonConfig};
+use crate::diskfault::DiskFaults;
 use crate::fault::FaultPlan;
+use crate::impair::ImpairPlan;
 use crate::journal::{measurement_diff, ChunkJournal};
 use crate::messages::AgentConfig;
 use crate::metrics::PlatformMetrics;
@@ -36,12 +38,23 @@ pub struct LoopbackSpec {
     pub files: FileStrategy,
     /// Scripted misbehaviour for this agent (default: none).
     pub fault: FaultPlan,
+    /// Deterministic link impairment on this agent's control connection
+    /// (default: none — a transparent link).
+    pub impair: Option<ImpairPlan>,
+    /// Injectable spool write faults for this agent (default: none).
+    pub spool_faults: Option<DiskFaults>,
 }
 
 impl LoopbackSpec {
     /// A well-behaved agent with a fixed advertise list.
     pub fn fixed(content: ContentStrategy, files: FileStrategy) -> Self {
-        LoopbackSpec { content, files, fault: FaultPlan::default() }
+        LoopbackSpec {
+            content,
+            files,
+            fault: FaultPlan::default(),
+            impair: None,
+            spool_faults: None,
+        }
     }
 }
 
@@ -79,7 +92,9 @@ pub struct LoopbackDeployment {
     hp_specs: Vec<HoneypotSpec>,
     /// Retained for daemon recovery after a simulated crash.
     configs: Vec<AgentConfig>,
-    faults: Vec<FaultPlan>,
+    /// Per-agent robustness knobs (fault plan, impairment, disk faults);
+    /// `spool_dir` is filled in per launch from [`LoopbackOptions`].
+    knobs: Vec<AgentOptions>,
     opts: LoopbackOptions,
 }
 
@@ -115,11 +130,19 @@ impl LoopbackDeployment {
             .collect();
 
         let journal = ChunkJournal::new();
-        let faults: Vec<FaultPlan> = specs.iter().map(|s| s.fault.clone()).collect();
+        let knobs: Vec<AgentOptions> = specs
+            .iter()
+            .map(|s| AgentOptions {
+                fault: s.fault.clone(),
+                spool_dir: None,
+                impair: s.impair.clone(),
+                spool_faults: s.spool_faults.clone(),
+            })
+            .collect();
         let handles: Arc<Mutex<Vec<JoinHandle<AgentExit>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let launcher =
-            make_launcher(journal.clone(), handles.clone(), faults.clone(), opts.spool_dir.clone());
+            make_launcher(journal.clone(), handles.clone(), knobs.clone(), opts.spool_dir.clone());
         let daemon = Daemon::start(opts.daemon.clone(), configs.clone(), launcher)?;
         Ok(LoopbackDeployment {
             server: Some(server),
@@ -128,7 +151,7 @@ impl LoopbackDeployment {
             handles,
             hp_specs,
             configs,
-            faults,
+            knobs,
             opts,
         })
     }
@@ -158,7 +181,7 @@ impl LoopbackDeployment {
         let launcher = make_launcher(
             self.journal.clone(),
             self.handles.clone(),
-            self.faults.clone(),
+            self.knobs.clone(),
             self.opts.spool_dir.clone(),
         );
         self.daemon =
@@ -253,19 +276,20 @@ impl LoopbackDeployment {
 
 /// Builds the supervised-launch closure shared by a fresh start and a
 /// post-crash recovery: every (re)launch runs one agent thread wired to
-/// the shared journal, its fault plan and (optionally) its spool dir.
+/// the shared journal, its robustness knobs (fault plan, link impairment,
+/// spool faults) and (optionally) its spool dir.
 fn make_launcher(
     journal: ChunkJournal,
     handles: Arc<Mutex<Vec<JoinHandle<AgentExit>>>>,
-    faults: Vec<FaultPlan>,
+    knobs: Vec<AgentOptions>,
     spool_dir: Option<PathBuf>,
 ) -> crate::daemon::Launcher {
     Box::new(move |agent: u32, incarnation: u32, addr: SocketAddr| {
-        let fault = faults[agent as usize].clone();
+        let mut opts = knobs[agent as usize].clone();
+        opts.spool_dir = spool_dir.as_ref().map(|d| d.join(format!("agent-{agent}")));
         let journal = journal.clone();
-        let spool = spool_dir.as_ref().map(|d| d.join(format!("agent-{agent}")));
         let handle =
-            std::thread::spawn(move || run_agent(addr, agent, incarnation, fault, journal, spool));
+            std::thread::spawn(move || run_agent_with(addr, agent, incarnation, journal, opts));
         handles.lock().push(handle);
     })
 }

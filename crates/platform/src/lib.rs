@@ -38,26 +38,46 @@
 //! resend) now shares.  The contract: an acknowledged chunk is always
 //! recoverable, a crashed side replays exactly what was lost, and no
 //! chunk is ever merged twice.
+//!
+//! The adversarial fault model (PR 9) adds degraded-but-alive failure
+//! modes on top: [`impair`] is a deterministic seeded link-damage shim
+//! (loss as retransmission stalls, duplication, reordering, delay,
+//! jitter, rate caps, partitions — same seed, same byte timeline)
+//! installed on both the blocking [`conn`] and nonblocking [`reactor`]
+//! socket paths; [`diskfault`] is the injectable write-fault handle
+//! (ENOSPC / EIO / short write) the spool, WAL and checkpoint writers
+//! consult so disk death degrades the measurement visibly instead of
+//! corrupting it; [`transport`] is the shared socket-error
+//! classification both paths agree on.  The daemon hardens itself
+//! against hostile peers (handshake/idle/slow-loris deadlines, frame
+//! caps, merge-queue shedding with window shrink), and every
+//! degradation surfaces as a named [`metrics`] counter.  DESIGN.md §3h
+//! tabulates the full fault grid; `tests/chaos_matrix.rs` drives it.
 
 pub mod agent;
 pub mod checkpoint;
 pub mod conn;
 pub mod daemon;
 pub mod deployment;
+pub mod diskfault;
 pub mod fault;
+pub mod impair;
 pub mod journal;
 pub mod messages;
 pub mod metrics;
 pub(crate) mod reactor;
 pub mod retry;
 pub mod spool;
+pub mod transport;
 
-pub use agent::{run_agent, AgentExit};
+pub use agent::{run_agent, run_agent_with, AgentExit, AgentOptions};
 pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointOptions, ManagerCheckpoint};
 pub use conn::{ConnError, ConnEvent, ControlConn};
 pub use daemon::{Daemon, DaemonConfig, Launcher};
 pub use deployment::{LoopbackDeployment, LoopbackOptions, LoopbackOutcome, LoopbackSpec};
+pub use diskfault::{DiskFaultKind, DiskFaults};
 pub use fault::{FaultPlan, FaultState};
+pub use impair::{ImpairPlan, ImpairStats, ImpairedLink, Partition};
 pub use journal::{measurement_diff, ChunkJournal};
 pub use messages::{AgentConfig, ControlMessage};
 pub use metrics::{AgentMetrics, PlatformMetrics, RttStats};

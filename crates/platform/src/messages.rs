@@ -43,6 +43,13 @@ pub struct AgentConfig {
     pub client_name: String,
 }
 
+/// Bit meanings of the [`ControlMessage::Heartbeat`] `flags` byte.
+pub mod heartbeat_flags {
+    /// The agent's durable spool is failing writes; uploads continue from
+    /// memory only (a crash now loses the in-memory window).
+    pub const SPOOL_DEGRADED: u8 = 1 << 0;
+}
+
 /// A typed control-plane message (one per control opcode).
 #[derive(Clone, Debug, PartialEq)]
 pub enum ControlMessage {
@@ -61,8 +68,10 @@ pub enum ControlMessage {
     /// Manager → agent: full honeypot configuration.
     ConfigPush(AgentConfig),
     /// Agent → manager: liveness beacon.  `rtt_micros` piggybacks the RTT
-    /// measured from the previous ack (0 = no sample yet).
-    Heartbeat { agent: u32, seq: u64, sent_micros: u64, rtt_micros: u64 },
+    /// measured from the previous ack (0 = no sample yet); `flags` carries
+    /// degraded-mode bits ([`heartbeat_flags`]) so agent-side disk trouble
+    /// is visible in the platform metrics, not just in the agent's stderr.
+    Heartbeat { agent: u32, seq: u64, sent_micros: u64, rtt_micros: u64, flags: u8 },
     /// Manager → agent: echoes the heartbeat's send timestamp.
     HeartbeatAck { seq: u64, echo_micros: u64 },
     /// Agent → manager: honeypot status change.
@@ -73,8 +82,12 @@ pub enum ControlMessage {
     LogUpload { agent: u32, seq: u64, chunk: LogChunk },
     /// Manager → agent: cumulative acknowledgement — every chunk with
     /// sequence `< next_seq` is merged and durable; the agent trims its
-    /// window and spool up to that frontier.
-    ChunkAck { next_seq: u64 },
+    /// window and spool up to that frontier.  `window` is the manager's
+    /// *current* in-flight grant: under merge-queue pressure the daemon
+    /// shrinks it below the registration grant (overload shedding through
+    /// the existing ack path, no new message), and the agent must adopt
+    /// it before filling the window again.
+    ChunkAck { next_seq: u64, window: u32 },
     /// Manager → agent: re-send everything starting at `seq` (corrupt
     /// frame or a hole in the pipelined window; go-back-N).
     ChunkRetry { seq: u64 },
@@ -122,11 +135,12 @@ impl ControlMessage {
                 w.u32(*window);
             }
             ControlMessage::ConfigPush(cfg) => put_config(&mut w, cfg),
-            ControlMessage::Heartbeat { agent, seq, sent_micros, rtt_micros } => {
+            ControlMessage::Heartbeat { agent, seq, sent_micros, rtt_micros, flags } => {
                 w.u32(*agent);
                 w.u64(*seq);
                 w.u64(*sent_micros);
                 w.u64(*rtt_micros);
+                w.u8(*flags);
             }
             ControlMessage::HeartbeatAck { seq, echo_micros } => {
                 w.u64(*seq);
@@ -142,7 +156,10 @@ impl ControlMessage {
                 w.u64(*seq);
                 put_chunk(&mut w, chunk);
             }
-            ControlMessage::ChunkAck { next_seq } => w.u64(*next_seq),
+            ControlMessage::ChunkAck { next_seq, window } => {
+                w.u64(*next_seq);
+                w.u32(*window);
+            }
             ControlMessage::ChunkRetry { seq } => w.u64(*seq),
             ControlMessage::Relaunch | ControlMessage::Shutdown => {}
             ControlMessage::Goodbye { agent, final_seq } => {
@@ -178,6 +195,7 @@ impl ControlMessage {
                 seq: r.u64()?,
                 sent_micros: r.u64()?,
                 rtt_micros: r.u64()?,
+                flags: r.u8()?,
             },
             opcodes::HEARTBEAT_ACK => {
                 ControlMessage::HeartbeatAck { seq: r.u64()?, echo_micros: r.u64()? }
@@ -190,7 +208,7 @@ impl ControlMessage {
                 let chunk = get_chunk(&mut r)?;
                 ControlMessage::LogUpload { agent, seq, chunk }
             }
-            opcodes::CHUNK_ACK => ControlMessage::ChunkAck { next_seq: r.u64()? },
+            opcodes::CHUNK_ACK => ControlMessage::ChunkAck { next_seq: r.u64()?, window: r.u32()? },
             opcodes::CHUNK_RETRY => ControlMessage::ChunkRetry { seq: r.u64()? },
             opcodes::RELAUNCH => ControlMessage::Relaunch,
             opcodes::SHUTDOWN => ControlMessage::Shutdown,
@@ -572,10 +590,16 @@ mod tests {
         for msg in [
             ControlMessage::Register { agent: 3, incarnation: 2, resume: true },
             ControlMessage::RegisterAck { agent: 3, next_seq: 17, window: 32 },
-            ControlMessage::Heartbeat { agent: 1, seq: 9, sent_micros: 55, rtt_micros: 120 },
+            ControlMessage::Heartbeat {
+                agent: 1,
+                seq: 9,
+                sent_micros: 55,
+                rtt_micros: 120,
+                flags: heartbeat_flags::SPOOL_DEGRADED,
+            },
             ControlMessage::HeartbeatAck { seq: 9, echo_micros: 55 },
             ControlMessage::Ready { agent: 0, peer_port: 40123 },
-            ControlMessage::ChunkAck { next_seq: 4 },
+            ControlMessage::ChunkAck { next_seq: 4, window: 9 },
             ControlMessage::ChunkRetry { seq: 4 },
             ControlMessage::Relaunch,
             ControlMessage::Shutdown,
@@ -651,7 +675,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut payload = ControlMessage::ChunkAck { next_seq: 1 }.encode_payload();
+        let mut payload = ControlMessage::ChunkAck { next_seq: 1, window: 4 }.encode_payload();
         payload.push(0);
         assert!(matches!(
             ControlMessage::decode(opcodes::CHUNK_ACK, &payload),

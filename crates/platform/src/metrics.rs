@@ -31,11 +31,7 @@ impl RttStats {
 
     /// Mean RTT in microseconds (0 with no samples).
     pub fn mean_micros(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_micros / self.count
-        }
+        self.sum_micros.checked_div(self.count).unwrap_or(0)
     }
 
     /// Folds another sample set into this one (used to pool per-shard
@@ -89,6 +85,9 @@ pub struct AgentMetrics {
     /// Peak cumulative-ack frontier lag: highest enqueued sequence + 1
     /// minus the merge frontier, sampled when acks are issued.
     pub frontier_lag_peak: u64,
+    /// Heartbeats that arrived with the spool-degraded flag set (the
+    /// agent is uploading from memory because its disk is failing).
+    pub degraded_heartbeats: u64,
     /// Inclusive, disjoint, sorted ranges of merged upload sequences.
     /// This is the exactly-once ledger: [`AgentMetrics::note_merged`]
     /// refuses a sequence already covered, so `chunks_merged` equal to
@@ -146,6 +145,31 @@ pub struct PlatformMetrics {
     pub connections_rejected: u64,
     /// Peak concurrent control connections.
     pub connections_peak: u64,
+    /// Connections reaped because no `Register` arrived in time.
+    pub handshake_timeouts: u64,
+    /// Registered connections reaped for silence past the idle limit.
+    pub idle_reaped: u64,
+    /// Connections reaped for dangling a partial frame past the
+    /// slow-loris read budget.
+    pub slow_loris_reaped: u64,
+    /// Connections dropped for fatal framing violations (bad magic or
+    /// version, oversized frame).
+    pub protocol_violations: u64,
+    /// Accept-loop failures classified as resource exhaustion (the loop
+    /// backed off instead of spinning).
+    pub accept_resource_errors: u64,
+    /// Chunks dropped unqueued because the merge queue was at its limit
+    /// (the agent re-sends them under backoff).
+    pub chunks_shed: u64,
+    /// Acks issued with a window smaller than the registration grant
+    /// (merge-queue backpressure in action).
+    pub window_shrinks: u64,
+    /// WAL appends that failed: the chunk was neither merged nor acked
+    /// (the acked ⇒ durable contract held by refusing the ack).
+    pub wal_append_failures: u64,
+    /// Checkpoint snapshot writes that failed; the stale on-disk snapshot
+    /// is quarantined and the daemon keeps serving from the chunk WAL.
+    pub checkpoint_failures: u64,
 }
 
 impl PlatformMetrics {
@@ -179,6 +203,10 @@ impl PlatformMetrics {
 
     pub fn total_duplicate_chunks(&self) -> u64 {
         self.agents.iter().map(|a| a.duplicate_chunks).sum()
+    }
+
+    pub fn total_degraded_heartbeats(&self) -> u64 {
+        self.agents.iter().map(|a| a.degraded_heartbeats).sum()
     }
 
     /// Largest upload window any agent filled.
@@ -246,6 +274,19 @@ impl PlatformMetrics {
         out.push_str(&format!("  \"merge_queue_peak\": {},\n", self.merge_queue_peak));
         out.push_str(&format!("  \"connections_rejected\": {},\n", self.connections_rejected));
         out.push_str(&format!("  \"connections_peak\": {},\n", self.connections_peak));
+        out.push_str(&format!("  \"handshake_timeouts\": {},\n", self.handshake_timeouts));
+        out.push_str(&format!("  \"idle_reaped\": {},\n", self.idle_reaped));
+        out.push_str(&format!("  \"slow_loris_reaped\": {},\n", self.slow_loris_reaped));
+        out.push_str(&format!("  \"protocol_violations\": {},\n", self.protocol_violations));
+        out.push_str(&format!("  \"accept_resource_errors\": {},\n", self.accept_resource_errors));
+        out.push_str(&format!("  \"chunks_shed\": {},\n", self.chunks_shed));
+        out.push_str(&format!("  \"window_shrinks\": {},\n", self.window_shrinks));
+        out.push_str(&format!("  \"wal_append_failures\": {},\n", self.wal_append_failures));
+        out.push_str(&format!("  \"checkpoint_failures\": {},\n", self.checkpoint_failures));
+        out.push_str(&format!(
+            "  \"degraded_heartbeats\": {},\n",
+            self.total_degraded_heartbeats()
+        ));
         out.push_str(&format!(
             "  \"reactor_loop_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
             self.reactor_loop_micros.count,

@@ -19,7 +19,12 @@
 //! * [`ReactorConn`] — one non-blocking connection: the stream, its
 //!   incremental frame decoder and its outbox, plus the registration
 //!   state the shard needs (which agent the connection authenticated as,
-//!   and when it must have registered by).
+//!   when it must have registered by, when it last spoke, and how long a
+//!   partial frame has been dangling — the hostile-peer reaping inputs).
+//!
+//! A connection may carry a link-impairment shim ([`crate::impair`]): the
+//! socket's bytes pass through an inbound [`ImpairedLink`] before the
+//! decoder, and outbox bytes through an outbound one before the socket.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -29,7 +34,9 @@ use std::time::Instant;
 use edonkey_proto::control::{ControlDecoder, ControlEvent};
 use parking_lot::Mutex;
 
+use crate::impair::{ImpairPlan, ImpairedLink};
 use crate::messages::ControlMessage;
+use crate::transport::would_block;
 
 /// Upper bound on bytes read per connection per loop pass, so one
 /// firehosing agent cannot monopolise its shard.
@@ -56,6 +63,12 @@ impl Outbox {
     /// Bytes waiting to be written.
     pub(crate) fn pending(&self) -> usize {
         self.buf.lock().len()
+    }
+
+    /// Takes the whole queue (the impaired write path moves it into the
+    /// link's schedule).
+    pub(crate) fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.buf.lock())
     }
 
     /// Writes as much of the queue as the socket will take right now.
@@ -96,6 +109,12 @@ pub(crate) enum CloseReason {
     Goodbye,
     /// No `Register` arrived within the handshake deadline.
     HandshakeTimeout,
+    /// A registered connection went silent past the idle limit.
+    IdleTimeout,
+    /// A partial frame dangled past the slow-loris read budget.
+    SlowLoris,
+    /// Fatal framing violation: bad magic/version or an oversized frame.
+    Protocol,
 }
 
 /// One non-blocking connection owned by a reactor shard.
@@ -107,9 +126,18 @@ pub(crate) struct ReactorConn {
     pub(crate) agent: Option<usize>,
     /// Registration deadline for connections that have not authenticated.
     pub(crate) opened: Instant,
+    /// Last instant the socket yielded bytes (idle reaping input).
+    pub(crate) last_read: Instant,
+    /// Since when the decoder has held an incomplete frame (slow-loris
+    /// reaping input); `None` while the stream sits at a frame boundary.
+    pub(crate) partial_since: Option<Instant>,
     /// Close decision taken during event processing; the shard reaps the
     /// connection (with bookkeeping) at the end of the pass.
     pub(crate) close: Option<CloseReason>,
+    in_link: Option<ImpairedLink>,
+    out_link: Option<ImpairedLink>,
+    /// Due-but-unwritten impaired bytes (socket would block).
+    out_staged: Vec<u8>,
 }
 
 impl ReactorConn {
@@ -123,8 +151,27 @@ impl ReactorConn {
             outbox: Outbox::new(),
             agent: None,
             opened: Instant::now(),
+            last_read: Instant::now(),
+            partial_since: None,
             close: None,
+            in_link: None,
+            out_link: None,
+            out_staged: Vec::new(),
         })
+    }
+
+    /// Installs the daemon-side impairment shim (stream id is typically a
+    /// per-daemon connection counter).
+    pub(crate) fn set_impair(&mut self, plan: &ImpairPlan, stream_id: u64) {
+        if plan.is_transparent() {
+            return;
+        }
+        self.in_link = Some(ImpairedLink::new(plan, stream_id * 2));
+        self.out_link = Some(ImpairedLink::new(plan, stream_id * 2 + 1));
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.opened.elapsed().as_millis() as u64
     }
 
     /// Reads whatever the socket has (up to the per-pass budget), feeds
@@ -138,15 +185,23 @@ impl ReactorConn {
     ) -> bool {
         let mut total = 0usize;
         let mut activity = false;
+        let mut peer_closed = false;
         loop {
             match self.stream.read(scratch) {
                 Ok(0) => {
-                    self.close = Some(CloseReason::Gone);
+                    peer_closed = true;
                     break;
                 }
                 Ok(n) => {
-                    self.decoder.feed(&scratch[..n]);
+                    match &mut self.in_link {
+                        None => self.decoder.feed(&scratch[..n]),
+                        Some(link) => {
+                            let now = self.opened.elapsed().as_millis() as u64;
+                            link.admit(now, &scratch[..n]);
+                        }
+                    }
                     activity = true;
+                    self.last_read = Instant::now();
                     total += n;
                     if total >= READ_BUDGET {
                         break;
@@ -155,10 +210,23 @@ impl ReactorConn {
                 Err(e) if would_block(&e) => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.close = Some(CloseReason::Gone);
+                    peer_closed = true;
                     break;
                 }
             }
+        }
+        // Release inbound bytes whose impaired delivery time has come (all
+        // of them once the peer hung up: they were already on the wire).
+        if let Some(link) = &mut self.in_link {
+            let now = if peer_closed { u64::MAX } else { self.opened.elapsed().as_millis() as u64 };
+            let mut due = Vec::new();
+            link.due(now, &mut due);
+            if !due.is_empty() {
+                self.decoder.feed(&due);
+            }
+        }
+        if peer_closed {
+            self.close = Some(CloseReason::Gone);
         }
         loop {
             match self.decoder.next_event() {
@@ -167,27 +235,70 @@ impl ReactorConn {
                 Err(_) => {
                     // Bad magic/version or an oversized frame: the stream
                     // can never resynchronise — drop the connection.
-                    self.close = Some(CloseReason::Gone);
+                    self.close = Some(CloseReason::Protocol);
                     break;
                 }
             }
+        }
+        // Slow-loris bookkeeping: an incomplete frame parked in the
+        // decoder starts (or continues) the partial-frame clock.
+        if self.decoder.buffered() > 0 {
+            if self.partial_since.is_none() {
+                self.partial_since = Some(Instant::now());
+            }
+        } else {
+            self.partial_since = None;
         }
         activity
     }
 
     /// Flushes the outbox; a dead socket marks the connection for close.
     pub(crate) fn flush(&mut self) {
-        if self.close.is_some() || self.outbox.pending() == 0 {
+        if self.close.is_some() {
             return;
         }
-        if self.outbox.flush(&mut self.stream).is_err() {
-            self.close = Some(CloseReason::Gone);
+        if self.out_link.is_none() {
+            if self.outbox.pending() == 0 {
+                return;
+            }
+            if self.outbox.flush(&mut self.stream).is_err() {
+                self.close = Some(CloseReason::Gone);
+            }
+            return;
         }
+        // Impaired path: outbox → link schedule → staging → socket.
+        let now = self.now_ms();
+        let link = self.out_link.as_mut().expect("checked above");
+        let queued = self.outbox.take();
+        if !queued.is_empty() {
+            link.admit(now, &queued);
+        }
+        link.due(now, &mut self.out_staged);
+        let mut written = 0usize;
+        while written < self.out_staged.len() {
+            match self.stream.write(&self.out_staged[written..]) {
+                Ok(0) => {
+                    self.close = Some(CloseReason::Gone);
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if would_block(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close = Some(CloseReason::Gone);
+                    break;
+                }
+            }
+        }
+        self.out_staged.drain(..written);
     }
-}
 
-fn would_block(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+    /// Outbound bytes not yet on the wire: queued, scheduled, or staged.
+    pub(crate) fn pending_out(&self) -> usize {
+        self.outbox.pending()
+            + self.out_staged.len()
+            + self.out_link.as_ref().map_or(0, |l| l.pending_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -206,10 +317,10 @@ mod tests {
 
         // Enqueue far more than the socket buffers hold.
         let outbox = Outbox::new();
-        let frame = ControlMessage::ChunkAck { next_seq: 7 }.encode_frame();
+        let frame = ControlMessage::ChunkAck { next_seq: 7, window: 32 }.encode_frame();
         let rounds = (8 << 20) / frame.len();
         for _ in 0..rounds {
-            outbox.push_msg(&ControlMessage::ChunkAck { next_seq: 7 });
+            outbox.push_msg(&ControlMessage::ChunkAck { next_seq: 7, window: 32 });
         }
         let total = outbox.pending();
 
@@ -270,5 +381,73 @@ mod tests {
             conn.read_events(&mut scratch, &mut events);
         }
         assert_eq!(conn.close, Some(CloseReason::Gone));
+    }
+
+    #[test]
+    fn partial_frame_starts_the_slow_loris_clock() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        let mut conn = ReactorConn::adopt(rx).unwrap();
+
+        let frame = ControlMessage::Relaunch.encode_frame();
+        let mut events = Vec::new();
+        let mut scratch = vec![0u8; 4096];
+        // A dribbled header byte: the partial clock must start…
+        tx.write_all(&frame[..3]).unwrap();
+        tx.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conn.partial_since.is_none() && Instant::now() < deadline {
+            conn.read_events(&mut scratch, &mut events);
+        }
+        assert!(conn.partial_since.is_some(), "dangling partial frame not noticed");
+        assert!(events.is_empty());
+        // …and clear once the frame completes.
+        tx.write_all(&frame[3..]).unwrap();
+        tx.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while events.is_empty() && Instant::now() < deadline {
+            conn.read_events(&mut scratch, &mut events);
+        }
+        assert!(conn.partial_since.is_none(), "completed frame must stop the clock");
+    }
+
+    #[test]
+    fn impaired_reactor_conn_delivers_intact_frames_late() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        let mut conn = ReactorConn::adopt(rx).unwrap();
+        conn.set_impair(&ImpairPlan { delay_ms: 30, ..ImpairPlan::clean(5) }, 0);
+
+        tx.write_all(&ControlMessage::Shutdown.encode_frame()).unwrap();
+        tx.flush().unwrap();
+        let mut events = Vec::new();
+        let mut scratch = vec![0u8; 4096];
+        let started = Instant::now();
+        let deadline = started + Duration::from_secs(5);
+        while events.is_empty() && Instant::now() < deadline {
+            conn.read_events(&mut scratch, &mut events);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            matches!(&events[0], ControlEvent::Frame(f) if f.opcode == edonkey_proto::control::opcodes::SHUTDOWN)
+        );
+        assert!(started.elapsed() >= Duration::from_millis(25), "30 ms delay plan arrived early");
+
+        // Outbound: enqueue, then flush until the shim releases it.
+        conn.outbox.push_msg(&ControlMessage::Relaunch);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conn.pending_out() > 0 && Instant::now() < deadline {
+            conn.flush();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(conn.pending_out(), 0);
+        tx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = vec![0u8; 64];
+        let n = tx.read(&mut got).unwrap();
+        assert_eq!(&got[..n], &ControlMessage::Relaunch.encode_frame()[..]);
     }
 }

@@ -47,6 +47,13 @@ impl RetryPolicy {
         RetryPolicy { base_ms: 400, cap_ms: 1000, max_attempts: None }
     }
 
+    /// Disk-retry schedule for a spool whose writes started failing: a few
+    /// quick attempts (transient ENOSPC clears fast when logs rotate), then
+    /// give up and degrade to in-memory buffering rather than block upload.
+    pub fn disk() -> Self {
+        RetryPolicy { base_ms: 50, cap_ms: 400, max_attempts: Some(4) }
+    }
+
     /// Raw backoff for attempt `n` (1-based), before jitter: `base << (n-1)`,
     /// shift saturated at 16, capped at `cap_ms`.  Mirrors the PR 3 daemon
     /// formula exactly so relaunch pacing is unchanged.

@@ -34,6 +34,8 @@ use std::time::{Duration, Instant};
 
 use edonkey_proto::control::crc32;
 
+use crate::diskfault::{DiskFaultKind, DiskFaults};
+
 /// First byte of every spool record.
 pub const SPOOL_MAGIC: u8 = 0xD5;
 /// Upper bound on a record payload; anything larger is corruption.
@@ -82,6 +84,10 @@ pub struct Spool {
     unacked: Vec<SpoolRecord>,
     writer: Option<File>,
     locked: bool,
+    faults: DiskFaults,
+    /// Set when an injected short write left a half-record on the tail;
+    /// only a reopen (which truncates the tear) may append again.
+    torn: bool,
 }
 
 impl Spool {
@@ -142,7 +148,23 @@ impl Spool {
             unacked.extend(scan.records);
         }
 
-        Ok(Spool { dir, cfg, segments, unacked, writer: None, locked })
+        Ok(Spool {
+            dir,
+            cfg,
+            segments,
+            unacked,
+            writer: None,
+            locked,
+            faults: DiskFaults::none(),
+            torn: false,
+        })
+    }
+
+    /// Attaches a shared write-fault injector; every subsequent `append`
+    /// consults it.  Used by the chaos harness to model a full or failing
+    /// disk without touching the real filesystem.
+    pub fn set_faults(&mut self, faults: DiskFaults) {
+        self.faults = faults;
     }
 
     /// The spool directory.
@@ -194,6 +216,25 @@ impl Spool {
             }
         }
         let writer = self.writer.as_mut().expect("active segment writer");
+        if self.torn {
+            return Err(io::Error::other(
+                "spool tail torn by earlier failed write; reopen to repair",
+            ));
+        }
+        if let Some(kind) = self.faults.check() {
+            if kind == DiskFaultKind::ShortWrite {
+                // Model a torn write: a prefix of the record reaches the
+                // disk before the failure.  The bytes still occupy the
+                // segment (rotation math must see them); only a reopen
+                // scan repairs the tail, so refuse further appends.
+                let cut = record.len() / 2;
+                let _ = writer.write_all(&record[..cut]);
+                let seg = self.segments.last_mut().expect("active segment");
+                seg.bytes += cut as u64;
+                self.torn = true;
+            }
+            return Err(kind.to_error());
+        }
         writer.write_all(&record)?;
         let seg = self.segments.last_mut().expect("active segment");
         seg.bytes += record.len() as u64;
@@ -515,6 +556,49 @@ mod tests {
             drop(spool);
             fs::write(&seg, &full).unwrap();
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_enospc_writes_nothing_and_clears() {
+        let dir = tmpdir("enospc");
+        let faults = DiskFaults::none();
+        let mut spool = Spool::open(&dir).unwrap();
+        spool.set_faults(faults.clone());
+        spool.append(0, &payload(0)).unwrap();
+        faults.inject(DiskFaultKind::Enospc, Some(2));
+        assert!(spool.append(1, &payload(1)).is_err());
+        assert!(spool.append(1, &payload(1)).is_err());
+        assert_eq!(faults.injected(), 2);
+        // The fault burst is spent; the same seq retries cleanly and the
+        // failed attempts left no bytes behind.
+        spool.append(1, &payload(1)).unwrap();
+        drop(spool);
+        let spool = Spool::open(&dir).unwrap();
+        let seqs: Vec<u64> = spool.unacked().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        drop(spool);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_short_write_tears_the_tail_and_reopen_repairs() {
+        let dir = tmpdir("shortwrite");
+        let faults = DiskFaults::none();
+        let mut spool = Spool::open(&dir).unwrap();
+        spool.set_faults(faults.clone());
+        spool.append(0, &payload(0)).unwrap();
+        faults.inject(DiskFaultKind::ShortWrite, Some(1));
+        assert!(spool.append(1, &payload(1)).is_err());
+        // The tail now holds half a record; appends stay refused until a
+        // reopen truncates the tear.
+        assert!(spool.append(2, &payload(2)).is_err());
+        drop(spool);
+        let mut spool = Spool::open(&dir).unwrap();
+        let seqs: Vec<u64> = spool.unacked().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0], "torn record must not replay");
+        spool.append(1, &payload(1)).unwrap();
+        drop(spool);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,72 @@
+//! Shared socket-error classification for the control plane.
+//!
+//! PR 6 left two identical `would_block`/`is_timeout` helpers in `conn.rs`
+//! and `reactor.rs`, and the daemon's accept loop treated *every* accept
+//! error as a reason to back off.  This module is the single place that
+//! interprets `io::Error` for the transport layer:
+//!
+//! * [`would_block`] — "no data right now" on a non-blocking or
+//!   read-timeout socket (`WouldBlock` / `TimedOut`).
+//! * [`classify_accept`] — accept-loop triage: per-connection failures
+//!   that name a socket which is already gone are *transient* (keep
+//!   accepting at full speed), while resource exhaustion (out of file
+//!   descriptors, out of memory) is *resource* pressure that the loop
+//!   should back off from instead of spinning on.
+
+use std::io;
+
+/// Would a retry of the same read/write make progress later?  True for the
+/// two kinds a non-blocking (or read-timeout) socket reports when there is
+/// simply nothing to do yet.
+pub fn would_block(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Accept-loop error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptError {
+    /// The pending connection died before we picked it up (ECONNABORTED,
+    /// ECONNRESET, EINTR…).  Nothing is wrong with the listener — accept
+    /// again immediately.
+    Transient,
+    /// The process or host is out of a resource (EMFILE/ENFILE → file
+    /// descriptors, ENOMEM…).  Accepting again immediately would spin;
+    /// back off and let the reaper free capacity.
+    Resource,
+}
+
+/// Classifies an `accept(2)` failure.  Unknown kinds are treated as
+/// resource pressure — backing off on a surprise is the safe default.
+pub fn classify_accept(e: &io::Error) -> AcceptError {
+    match e.kind() {
+        io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::WouldBlock
+        | io::ErrorKind::TimedOut => AcceptError::Transient,
+        _ => AcceptError::Resource,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn would_block_matches_only_retry_kinds() {
+        assert!(would_block(&io::Error::from(io::ErrorKind::WouldBlock)));
+        assert!(would_block(&io::Error::from(io::ErrorKind::TimedOut)));
+        assert!(!would_block(&io::Error::from(io::ErrorKind::ConnectionReset)));
+        assert!(!would_block(&io::Error::other("boom")));
+    }
+
+    #[test]
+    fn accept_triage_separates_dead_peers_from_fd_exhaustion() {
+        let dead = io::Error::from(io::ErrorKind::ConnectionAborted);
+        assert_eq!(classify_accept(&dead), AcceptError::Transient);
+        let eintr = io::Error::from(io::ErrorKind::Interrupted);
+        assert_eq!(classify_accept(&eintr), AcceptError::Transient);
+        let emfile = io::Error::other("Too many open files");
+        assert_eq!(classify_accept(&emfile), AcceptError::Resource);
+    }
+}

@@ -136,6 +136,19 @@ pub enum ControlEvent {
 /// Decodes exactly one control frame, returning the event and the bytes
 /// consumed.  `Truncated` means "feed more bytes".
 pub fn decode_control_frame(data: &[u8]) -> Result<(ControlEvent, usize), ProtoError> {
+    decode_control_frame_capped(data, MAX_CONTROL_PAYLOAD)
+}
+
+/// [`decode_control_frame`] with a caller-chosen payload cap.  A receiving
+/// endpoint may enforce a limit far below the protocol-wide
+/// [`MAX_CONTROL_PAYLOAD`] (e.g. the daemon caps unregistered connections
+/// so a hostile peer cannot commit it to a 64 MB read); the cap applies to
+/// the header's *declared* length, so an oversized frame is rejected
+/// before any of its payload is buffered for decode.
+pub fn decode_control_frame_capped(
+    data: &[u8],
+    max_payload: u32,
+) -> Result<(ControlEvent, usize), ProtoError> {
     if data.len() < 7 {
         return Err(ProtoError::Truncated("control frame header"));
     }
@@ -148,8 +161,9 @@ pub fn decode_control_frame(data: &[u8]) -> Result<(ControlEvent, usize), ProtoE
     }
     let opcode = data[2];
     let len = u32::from_le_bytes([data[3], data[4], data[5], data[6]]);
-    if len > MAX_CONTROL_PAYLOAD {
-        return Err(ProtoError::OversizedFrame { declared: len, limit: MAX_CONTROL_PAYLOAD });
+    let limit = max_payload.min(MAX_CONTROL_PAYLOAD);
+    if len > limit {
+        return Err(ProtoError::OversizedFrame { declared: len, limit });
     }
     let total = 7 + len as usize + 4;
     if data.len() < total {
@@ -165,15 +179,29 @@ pub fn decode_control_frame(data: &[u8]) -> Result<(ControlEvent, usize), ProtoE
 }
 
 /// Incremental control-frame decoder for byte streams.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ControlDecoder {
     buf: Vec<u8>,
     start: usize,
+    max_payload: u32,
+}
+
+impl Default for ControlDecoder {
+    fn default() -> Self {
+        ControlDecoder { buf: Vec::new(), start: 0, max_payload: MAX_CONTROL_PAYLOAD }
+    }
 }
 
 impl ControlDecoder {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps the payload size this decoder will accept (see
+    /// [`decode_control_frame_capped`]).  Takes effect from the next
+    /// [`Self::next_event`] call.
+    pub fn set_max_payload(&mut self, max_payload: u32) {
+        self.max_payload = max_payload.min(MAX_CONTROL_PAYLOAD);
     }
 
     /// Appends received bytes.
@@ -195,7 +223,7 @@ impl ControlDecoder {
     /// sync.  `Err` is fatal for the connection.
     pub fn next_event(&mut self) -> Result<Option<ControlEvent>, ProtoError> {
         let pending = &self.buf[self.start..];
-        match decode_control_frame(pending) {
+        match decode_control_frame_capped(pending, self.max_payload) {
             Ok((event, used)) => {
                 self.start += used;
                 Ok(Some(event))
@@ -304,6 +332,24 @@ mod tests {
         let mut bytes = encode_control_frame(opcodes::LOG_CHUNK, b"x");
         bytes[3..7].copy_from_slice(&(MAX_CONTROL_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(decode_control_frame(&bytes), Err(ProtoError::OversizedFrame { .. })));
+    }
+
+    #[test]
+    fn per_decoder_cap_tightens_the_protocol_limit() {
+        // A frame comfortably under the protocol-wide cap…
+        let bytes = encode_control_frame(opcodes::LOG_CHUNK, &vec![7u8; 2048]);
+        assert!(decode_control_frame(&bytes).is_ok());
+        // …is fatal on a decoder capped below it, from the declared length
+        // alone (an attacker cannot make us buffer the body first).
+        let mut dec = ControlDecoder::new();
+        dec.set_max_payload(1024);
+        dec.feed(&bytes[..16]);
+        assert!(matches!(dec.next_event(), Err(ProtoError::OversizedFrame { limit: 1024, .. })));
+        // The cap never loosens the protocol limit.
+        assert!(matches!(
+            decode_control_frame_capped(&bytes, u32::MAX),
+            Ok((ControlEvent::Frame(_), _))
+        ));
     }
 
     #[test]

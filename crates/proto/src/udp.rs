@@ -97,7 +97,7 @@ impl UdpMessage {
                 UdpMessage::GlobStatRes { challenge: r.u32()?, users: r.u32()?, files: r.u32()? }
             }
             opcodes::GLOB_GET_SOURCES => {
-                if r.remaining() % 16 != 0 || r.remaining() == 0 {
+                if !r.remaining().is_multiple_of(16) || r.remaining() == 0 {
                     return Err(ProtoError::Invalid(
                         "GLOB-GET-SOURCES payload must be 1+ file hashes",
                     ));

@@ -6,6 +6,9 @@
 use proptest::prelude::*;
 
 use edonkey_proto::codec::{decode_frame, encode_frame, encode_peer_message, FrameDecoder};
+use edonkey_proto::control::{
+    decode_control_frame, decode_control_frame_capped, encode_control_frame, ControlDecoder,
+};
 use edonkey_proto::md4::{md4, Md4};
 use edonkey_proto::messages::{PartRange, PeerMessage, PublishedFile};
 use edonkey_proto::tags::{Tag, TagName, TagValue};
@@ -197,6 +200,55 @@ proptest! {
             }
         }
         prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_control_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        cap in prop_oneof![Just(u32::MAX), 0u32..4096],
+    ) {
+        // Pure noise: errors and truncation are fine, panics are not.
+        let _ = decode_control_frame(&bytes);
+        let _ = decode_control_frame_capped(&bytes, cap);
+        let mut dec = ControlDecoder::new();
+        dec.set_max_payload(cap);
+        dec.feed(&bytes);
+        while let Ok(Some(_)) = dec.next_event() {}
+    }
+
+    #[test]
+    fn mutated_control_frames_never_panic(
+        opcode in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        flips in prop::collection::vec((any::<u16>(), 1u8..=255), 1..8),
+        chunk in 1usize..64,
+    ) {
+        // Random corruptions of a *valid* frame: exercises the header
+        // checks, the CRC path, and the resync logic without ever
+        // panicking, whatever byte gets hit.
+        let mut frame = encode_control_frame(opcode, &payload);
+        let len = frame.len();
+        for (pos, mask) in flips {
+            frame[pos as usize % len] ^= mask;
+        }
+        let mut dec = ControlDecoder::new();
+        let mut fatal = false;
+        for piece in frame.chunks(chunk) {
+            if fatal {
+                break; // fatal framing damage already surfaced: fine
+            }
+            dec.feed(piece);
+            loop {
+                match dec.next_event() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

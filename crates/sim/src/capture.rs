@@ -9,8 +9,11 @@
 //! bit-identical honeypot `MeasurementLog` (asserted in
 //! `tests/capture.rs`).
 //!
-//! I/O errors don't abort a multi-week run: the first error is stored,
-//! capturing stops, and [`ServerCapture::finish`] surfaces it.
+//! I/O errors don't abort a multi-week run: the first error disables the
+//! capture (the measurement itself continues untouched), every record
+//! arriving after it is counted as dropped, and [`ServerCapture::finish`]
+//! still returns the statistics of what made it to disk — degradation is
+//! a *metric* ([`ServerCapture::degraded`]), not a run failure.
 
 use std::io;
 use std::path::Path;
@@ -26,6 +29,7 @@ pub struct ServerCapture {
     writer: ServerLogWriter,
     hasher: IpHasher,
     error: Option<io::Error>,
+    dropped: u64,
 }
 
 impl ServerCapture {
@@ -37,7 +41,14 @@ impl ServerCapture {
             writer: ServerLogWriter::create(dir, cfg.frame_records, cfg.segment_records)?,
             hasher: IpHasher::from_seed(0),
             error: None,
+            dropped: 0,
         })
+    }
+
+    /// Chaos hook: arms a one-shot write failure on the underlying log
+    /// writer, so degraded capture can be exercised without a full disk.
+    pub fn inject_write_fault(&mut self) {
+        self.writer.inject_write_fault();
     }
 
     /// Installs the run's step-1 anonymisation hasher (the world's, so
@@ -51,10 +62,11 @@ impl ServerCapture {
         self.hasher.hash(ip)
     }
 
-    /// Appends one record.  After a write error the capture goes quiet
-    /// (the error resurfaces from [`Self::finish`]).
+    /// Appends one record.  After a write error the capture goes quiet;
+    /// later records are counted in [`Self::dropped`].
     pub fn emit(&mut self, record: &ServerRecord) {
         if self.error.is_some() {
+            self.dropped += 1;
             return;
         }
         if let Err(e) = self.writer.push(record) {
@@ -67,11 +79,23 @@ impl ServerCapture {
         self.writer.records()
     }
 
-    /// Flushes and closes the capture, returning its statistics (or the
-    /// first error encountered while writing).
+    /// Whether a write error disabled the capture.
+    pub fn degraded(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Records that arrived after the capture went quiet.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flushes and closes the capture, returning its statistics.  A
+    /// degraded capture still reports the flushed prefix (check
+    /// [`Self::degraded`] before consuming): losing the server-side log is
+    /// a degradation, never a reason to lose the honeypot measurement.
     pub fn finish(self) -> io::Result<ServerLogStats> {
-        if let Some(e) = self.error {
-            return Err(e);
+        if self.error.is_some() {
+            return Ok(self.writer.stats());
         }
         self.writer.finish()
     }

@@ -1285,6 +1285,10 @@ fn run_scenario_on<Q: PendingQueue<Event>>(config: ScenarioConfig, queue: Q) -> 
 pub struct CaptureRunOutput {
     pub output: SimOutput,
     pub capture: ServerLogStats,
+    /// A write error disabled the capture mid-run; `capture` covers only
+    /// the flushed prefix and `capture_dropped` counts the rest.
+    pub capture_degraded: bool,
+    pub capture_dropped: u64,
 }
 
 /// Runs a scenario with the server-side query capture streaming into
@@ -1310,10 +1314,13 @@ pub fn run_scenario_with_capture(
         let mut engine = Engine::with_queue(queue);
         let mut world = EdonkeyWorld::new_with_capture(config, &mut engine, Some(capture));
         engine.run_until(&mut world, duration);
-        let capture = world.take_capture().expect("capture attached").finish()?;
+        let capture = world.take_capture().expect("capture attached");
+        let capture_degraded = capture.degraded();
+        let capture_dropped = capture.dropped();
+        let capture = capture.finish()?;
         let mut output = world.finish(duration);
         output.events_handled = engine.events_handled();
-        Ok(CaptureRunOutput { output, capture })
+        Ok(CaptureRunOutput { output, capture, capture_degraded, capture_dropped })
     }
     let cap_cfg = config.server_capture.unwrap_or_default();
     let capture = ServerCapture::create(dir, &cap_cfg)?;

@@ -52,6 +52,8 @@ fn main() {
             } else {
                 FaultPlan::default()
             },
+            impair: None,
+            spool_faults: None,
         })
         .collect();
 

@@ -24,10 +24,12 @@ fn fixed_spec(tag: &[u8], fault: FaultPlan) -> LoopbackSpec {
         content: ContentStrategy::NoContent,
         files: FileStrategy::Fixed(vec![AdvertisedFile::new(
             file,
-            &format!("{} file.avi", String::from_utf8_lossy(tag)),
+            format!("{} file.avi", String::from_utf8_lossy(tag)),
             50_000_000,
         )]),
         fault,
+        impair: None,
+        spool_faults: None,
     }
 }
 
@@ -272,12 +274,12 @@ fn duplicate_uploads_are_reacked_never_remerged() {
     };
     let upload = ControlMessage::LogUpload { agent: 0, seq: 0, chunk };
     conn.send(&upload).expect("first upload");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1, .. }));
     // The retry case: the ack was lost on the agent's side, so the exact
     // same frame arrives again.  The cumulative frontier is unchanged —
     // the daemon re-acknowledges `next_seq: 1` without re-merging.
     conn.send(&upload).expect("second upload");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1, .. }));
 
     let metrics = daemon.metrics();
     assert_eq!(metrics.agents[0].duplicate_chunks, 1, "the re-send must be counted");

@@ -18,10 +18,12 @@ fn fixed_spec(tag: &[u8], fault: FaultPlan) -> LoopbackSpec {
         content: ContentStrategy::NoContent,
         files: FileStrategy::Fixed(vec![AdvertisedFile::new(
             file,
-            &format!("{} file.avi", String::from_utf8_lossy(tag)),
+            format!("{} file.avi", String::from_utf8_lossy(tag)),
             50_000_000,
         )]),
         fault,
+        impair: None,
+        spool_faults: None,
     }
 }
 

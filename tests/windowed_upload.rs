@@ -100,7 +100,7 @@ fn full_window_pipelines_with_cumulative_acks() {
     for seq in 0..6u64 {
         conn.send(&upload(0, seq)).expect("pipelined upload");
     }
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 6 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 6, .. }));
 
     conn.send(&ControlMessage::Goodbye { agent: 0, final_seq: 6 }).expect("goodbye");
     let (_log, metrics, order) =
@@ -134,11 +134,11 @@ fn duplicate_and_reordered_chunks_within_window() {
 
     // seq 0 merges; the frontier advances to 1.
     conn.send(&upload(0, 0)).expect("seq 0");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1, .. }));
 
     // A duplicate of seq 0 is re-acked at the same frontier.
     conn.send(&upload(0, 0)).expect("dup seq 0");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 1, .. }));
 
     // seq 2 arrives before seq 1: the daemon discards it and asks for
     // the frontier back (go-back-N).
@@ -148,9 +148,9 @@ fn duplicate_and_reordered_chunks_within_window() {
     // Filling the hole resumes the cumulative advance; seq 2 must be
     // re-sent because the daemon never buffered it.
     conn.send(&upload(0, 1)).expect("seq 1");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 2 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 2, .. }));
     conn.send(&upload(0, 2)).expect("seq 2 again");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 3 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 3, .. }));
 
     conn.send(&ControlMessage::Goodbye { agent: 0, final_seq: 3 }).expect("goodbye");
     let (_log, metrics, order) =
@@ -182,7 +182,7 @@ fn reconnect_resumes_from_cumulative_frontier() {
     wait_for(&mut conn, |m| matches!(m, ControlMessage::RegisterAck { next_seq: 0, .. }));
     conn.send(&upload(0, 0)).expect("seq 0");
     conn.send(&upload(0, 1)).expect("seq 1");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 2 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 2, .. }));
 
     // The connection dies without a Goodbye — mid-window, as far as the
     // agent side knows.
@@ -198,12 +198,12 @@ fn reconnect_resumes_from_cumulative_frontier() {
     // A cautious retransmit from before the frontier (the spool still
     // held it) is re-acked at the frontier, not re-merged.
     conn.send(&upload(0, 1)).expect("retransmit");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 2 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 2, .. }));
 
     // New traffic continues from the frontier.
     conn.send(&upload(0, 2)).expect("seq 2");
     conn.send(&upload(0, 3)).expect("seq 3");
-    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 4 }));
+    wait_for(&mut conn, |m| matches!(m, ControlMessage::ChunkAck { next_seq: 4, .. }));
 
     conn.send(&ControlMessage::Goodbye { agent: 0, final_seq: 4 }).expect("goodbye");
     let (_log, metrics, _order) =
@@ -258,7 +258,7 @@ fn swarm_256_windowed_agents_merge_exactly_once() {
                     }
                     for ev in conn.poll().expect("poll") {
                         match ev {
-                            ConnEvent::Msg(ControlMessage::ChunkAck { next_seq }) => {
+                            ConnEvent::Msg(ControlMessage::ChunkAck { next_seq, .. }) => {
                                 next_ack = next_ack.max(next_seq);
                             }
                             ConnEvent::Msg(ControlMessage::ChunkRetry { seq }) => {
