@@ -366,6 +366,17 @@ impl LogIndex {
     }
 
     fn build_chunked(log: &MeasurementLog, chunk_size: usize) -> LogIndex {
+        // Span events keyed on record counts (deterministic for a given
+        // log), so index builds show up in the flight recorder with
+        // enough context to reconstruct what was being built.
+        netsim::obs_event!(
+            netsim::obs::Level::Trace,
+            "analysis",
+            "index_build_begin",
+            records = log.records.len(),
+            chunk_size = chunk_size,
+            universe = log.distinct_peers
+        );
         let builders: Vec<IndexBuilder> = log
             .records
             .par_chunks(chunk_size)
@@ -391,6 +402,13 @@ impl LogIndex {
         for list in &log.shared_lists {
             merged.push_shared_list(list.at, &list.files);
         }
+        netsim::obs_event!(
+            netsim::obs::Level::Trace,
+            "analysis",
+            "index_build_end",
+            records = log.records.len(),
+            shared_lists = log.shared_lists.len()
+        );
         merged.finish()
     }
 

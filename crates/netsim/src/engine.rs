@@ -147,17 +147,55 @@ impl<W: World, Q: PendingQueue<W::Event>> Engine<W, Q> {
         max_events: u64,
     ) -> RunOutcome {
         let mut handled = 0u64;
+        // Span instrumentation keyed on *deterministic* quantities only
+        // (sim-time and event counts), so the trace of a run is itself
+        // reproducible — and recording it cannot perturb the simulation.
+        crate::obs_event!(
+            crate::obs::Level::Trace,
+            "engine",
+            "run_until_begin",
+            now_ms = self.now.as_millis(),
+            horizon_ms = horizon.as_millis(),
+            events_handled = self.events_handled
+        );
         loop {
             let Some((time, event)) = self.queue.pop() else {
+                crate::obs_event!(
+                    crate::obs::Level::Trace,
+                    "engine",
+                    "run_until_end",
+                    outcome = "drained",
+                    now_ms = self.now.as_millis(),
+                    events_handled = self.events_handled,
+                    span_events = handled
+                );
                 return RunOutcome::Drained;
             };
             if time >= horizon {
                 self.queue.unpop(time, event);
                 self.now = self.now.max(horizon);
+                crate::obs_event!(
+                    crate::obs::Level::Trace,
+                    "engine",
+                    "run_until_end",
+                    outcome = "horizon",
+                    now_ms = self.now.as_millis(),
+                    events_handled = self.events_handled,
+                    span_events = handled
+                );
                 return RunOutcome::HorizonReached;
             }
             if handled >= max_events {
                 self.queue.unpop(time, event);
+                crate::obs_event!(
+                    crate::obs::Level::Trace,
+                    "engine",
+                    "run_until_end",
+                    outcome = "budget",
+                    now_ms = self.now.as_millis(),
+                    events_handled = self.events_handled,
+                    span_events = handled
+                );
                 return RunOutcome::BudgetExhausted;
             }
             debug_assert!(time >= self.now, "event queue yielded a past event");

@@ -17,7 +17,10 @@
 //! * [`dist`] — exponential/Poisson/normal/log-normal/Zipf sampling and the
 //!   diurnal activity curve;
 //! * [`latency`] — link latency/bandwidth models;
-//! * [`metrics`] — bucketed time series and first-seen tracking.
+//! * [`metrics`] — bucketed time series and first-seen tracking;
+//! * [`obs`] — the structured-event facade and per-thread flight
+//!   recorder shared by the whole workspace (see `platform::obs` for
+//!   the registry/scraper built on top).
 //!
 //! Everything is deterministic: a simulation is a pure function of its
 //! configuration and one 64-bit seed.
@@ -28,6 +31,7 @@ pub mod engine;
 pub mod event;
 pub mod latency;
 pub mod metrics;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod time;

@@ -50,8 +50,10 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::impair::ImpairPlan;
 use crate::journal::ChunkJournal;
 use crate::messages::{heartbeat_flags, AgentConfig, ControlMessage};
+use crate::obs::{self, HistogramHandle, Registry};
 use crate::retry::{Backoff, RetryPolicy};
 use crate::spool::{Spool, SpoolRecord};
+use netsim::obs_event;
 
 /// How an agent's life ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,6 +110,9 @@ struct AgentState {
     /// continue in memory and heartbeats carry the degraded flag until an
     /// append succeeds again.
     spool_degraded: bool,
+    /// Chunk round-trip distribution (first send → retiring cumulative
+    /// ack, retransmissions included) in the live registry.
+    chunk_rtt: HistogramHandle,
 }
 
 /// One unacknowledged upload.
@@ -115,6 +120,8 @@ struct InFlight {
     seq: u64,
     /// The clean encoded frame (faults doctor a copy, never this).
     frame: Vec<u8>,
+    /// First time this sequence went to the wire; the chunk-RTT clock.
+    sent_at: Instant,
 }
 
 enum SessionEnd {
@@ -203,7 +210,13 @@ pub fn run_agent_with(
         Err(e) => {
             // Degraded but alive: without the spool the agent still offers
             // PR 3 semantics (resume from the daemon's acked sequence).
-            eprintln!("[agent {agent}] spool unavailable, running in-memory: {e}");
+            obs_event!(
+                obs::Level::Warn,
+                "agent",
+                "spool_unavailable",
+                agent = agent,
+                error = obs::InlineStr::new(&e.to_string())
+            );
             None
         }
     });
@@ -222,6 +235,7 @@ pub fn run_agent_with(
         started: Instant::now(),
         forwarded_status: 0,
         spool_degraded: false,
+        chunk_rtt: Registry::global().histogram("chunk_rtt_micros"),
     };
     let mut reconnect = Backoff::new(
         RetryPolicy::reconnect(MAX_CONNECT_ATTEMPTS),
@@ -418,7 +432,8 @@ fn session(
                     // copies go.
                     let mut progressed = false;
                     while st.window.front().is_some_and(|f| f.seq < acked) {
-                        st.window.pop_front();
+                        let retired = st.window.pop_front().expect("front checked");
+                        st.chunk_rtt.record((retired.sent_at.elapsed().as_micros() as u64).max(1));
                         progressed = true;
                     }
                     if acked > frontier {
@@ -565,7 +580,14 @@ fn upload_chunk(
                     Some(delay) => std::thread::sleep(delay),
                     None => {
                         if !st.spool_degraded {
-                            eprintln!("[agent {}] spool degraded at seq {seq}: {e}", st.agent);
+                            obs_event!(
+                                obs::Level::Warn,
+                                "agent",
+                                "spool_degraded",
+                                agent = st.agent,
+                                seq = seq,
+                                error = obs::InlineStr::new(&e.to_string())
+                            );
                         }
                         st.spool_degraded = true;
                         break;
@@ -586,7 +608,7 @@ fn upload_chunk(
         // Half a frame, then the connection dies: the daemon's decoder
         // never completes the frame and the next session must resume.
         let _ = conn.send_raw(&frame[..frame.len() / 2]);
-        st.window.push_back(InFlight { seq, frame });
+        st.window.push_back(InFlight { seq, frame, sent_at: Instant::now() });
         return Ok(Some(SessionEnd::ConnLost));
     }
     if st.fault.should_corrupt(seq, &mut st.fstate) {
@@ -594,12 +616,12 @@ fn upload_chunk(
         let last = doctored.len() - 1;
         doctored[last] ^= 0xA5; // break the CRC trailer
         conn.send_raw(&doctored).map_err(ConnError::Io)?;
-        st.window.push_back(InFlight { seq, frame });
+        st.window.push_back(InFlight { seq, frame, sent_at: Instant::now() });
         return Ok(None); // wait for the daemon's ChunkRetry
     }
 
     conn.send_raw(&frame).map_err(ConnError::Io)?;
-    st.window.push_back(InFlight { seq, frame });
+    st.window.push_back(InFlight { seq, frame, sent_at: Instant::now() });
     if kill_now {
         // Crash right after the send: the daemon merges the chunk, but the
         // ack is never read.  The next incarnation must resume past it.
@@ -620,7 +642,7 @@ fn fill_window_from_backlog(
         let Some(rec) = st.backlog.pop_front() else { return Ok(()) };
         let frame = encode_control_frame(opcodes::LOG_CHUNK, &rec.payload);
         conn.send_raw(&frame).map_err(ConnError::Io)?;
-        st.window.push_back(InFlight { seq: rec.seq, frame });
+        st.window.push_back(InFlight { seq: rec.seq, frame, sent_at: Instant::now() });
     }
     Ok(())
 }

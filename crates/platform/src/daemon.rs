@@ -61,15 +61,23 @@ use crate::diskfault::DiskFaults;
 use crate::impair::ImpairPlan;
 use crate::messages::{heartbeat_flags, AgentConfig, ControlMessage};
 use crate::metrics::{PlatformMetrics, RttStats};
+use crate::obs::{self, Histogram, HistogramHandle, Registry};
 use crate::reactor::{CloseReason, Outbox, ReactorConn};
 use crate::retry::{Backoff, RetryPolicy};
 use crate::spool::{Spool, SpoolRecord};
 use crate::transport::{classify_accept, AcceptError};
+use netsim::obs_event;
 /// Shard sleep when a whole pass moved no bytes.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
 /// Reactor latency samples are batched locally and folded into the shared
 /// metrics every this many active iterations (keeps the lock cold).
 const LATENCY_FLUSH_EVERY: u64 = 128;
+
+/// Ceiling on how long a non-empty latency batch may wait before it is
+/// folded into the shared metrics and the live registry: low-traffic
+/// deployments would otherwise never reach the pass-count threshold and
+/// the scraper would report a permanently cold reactor histogram.
+const LATENCY_FLUSH_INTERVAL: Duration = Duration::from_millis(250);
 /// Merge bursts are capped so ack latency stays bounded under firehose.
 const MERGE_BURST: usize = 1024;
 
@@ -137,6 +145,11 @@ pub struct DaemonConfig {
     /// thread so overload tests can fill the queue deterministically
     /// instead of racing the scheduler.  0 (the default) is a no-op.
     pub merge_stall_ms: u64,
+    /// Observability scraper: when set, the daemon runs a
+    /// [`crate::obs::Scraper`] over the global registry for its lifetime
+    /// (JSONL time series + loopback snapshot endpoint, see
+    /// [`Daemon::obs_addr`]).  `None` (the default) runs nothing.
+    pub obs: Option<obs::ObsConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -161,6 +174,7 @@ impl Default for DaemonConfig {
             wal_faults: None,
             checkpoint_faults: None,
             merge_stall_ms: 0,
+            obs: None,
         }
     }
 }
@@ -255,6 +269,9 @@ enum MergeMsg {
         /// The received payload bytes, written to the WAL verbatim.
         payload: Vec<u8>,
         outbox: Arc<Outbox>,
+        /// When the reactor enqueued it — merge-queue dwell is measured
+        /// from here to the merge thread picking the chunk up.
+        queued_at: Instant,
     },
     /// A LOG_CHUNK frame that failed its CRC; the retry must carry the
     /// merge frontier *after* everything queued ahead of it.
@@ -303,6 +320,7 @@ pub struct Daemon {
     supervise: Option<JoinHandle<()>>,
     reactors: Vec<JoinHandle<()>>,
     merge: Option<JoinHandle<()>>,
+    scraper: Option<obs::Scraper>,
 }
 
 impl Daemon {
@@ -513,18 +531,34 @@ impl Daemon {
             }
         });
 
+        // The scraper only *reads* the global registry; a failure to
+        // start it degrades visibility, never the measurement.
+        let scraper = inner
+            .cfg
+            .obs
+            .clone()
+            .and_then(|obs_cfg| obs::Scraper::start(Registry::global(), obs_cfg).ok());
+
         Ok(Daemon {
             inner,
             accept: Some(accept),
             supervise: Some(supervise),
             reactors,
             merge: Some(merge),
+            scraper,
         })
     }
 
     /// The control endpoint agents connect to.
     pub fn addr(&self) -> SocketAddr {
         self.inner.addr
+    }
+
+    /// The loopback snapshot endpoint of the observability scraper, when
+    /// [`DaemonConfig::obs`] enabled one: connect, read one JSON line,
+    /// done.
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.scraper.as_ref().and_then(|s| s.addr())
     }
 
     /// Relaunches issued by the core accounting (initial launches not
@@ -660,6 +694,11 @@ impl Daemon {
         if let Some(t) = self.merge.take() {
             let _ = t.join();
         }
+        // Stop the scraper after the merge join so its final time-series
+        // sample covers the fully drained run.
+        if let Some(s) = self.scraper.take() {
+            s.stop();
+        }
 
         // Credit uptime of anything still registered (e.g. drain timeout).
         {
@@ -729,6 +768,9 @@ fn reactor_loop(
     let mut scratch = vec![0u8; 64 * 1024];
     let mut events: Vec<ControlEvent> = Vec::new();
     let mut latency = RttStats::default();
+    let mut latency_hist = Histogram::new();
+    let live_hist = Registry::global().histogram("reactor_loop_micros");
+    let mut last_flush = Instant::now();
     loop {
         if inner.crashed.load(Ordering::SeqCst) {
             // A crashed manager does no bookkeeping on the way out.
@@ -753,7 +795,7 @@ fn reactor_loop(
             for conn in conns.drain(..) {
                 close_conn(&inner, conn);
             }
-            flush_latency(&inner, &mut latency);
+            flush_latency(&inner, &mut latency, &mut latency_hist, &live_hist);
             return;
         }
         let t0 = Instant::now();
@@ -802,12 +844,20 @@ fn reactor_loop(
         }
 
         if activity {
-            latency.record((t0.elapsed().as_micros() as u64).max(1));
-            if latency.count >= LATENCY_FLUSH_EVERY {
-                flush_latency(&inner, &mut latency);
-            }
+            let micros = (t0.elapsed().as_micros() as u64).max(1);
+            latency.record(micros);
+            latency_hist.record(micros);
         } else {
             std::thread::sleep(IDLE_SLEEP);
+        }
+        // Flush by count under load, by time when quiet, so the live
+        // registry the scraper samples never sits on a stale batch for
+        // more than one flush interval.
+        if latency.count >= LATENCY_FLUSH_EVERY
+            || (latency.count > 0 && last_flush.elapsed() >= LATENCY_FLUSH_INTERVAL)
+        {
+            flush_latency(&inner, &mut latency, &mut latency_hist, &live_hist);
+            last_flush = Instant::now();
         }
     }
 }
@@ -846,12 +896,27 @@ fn reap_hostile(inner: &Inner, conn: &mut ReactorConn) {
     }
 }
 
-fn flush_latency(inner: &Inner, latency: &mut RttStats) {
+/// Folds a shard's local latency batch into the shared metrics (both the
+/// legacy [`RttStats`] and the percentile histogram) and the live
+/// registry the scraper samples — one lock round per
+/// [`LATENCY_FLUSH_EVERY`] active passes.
+fn flush_latency(
+    inner: &Inner,
+    latency: &mut RttStats,
+    hist: &mut Histogram,
+    live: &HistogramHandle,
+) {
     if latency.count == 0 {
         return;
     }
-    inner.metrics.lock().reactor_loop_micros.merge(latency);
+    {
+        let mut metrics = inner.metrics.lock();
+        metrics.reactor_loop_micros.merge(latency);
+        metrics.reactor_loop_hist.merge(hist);
+    }
+    live.merge(hist);
     *latency = RttStats::default();
+    *hist = Histogram::new();
 }
 
 /// Handles one connection's decoded events.  Uploads (and corrupt upload
@@ -955,6 +1020,7 @@ fn handle_chunk_frame(
         chunk,
         payload,
         outbox: conn.outbox.clone(),
+        queued_at: Instant::now(),
     });
 }
 
@@ -971,6 +1037,7 @@ fn handle_msg(inner: &Inner, conn: &mut ReactorConn, msg: ControlMessage) {
                 metrics.agents[i].heartbeats += 1;
                 if rtt_micros > 0 {
                     metrics.agents[i].rtt.record(rtt_micros);
+                    metrics.heartbeat_rtt_hist.record(rtt_micros);
                 }
                 if flags & heartbeat_flags::SPOOL_DEGRADED != 0 {
                     // The agent is uploading from memory only; its disk
@@ -978,6 +1045,18 @@ fn handle_msg(inner: &Inner, conn: &mut ReactorConn, msg: ControlMessage) {
                     // sees degradation while the measurement continues.
                     metrics.agents[i].degraded_heartbeats += 1;
                 }
+            }
+            if rtt_micros > 0 {
+                Registry::global().histogram("heartbeat_rtt_micros").record(rtt_micros);
+            }
+            if flags & heartbeat_flags::SPOOL_DEGRADED != 0 {
+                obs_event!(
+                    obs::Level::Warn,
+                    "daemon",
+                    "spool_degraded_heartbeat",
+                    agent = i,
+                    seq = seq
+                );
             }
             conn.outbox.push_msg(&ControlMessage::HeartbeatAck { seq, echo_micros: sent_micros });
         }
@@ -1037,6 +1116,14 @@ fn register_conn(inner: &Inner, conn: &mut ReactorConn, agent: u32, resume: bool
         }
     }
     conn.agent = Some(i);
+    obs_event!(
+        obs::Level::Info,
+        "daemon",
+        "agent_registered",
+        agent = agent,
+        resume = resume,
+        next_seq = next_seq
+    );
     conn.outbox.push_msg(&ControlMessage::RegisterAck {
         agent,
         next_seq,
@@ -1111,6 +1198,12 @@ fn touch(inner: &Inner, agent_idx: usize) {
 /// at most one `ChunkRetry` when the stream is damaged or has a hole.
 fn merge_loop(inner: Arc<Inner>, rx: Receiver<MergeMsg>) {
     let mut batch: Vec<MergeMsg> = Vec::new();
+    // Live-registry twins of the end-of-run metrics histograms, resolved
+    // once so the per-chunk cost is a handle lock, not a map lookup.
+    let live = MergeObs {
+        dwell: Registry::global().histogram("merge_dwell_micros"),
+        frontier_lag: Registry::global().histogram("frontier_lag_chunks"),
+    };
     loop {
         if inner.crashed.load(Ordering::SeqCst) {
             return;
@@ -1126,8 +1219,14 @@ fn merge_loop(inner: Arc<Inner>, rx: Receiver<MergeMsg>) {
                 Err(_) => break,
             }
         }
-        merge_burst(&inner, &mut batch);
+        merge_burst(&inner, &mut batch, &live);
     }
+}
+
+/// Live-registry histogram handles the merge thread records into.
+struct MergeObs {
+    dwell: HistogramHandle,
+    frontier_lag: HistogramHandle,
 }
 
 /// Per-burst ack/retry coalescing state, keyed by outbox identity.
@@ -1156,17 +1255,21 @@ impl BurstReplies {
     }
 }
 
-fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
+fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>, live: &MergeObs) {
     let mut replies = BurstReplies { acks: Vec::new(), retries: Vec::new() };
+    // Dwell samples are batched locally and folded in once per burst so
+    // the firehose path pays one metrics-lock round, not one per chunk.
+    let mut dwell_batch = Histogram::new();
     for msg in batch.drain(..) {
         if inner.crashed.load(Ordering::SeqCst) {
             return;
         }
         match msg {
-            MergeMsg::Chunk { agent, seq, chunk, payload, outbox } => {
+            MergeMsg::Chunk { agent, seq, chunk, payload, outbox, queued_at } => {
                 if inner.cfg.merge_stall_ms > 0 {
                     std::thread::sleep(Duration::from_millis(inner.cfg.merge_stall_ms));
                 }
+                dwell_batch.record(queued_at.elapsed().as_micros() as u64);
                 inner.merge_depth.fetch_sub(1, Ordering::SeqCst);
                 let expected = inner.slots.lock()[agent].expected_seq;
                 if seq < expected {
@@ -1199,8 +1302,13 @@ fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
                             // even while the WAL is refusing writes.
                             drop(wal);
                             inner.metrics.lock().wal_append_failures += 1;
-                            eprintln!(
-                                "[daemon] WAL append failed for agent {agent} seq {seq}: {e}"
+                            obs_event!(
+                                obs::Level::Error,
+                                "daemon",
+                                "wal_append_failed",
+                                agent = agent,
+                                seq = seq,
+                                error = obs::InlineStr::new(&e.to_string())
                             );
                             continue;
                         }
@@ -1238,6 +1346,10 @@ fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
             }
         }
     }
+    if dwell_batch.count() > 0 {
+        inner.metrics.lock().merge_dwell_micros.merge(&dwell_batch);
+        live.dwell.merge(&dwell_batch);
+    }
     // One cumulative ack per connection per burst: the frontier at the
     // end of the burst covers every chunk merged (or deduplicated) in it.
     for (outbox, agent) in replies.acks {
@@ -1252,7 +1364,9 @@ fn merge_burst(inner: &Inner, batch: &mut Vec<MergeMsg>) {
             let mut metrics = inner.metrics.lock();
             let m = &mut metrics.agents[agent];
             m.frontier_lag_peak = m.frontier_lag_peak.max(lag);
+            metrics.frontier_lag_chunks.record(lag);
         }
+        live.frontier_lag.record(lag);
         outbox.push_msg(&ControlMessage::ChunkAck {
             next_seq: frontier,
             window: effective_window(inner),
@@ -1314,7 +1428,13 @@ fn maybe_checkpoint(inner: &Inner) {
         // resurrecting supervision state the daemon failed to keep fresh.
         inner.metrics.lock().checkpoint_failures += 1;
         let _ = quarantine_checkpoint(&d.opts.dir);
-        eprintln!("[daemon] checkpoint write failed (snapshot quarantined): {e}");
+        obs_event!(
+            obs::Level::Error,
+            "daemon",
+            "checkpoint_write_failed",
+            quarantined = true,
+            error = obs::InlineStr::new(&e.to_string())
+        );
     }
 }
 
@@ -1358,6 +1478,7 @@ fn supervision_tick(inner: &Arc<Inner>) {
                 metrics.agents[i].uptime_ms += ms;
             }
         }
+        obs_event!(obs::Level::Warn, "daemon", "agent_dead", agent = i);
         let report = StatusReport {
             honeypot: HoneypotId(i as u32),
             at: inner.now_sim(),
@@ -1411,6 +1532,14 @@ fn supervision_tick(inner: &Arc<Inner>) {
         if counted {
             inner.metrics.lock().agents[i].relaunches += 1;
         }
+        obs_event!(
+            obs::Level::Info,
+            "daemon",
+            "agent_launch",
+            agent = id.0,
+            incarnation = incarnation,
+            counted = counted
+        );
         (inner.launcher)(id.0, incarnation, inner.addr);
     }
 }

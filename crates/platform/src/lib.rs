@@ -53,6 +53,17 @@
 //! caps, merge-queue shedding with window shrink), and every
 //! degradation surfaces as a named [`metrics`] counter.  DESIGN.md §3h
 //! tabulates the full fault grid; `tests/chaos_matrix.rs` drives it.
+//!
+//! The observability layer (PR 10, DESIGN.md §3i) is [`obs`]: the
+//! structured-event facade and per-thread flight recorder (re-exported
+//! from `netsim::obs` so the sim and analysis crates share it),
+//! mergeable log-linear [`obs::Histogram`]s feeding p50/p90/p99 into
+//! [`metrics::PlatformMetrics`], the named-instrument
+//! [`obs::Registry`], and the [`obs::Scraper`] that appends a JSONL
+//! time series and answers one-shot loopback snapshot scrapes while a
+//! swarm runs.  The contract: observation is *pure* — measurement logs
+//! and control byte streams are bit-identical at every verbosity
+//! (`tests/obs_purity.rs`).
 
 pub mod agent;
 pub mod checkpoint;
@@ -65,6 +76,7 @@ pub mod impair;
 pub mod journal;
 pub mod messages;
 pub mod metrics;
+pub mod obs;
 pub(crate) mod reactor;
 pub mod retry;
 pub mod spool;
@@ -81,5 +93,6 @@ pub use impair::{ImpairPlan, ImpairStats, ImpairedLink, Partition};
 pub use journal::{measurement_diff, ChunkJournal};
 pub use messages::{AgentConfig, ControlMessage};
 pub use metrics::{AgentMetrics, PlatformMetrics, RttStats};
+pub use obs::{FlightDumpOnPanic, Histogram, ObsConfig, Registry, Scraper};
 pub use retry::{Backoff, RetryPolicy};
 pub use spool::{Spool, SpoolConfig, SpoolRecord};

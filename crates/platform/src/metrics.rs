@@ -6,6 +6,14 @@
 //! here and serialises them to JSON for the experiment runner.  The JSON
 //! is written by hand (like the bench reports) so the output is identical
 //! under every build of the workspace.
+//!
+//! PR 10 pairs the headline [`RttStats`] (kept verbatim — BENCH parsers
+//! read `count`/`min`/`mean`/`max`) with log-linear
+//! [`crate::obs::Histogram`]s so the same JSON objects also carry
+//! `p50`/`p90`/`p99`, and adds distribution objects for merge-queue
+//! dwell and ack-frontier lag.
+
+use crate::obs::Histogram;
 
 /// Streaming min/mean/max over heartbeat round-trip times, in microseconds.
 #[derive(Clone, Debug, Default)]
@@ -139,6 +147,18 @@ pub struct PlatformMetrics {
     pub manager_restores: u64,
     /// Reactor-shard loop iteration latency (active passes only).
     pub reactor_loop_micros: RttStats,
+    /// Same samples as `reactor_loop_micros`, bucketed for percentiles;
+    /// per-shard batches fold in via [`Histogram::merge`].
+    pub reactor_loop_hist: Histogram,
+    /// Heartbeat RTT distribution pooled over all agents (the per-agent
+    /// [`RttStats`] keep the headline min/mean/max).
+    pub heartbeat_rtt_hist: Histogram,
+    /// Merge-queue dwell: microseconds a chunk waited between the
+    /// reactor enqueueing it and the merge thread picking it up.
+    pub merge_dwell_micros: Histogram,
+    /// Cumulative-ack frontier lag in chunks, sampled at each ack (the
+    /// scalar `frontier_lag_peak` per agent keeps the worst case).
+    pub frontier_lag_chunks: Histogram,
     /// Peak pending-merge queue depth (chunks queued, not yet merged).
     pub merge_queue_peak: u64,
     /// Connections dropped at accept because the cap was reached.
@@ -287,20 +307,38 @@ impl PlatformMetrics {
             "  \"degraded_heartbeats\": {},\n",
             self.total_degraded_heartbeats()
         ));
+        // The existing count/min/mean/max keys are load-bearing (BENCH
+        // parsers); the histogram only *adds* percentile keys.
         out.push_str(&format!(
-            "  \"reactor_loop_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
+            "  \"reactor_loop_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
             self.reactor_loop_micros.count,
             self.reactor_loop_micros.min_micros,
             self.reactor_loop_micros.mean_micros(),
-            self.reactor_loop_micros.max_micros
+            self.reactor_loop_micros.max_micros,
+            self.reactor_loop_hist.p50(),
+            self.reactor_loop_hist.p90(),
+            self.reactor_loop_hist.p99()
         ));
         let rtt = self.pooled_rtt();
         out.push_str(&format!(
-            "  \"heartbeat_rtt_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}},\n",
+            "  \"heartbeat_rtt_micros\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
             rtt.count,
             rtt.min_micros,
             rtt.mean_micros(),
-            rtt.max_micros
+            rtt.max_micros,
+            self.heartbeat_rtt_hist.p50(),
+            self.heartbeat_rtt_hist.p90(),
+            self.heartbeat_rtt_hist.p99()
+        ));
+        out.push_str(&format!(
+            "  \"merge_dwell_micros\": {},\n",
+            self.merge_dwell_micros.to_json()
+        ));
+        out.push_str(&format!(
+            "  \"frontier_lag_chunks\": {},\n",
+            self.frontier_lag_chunks.to_json()
         ));
         out.push_str("  \"per_agent\": [\n");
         for (i, a) in self.agents.iter().enumerate() {
@@ -396,6 +434,27 @@ mod tests {
         assert_eq!(m.double_merge_violation(), None);
         m.agents[1].chunks_merged = 2; // merged twice, ledger saw one seq
         assert!(m.double_merge_violation().unwrap().contains("agent 1"));
+    }
+
+    #[test]
+    fn json_report_surfaces_percentiles_beside_legacy_keys() {
+        let mut m = PlatformMetrics::new(1);
+        for v in 1..=100u64 {
+            m.reactor_loop_micros.record(v);
+            m.reactor_loop_hist.record(v);
+            m.heartbeat_rtt_hist.record(v * 10);
+            m.merge_dwell_micros.record(v);
+            m.frontier_lag_chunks.record(v % 8);
+        }
+        let json = m.to_json();
+        // Legacy keys intact, in the same object as the new percentiles.
+        assert!(json.contains(
+            "\"reactor_loop_micros\": {\"count\": 100, \"min\": 1, \"mean\": 50, \"max\": 100, \"p50\":"
+        ));
+        assert!(json.contains("\"heartbeat_rtt_micros\": {\"count\": 0,"));
+        assert!(json.contains("\"merge_dwell_micros\": {\"count\":100,"));
+        assert!(json.contains("\"frontier_lag_chunks\": {\"count\":100,"));
+        assert!(json.matches("\"p99\":").count() >= 4);
     }
 
     #[test]

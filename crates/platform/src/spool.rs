@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use edonkey_proto::control::crc32;
 
 use crate::diskfault::{DiskFaultKind, DiskFaults};
+use crate::obs::{HistogramHandle, Registry};
 
 /// First byte of every spool record.
 pub const SPOOL_MAGIC: u8 = 0xD5;
@@ -188,6 +189,15 @@ impl Spool {
     /// this returns).  `seq` must be strictly greater than every sequence
     /// already spooled.
     pub fn append(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let t0 = Instant::now();
+        let result = self.append_inner(seq, payload);
+        // Observability only: the append-latency distribution (success or
+        // failure) for the live registry; never alters the result.
+        spool_append_hist().record((t0.elapsed().as_micros() as u64).max(1));
+        result
+    }
+
+    fn append_inner(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
         if payload.len() > MAX_SPOOL_PAYLOAD {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "spool payload too large"));
         }
@@ -262,6 +272,12 @@ impl Spool {
         }
         Ok(())
     }
+}
+
+/// Process-wide spool append-latency histogram, resolved once.
+fn spool_append_hist() -> &'static HistogramHandle {
+    static HIST: std::sync::OnceLock<HistogramHandle> = std::sync::OnceLock::new();
+    HIST.get_or_init(|| Registry::global().histogram("spool_append_micros"))
 }
 
 impl Drop for Spool {

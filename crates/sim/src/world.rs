@@ -1272,11 +1272,41 @@ pub(crate) fn run_lane(config: ScenarioConfig) -> crate::lanes::LaneOutput {
 /// [`run_scenario`] on a concrete queue.
 fn run_scenario_on<Q: PendingQueue<Event>>(config: ScenarioConfig, queue: Q) -> SimOutput {
     let duration = config.duration;
+    // Phase spans keyed on deterministic sim quantities only (duration,
+    // seed, event counts) — the trace is as reproducible as the run, and
+    // recording it cannot change the measurement (tests/obs_purity.rs in
+    // the sim crate pins this).
+    netsim::obs_event!(
+        netsim::obs::Level::Trace,
+        "sim",
+        "scenario_setup",
+        seed = config.seed,
+        duration_ms = duration.as_millis()
+    );
     let mut engine = Engine::with_queue(queue);
     let mut world = EdonkeyWorld::new(config, &mut engine);
+    netsim::obs_event!(
+        netsim::obs::Level::Trace,
+        "sim",
+        "scenario_run",
+        duration_ms = duration.as_millis()
+    );
     engine.run_until(&mut world, duration);
+    netsim::obs_event!(
+        netsim::obs::Level::Trace,
+        "sim",
+        "scenario_finalize",
+        events_handled = engine.events_handled()
+    );
     let mut out = world.finish(duration);
     out.events_handled = engine.events_handled();
+    netsim::obs_event!(
+        netsim::obs::Level::Trace,
+        "sim",
+        "scenario_done",
+        events_handled = out.events_handled,
+        records = out.log.records.len()
+    );
     out
 }
 

@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use edonkey_honeypots::control::{
     AgentConfig, CheckpointOptions, ConnEvent, ControlConn, ControlMessage, Daemon, DaemonConfig,
-    DiskFaultKind, DiskFaults, FaultPlan, ImpairPlan, ImpairedLink, LoopbackDeployment,
-    LoopbackOptions, LoopbackSpec, Partition,
+    DiskFaultKind, DiskFaults, FaultPlan, FlightDumpOnPanic, ImpairPlan, ImpairedLink,
+    LoopbackDeployment, LoopbackOptions, LoopbackSpec, Partition,
 };
 use edonkey_honeypots::platform::log::{FileTable, SharedLists};
 use edonkey_honeypots::platform::{
@@ -44,6 +44,15 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Arms the PR 10 flight recorder for one chaos cell: events are
+/// captured verbosely into the in-memory rings and dumped to
+/// `target/obs/<cell>.events.jsonl` only if the cell panics, so a
+/// failing matrix run leaves its last ~4k events behind as evidence.
+fn observe(cell: &'static str) -> FlightDumpOnPanic {
+    netsim::obs::set_level(netsim::obs::Level::Debug);
+    FlightDumpOnPanic::arm(cell)
+}
+
 /// Lossy + duplicating + reordering links, a spool on a full disk, and a
 /// scripted agent kill — all in one deployment.  The damaged link slows
 /// the control plane down without corrupting it (TCP below, CRC-checked
@@ -52,6 +61,7 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
 /// relaunch + resume under both.
 #[test]
 fn impaired_links_full_disk_and_kills_recover_bit_identical() {
+    let _obs = observe("impair");
     let root = scratch_dir("impair");
 
     let spool_faults = DiskFaults::none();
@@ -142,6 +152,7 @@ fn impaired_links_full_disk_and_kills_recover_bit_identical() {
 /// growing once the partition heals, and nothing is lost or doubled.
 #[test]
 fn partition_heals_and_the_measurement_survives() {
+    let _obs = observe("partition");
     let root = scratch_dir("partition");
 
     let mut specs = vec![fixed_spec(b"island", FaultPlan::default())];
@@ -194,6 +205,7 @@ fn partition_heals_and_the_measurement_survives() {
 /// neither costs a record.
 #[test]
 fn wal_and_checkpoint_faults_keep_exactly_once_semantics() {
+    let _obs = observe("walfault");
     let root = scratch_dir("walfault");
 
     let wal_faults = DiskFaults::none();
@@ -257,6 +269,7 @@ fn wal_and_checkpoint_faults_keep_exactly_once_semantics() {
 /// and still merge every sequence exactly once.
 #[test]
 fn merge_queue_overload_sheds_and_shrinks_windows() {
+    let _obs = observe("overload");
     let config = AgentConfig {
         id: HoneypotId(0),
         content: ContentStrategy::NoContent,
@@ -351,6 +364,7 @@ fn merge_queue_overload_sheds_and_shrinks_windows() {
 /// violation.  Each for its own counted reason.
 #[test]
 fn hostile_connections_are_reaped_for_visible_reasons() {
+    let _obs = observe("hostile");
     let daemon = Daemon::start(
         DaemonConfig {
             heartbeat_timeout_ms: 60_000,
@@ -421,6 +435,7 @@ fn hostile_connections_are_reaped_for_visible_reasons() {
 /// chaos cell above reproducible from its seed.
 #[test]
 fn same_impair_seed_reproduces_the_same_timeline() {
+    let _obs = observe("impair-replay");
     let plan = |seed: u64| ImpairPlan {
         drop_permille: 60,
         dup_permille: 40,
